@@ -1,0 +1,212 @@
+//! Swift (Kumar et al., SIGCOMM 2020): delay-target AIMD — TIMELY's
+//! production successor at Google and the paper's example of a
+//! current-based CC "evolving into" a voltage-based one (§2).
+//!
+//! Core rule: compare the measured end-to-end delay against a target that
+//! scales with 1/√cwnd (flow-count scaling); additive increase below
+//! target, multiplicative decrease proportional to the overshoot above it,
+//! with decreases paced to once per RTT and bounded by `max_mdf`.
+
+use powertcp_core::{
+    clamp_cwnd, rate_from_cwnd, AckInfo, Bandwidth, CcContext, CongestionControl, LossKind, Tick,
+};
+
+/// Swift parameters (paper defaults, expressed against base RTT).
+#[derive(Clone, Copy, Debug)]
+pub struct SwiftConfig {
+    /// Base target delay as a multiple of base RTT.
+    pub base_target_factor: f64,
+    /// Additive increase per RTT, in MTUs.
+    pub ai_mtus: f64,
+    /// Multiplicative-decrease aggressiveness β.
+    pub beta: f64,
+    /// Maximum decrease per RTT.
+    pub max_mdf: f64,
+    /// Flow-scaling range: extra target delay per 1/√cwnd (in MTUs of
+    /// serialization at host rate), 0 disables scaling.
+    pub fs_range_factor: f64,
+    /// Minimum window in bytes.
+    pub min_cwnd_bytes: f64,
+}
+
+impl Default for SwiftConfig {
+    fn default() -> Self {
+        SwiftConfig {
+            base_target_factor: 1.25,
+            ai_mtus: 1.0,
+            beta: 0.8,
+            max_mdf: 0.5,
+            fs_range_factor: 0.5,
+            min_cwnd_bytes: 256.0,
+        }
+    }
+}
+
+/// The Swift sender.
+#[derive(Clone, Debug)]
+pub struct Swift {
+    cfg: SwiftConfig,
+    ctx: CcContext,
+    cwnd: f64,
+    last_decrease: Tick,
+    max_cwnd: f64,
+}
+
+impl Swift {
+    /// Create a Swift instance for one flow.
+    pub fn new(cfg: SwiftConfig, ctx: CcContext) -> Self {
+        let init = ctx.host_bdp_bytes();
+        Swift {
+            cfg,
+            ctx,
+            cwnd: init,
+            last_decrease: Tick::ZERO,
+            max_cwnd: init,
+        }
+    }
+
+    /// Current target delay for the current window.
+    pub fn target_delay(&self) -> f64 {
+        let tau = self.ctx.base_rtt.as_secs_f64();
+        let base = tau * self.cfg.base_target_factor;
+        if self.cfg.fs_range_factor <= 0.0 {
+            return base;
+        }
+        // Flow scaling: smaller windows (more competing flows) tolerate
+        // more queueing; clamp the extra range.
+        let cwnd_pkts = (self.cwnd / self.ctx.mtu as f64).max(0.0625);
+        let extra = (tau * self.cfg.fs_range_factor / cwnd_pkts.sqrt())
+            .min(tau * self.cfg.fs_range_factor * 4.0);
+        base + extra
+    }
+}
+
+impl CongestionControl for Swift {
+    fn on_ack(&mut self, ack: &AckInfo<'_>) {
+        let delay = ack.rtt.as_secs_f64();
+        let target = self.target_delay();
+        let mtu = self.ctx.mtu as f64;
+        if delay < target {
+            // Additive increase, scaled per-ack (ai per RTT overall).
+            let cwnd_pkts = (self.cwnd / mtu).max(1.0);
+            self.cwnd += self.cfg.ai_mtus * mtu * (ack.newly_acked as f64 / mtu) / cwnd_pkts;
+        } else if ack.now.saturating_sub(self.last_decrease) >= self.ctx.base_rtt {
+            // Multiplicative decrease proportional to overshoot, at most
+            // once per RTT and bounded by max_mdf.
+            let md = (self.cfg.beta * (delay - target) / delay).min(self.cfg.max_mdf);
+            self.cwnd *= 1.0 - md;
+            self.last_decrease = ack.now;
+        }
+        self.cwnd = clamp_cwnd(self.cwnd, self.cfg.min_cwnd_bytes, self.max_cwnd);
+    }
+
+    fn on_loss(&mut self, now: Tick, kind: LossKind) {
+        if kind == LossKind::Timeout
+            && now.saturating_sub(self.last_decrease) >= self.ctx.base_rtt
+        {
+            self.cwnd = clamp_cwnd(
+                self.cwnd * (1.0 - self.cfg.max_mdf),
+                self.cfg.min_cwnd_bytes,
+                self.max_cwnd,
+            );
+            self.last_decrease = now;
+        }
+    }
+
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn pacing_rate(&self) -> Bandwidth {
+        rate_from_cwnd(self.cwnd, self.ctx.base_rtt, self.ctx.host_bw)
+    }
+
+    fn name(&self) -> &'static str {
+        "swift"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> CcContext {
+        CcContext {
+            base_rtt: Tick::from_micros(20),
+            host_bw: Bandwidth::gbps(25),
+            mtu: 1000,
+            expected_flows: 8,
+        }
+    }
+
+    fn ack(now_us: u64, rtt_us: u64) -> AckInfo<'static> {
+        AckInfo {
+            now: Tick::from_micros(now_us),
+            ack_seq: 0,
+            newly_acked: 1000,
+            snd_nxt: 1000,
+            rtt: Tick::from_micros(rtt_us),
+            int: None,
+            ecn_marked: false,
+        }
+    }
+
+    #[test]
+    fn below_target_grows_additively() {
+        let mut s = Swift::new(SwiftConfig::default(), ctx());
+        s.cwnd = 20_000.0;
+        let w0 = s.cwnd();
+        for i in 0..20 {
+            s.on_ack(&ack(100 + i, 20));
+        }
+        assert!(s.cwnd() > w0);
+        assert!(s.cwnd() < w0 + 20.0 * 1000.0, "growth must be additive");
+    }
+
+    #[test]
+    fn above_target_decreases_once_per_rtt() {
+        let mut s = Swift::new(SwiftConfig::default(), ctx());
+        let w0 = s.cwnd();
+        // Two back-to-back over-target ACKs within one RTT: one decrease.
+        s.on_ack(&ack(100, 60));
+        let w1 = s.cwnd();
+        assert!(w1 < w0);
+        s.on_ack(&ack(101, 60));
+        assert_eq!(s.cwnd(), w1, "second decrease gated within one RTT");
+        // After an RTT, it decreases again.
+        s.on_ack(&ack(125, 60));
+        assert!(s.cwnd() < w1);
+    }
+
+    #[test]
+    fn decrease_bounded_by_max_mdf() {
+        let mut s = Swift::new(SwiftConfig::default(), ctx());
+        let w0 = s.cwnd();
+        s.on_ack(&ack(100, 100_000)); // absurd RTT
+        assert!(s.cwnd() >= w0 * (1.0 - 0.5) - 1.0);
+    }
+
+    #[test]
+    fn target_scales_with_window() {
+        let mut s = Swift::new(SwiftConfig::default(), ctx());
+        s.cwnd = 62_500.0;
+        let t_large = s.target_delay();
+        s.cwnd = 1_000.0;
+        let t_small = s.target_delay();
+        assert!(
+            t_small > t_large,
+            "smaller windows must tolerate more delay (flow scaling)"
+        );
+    }
+
+    #[test]
+    fn window_bounded_under_noise() {
+        let mut s = Swift::new(SwiftConfig::default(), ctx());
+        for i in 0..300u64 {
+            let rtt = 15 + (i * 7919) % 200;
+            s.on_ack(&ack(100 + i, rtt));
+            assert!(s.cwnd() >= s.cfg.min_cwnd_bytes);
+            assert!(s.cwnd() <= s.max_cwnd);
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! TIMELY (Mittal et al., SIGCOMM 2015): RTT-gradient rate control — the
+//! paper's canonical *current-based* CC.
+//!
+//! Reacts to the *derivative* of the RTT rather than its absolute value
+//! (except outside the [Tlow, Thigh] guard band). The PowerTCP paper's
+//! analysis (§2.2, Appendix C) shows this has no unique equilibrium: the
+//! gradient stabilizes at any queue length, which our Figure-3 fluid
+//! reproduction and the packet-level fairness runs both exhibit.
+//!
+//! Implementation follows the paper's pseudocode with the patched gradient
+//! (EWMA-smoothed RTT differences normalized by the minimum RTT), additive
+//! increase `δ` below Tlow / on negative gradient (with HAI after five
+//! consecutive negative-gradient updates), and multiplicative decrease
+//! proportional to the positive gradient.
+
+use powertcp_core::{AckInfo, Bandwidth, CcContext, CongestionControl, LossKind, Tick};
+
+/// TIMELY parameters. The paper's absolute thresholds (tuned for 10G,
+/// 10–100 µs fabrics) are expressed here relative to the base RTT so the
+/// algorithm is usable across our topologies.
+#[derive(Clone, Copy, Debug)]
+pub struct TimelyConfig {
+    /// EWMA weight for RTT-difference smoothing (paper: α = 0.875 retained
+    /// fraction; we store the *new-sample* weight).
+    pub ewma_weight: f64,
+    /// Multiplicative-decrease aggressiveness β.
+    pub beta: f64,
+    /// Additive increase δ as a fraction of line rate.
+    pub delta_fraction: f64,
+    /// Low RTT threshold as a multiple of base RTT (below: pure AI).
+    pub t_low_factor: f64,
+    /// High RTT threshold as a multiple of base RTT (above: proportional
+    /// MD regardless of gradient).
+    pub t_high_factor: f64,
+    /// Consecutive negative-gradient updates before hyper-AI.
+    pub hai_threshold: u32,
+    /// Minimum rate floor as a fraction of line rate.
+    pub min_rate_fraction: f64,
+}
+
+impl Default for TimelyConfig {
+    fn default() -> Self {
+        TimelyConfig {
+            ewma_weight: 0.125,
+            beta: 0.8,
+            delta_fraction: 0.01,
+            t_low_factor: 1.1,
+            t_high_factor: 3.0,
+            hai_threshold: 5,
+            min_rate_fraction: 0.01,
+        }
+    }
+}
+
+/// The TIMELY rate-based sender.
+#[derive(Clone, Debug)]
+pub struct Timely {
+    cfg: TimelyConfig,
+    ctx: CcContext,
+    rate: f64, // bytes/s
+    prev_rtt: Option<Tick>,
+    rtt_diff_smoothed: f64, // seconds
+    neg_gradient_count: u32,
+    /// Completion gate: update once per RTT worth of ACKed bytes, as the
+    /// paper's implementation does.
+    last_update_seq: u64,
+    line_rate: f64,
+}
+
+impl Timely {
+    /// Create a TIMELY instance for one flow; starts at line rate.
+    pub fn new(cfg: TimelyConfig, ctx: CcContext) -> Self {
+        let line = ctx.host_bw.bytes_per_sec();
+        Timely {
+            cfg,
+            ctx,
+            rate: line,
+            prev_rtt: None,
+            rtt_diff_smoothed: 0.0,
+            neg_gradient_count: 0,
+            last_update_seq: 0,
+            line_rate: line,
+        }
+    }
+
+    /// Current rate in bytes/s (diagnostics).
+    pub fn rate_bytes(&self) -> f64 {
+        self.rate
+    }
+
+    /// Smoothed normalized gradient (diagnostics).
+    pub fn gradient(&self) -> f64 {
+        self.rtt_diff_smoothed / self.ctx.base_rtt.as_secs_f64()
+    }
+
+    fn delta(&self) -> f64 {
+        self.line_rate * self.cfg.delta_fraction
+    }
+
+    fn update(&mut self, rtt: Tick) {
+        let tau = self.ctx.base_rtt.as_secs_f64();
+        let prev = match self.prev_rtt.replace(rtt) {
+            Some(p) => p,
+            None => return,
+        };
+        let diff = rtt.as_secs_f64() - prev.as_secs_f64();
+        self.rtt_diff_smoothed =
+            (1.0 - self.cfg.ewma_weight) * self.rtt_diff_smoothed + self.cfg.ewma_weight * diff;
+        let gradient = self.rtt_diff_smoothed / tau;
+        let rtt_s = rtt.as_secs_f64();
+        let t_low = tau * self.cfg.t_low_factor;
+        let t_high = tau * self.cfg.t_high_factor;
+
+        if rtt_s < t_low {
+            // Well under target: additive increase, gradient ignored.
+            self.neg_gradient_count = self.neg_gradient_count.saturating_add(1);
+            self.rate += self.delta();
+        } else if rtt_s > t_high {
+            // Far over target: proportional decrease regardless of trend.
+            self.neg_gradient_count = 0;
+            self.rate *= 1.0 - self.cfg.beta * (1.0 - t_high / rtt_s);
+        } else if gradient <= 0.0 {
+            self.neg_gradient_count += 1;
+            let n = if self.neg_gradient_count >= self.cfg.hai_threshold {
+                5.0
+            } else {
+                1.0
+            };
+            self.rate += n * self.delta();
+        } else {
+            self.neg_gradient_count = 0;
+            self.rate *= 1.0 - self.cfg.beta * gradient.min(1.0);
+        }
+        self.rate = self
+            .rate
+            .clamp(self.line_rate * self.cfg.min_rate_fraction, self.line_rate);
+    }
+}
+
+impl CongestionControl for Timely {
+    fn on_ack(&mut self, ack: &AckInfo<'_>) {
+        // Gate to one rate decision per RTT of ACKed data.
+        if ack.ack_seq < self.last_update_seq {
+            return;
+        }
+        self.last_update_seq = ack.snd_nxt;
+        self.update(ack.rtt);
+    }
+
+    fn on_loss(&mut self, _now: Tick, kind: LossKind) {
+        if kind == LossKind::Timeout {
+            self.rate = (self.rate * 0.5).max(self.line_rate * self.cfg.min_rate_fraction);
+        }
+    }
+
+    fn cwnd(&self) -> f64 {
+        (self.rate * self.ctx.base_rtt.as_secs_f64() * 2.0).max(self.ctx.mtu as f64)
+    }
+
+    fn pacing_rate(&self) -> Bandwidth {
+        Bandwidth::from_bps((self.rate * 8.0) as u64)
+    }
+
+    fn name(&self) -> &'static str {
+        "timely"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> CcContext {
+        CcContext {
+            base_rtt: Tick::from_micros(20),
+            host_bw: Bandwidth::gbps(25),
+            mtu: 1000,
+            expected_flows: 8,
+        }
+    }
+
+    fn ack(now_us: u64, seq: u64, rtt: Tick) -> AckInfo<'static> {
+        AckInfo {
+            now: Tick::from_micros(now_us),
+            ack_seq: seq,
+            newly_acked: 1000,
+            snd_nxt: seq + 1, // every ack passes the RTT gate
+            rtt,
+            int: None,
+            ecn_marked: false,
+        }
+    }
+
+    #[test]
+    fn rising_rtt_cuts_rate() {
+        let mut t = Timely::new(TimelyConfig::default(), ctx());
+        let r0 = t.rate_bytes();
+        // RTT ramping 24 -> 43 us: positive gradient inside the band.
+        for i in 0..20u64 {
+            t.on_ack(&ack(100 + i, i, Tick::from_micros(24 + i)));
+        }
+        assert!(t.rate_bytes() < 0.8 * r0, "rate={} r0={}", t.rate_bytes(), r0);
+        assert!(t.gradient() > 0.0);
+    }
+
+    #[test]
+    fn flat_rtt_at_any_level_grows_rate() {
+        // The defining current-based blindness: a *stable* 2-BDP queue
+        // (RTT inside the band, zero gradient) still increases the rate.
+        let mut t = Timely::new(TimelyConfig::default(), ctx());
+        t.rate = t.line_rate * 0.5;
+        let r0 = t.rate_bytes();
+        for i in 0..10u64 {
+            t.on_ack(&ack(100 + i, i, Tick::from_micros(45)));
+        }
+        assert!(
+            t.rate_bytes() > r0,
+            "zero gradient must grow rate regardless of queue"
+        );
+    }
+
+    #[test]
+    fn low_rtt_additive_increase() {
+        let mut t = Timely::new(TimelyConfig::default(), ctx());
+        t.rate = t.line_rate * 0.25;
+        let r0 = t.rate_bytes();
+        for i in 0..10u64 {
+            t.on_ack(&ack(100 + i, i, Tick::from_micros(20)));
+        }
+        let grown = t.rate_bytes() - r0;
+        assert!(grown > 0.0);
+        // Growth is additive: bounded by ~10 * 5δ (with HAI).
+        assert!(grown <= 51.0 * t.delta());
+    }
+
+    #[test]
+    fn very_high_rtt_decreases_even_with_negative_gradient() {
+        let mut t = Timely::new(TimelyConfig::default(), ctx());
+        // RTT falling but far above Thigh (60us = 3x base): must decrease.
+        t.on_ack(&ack(100, 0, Tick::from_micros(200)));
+        let r0 = t.rate_bytes();
+        t.on_ack(&ack(101, 1, Tick::from_micros(190)));
+        assert!(t.rate_bytes() < r0);
+    }
+
+    #[test]
+    fn rate_stays_in_bounds_under_noise() {
+        let mut t = Timely::new(TimelyConfig::default(), ctx());
+        for i in 0..500u64 {
+            let rtt = Tick::from_nanos(20_000 + (i * 104_729) % 150_000);
+            t.on_ack(&ack(100 + i, i, rtt));
+            assert!(t.rate_bytes() > 0.0);
+            assert!(t.rate_bytes() <= t.line_rate);
+        }
+    }
+
+    #[test]
+    fn timeout_halves_rate() {
+        let mut t = Timely::new(TimelyConfig::default(), ctx());
+        let r0 = t.rate_bytes();
+        t.on_loss(Tick::from_micros(10), LossKind::Timeout);
+        assert!((t.rate_bytes() - r0 / 2.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Criterion micro-benchmarks: per-ACK update cost of every congestion
+//! control algorithm.
+//!
+//! The paper argues PowerTCP "does not add additional complexity compared
+//! to existing algorithms" (§3.6); this bench quantifies the per-ACK cost
+//! of each control law on identical feedback streams.
+
+use cc_baselines::{
+    Dcqcn, DcqcnConfig, Dctcp, DctcpConfig, Hpcc, HpccConfig, NewReno, NewRenoConfig, Swift,
+    SwiftConfig, Timely, TimelyConfig,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use powertcp_core::{
+    AckInfo, Bandwidth, CcContext, CongestionControl, IntHeader, IntHopMetadata, PowerTcp,
+    PowerTcpConfig, ThetaPowerTcp, Tick,
+};
+use std::hint::black_box;
+
+fn ctx() -> CcContext {
+    CcContext {
+        base_rtt: Tick::from_micros(20),
+        host_bw: Bandwidth::gbps(25),
+        mtu: 1000,
+        expected_flows: 8,
+    }
+}
+
+/// Pre-generate a realistic ACK stream with INT (varying queue and rate).
+fn ack_stream(n: usize) -> Vec<(Tick, u64, IntHeader, Tick)> {
+    let bw = Bandwidth::gbps(25);
+    let mut out = Vec::with_capacity(n);
+    let mut now = Tick::from_micros(100);
+    let mut tx = 0u64;
+    for i in 0..n as u64 {
+        now += Tick::from_nanos(320);
+        tx += 1000;
+        let q = ((i * 37) % 64) * 1000;
+        let mut int = IntHeader::new();
+        for hop in 0..3u32 {
+            int.push(IntHopMetadata {
+                node: hop,
+                port: 0,
+                qlen_bytes: q / (hop as u64 + 1),
+                ts: now,
+                tx_bytes: tx,
+                bandwidth: bw,
+            });
+        }
+        let rtt = Tick::from_nanos(20_000 + (q * 80) / 1000);
+        out.push((now, (i + 1) * 1000, int, rtt));
+    }
+    out
+}
+
+fn bench_cc(c: &mut Criterion) {
+    let stream = ack_stream(4096);
+    let mut group = c.benchmark_group("cc_on_ack");
+    group.throughput(criterion::Throughput::Elements(stream.len() as u64));
+
+    macro_rules! bench_algo {
+        ($name:expr, $mk:expr) => {
+            group.bench_function($name, |b| {
+                b.iter_batched(
+                    $mk,
+                    |mut cc| {
+                        for (now, seq, int, rtt) in &stream {
+                            cc.on_ack(&AckInfo {
+                                now: *now,
+                                ack_seq: *seq,
+                                newly_acked: 1000,
+                                snd_nxt: seq + 50_000,
+                                rtt: *rtt,
+                                int: Some(int),
+                                ecn_marked: seq % 7 == 0,
+                            });
+                        }
+                        black_box(cc.cwnd())
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            });
+        };
+    }
+
+    bench_algo!("powertcp", || PowerTcp::new(PowerTcpConfig::default(), ctx()));
+    bench_algo!("theta_powertcp", || ThetaPowerTcp::new(
+        PowerTcpConfig::default(),
+        ctx()
+    ));
+    bench_algo!("hpcc", || Hpcc::new(HpccConfig::default(), ctx()));
+    bench_algo!("dcqcn", || Dcqcn::new(DcqcnConfig::default(), ctx()));
+    bench_algo!("timely", || Timely::new(TimelyConfig::default(), ctx()));
+    bench_algo!("swift", || Swift::new(SwiftConfig::default(), ctx()));
+    bench_algo!("dctcp", || Dctcp::new(DctcpConfig::default(), ctx()));
+    bench_algo!("newreno", || NewReno::new(NewRenoConfig::default(), ctx()));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cc
+}
+criterion_main!(benches);

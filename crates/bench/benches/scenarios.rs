@@ -1,0 +1,57 @@
+//! Criterion benchmarks of scaled-down paper scenarios — one per figure
+//! family, so regressions in any experiment path are caught by
+//! `cargo bench`. (Full-size regeneration lives in the `fig*` binaries.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fluid_model::{phase_portrait, FluidParams, Law};
+use powertcp_bench::timeseries::{run_fairness_series, run_incast_series, run_rdcn_series};
+use powertcp_bench::{run_fct_experiment, Algo, Scale};
+use powertcp_core::{Bandwidth, Tick};
+use std::hint::black_box;
+
+fn bench_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenarios");
+    group.sample_size(10);
+
+    group.bench_function("fig3_phase_portrait_power", |b| {
+        let p = FluidParams::paper_example();
+        b.iter(|| black_box(phase_portrait(Law::Power, &p).len()))
+    });
+
+    group.bench_function("fig4_incast_10to1_powertcp", |b| {
+        b.iter(|| {
+            let r = run_incast_series(Algo::PowerTcp, 10, 50_000, Tick::from_millis(2));
+            black_box(r.peak_queue)
+        })
+    });
+
+    group.bench_function("fig5_fairness_powertcp", |b| {
+        b.iter(|| {
+            let r = run_fairness_series(Algo::PowerTcp, Tick::from_millis(4));
+            black_box(r.jain_all_active)
+        })
+    });
+
+    group.bench_function("fig6_fct_tiny_powertcp", |b| {
+        b.iter(|| {
+            let r = run_fct_experiment(Algo::PowerTcp, Scale::tiny(), 0.4, None, 7);
+            black_box(r.completed)
+        })
+    });
+
+    group.bench_function("fig8_rdcn_one_week_powertcp", |b| {
+        b.iter(|| {
+            let r = run_rdcn_series(Algo::PowerTcp, Tick::ZERO, Bandwidth::gbps(25), 1);
+            black_box(r.day_utilization)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_scenarios
+}
+criterion_main!(benches);

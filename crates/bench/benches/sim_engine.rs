@@ -1,0 +1,117 @@
+//! Criterion benchmarks of the simulator substrate itself: event
+//! throughput of the switching fabric and of the full transport stack.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcn_sim::{
+    build_star, Endpoint, EndpointCtx, FlowId, NodeId, Packet, Simulator, SwitchConfig,
+    DEFAULT_MTU,
+};
+use dcn_transport::{FlowSpec, MetricsHub, TransportConfig, TransportHost};
+use powertcp_core::{Bandwidth, CongestionControl, PowerTcp, PowerTcpConfig, Tick};
+use std::hint::black_box;
+
+/// Raw fabric: blast N packets through a star switch with null endpoints.
+struct Blaster {
+    dst: NodeId,
+    n: u64,
+}
+
+impl Endpoint for Blaster {
+    fn on_start(&mut self, ctx: &mut EndpointCtx<'_>) {
+        for i in 0..self.n {
+            ctx.send(Packet::data(
+                FlowId(1),
+                ctx.node,
+                self.dst,
+                i * DEFAULT_MTU as u64,
+                DEFAULT_MTU,
+                i + 1 == self.n,
+                ctx.now,
+            ));
+        }
+    }
+    fn on_packet(&mut self, _pkt: Box<Packet>, _ctx: &mut EndpointCtx<'_>) {}
+    fn on_timer(&mut self, _key: u64, _ctx: &mut EndpointCtx<'_>) {}
+}
+
+fn bench_fabric(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engine");
+    let pkts_per_sender = 2_000u64;
+    group.throughput(criterion::Throughput::Elements(4 * pkts_per_sender));
+    group.bench_function("fabric_4to1_blast", |b| {
+        b.iter(|| {
+            let mut mk = |_id: NodeId, idx: usize| -> Box<dyn Endpoint> {
+                if idx == 0 {
+                    Box::new(dcn_sim::NullEndpoint)
+                } else {
+                    Box::new(Blaster {
+                        dst: NodeId(1),
+                        n: pkts_per_sender,
+                    })
+                }
+            };
+            let star = build_star(
+                5,
+                Bandwidth::gbps(25),
+                Tick::from_micros(1),
+                SwitchConfig::default(),
+                &mut mk,
+            );
+            let mut sim = Simulator::new(star.net);
+            sim.run_until_idle();
+            black_box(sim.delivered)
+        })
+    });
+
+    group.bench_function("transport_8to1_powertcp", |b| {
+        b.iter(|| {
+            let metrics = MetricsHub::new_shared();
+            let tcfg = TransportConfig {
+                base_rtt: Tick::from_micros(10),
+                ..TransportConfig::default()
+            };
+            let m2 = metrics.clone();
+            let mut mk = move |_id: NodeId, idx: usize| -> Box<dyn Endpoint> {
+                let mut h = TransportHost::new(
+                    tcfg,
+                    m2.clone(),
+                    Box::new(move |_f, nic| -> Box<dyn CongestionControl> {
+                        Box::new(PowerTcp::new(
+                            PowerTcpConfig::default(),
+                            tcfg.cc_context(nic),
+                        ))
+                    }),
+                );
+                if idx >= 1 {
+                    h.add_flow(FlowSpec {
+                        id: FlowId(idx as u64),
+                        src: NodeId(1 + idx as u32),
+                        dst: NodeId(1),
+                        size_bytes: 250_000,
+                        start: Tick::ZERO,
+                    });
+                }
+                Box::new(h)
+            };
+            let star = build_star(
+                9,
+                Bandwidth::gbps(25),
+                Tick::from_micros(1),
+                SwitchConfig::default(),
+                &mut mk,
+            );
+            let mut sim = Simulator::new(star.net);
+            sim.run_until(Tick::from_millis(3));
+            let done = metrics.borrow().completion_ratio();
+            black_box(done)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fabric
+}
+criterion_main!(benches);

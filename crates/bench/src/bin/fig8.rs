@@ -1,0 +1,109 @@
+//! Figure 8: the reconfigurable-datacenter case study.
+//!
+//! 8a — time series of rack-pair throughput and VOQ occupancy for
+//!      PowerTCP, reTCP (with prebuffering), and HPCC over the rotor
+//!      schedule (225 µs days / 20 µs nights);
+//! 8b — tail VOQ queueing latency vs packet-network bandwidth.
+//!
+//! Usage: `fig8 [--panel series|tail|all] [--weeks N]`
+
+use powertcp_bench::timeseries::{run_rdcn_series, tail_latency_us};
+use powertcp_bench::{table, Algo};
+use powertcp_core::{Bandwidth, Tick};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let mut panel = "all".to_string();
+    let mut weeks = 2u64;
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--panel" => {
+                i += 1;
+                panel = argv[i].clone();
+            }
+            "--weeks" => {
+                i += 1;
+                weeks = argv[i].parse().expect("weeks");
+            }
+            other => panic!("unknown arg {other}"),
+        }
+        i += 1;
+    }
+
+    // The paper's lineup: PowerTCP, reTCP (600us and 1800us prebuffering),
+    // HPCC. reTCP-1800us follows the reTCP paper's suggestion; 600us is
+    // the PowerTCP authors' sweep-derived minimum for their topology.
+    let lineup = [
+        (Algo::PowerTcp, Tick::ZERO),
+        (Algo::ReTcp, Tick::from_micros(600)),
+        (Algo::ReTcp, Tick::from_micros(1800)),
+        (Algo::Hpcc, Tick::ZERO),
+    ];
+
+    if panel == "series" || panel == "all" {
+        table::header(
+            "Figure 8a",
+            "rack-pair throughput and VOQ occupancy over the rotor schedule",
+        );
+        let mut rows = Vec::new();
+        for (algo, prebuffer) in lineup {
+            let r = run_rdcn_series(algo, prebuffer, Bandwidth::gbps(25), weeks);
+            rows.push(vec![
+                r.label.clone(),
+                format!("{:.0}%", r.day_utilization * 100.0),
+                table::f(r.mean_throughput),
+                table::f(tail_latency_us(&r.latency, 99.0)),
+            ]);
+            table::series_csv(&format!("{} throughput", r.label), "Gbps", &r.throughput, 50);
+            table::series_csv(
+                &format!("{} VOQ", r.label),
+                "KB",
+                &r.voq.iter().map(|&(t, v)| (t, v / 1000.0)).collect::<Vec<_>>(),
+                50,
+            );
+        }
+        table::table(
+            &[
+                "protocol",
+                "circuit-day utilization",
+                "mean goodput (Gbps)",
+                "p99 VOQ wait (us)",
+            ],
+            &rows,
+        );
+        table::paper_note(
+            "reTCP fills the circuit instantly but pays prebuffered queueing \
+             (high latency); HPCC keeps the VOQ short but underuses the \
+             circuit; PowerTCP fills the circuit within ~1 RTT at near-zero \
+             queue — 80-85% circuit utilization without added latency",
+        );
+    }
+
+    if panel == "tail" || panel == "all" {
+        table::header(
+            "Figure 8b",
+            "tail VOQ queueing latency vs packet-network bandwidth",
+        );
+        let mut rows = Vec::new();
+        for pkt_gbps in [25u64, 50] {
+            for (algo, prebuffer) in lineup {
+                let r = run_rdcn_series(algo, prebuffer, Bandwidth::gbps(pkt_gbps), weeks);
+                rows.push(vec![
+                    format!("{pkt_gbps}G"),
+                    r.label.clone(),
+                    table::f(tail_latency_us(&r.latency, 99.0)),
+                    table::f(tail_latency_us(&r.latency, 99.9)),
+                ]);
+            }
+        }
+        table::table(
+            &["packet bw", "protocol", "p99 wait (us)", "p99.9 wait (us)"],
+            &rows,
+        );
+        table::paper_note(
+            "PowerTCP improves tail queuing latency by at least 5x compared \
+             to reTCP; HPCC is low-latency but wastes circuit capacity",
+        );
+    }
+}

@@ -1,0 +1,18 @@
+//! # powertcp-bench
+//!
+//! The evaluation harness: experiment runners (fat-tree FCT sweeps, incast
+//! and fairness time series, RDCN case study) shared by the per-figure
+//! regeneration binaries (`fig2` … `fig9to11`, `theorems`) and the
+//! Criterion benches. See `EXPERIMENTS.md` for the experiment ↔ figure
+//! mapping and recorded results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algo;
+pub mod runner;
+pub mod table;
+pub mod timeseries;
+
+pub use algo::Algo;
+pub use runner::{run_fct_experiment, FctResult, IncastOverlay, Scale, SIZE_BUCKETS};

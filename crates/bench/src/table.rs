@@ -1,0 +1,73 @@
+//! Plain-text table / series rendering for the figure binaries.
+//!
+//! Output is markdown-flavoured: a header block naming the paper figure,
+//! a table or CSV series, and a "paper shape" note stating what the
+//! original reports so the two can be eyeballed side by side (recorded
+//! systematically in EXPERIMENTS.md).
+
+use powertcp_core::Tick;
+
+/// Print a figure header.
+pub fn header(figure: &str, caption: &str) {
+    println!();
+    println!("## {figure} — {caption}");
+    println!();
+}
+
+/// Print a markdown table: column names then rows.
+pub fn table(cols: &[&str], rows: &[Vec<String>]) {
+    println!("| {} |", cols.join(" | "));
+    println!(
+        "|{}|",
+        cols.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+    for r in rows {
+        println!("| {} |", r.join(" | "));
+    }
+    println!();
+}
+
+/// Print a time series as CSV with a label line, downsampled to at most
+/// `max_rows` rows.
+pub fn series_csv(label: &str, unit: &str, series: &[(Tick, f64)], max_rows: usize) {
+    println!("# series: {label} (time_us,{unit})");
+    let stride = (series.len() / max_rows.max(1)).max(1);
+    for (i, (t, v)) in series.iter().enumerate() {
+        if i % stride == 0 {
+            println!("{:.1},{v:.3}", t.as_micros_f64());
+        }
+    }
+    println!();
+}
+
+/// Print the "paper shape" expectation note.
+pub fn paper_note(note: &str) {
+    println!("> paper shape: {note}");
+    println!();
+}
+
+/// Format a float compactly.
+pub fn f(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 100.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(123.456), "123");
+        assert_eq!(f(2.71828), "2.72");
+        assert_eq!(f(0.001234), "0.0012");
+    }
+}

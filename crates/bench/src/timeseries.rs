@@ -1,0 +1,432 @@
+//! Time-series experiments: incast reaction (Figure 4, 10, 11), fairness
+//! (Figure 5, 9), and the RDCN case study (Figure 8).
+
+use crate::algo::Algo;
+use dcn_sim::{
+    build_star, host_throughput_tracer, queue_tracer, series, throughput_tracer, Endpoint,
+    FlowId, NodeId, PortId, Series, Simulator, SwitchConfig,
+};
+use dcn_transport::{
+    FlowSpec, HomaConfig, HomaHost, MetricsHub, SharedMetrics, TransportConfig, TransportHost,
+};
+use powertcp_core::{Bandwidth, Tick};
+use rdcn::{build_rdcn, CircuitAwareHost, RdcnConfig, RotorSchedule};
+
+/// Result of an incast time-series run (Figure 4 panels).
+pub struct IncastSeries {
+    /// Protocol name.
+    pub algo: String,
+    /// Receiver-downlink throughput (Gbps) over time.
+    pub throughput: Vec<(Tick, f64)>,
+    /// Receiver-downlink queue (bytes) over time.
+    pub queue: Vec<(Tick, f64)>,
+    /// Peak queue after the incast (bytes).
+    pub peak_queue: f64,
+    /// Mean queue over the post-incast tail (bytes).
+    pub tail_queue_mean: f64,
+    /// Mean throughput over the post-incast tail (Gbps).
+    pub tail_throughput_mean: f64,
+    /// Minimum throughput in the recovery window just after the incast
+    /// is mitigated (reveals the "lose throughput after reacting" failure
+    /// of voltage- and current-based CC, Figure 4c/4d).
+    pub post_min_throughput: f64,
+    /// Switch drops.
+    pub drops: u64,
+}
+
+/// Figure 4 experiment: a long flow to one receiver; at `incast_at`,
+/// `fan_in` other hosts send `burst_bytes` each to the same receiver.
+///
+/// A single-switch star preserves the paper's bottleneck (the receiver's
+/// ToR downlink) without the unrelated fat-tree machinery.
+pub fn run_incast_series(
+    algo: Algo,
+    fan_in: usize,
+    burst_bytes: u64,
+    horizon: Tick,
+) -> IncastSeries {
+    let host_bw = Bandwidth::gbps(25);
+    let n = fan_in + 2; // receiver + long-flow sender + burst senders
+    let incast_at = Tick::from_millis(1);
+    let sw_cfg = algo.switch_config(SwitchConfig::default(), host_bw);
+
+    // Node-id plan for the star: switch = 0, host i = 1 + i.
+    let receiver = NodeId(1);
+    let metrics: SharedMetrics = MetricsHub::new_shared();
+    // Base RTT for the star (~6 us); configure τ generously like the
+    // paper (max RTT in topology).
+    let base_rtt = Tick::from_micros(8);
+    let tcfg = TransportConfig {
+        base_rtt,
+        rto: base_rtt * 20,
+        nack_guard: base_rtt,
+        expected_flows: 8,
+        mtu: 1000,
+    };
+
+    let m2 = metrics.clone();
+    let mut mk = move |id: NodeId, idx: usize| -> Box<dyn Endpoint> {
+        let mut flows = Vec::new();
+        if idx == 1 {
+            // Long flow for the whole run.
+            flows.push(FlowSpec {
+                id: FlowId(1),
+                src: id,
+                dst: receiver,
+                size_bytes: 3 * host_bw.bytes_per_sec() as u64 / 100, // ~30 ms worth /10
+                start: Tick::ZERO,
+            });
+        } else if idx >= 2 {
+            flows.push(FlowSpec {
+                id: FlowId(idx as u64),
+                src: id,
+                dst: receiver,
+                size_bytes: burst_bytes,
+                start: incast_at,
+            });
+        }
+        if let Algo::Homa(oc) = algo {
+            let mut hcfg = HomaConfig::paper_defaults(host_bw, base_rtt);
+            hcfg.overcommit = oc;
+            let mut h = HomaHost::new(hcfg, m2.clone());
+            for f in flows {
+                h.add_flow(f);
+            }
+            Box::new(h)
+        } else {
+            let mut h = TransportHost::new(tcfg, m2.clone(), algo.cc_factory(tcfg));
+            for f in flows {
+                h.add_flow(f);
+            }
+            Box::new(h)
+        }
+    };
+    let star = build_star(n, host_bw, Tick::from_micros(1), sw_cfg, &mut mk);
+    let sw = star.switch;
+    let mut sim = Simulator::new(star.net);
+    let thr = series();
+    let qs = series();
+    let sample = Tick::from_micros(20);
+    sim.add_tracer(sample, throughput_tracer(sw, PortId(0), thr.clone()));
+    sim.add_tracer(sample, queue_tracer(sw, PortId(0), qs.clone()));
+    sim.run_until(horizon);
+
+    let throughput = thr.borrow().clone();
+    let queue = qs.borrow().clone();
+    let peak_queue = queue
+        .iter()
+        .filter(|(t, _)| *t >= incast_at)
+        .map(|&(_, v)| v)
+        .fold(0.0, f64::max);
+    // Post-incast tail: last quarter of the run.
+    let tail_from = horizon - (horizon - incast_at) / 4;
+    let tail_q: Vec<f64> = queue
+        .iter()
+        .filter(|(t, _)| *t >= tail_from)
+        .map(|&(_, v)| v)
+        .collect();
+    let tail_t: Vec<f64> = throughput
+        .iter()
+        .filter(|(t, _)| *t >= tail_from)
+        .map(|&(_, v)| v)
+        .collect();
+    // Recovery window: after the burst has been absorbed, before the tail.
+    let rec_lo = incast_at + Tick::from_micros(500);
+    let rec_hi = incast_at + Tick::from_millis(2);
+    let post_min_throughput = throughput
+        .iter()
+        .filter(|(t, _)| *t >= rec_lo && *t < rec_hi)
+        .map(|&(_, v)| v)
+        .fold(f64::INFINITY, f64::min);
+    IncastSeries {
+        algo: algo.name(),
+        throughput,
+        queue,
+        peak_queue,
+        tail_queue_mean: mean(&tail_q),
+        tail_throughput_mean: mean(&tail_t),
+        post_min_throughput: if post_min_throughput.is_finite() {
+            post_min_throughput
+        } else {
+            0.0
+        },
+        drops: sim.net.switch(sw).total_drops(),
+    }
+}
+
+fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Result of a fairness run (Figure 5/9): per-flow throughput series and
+/// the Jain index over the phase where all flows are active.
+pub struct FairnessSeries {
+    /// Protocol name.
+    pub algo: String,
+    /// Per-sender throughput (Gbps) series.
+    pub flows: Vec<Vec<(Tick, f64)>>,
+    /// Jain fairness index over the all-active window.
+    pub jain_all_active: f64,
+}
+
+/// Figure 5 experiment: four senders to one receiver joining at 1 ms
+/// intervals; all active in [3ms, horizon).
+pub fn run_fairness_series(algo: Algo, horizon: Tick) -> FairnessSeries {
+    let host_bw = Bandwidth::gbps(25);
+    let receiver = NodeId(1);
+    let metrics: SharedMetrics = MetricsHub::new_shared();
+    let base_rtt = Tick::from_micros(8);
+    let tcfg = TransportConfig {
+        base_rtt,
+        rto: base_rtt * 20,
+        nack_guard: base_rtt,
+        expected_flows: 4,
+        mtu: 1000,
+    };
+    let m2 = metrics.clone();
+    let mut mk = move |id: NodeId, idx: usize| -> Box<dyn Endpoint> {
+        let mut flows = Vec::new();
+        if idx >= 1 {
+            flows.push(FlowSpec {
+                id: FlowId(idx as u64),
+                src: id,
+                dst: receiver,
+                // Big enough to outlive the run at full line rate.
+                size_bytes: host_bw.bytes_per_sec() as u64 / 10,
+                start: Tick::from_millis((idx as u64 - 1).min(3)),
+            });
+        }
+        if let Algo::Homa(oc) = algo {
+            let mut hcfg = HomaConfig::paper_defaults(host_bw, base_rtt);
+            hcfg.overcommit = oc;
+            let mut h = HomaHost::new(hcfg, m2.clone());
+            for f in flows {
+                h.add_flow(f);
+            }
+            Box::new(h)
+        } else {
+            let mut h = TransportHost::new(tcfg, m2.clone(), algo.cc_factory(tcfg));
+            for f in flows {
+                h.add_flow(f);
+            }
+            Box::new(h)
+        }
+    };
+    let star = build_star(
+        5,
+        host_bw,
+        Tick::from_micros(1),
+        algo.switch_config(SwitchConfig::default(), host_bw),
+        &mut mk,
+    );
+    let senders: Vec<NodeId> = (2..=5).map(NodeId).collect();
+    let mut sim = Simulator::new(star.net);
+    let handles: Vec<Series> = senders.iter().map(|_| series()).collect();
+    for (s, h) in senders.iter().zip(&handles) {
+        sim.add_tracer(Tick::from_micros(50), host_throughput_tracer(*s, h.clone()));
+    }
+    sim.run_until(horizon);
+
+    let flows: Vec<Vec<(Tick, f64)>> = handles.iter().map(|h| h.borrow().clone()).collect();
+    // Jain over the window where all four are active: [3.2ms, horizon).
+    let from = Tick::from_micros(3_200);
+    let means: Vec<f64> = flows
+        .iter()
+        .map(|f| {
+            let v: Vec<f64> = f
+                .iter()
+                .filter(|(t, _)| *t >= from)
+                .map(|&(_, v)| v)
+                .collect();
+            mean(&v)
+        })
+        .collect();
+    FairnessSeries {
+        algo: algo.name(),
+        flows,
+        jain_all_active: dcn_stats::jain_index(&means).unwrap_or(0.0),
+    }
+}
+
+/// Result of the RDCN case study (Figure 8).
+pub struct RdcnSeries {
+    /// Label ("PowerTCP", "reTCP-600us", …).
+    pub label: String,
+    /// Rack-0 egress throughput towards rack 1 (Gbps; circuit + packet).
+    pub throughput: Vec<(Tick, f64)>,
+    /// Rack-0 → rack-1 VOQ occupancy (bytes).
+    pub voq: Vec<(Tick, f64)>,
+    /// VOQ queueing-delay samples (seconds) at ToR 0.
+    pub latency: Vec<f64>,
+    /// Mean circuit-day utilization of the circuit path (0–1).
+    pub day_utilization: f64,
+    /// Mean rack-pair goodput over the whole run (Gbps).
+    pub mean_throughput: f64,
+    /// Flows completed / offered.
+    pub completed: (usize, usize),
+}
+
+/// Figure 8 experiment: every host of rack 0 sends a long flow to its
+/// counterpart in rack 1 for several weeks of the rotor schedule.
+pub fn run_rdcn_series(
+    algo: Algo,
+    prebuffer: Tick,
+    packet_bw: Bandwidth,
+    weeks: u64,
+) -> RdcnSeries {
+    let cfg = RdcnConfig {
+        // Paper schedule (25 ToRs: 24 matchings, week = 5.88 ms) with one
+        // full-rate rack pair (4 hosts saturate the 100 G circuit). The
+        // long inter-day gap is what separates reTCP-600us from
+        // reTCP-1800us — a shorter rotor would hold VOQs permanently.
+        schedule: RotorSchedule::paper_defaults(),
+        hosts_per_tor: 4,
+        packet_bw,
+        prebuffer,
+        ..RdcnConfig::default()
+    };
+    // (θ/delay algorithms run unchanged; INT is appended but unread.)
+    let schedule = cfg.schedule;
+    let base_rtt = cfg.base_rtt();
+    let circuit_bw = cfg.circuit_bw;
+    let h = cfg.hosts_per_tor;
+    let metrics: SharedMetrics = MetricsHub::new_shared();
+    let horizon = Tick::from_ps(schedule.week().as_ps() * weeks);
+
+    let m2 = metrics.clone();
+    let mut mk = move |id: NodeId, idx: usize| -> Box<dyn Endpoint> {
+        let tcfg = TransportConfig {
+            base_rtt,
+            rto: Tick::from_micros(2_000),
+            nack_guard: base_rtt,
+            expected_flows: 1,
+            mtu: 1000,
+        };
+        let rack = idx / h;
+        let slot = idx % h;
+        let mut host = TransportHost::new(tcfg, m2.clone(), algo.cc_factory(tcfg));
+        if rack == 0 {
+            let dst = NodeId((2 + (1 + h) + 1 + slot) as u32);
+            host.add_flow(FlowSpec {
+                id: FlowId(idx as u64 + 1),
+                src: id,
+                dst,
+                // Enough bytes to stay active the whole run at 100 G.
+                size_bytes: circuit_bw.bytes_per_sec() as u64 / 100,
+                start: Tick::ZERO,
+            });
+            Box::new(CircuitAwareHost::new(host, schedule, 0, 1, circuit_bw))
+        } else {
+            Box::new(host)
+        }
+    };
+    let r = build_rdcn(cfg, &mut mk);
+    let gauge = r.voq_gauges[0].clone();
+    let sink = r.latency_sinks[0].clone();
+    let tor0 = r.tors[0];
+    let hpt = r.cfg.hosts_per_tor;
+    let mut sim = Simulator::new(r.net);
+
+    let thr = series();
+    let voq = series();
+    {
+        let thr = thr.clone();
+        let mut last: Option<(Tick, u64)> = None;
+        sim.add_tracer(Tick::from_micros(10), move |net, now| {
+            let dcn_sim::Node::Custom(c) = net.node(tor0) else {
+                return;
+            };
+            let total = c.ports[hpt].tx_bytes + c.ports[hpt + 1].tx_bytes;
+            if let Some((t0, b0)) = last {
+                let dt = now.saturating_sub(t0).as_secs_f64();
+                if dt > 0.0 {
+                    thr.borrow_mut()
+                        .push((now, (total - b0) as f64 * 8.0 / dt / 1e9));
+                }
+            }
+            last = Some((now, total));
+        });
+        let voq = voq.clone();
+        let g = gauge.clone();
+        sim.add_tracer(Tick::from_micros(10), move |_net, now| {
+            let v = g.borrow().get(1).copied().unwrap_or(0);
+            voq.borrow_mut().push((now, v as f64));
+        });
+    }
+    sim.run_until(horizon);
+
+    // Day utilization: circuit bytes transmitted / (circuit capacity ×
+    // total day time for the rack pair).
+    let dcn_sim::Node::Custom(c) = sim.net.node(tor0) else {
+        panic!()
+    };
+    let circuit_bytes = c.ports[hpt + 1].tx_bytes;
+    let uplink_bytes = c.ports[hpt].tx_bytes;
+    let day_seconds = schedule.day.as_secs_f64() * weeks as f64;
+    let day_utilization =
+        circuit_bytes as f64 / (circuit_bw.bytes_per_sec() * day_seconds);
+    let mean_throughput =
+        (circuit_bytes + uplink_bytes) as f64 * 8.0 / horizon.as_secs_f64() / 1e9;
+
+    let m = metrics.borrow();
+    let label = if prebuffer.is_zero() {
+        algo.name()
+    } else {
+        format!("{}-{}us", algo.name(), prebuffer.as_micros_f64() as u64)
+    };
+    let throughput = thr.borrow().clone();
+    let voq_series = voq.borrow().clone();
+    let latency = sink.borrow().clone();
+    let completed = m.completion_ratio();
+    drop(m);
+    RdcnSeries {
+        label,
+        throughput,
+        voq: voq_series,
+        latency,
+        day_utilization,
+        mean_throughput,
+        completed,
+    }
+}
+
+/// Shared latency-tail reduction for Figure 8b.
+pub fn tail_latency_us(latency: &[f64], pct: f64) -> f64 {
+    dcn_stats::percentile(latency, pct).unwrap_or(0.0) * 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incast_series_smoke() {
+        let r = run_incast_series(Algo::PowerTcp, 4, 100_000, Tick::from_millis(3));
+        assert!(!r.throughput.is_empty());
+        assert!(r.peak_queue > 0.0, "incast must build a queue");
+        // PowerTCP drains it.
+        assert!(r.tail_queue_mean < r.peak_queue);
+    }
+
+    #[test]
+    fn fairness_series_smoke() {
+        let r = run_fairness_series(Algo::PowerTcp, Tick::from_millis(5));
+        assert_eq!(r.flows.len(), 4);
+        assert!(
+            r.jain_all_active > 0.9,
+            "PowerTCP should share fairly (jain={})",
+            r.jain_all_active
+        );
+    }
+
+    #[test]
+    fn rdcn_series_smoke() {
+        let r = run_rdcn_series(Algo::PowerTcp, Tick::ZERO, Bandwidth::gbps(25), 2);
+        assert!(!r.throughput.is_empty());
+        assert!(r.day_utilization > 0.1, "util={}", r.day_utilization);
+    }
+}

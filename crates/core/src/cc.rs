@@ -1,0 +1,206 @@
+//! The congestion-control interface shared by PowerTCP and every baseline.
+//!
+//! The paper evaluates sender-side, window-based (or rate-based) congestion
+//! control in an RDMA-style deployment: per-packet ACKs, NIC pacing, and —
+//! for the INT-based algorithms — an echoed telemetry stack on each ACK.
+//! This trait is the narrow waist between the transport machinery
+//! (`dcn-transport`) and the control laws (`powertcp-core`,
+//! `cc-baselines`): the transport feeds signals in, the algorithm exposes a
+//! congestion window and a pacing rate.
+
+use crate::int::IntHeader;
+use crate::time::Tick;
+use crate::units::Bandwidth;
+
+/// Static per-flow context handed to an algorithm at construction time.
+#[derive(Clone, Copy, Debug)]
+pub struct CcContext {
+    /// Base (unloaded) round-trip time `τ`. The paper configures this to
+    /// the maximum RTT of the topology for PowerTCP and HPCC.
+    pub base_rtt: Tick,
+    /// Host NIC bandwidth (used for the initial window `HostBw × τ` and
+    /// the additive-increase share `β = HostBw × τ / N`).
+    pub host_bw: Bandwidth,
+    /// Maximum transmission unit in bytes (data payload per packet).
+    pub mtu: u32,
+    /// Expected number of flows sharing the host NIC (`N` in the paper's
+    /// additive-increase rule).
+    pub expected_flows: u32,
+}
+
+impl CcContext {
+    /// Bandwidth-delay product `HostBw × τ` in bytes — the paper's initial
+    /// window, letting a new flow transmit at line rate for one RTT.
+    pub fn host_bdp_bytes(&self) -> f64 {
+        self.host_bw.bdp_bytes(self.base_rtt)
+    }
+
+    /// The paper's additive increase `β = HostBw × τ / N` in bytes.
+    pub fn beta_bytes(&self) -> f64 {
+        self.host_bdp_bytes() / self.expected_flows.max(1) as f64
+    }
+}
+
+impl Default for CcContext {
+    fn default() -> Self {
+        CcContext {
+            base_rtt: Tick::from_micros(20),
+            host_bw: Bandwidth::gbps(25),
+            mtu: 1000,
+            expected_flows: 1,
+        }
+    }
+}
+
+/// Everything an algorithm may observe when an ACK arrives.
+#[derive(Clone, Copy, Debug)]
+pub struct AckInfo<'a> {
+    /// Arrival time of the ACK at the sender.
+    pub now: Tick,
+    /// Cumulative acknowledgment: next byte the receiver expects.
+    pub ack_seq: u64,
+    /// Bytes newly acknowledged by this ACK (0 for a duplicate ACK).
+    pub newly_acked: u64,
+    /// Sender's current `snd_nxt` (highest byte sent + 1); used by
+    /// algorithms that update reference state once per RTT.
+    pub snd_nxt: u64,
+    /// RTT sample measured from the echoed transmit timestamp.
+    pub rtt: Tick,
+    /// Echoed INT stack from the data path, if telemetry is enabled.
+    pub int: Option<&'a IntHeader>,
+    /// ECN-echo: the acknowledged data packet carried a CE mark.
+    pub ecn_marked: bool,
+}
+
+/// Loss signals delivered by the transport.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LossKind {
+    /// Out-of-order delivery detected by the receiver (NACK / dup-ACK):
+    /// fast-retransmit-class signal.
+    Reorder,
+    /// Retransmission timeout fired.
+    Timeout,
+}
+
+/// Out-of-band network signals. Only algorithms that are explicitly
+/// circuit-aware (reTCP) react to these; the default implementation
+/// ignores them, which is exactly the behaviour of every classic CC.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetSignal {
+    /// A reconfigurable-datacenter circuit serving this flow's rack pair
+    /// changed state.
+    Circuit {
+        /// `true`: the circuit just came up; `false`: it went down.
+        up: bool,
+        /// Bandwidth the circuit provides while up.
+        bandwidth: Bandwidth,
+    },
+}
+
+/// A sender-side congestion control algorithm.
+///
+/// Implementations own all their state; the transport only reads
+/// [`cwnd`](CongestionControl::cwnd) and
+/// [`pacing_rate`](CongestionControl::pacing_rate) after delivering events.
+/// Window-based algorithms (PowerTCP, HPCC, DCTCP) derive the pacing rate
+/// from the window (`rate = cwnd / τ`); rate-based algorithms (TIMELY,
+/// DCQCN) derive a large window from the rate so that pacing is the binding
+/// constraint.
+pub trait CongestionControl {
+    /// Process one ACK.
+    fn on_ack(&mut self, ack: &AckInfo<'_>);
+
+    /// Process a loss signal.
+    fn on_loss(&mut self, now: Tick, kind: LossKind);
+
+    /// Process an out-of-band network signal (default: ignore).
+    fn on_signal(&mut self, _now: Tick, _signal: NetSignal) {}
+
+    /// Timer hook for algorithms with autonomous clocks (DCQCN's alpha
+    /// update and rate-increase timers). Returns the next wakeup, if any.
+    /// The transport guarantees a call at (or after) the returned instant.
+    fn poll_timer(&mut self, _now: Tick) -> Option<Tick> {
+        None
+    }
+
+    /// Current congestion window in bytes.
+    fn cwnd(&self) -> f64;
+
+    /// Current pacing rate.
+    fn pacing_rate(&self) -> Bandwidth;
+
+    /// Short algorithm name for reports ("powertcp", "hpcc", ...).
+    fn name(&self) -> &'static str;
+}
+
+/// Clamp helper shared by the control laws: keeps windows inside
+/// `[min_cwnd, max_cwnd]` and finite. A window below one MTU is still
+/// meaningful (the pacing rate scales with it), but zero or negative
+/// windows would deadlock the transport.
+pub fn clamp_cwnd(cwnd: f64, min_cwnd: f64, max_cwnd: f64) -> f64 {
+    if !cwnd.is_finite() {
+        return max_cwnd;
+    }
+    cwnd.clamp(min_cwnd, max_cwnd)
+}
+
+/// Derive a pacing rate from a window (`rate = cwnd / τ`), saturating at
+/// the host line rate.
+pub fn rate_from_cwnd(cwnd_bytes: f64, base_rtt: Tick, host_bw: Bandwidth) -> Bandwidth {
+    let rtt_s = base_rtt.as_secs_f64();
+    if rtt_s <= 0.0 {
+        return host_bw;
+    }
+    let bps = (cwnd_bytes * 8.0 / rtt_s).round();
+    let capped = bps.min(host_bw.bps() as f64).max(0.0);
+    Bandwidth::from_bps(capped as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_derived_quantities() {
+        let ctx = CcContext {
+            base_rtt: Tick::from_micros(20),
+            host_bw: Bandwidth::gbps(25),
+            mtu: 1000,
+            expected_flows: 10,
+        };
+        assert!((ctx.host_bdp_bytes() - 62_500.0).abs() < 1e-9);
+        assert!((ctx.beta_bytes() - 6_250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn beta_never_divides_by_zero() {
+        let ctx = CcContext {
+            expected_flows: 0,
+            ..CcContext::default()
+        };
+        assert!(ctx.beta_bytes().is_finite());
+    }
+
+    #[test]
+    fn clamp_handles_nonfinite() {
+        assert_eq!(clamp_cwnd(f64::NAN, 1.0, 10.0), 10.0);
+        assert_eq!(clamp_cwnd(f64::INFINITY, 1.0, 10.0), 10.0);
+        assert_eq!(clamp_cwnd(-5.0, 1.0, 10.0), 1.0);
+        assert_eq!(clamp_cwnd(5.0, 1.0, 10.0), 5.0);
+    }
+
+    #[test]
+    fn rate_from_cwnd_caps_at_line_rate() {
+        let bw = Bandwidth::gbps(25);
+        let rtt = Tick::from_micros(20);
+        // Window of exactly one BDP -> line rate.
+        let r = rate_from_cwnd(62_500.0, rtt, bw);
+        assert_eq!(r, bw);
+        // Double BDP -> still capped at line rate.
+        let r = rate_from_cwnd(125_000.0, rtt, bw);
+        assert_eq!(r, bw);
+        // Half BDP -> half line rate.
+        let r = rate_from_cwnd(31_250.0, rtt, bw);
+        assert_eq!(r, Bandwidth::from_bps(12_500_000_000));
+    }
+}

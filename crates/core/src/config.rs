@@ -1,0 +1,113 @@
+//! Tunable parameters for PowerTCP and θ-PowerTCP.
+
+/// When the window update runs.
+///
+/// PowerTCP natively updates on every ACK (Algorithm 1). For the RDCN case
+/// study the paper "limit[s] window updates to once per RTT for a fair
+/// comparison with reTCP" (§5); θ-PowerTCP always updates once per RTT.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum UpdateInterval {
+    /// Update on every acknowledgment (Algorithm 1).
+    #[default]
+    PerAck,
+    /// Gate updates to once per round-trip of acknowledged data.
+    PerRtt,
+}
+
+/// Parameters of the PowerTCP control law (§3.3, "Parameters").
+///
+/// The paper recommends `γ = 0.9` from a parameter sweep, and derives
+/// `β = HostBw·τ/N` from the expected flow count per host; `β` can be
+/// overridden for experiments (e.g. weighted fairness, Theorem 3).
+#[derive(Clone, Copy, Debug)]
+pub struct PowerTcpConfig {
+    /// EWMA gain γ ∈ (0,1]: balance between reaction time and noise
+    /// sensitivity. Paper recommendation: 0.9.
+    pub gamma: f64,
+    /// Override for the additive-increase term β (bytes). `None` uses the
+    /// paper's rule `HostBw·τ/N` from the flow context.
+    pub beta_override_bytes: Option<f64>,
+    /// Lower window clamp in bytes (windows below one MTU remain valid —
+    /// pacing stretches packets out — but zero would deadlock).
+    pub min_cwnd_bytes: f64,
+    /// Upper window clamp as a multiple of the host BDP. A single flow
+    /// gains nothing from windows beyond line rate (HPCC applies the same
+    /// `W ≤ W_init` cap).
+    pub max_cwnd_factor: f64,
+    /// Per-ACK (native) or per-RTT (RDCN fair-comparison) updates.
+    pub update_interval: UpdateInterval,
+}
+
+impl Default for PowerTcpConfig {
+    fn default() -> Self {
+        PowerTcpConfig {
+            gamma: 0.9,
+            beta_override_bytes: None,
+            min_cwnd_bytes: 256.0,
+            max_cwnd_factor: 1.0,
+            update_interval: UpdateInterval::PerAck,
+        }
+    }
+}
+
+impl PowerTcpConfig {
+    /// Validate invariants; called by constructors in debug builds and by
+    /// the simulator harness before long runs.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.gamma > 0.0 && self.gamma <= 1.0) {
+            return Err(format!("gamma must be in (0,1], got {}", self.gamma));
+        }
+        if self.min_cwnd_bytes <= 0.0 {
+            return Err("min_cwnd_bytes must be positive".into());
+        }
+        if self.max_cwnd_factor < 1.0 {
+            return Err("max_cwnd_factor must be >= 1".into());
+        }
+        if let Some(b) = self.beta_override_bytes {
+            if !(b.is_finite() && b >= 0.0) {
+                return Err(format!("beta override must be >= 0, got {b}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(PowerTcpConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_gamma() {
+        let mut c = PowerTcpConfig::default();
+        c.gamma = 0.0;
+        assert!(c.validate().is_err());
+        c.gamma = 1.5;
+        assert!(c.validate().is_err());
+        c.gamma = 1.0;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_beta() {
+        let mut c = PowerTcpConfig::default();
+        c.beta_override_bytes = Some(-1.0);
+        assert!(c.validate().is_err());
+        c.beta_override_bytes = Some(f64::NAN);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_clamps() {
+        let mut c = PowerTcpConfig::default();
+        c.min_cwnd_bytes = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = PowerTcpConfig::default();
+        c.max_cwnd_factor = 0.5;
+        assert!(c.validate().is_err());
+    }
+}

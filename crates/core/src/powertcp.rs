@@ -1,0 +1,370 @@
+//! PowerTCP (Algorithm 1): the paper's primary contribution.
+//!
+//! Window update on every ACK (Eq. 7):
+//!
+//! ```text
+//! w ← γ · ( w_old / Γ_norm + β ) + (1 − γ) · w
+//! ```
+//!
+//! where `Γ_norm = f(t)/e` is the smoothed normalized power from the INT
+//! feedback ([`PowerEstimator`]), `w_old` is the window at the time the
+//! acknowledged segment was transmitted (approximated, as in the paper, by
+//! a snapshot refreshed once per RTT), `γ ∈ (0,1]` is the EWMA gain and
+//! `β = HostBw·τ/N` the additive increase.
+
+use crate::cc::{clamp_cwnd, rate_from_cwnd, AckInfo, CcContext, CongestionControl, LossKind};
+use crate::config::{PowerTcpConfig, UpdateInterval};
+use crate::power::PowerEstimator;
+use crate::time::Tick;
+use crate::units::Bandwidth;
+
+/// Multiplicative back-off applied on a retransmission timeout. The paper
+/// does not specify loss handling (its deployment is effectively lossless);
+/// halving on timeout is the conventional conservative choice and only
+/// matters under pathological buffer pressure.
+const TIMEOUT_BACKOFF: f64 = 0.5;
+
+/// The INT-based PowerTCP sender.
+#[derive(Clone, Debug)]
+pub struct PowerTcp {
+    cfg: PowerTcpConfig,
+    ctx: CcContext,
+    estimator: PowerEstimator,
+    cwnd: f64,
+    /// `w_old`: window snapshot taken once per RTT (UPDATEOLD in Alg. 1).
+    cwnd_old: f64,
+    /// When `ack_seq` passes this point, one RTT has elapsed since the
+    /// snapshot and `cwnd_old` is refreshed.
+    update_seq: u64,
+    /// Gate for [`UpdateInterval::PerRtt`] mode.
+    rtt_gate_seq: u64,
+    min_cwnd: f64,
+    max_cwnd: f64,
+}
+
+impl PowerTcp {
+    /// Create a PowerTCP instance for one flow.
+    pub fn new(cfg: PowerTcpConfig, ctx: CcContext) -> Self {
+        let init = ctx.host_bdp_bytes();
+        PowerTcp {
+            cfg,
+            ctx,
+            estimator: PowerEstimator::new(ctx.base_rtt),
+            cwnd: init,
+            cwnd_old: init,
+            update_seq: 0,
+            rtt_gate_seq: 0,
+            min_cwnd: cfg.min_cwnd_bytes,
+            max_cwnd: init * cfg.max_cwnd_factor,
+        }
+    }
+
+    /// The additive-increase term β in bytes.
+    pub fn beta(&self) -> f64 {
+        self.cfg
+            .beta_override_bytes
+            .unwrap_or_else(|| self.ctx.beta_bytes())
+    }
+
+    /// Smoothed normalized power currently held (diagnostics).
+    pub fn norm_power(&self) -> f64 {
+        self.estimator.smoothed()
+    }
+
+    fn update_window(&mut self, norm_power: f64, ack: &AckInfo<'_>) {
+        let gamma = self.cfg.gamma;
+        let new = gamma * (self.cwnd_old / norm_power + self.beta()) + (1.0 - gamma) * self.cwnd;
+        self.cwnd = clamp_cwnd(new, self.min_cwnd, self.max_cwnd);
+        // UPDATEOLD: refresh the per-RTT snapshot when this ACK covers the
+        // snapshot sequence point.
+        if ack.ack_seq >= self.update_seq {
+            self.cwnd_old = self.cwnd;
+            self.update_seq = ack.snd_nxt;
+        }
+    }
+}
+
+impl CongestionControl for PowerTcp {
+    fn on_ack(&mut self, ack: &AckInfo<'_>) {
+        let Some(int) = ack.int else {
+            // No telemetry on this ACK (e.g. a control packet): PowerTCP
+            // cannot compute power; hold the window.
+            return;
+        };
+        if let Some(sample) = self.estimator.update(int) {
+            if self.cfg.update_interval == UpdateInterval::PerRtt {
+                if ack.ack_seq < self.rtt_gate_seq {
+                    return; // power already folded into the estimator
+                }
+                self.rtt_gate_seq = ack.snd_nxt;
+            }
+            self.update_window(sample.smoothed, ack);
+        } else if ack.ack_seq >= self.update_seq {
+            // Bootstrap path: still rotate the snapshot so the first real
+            // update uses a fresh w_old.
+            self.cwnd_old = self.cwnd;
+            self.update_seq = ack.snd_nxt;
+        }
+    }
+
+    fn on_loss(&mut self, _now: Tick, kind: LossKind) {
+        if kind == LossKind::Timeout {
+            self.cwnd = clamp_cwnd(self.cwnd * TIMEOUT_BACKOFF, self.min_cwnd, self.max_cwnd);
+            self.cwnd_old = self.cwnd;
+        }
+        // Reorder NACKs carry no congestion information that INT does not
+        // already deliver more precisely; PowerTCP reacts through power.
+    }
+
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn pacing_rate(&self) -> Bandwidth {
+        rate_from_cwnd(self.cwnd, self.ctx.base_rtt, self.ctx.host_bw)
+    }
+
+    fn name(&self) -> &'static str {
+        "powertcp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::int::{IntHeader, IntHopMetadata};
+
+    fn ctx() -> CcContext {
+        CcContext {
+            base_rtt: Tick::from_micros(20),
+            host_bw: Bandwidth::gbps(25),
+            mtu: 1000,
+            expected_flows: 10,
+        }
+    }
+
+    fn int_header(ts: Tick, qlen: u64, tx_bytes: u64, bw: Bandwidth) -> IntHeader {
+        let mut h = IntHeader::new();
+        h.push(IntHopMetadata {
+            node: 1,
+            port: 0,
+            qlen_bytes: qlen,
+            ts,
+            tx_bytes,
+            bandwidth: bw,
+        });
+        h
+    }
+
+    fn ack_info<'a>(now: Tick, seq: u64, int: &'a IntHeader) -> AckInfo<'a> {
+        AckInfo {
+            now,
+            ack_seq: seq,
+            newly_acked: 1000,
+            snd_nxt: seq + 60_000,
+            rtt: Tick::from_micros(22),
+            int: Some(int),
+            ecn_marked: false,
+        }
+    }
+
+    #[test]
+    fn initial_window_is_host_bdp() {
+        let p = PowerTcp::new(PowerTcpConfig::default(), ctx());
+        assert!((p.cwnd() - 62_500.0).abs() < 1e-9);
+        // Initial pacing is line rate (paper: transmit at line rate in the
+        // first RTT to discover bottleneck state).
+        assert_eq!(p.pacing_rate(), Bandwidth::gbps(25));
+    }
+
+    #[test]
+    fn beta_follows_paper_rule() {
+        let p = PowerTcp::new(PowerTcpConfig::default(), ctx());
+        // HostBw*tau/N = 62500/10
+        assert!((p.beta() - 6_250.0).abs() < 1e-9);
+        let cfg = PowerTcpConfig {
+            beta_override_bytes: Some(100.0),
+            ..PowerTcpConfig::default()
+        };
+        let p = PowerTcp::new(cfg, ctx());
+        assert!((p.beta() - 100.0).abs() < 1e-9);
+    }
+
+    /// Drive the sender against a synthetic single-bottleneck: queue grows
+    /// when the aggregate (here: single) window exceeds BDP. The window
+    /// must converge near BDP + β and the queue near β (paper equilibrium).
+    #[test]
+    fn closed_loop_converges_to_paper_equilibrium() {
+        let c = ctx();
+        let bw = Bandwidth::gbps(25);
+        let b = bw.bytes_per_sec();
+        let tau = c.base_rtt.as_secs_f64();
+        let bdp = b * tau;
+        // Uncap the window: this test drives the raw law to an equilibrium
+        // slightly above one BDP (w_e = bτ + β̂) on a bottleneck equal to
+        // the host line rate.
+        let cfg = PowerTcpConfig {
+            max_cwnd_factor: 2.0,
+            ..PowerTcpConfig::default()
+        };
+        let mut p = PowerTcp::new(cfg, ctx());
+
+        // Discrete bottleneck model, one "ACK" per millirtt step.
+        let dt = Tick::from_micros(2);
+        let dts = dt.as_secs_f64();
+        let mut q: f64 = 0.0;
+        let mut now = Tick::from_micros(100);
+        let mut tx_bytes: f64 = 0.0;
+        let mut seq = 0u64;
+        for _ in 0..4000 {
+            // Arrival rate implied by the window (fluid model λ = w/θ).
+            let theta = tau + q / b;
+            let lambda = p.cwnd() / theta;
+            let mu = if q > 0.0 || lambda >= b { b } else { lambda };
+            q = (q + (lambda - mu) * dts).max(0.0);
+            tx_bytes += mu * dts;
+            now += dt;
+            seq += 1000;
+            let h = int_header(now, q.round() as u64, tx_bytes.round() as u64, bw);
+            let a = ack_info(now, seq, &h);
+            p.on_ack(&a);
+        }
+        let we = bdp + p.beta();
+        let qe = p.beta();
+        assert!(
+            (p.cwnd() - we).abs() / we < 0.05,
+            "cwnd={} expected≈{}",
+            p.cwnd(),
+            we
+        );
+        assert!(
+            (q - qe).abs() < 0.35 * qe + 2000.0,
+            "queue={} expected≈{}",
+            q,
+            qe
+        );
+    }
+
+    #[test]
+    fn ack_without_int_holds_window() {
+        let mut p = PowerTcp::new(PowerTcpConfig::default(), ctx());
+        let before = p.cwnd();
+        let a = AckInfo {
+            now: Tick::from_micros(50),
+            ack_seq: 1000,
+            newly_acked: 1000,
+            snd_nxt: 60_000,
+            rtt: Tick::from_micros(21),
+            int: None,
+            ecn_marked: false,
+        };
+        p.on_ack(&a);
+        assert_eq!(p.cwnd(), before);
+    }
+
+    #[test]
+    fn timeout_halves_window() {
+        let mut p = PowerTcp::new(PowerTcpConfig::default(), ctx());
+        let before = p.cwnd();
+        p.on_loss(Tick::from_micros(10), LossKind::Timeout);
+        assert!((p.cwnd() - before * 0.5).abs() < 1e-9);
+        // Reorder signal alone does not touch the window.
+        let w = p.cwnd();
+        p.on_loss(Tick::from_micros(11), LossKind::Reorder);
+        assert_eq!(p.cwnd(), w);
+    }
+
+    #[test]
+    fn high_power_shrinks_low_power_grows() {
+        let c = ctx();
+        let bw = c.host_bw;
+        let b = bw.bytes_per_sec();
+        let dt = Tick::from_micros(2);
+        let full = (b * dt.as_secs_f64()).round() as u64;
+
+        // Congested: queue of 3 BDP, line-rate egress -> power 4.
+        let mut p = PowerTcp::new(PowerTcpConfig::default(), ctx());
+        let q = (3.0 * b * c.base_rtt.as_secs_f64()) as u64;
+        let mut now = Tick::from_micros(100);
+        let h = int_header(now, q, 0, bw);
+        p.on_ack(&ack_info(now, 1000, &h));
+        let w0 = p.cwnd();
+        for i in 1..40u64 {
+            now += dt;
+            let h = int_header(now, q, i * full, bw);
+            p.on_ack(&ack_info(now, 1000 + i * 1000, &h));
+        }
+        assert!(p.cwnd() < 0.6 * w0, "cwnd={} w0={}", p.cwnd(), w0);
+
+        // Underutilized: empty queue, egress at 25% of line rate.
+        let mut p = PowerTcp::new(PowerTcpConfig::default(), ctx());
+        // Start from a deflated window so growth is observable.
+        p.cwnd = 10_000.0;
+        p.cwnd_old = 10_000.0;
+        let mut now = Tick::from_micros(100);
+        let h = int_header(now, 0, 0, bw);
+        p.on_ack(&ack_info(now, 1000, &h));
+        let w0 = p.cwnd();
+        for i in 1..40u64 {
+            now += dt;
+            let h = int_header(now, 0, i * full / 4, bw);
+            p.on_ack(&ack_info(now, 1000 + i * 1000, &h));
+        }
+        assert!(p.cwnd() > 1.5 * w0, "cwnd={} w0={}", p.cwnd(), w0);
+    }
+
+    #[test]
+    fn per_rtt_mode_updates_once_per_window() {
+        use crate::config::UpdateInterval;
+        let cfg = PowerTcpConfig {
+            update_interval: UpdateInterval::PerRtt,
+            ..PowerTcpConfig::default()
+        };
+        let c = ctx();
+        let bw = c.host_bw;
+        let b = bw.bytes_per_sec();
+        let dt = Tick::from_micros(2);
+        let full = (b * dt.as_secs_f64()).round() as u64;
+        let q = (3.0 * b * c.base_rtt.as_secs_f64()) as u64; // power 4
+        let mut per_rtt = PowerTcp::new(cfg, ctx());
+        let mut per_ack = PowerTcp::new(PowerTcpConfig::default(), ctx());
+        let mut now = Tick::from_micros(100);
+        // Same congested feedback stream, small seq steps (within one RTT
+        // of data): per-RTT gates all but the first update.
+        for i in 0..30u64 {
+            now += dt;
+            let h = int_header(now, q, i * full, bw);
+            let a = ack_info(now, 1000 + i * 1000, &h);
+            per_rtt.on_ack(&a);
+            per_ack.on_ack(&a);
+        }
+        assert!(
+            per_ack.cwnd() < per_rtt.cwnd(),
+            "per-ACK mode reacts more within one RTT: per_ack={} per_rtt={}",
+            per_ack.cwnd(),
+            per_rtt.cwnd()
+        );
+    }
+
+    #[test]
+    fn window_stays_within_bounds_under_noise() {
+        // Adversarial INT stream with jumps must never produce a
+        // non-finite or out-of-range window.
+        let c = ctx();
+        let mut p = PowerTcp::new(PowerTcpConfig::default(), ctx());
+        let bw = c.host_bw;
+        let mut now = Tick::from_micros(100);
+        let mut seq = 0u64;
+        let mut tx = 0u64;
+        for i in 0..200u64 {
+            now += Tick::from_nanos(317 + (i * 7919) % 3000);
+            seq += 1000;
+            tx = tx.wrapping_add((i * 104_729) % 50_000);
+            let q = (i * 48_611) % 2_000_000;
+            let h = int_header(now, q, tx, bw);
+            p.on_ack(&ack_info(now, seq, &h));
+            assert!(p.cwnd().is_finite());
+            assert!(p.cwnd() >= p.min_cwnd && p.cwnd() <= p.max_cwnd);
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Simulation time as integer picoseconds.
+//!
+//! Congestion control in datacenters operates on microsecond RTTs and
+//! 100 Gbps links where a single byte occupies 80 ps on the wire. Using an
+//! integer picosecond clock keeps every timestamp, serialization delay, and
+//! INT-derived rate estimate exact and deterministic — no floating-point
+//! drift between runs. A `u64` of picoseconds covers ~213 days, far beyond
+//! any simulation horizon used here.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in time (or a duration) in integer picoseconds.
+///
+/// `Tick` is deliberately a single type for both instants and durations:
+/// the simulator only ever subtracts instants to get durations and adds
+/// durations to instants, and a second newtype buys little safety here
+/// while doubling the arithmetic surface (guide idiom: simplicity over
+/// type tricks).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tick(pub u64);
+
+/// Picoseconds per nanosecond.
+pub const PS_PER_NS: u64 = 1_000;
+/// Picoseconds per microsecond.
+pub const PS_PER_US: u64 = 1_000_000;
+/// Picoseconds per millisecond.
+pub const PS_PER_MS: u64 = 1_000_000_000;
+/// Picoseconds per second.
+pub const PS_PER_SEC: u64 = 1_000_000_000_000;
+
+impl Tick {
+    /// The zero instant / zero duration.
+    pub const ZERO: Tick = Tick(0);
+    /// The maximum representable instant; used as "never" for timers.
+    pub const MAX: Tick = Tick(u64::MAX);
+
+    /// Construct from whole picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        Tick(ps)
+    }
+
+    /// Construct from whole nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        Tick(ns * PS_PER_NS)
+    }
+
+    /// Construct from whole microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Tick(us * PS_PER_US)
+    }
+
+    /// Construct from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Tick(ms * PS_PER_MS)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Tick(s * PS_PER_SEC)
+    }
+
+    /// Construct from fractional seconds (rounded to the nearest picosecond).
+    ///
+    /// Panics if `s` is negative or not finite — a negative duration is
+    /// always a logic error in the simulator.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "invalid duration: {s}");
+        Tick((s * PS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Raw picosecond count.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Value in fractional seconds (for control-law math).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_SEC as f64
+    }
+
+    /// Value in fractional microseconds (for human-readable reporting).
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_US as f64
+    }
+
+    /// Value in fractional milliseconds.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_MS as f64
+    }
+
+    /// Duration since an earlier instant, clamping to zero instead of
+    /// underflowing. Reordered timestamps (e.g. INT metadata from different
+    /// switch ports) must never crash the control law.
+    #[inline]
+    pub fn saturating_sub(self, earlier: Tick) -> Tick {
+        Tick(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition; `None` on overflow.
+    #[inline]
+    pub fn checked_add(self, rhs: Tick) -> Option<Tick> {
+        self.0.checked_add(rhs.0).map(Tick)
+    }
+
+    /// True if this is the zero duration.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Elementwise minimum.
+    #[inline]
+    pub fn min(self, other: Tick) -> Tick {
+        Tick(self.0.min(other.0))
+    }
+
+    /// Elementwise maximum.
+    #[inline]
+    pub fn max(self, other: Tick) -> Tick {
+        Tick(self.0.max(other.0))
+    }
+}
+
+impl Add for Tick {
+    type Output = Tick;
+    #[inline]
+    fn add(self, rhs: Tick) -> Tick {
+        Tick(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Tick {
+    #[inline]
+    fn add_assign(&mut self, rhs: Tick) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Tick {
+    type Output = Tick;
+    #[inline]
+    fn sub(self, rhs: Tick) -> Tick {
+        debug_assert!(self.0 >= rhs.0, "Tick subtraction underflow");
+        Tick(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Tick {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Tick) {
+        debug_assert!(self.0 >= rhs.0, "Tick subtraction underflow");
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Tick {
+    type Output = Tick;
+    #[inline]
+    fn mul(self, rhs: u64) -> Tick {
+        Tick(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Tick {
+    type Output = Tick;
+    #[inline]
+    fn div(self, rhs: u64) -> Tick {
+        Tick(self.0 / rhs)
+    }
+}
+
+impl Sum for Tick {
+    fn sum<I: Iterator<Item = Tick>>(iter: I) -> Tick {
+        iter.fold(Tick::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for Tick {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for Tick {
+    /// Human-oriented rendering with an adaptive unit.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps >= PS_PER_SEC {
+            write!(f, "{:.6}s", self.as_secs_f64())
+        } else if ps >= PS_PER_MS {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if ps >= PS_PER_US {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else if ps >= PS_PER_NS {
+            write!(f, "{:.1}ns", ps as f64 / PS_PER_NS as f64)
+        } else {
+            write!(f, "{ps}ps")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Tick::from_nanos(1), Tick::from_ps(1_000));
+        assert_eq!(Tick::from_micros(1), Tick::from_nanos(1_000));
+        assert_eq!(Tick::from_millis(1), Tick::from_micros(1_000));
+        assert_eq!(Tick::from_secs(1), Tick::from_millis(1_000));
+    }
+
+    #[test]
+    fn seconds_roundtrip() {
+        let t = Tick::from_micros(20);
+        assert!((t.as_secs_f64() - 20e-6).abs() < 1e-18);
+        assert_eq!(Tick::from_secs_f64(20e-6), t);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Tick::from_micros(5);
+        let b = Tick::from_micros(3);
+        assert_eq!(a + b, Tick::from_micros(8));
+        assert_eq!(a - b, Tick::from_micros(2));
+        assert_eq!(a * 2, Tick::from_micros(10));
+        assert_eq!(a / 5, Tick::from_micros(1));
+        assert_eq!(b.saturating_sub(a), Tick::ZERO);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(format!("{}", Tick::from_ps(5)), "5ps");
+        assert_eq!(format!("{}", Tick::from_nanos(80)), "80.0ns");
+        assert_eq!(format!("{}", Tick::from_micros(20)), "20.000us");
+        assert_eq!(format!("{}", Tick::from_millis(4)), "4.000ms");
+        assert_eq!(format!("{}", Tick::from_secs(2)), "2.000000s");
+    }
+
+    #[test]
+    fn min_max_sum() {
+        let a = Tick::from_nanos(10);
+        let b = Tick::from_nanos(20);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        let s: Tick = [a, b].into_iter().sum();
+        assert_eq!(s, Tick::from_nanos(30));
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_duration_panics() {
+        let _ = Tick::from_secs_f64(-1.0);
+    }
+}

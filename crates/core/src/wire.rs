@@ -1,0 +1,374 @@
+//! On-wire encoding of the INT telemetry header.
+//!
+//! The paper's deployments carry telemetry inside packets: the Tofino
+//! proof-of-concept "leverage[s] a custom TCP option type to encode this
+//! data and append[s] 64-bit per-hop headers to a 32-bit base header"
+//! (§3.6), and the RDCN experiments use TCP option number 36, where the
+//! 40-byte TCP option budget "can only support at most four hops
+//! round-trip path length" (§5).
+//!
+//! This module implements that format so the core crate is embeddable in a
+//! real stack:
+//!
+//! ```text
+//! base (4 B):  kind=36 (1 B) | length (1 B) | hop count (1 B) | flags (1 B)
+//! per hop (8 B):
+//!   qlen      (20 bits) — bytes >> 7 (128 B units, saturating)
+//!   ts        (24 bits) — nanoseconds, wrapping modulo 2^24 (~16.7 ms)
+//!   tx_bytes  (14 bits) — bytes >> 10 (1 KiB units, wrapping)
+//!   bandwidth (6 bits)  — log2-scaled code (see [`encode_bandwidth`])
+//! ```
+//!
+//! The quantization mirrors what line-rate hardware can afford: absolute
+//! counters are wrapped/truncated and the *receiver* reconstructs deltas,
+//! exactly as HPCC's INT does. Quantization error bounds are unit-tested;
+//! the control-law impact is bounded by the same clamps that protect
+//! against measurement noise ([`crate::power::MIN_NORM_POWER`]).
+
+use crate::int::{IntHeader, IntHopMetadata, MAX_INT_HOPS};
+use crate::time::Tick;
+use crate::units::Bandwidth;
+
+/// TCP option kind used by the paper's RDCN implementation.
+pub const TCP_OPTION_KIND: u8 = 36;
+
+/// Base header size in bytes.
+pub const BASE_BYTES: usize = 4;
+
+/// Per-hop record size in bytes.
+pub const HOP_BYTES: usize = 8;
+
+/// Maximum hops that fit a 40-byte TCP option: (40 − 4) / 8 = 4.
+pub const MAX_TCP_OPTION_HOPS: usize = (40 - BASE_BYTES) / HOP_BYTES;
+
+/// Quantization unit for queue lengths (2^7 bytes).
+const QLEN_SHIFT: u32 = 7;
+/// Queue-length field width.
+const QLEN_BITS: u32 = 20;
+/// Timestamp modulus (2^24 ns ≈ 16.7 ms — far beyond any datacenter RTT).
+const TS_BITS: u32 = 24;
+/// Quantization unit for the tx-byte counter (2^10 bytes).
+const TX_SHIFT: u32 = 10;
+/// Tx-counter field width.
+const TX_BITS: u32 = 14;
+
+/// Encode a bandwidth into the 6-bit code: `round(4·log2(Gbps))`,
+/// covering 1 Gbps (code 0) to ~57 Tbps (code 63) with ≤ ~9% step error.
+pub fn encode_bandwidth(bw: Bandwidth) -> u8 {
+    let gbps = bw.as_gbps_f64().max(1.0);
+    let code = (4.0 * gbps.log2()).round();
+    code.clamp(0.0, 63.0) as u8
+}
+
+/// Decode a 6-bit bandwidth code back to bits/s.
+pub fn decode_bandwidth(code: u8) -> Bandwidth {
+    let gbps = 2f64.powf(code as f64 / 4.0);
+    Bandwidth::from_bps((gbps * 1e9).round() as u64)
+}
+
+/// Errors from decoding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Buffer shorter than the base header or the advertised length.
+    Truncated,
+    /// First byte is not [`TCP_OPTION_KIND`].
+    WrongKind,
+    /// Advertised length is not `4 + 8·hops` or exceeds the buffer.
+    BadLength,
+    /// Hop count exceeds [`MAX_INT_HOPS`].
+    TooManyHops,
+}
+
+/// Encode up to `max_hops` entries of `int` into `out`, returning the
+/// number of bytes written. `out` must hold `BASE_BYTES + HOP_BYTES ×
+/// min(hops, max_hops)` bytes; excess hops beyond `max_hops` are dropped
+/// from the *front* (keeping the most recent — downstream — hops, which
+/// include the bottleneck for a congested path tail; hardware instead
+/// stops appending, equivalent to dropping from the back — either policy
+/// loses information only when the path exceeds the budget).
+pub fn encode(int: &IntHeader, max_hops: usize, out: &mut [u8]) -> Result<usize, WireError> {
+    let hops = int.hops();
+    let n = hops.len().min(max_hops);
+    let need = BASE_BYTES + HOP_BYTES * n;
+    if out.len() < need {
+        return Err(WireError::Truncated);
+    }
+    let skip = hops.len() - n;
+    out[0] = TCP_OPTION_KIND;
+    out[1] = need as u8;
+    out[2] = n as u8;
+    out[3] = 0; // flags (reserved)
+    for (i, hop) in hops[skip..].iter().enumerate() {
+        let qlen_q = (hop.qlen_bytes >> QLEN_SHIFT).min((1 << QLEN_BITS) - 1) as u64;
+        let ts_ns = hop.ts.as_ps() / 1_000;
+        let ts_q = ts_ns & ((1 << TS_BITS) - 1);
+        let tx_q = (hop.tx_bytes >> TX_SHIFT) & ((1 << TX_BITS) - 1);
+        let bw_q = encode_bandwidth(hop.bandwidth) as u64;
+        // Pack: qlen(20) | ts(24) | tx(14) | bw(6) = 64 bits.
+        let word = (qlen_q << 44) | (ts_q << 20) | (tx_q << 6) | bw_q;
+        out[BASE_BYTES + i * HOP_BYTES..BASE_BYTES + (i + 1) * HOP_BYTES]
+            .copy_from_slice(&word.to_be_bytes());
+    }
+    Ok(need)
+}
+
+/// A decoded hop in wire units; absolute counters are quantized/wrapped,
+/// so consumers reconstruct rates from *deltas* (as the power estimator
+/// does).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireHop {
+    /// Queue length in bytes (quantized to 128 B).
+    pub qlen_bytes: u64,
+    /// Timestamp in nanoseconds, modulo 2^24.
+    pub ts_ns_wrapped: u64,
+    /// Transmitted bytes, quantized to 1 KiB and wrapped modulo 2^24.
+    pub tx_bytes_wrapped: u64,
+    /// Link bandwidth (log-quantized).
+    pub bandwidth: Bandwidth,
+}
+
+/// Decode a wire header.
+pub fn decode(buf: &[u8]) -> Result<Vec<WireHop>, WireError> {
+    if buf.len() < BASE_BYTES {
+        return Err(WireError::Truncated);
+    }
+    if buf[0] != TCP_OPTION_KIND {
+        return Err(WireError::WrongKind);
+    }
+    let len = buf[1] as usize;
+    let n = buf[2] as usize;
+    if n > MAX_INT_HOPS {
+        return Err(WireError::TooManyHops);
+    }
+    if len != BASE_BYTES + HOP_BYTES * n || buf.len() < len {
+        return Err(WireError::BadLength);
+    }
+    let mut hops = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut word = [0u8; 8];
+        word.copy_from_slice(&buf[BASE_BYTES + i * HOP_BYTES..BASE_BYTES + (i + 1) * HOP_BYTES]);
+        let word = u64::from_be_bytes(word);
+        let qlen_q = word >> 44;
+        let ts_q = (word >> 20) & ((1 << TS_BITS) - 1);
+        let tx_q = (word >> 6) & ((1 << TX_BITS) - 1);
+        let bw_q = (word & 0x3F) as u8;
+        hops.push(WireHop {
+            qlen_bytes: qlen_q << QLEN_SHIFT,
+            ts_ns_wrapped: ts_q,
+            tx_bytes_wrapped: tx_q << TX_SHIFT,
+            bandwidth: decode_bandwidth(bw_q),
+        });
+    }
+    Ok(hops)
+}
+
+/// Reconstruct an [`IntHeader`] from decoded wire hops given an unwrapping
+/// reference: the receiver tracks, per hop, the last unwrapped timestamp
+/// and tx counter (exactly what `prevInt` already stores) and extends the
+/// wrapped fields monotonically.
+pub fn unwrap_hops(
+    wire: &[WireHop],
+    prev: Option<&IntHeader>,
+) -> IntHeader {
+    let mut out = IntHeader::new();
+    for (i, w) in wire.iter().enumerate() {
+        let (prev_ts_ps, prev_tx) = prev
+            .and_then(|p| p.hops().get(i))
+            .map(|h| (h.ts.as_ps(), h.tx_bytes))
+            .unwrap_or((0, 0));
+        // Timestamps: find the smallest unwrapped value >= prev with the
+        // observed residue modulo 2^24 ns.
+        let ts_mod_ps = w.ts_ns_wrapped * 1_000;
+        let period_ps = (1u64 << TS_BITS) * 1_000;
+        let base = prev_ts_ps - (prev_ts_ps % period_ps);
+        let mut ts_ps = base + ts_mod_ps;
+        if ts_ps < prev_ts_ps {
+            ts_ps += period_ps;
+        }
+        // Tx counter: same treatment modulo 2^24 bytes.
+        let tx_period = 1u64 << (TX_BITS + TX_SHIFT);
+        let tx_base = prev_tx - (prev_tx % tx_period);
+        let mut tx = tx_base + w.tx_bytes_wrapped;
+        if tx < prev_tx {
+            tx += tx_period;
+        }
+        out.push(IntHopMetadata {
+            node: i as u32,
+            port: 0,
+            qlen_bytes: w.qlen_bytes,
+            ts: Tick::from_ps(ts_ps),
+            tx_bytes: tx,
+            bandwidth: w.bandwidth,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hop(qlen: u64, ts_us: u64, tx: u64, gbps: u64) -> IntHopMetadata {
+        IntHopMetadata {
+            node: 1,
+            port: 2,
+            qlen_bytes: qlen,
+            ts: Tick::from_micros(ts_us),
+            tx_bytes: tx,
+            bandwidth: Bandwidth::gbps(gbps),
+        }
+    }
+
+    fn header(hops: &[IntHopMetadata]) -> IntHeader {
+        let mut h = IntHeader::new();
+        for &m in hops {
+            h.push(m);
+        }
+        h
+    }
+
+    #[test]
+    fn bandwidth_codes_cover_datacenter_range() {
+        for g in [1u64, 10, 25, 40, 50, 100, 200, 400, 800] {
+            let code = encode_bandwidth(Bandwidth::gbps(g));
+            let back = decode_bandwidth(code).as_gbps_f64();
+            let err = (back - g as f64).abs() / g as f64;
+            assert!(err < 0.10, "{g} Gbps -> code {code} -> {back} ({err:.3})");
+        }
+    }
+
+    #[test]
+    fn roundtrip_within_quantization() {
+        let h = header(&[
+            hop(123_456, 100, 9_999_999, 100),
+            hop(0, 101, 5_000, 25),
+        ]);
+        let mut buf = [0u8; 64];
+        let n = encode(&h, MAX_INT_HOPS, &mut buf).unwrap();
+        assert_eq!(n, BASE_BYTES + 2 * HOP_BYTES);
+        let wire = decode(&buf[..n]).unwrap();
+        assert_eq!(wire.len(), 2);
+        // Queue quantized to 128 B.
+        assert!(wire[0].qlen_bytes <= 123_456);
+        assert!(123_456 - wire[0].qlen_bytes < 128);
+        assert_eq!(wire[1].qlen_bytes, 0);
+        // Timestamp modulo arithmetic: 100 us = 100_000 ns < 2^24.
+        assert_eq!(wire[0].ts_ns_wrapped, 100_000);
+        // Tx quantized to 1 KiB.
+        assert!(9_999_999 - wire[0].tx_bytes_wrapped < 1_024 * 2);
+    }
+
+    #[test]
+    fn tcp_option_budget_keeps_most_recent_hops() {
+        let h = header(&[
+            hop(1 << 10, 1, 0, 100),
+            hop(2 << 10, 2, 0, 100),
+            hop(3 << 10, 3, 0, 100),
+            hop(4 << 10, 4, 0, 100),
+            hop(5 << 10, 5, 0, 100),
+        ]);
+        let mut buf = [0u8; 40];
+        let n = encode(&h, MAX_TCP_OPTION_HOPS, &mut buf).unwrap();
+        assert_eq!(n, 36, "4 hops + base fit the 40 B option budget");
+        let wire = decode(&buf[..n]).unwrap();
+        assert_eq!(wire.len(), 4);
+        // Front hop dropped; hops 2..=5 kept.
+        assert_eq!(wire[0].qlen_bytes, 2 << 10);
+        assert_eq!(wire[3].qlen_bytes, 5 << 10);
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert_eq!(decode(&[]), Err(WireError::Truncated));
+        assert_eq!(decode(&[35, 4, 0, 0]), Err(WireError::WrongKind));
+        assert_eq!(decode(&[36, 5, 0, 0, 0]), Err(WireError::BadLength));
+        assert_eq!(
+            decode(&[36, 12, 200, 0]),
+            Err(WireError::TooManyHops)
+        );
+        // Advertised longer than buffer.
+        assert_eq!(decode(&[36, 12, 1, 0]), Err(WireError::BadLength));
+    }
+
+    #[test]
+    fn unwrap_recovers_monotone_counters_across_wrap() {
+        // Two snapshots straddling a timestamp wrap (2^24 ns ≈ 16.78 ms)
+        // and a tx wrap (2^24 B).
+        let t1 = Tick::from_nanos(16_700_000); // just below the wrap
+        let t2 = Tick::from_nanos(16_900_000); // past it
+        let h1 = header(&[hop(0, 0, 16_000_000, 100)]);
+        let mut h1m = IntHeader::new();
+        h1m.push(IntHopMetadata { ts: t1, ..h1.hops()[0] });
+        let h2 = header(&[hop(0, 0, 17_000_000, 100)]);
+        let mut h2m = IntHeader::new();
+        h2m.push(IntHopMetadata { ts: t2, ..h2.hops()[0] });
+
+        let mut buf = [0u8; 16];
+        let n1 = encode(&h1m, 8, &mut buf).unwrap();
+        let w1 = decode(&buf[..n1]).unwrap();
+        let u1 = unwrap_hops(&w1, None);
+
+        let n2 = encode(&h2m, 8, &mut buf).unwrap();
+        let w2 = decode(&buf[..n2]).unwrap();
+        let u2 = unwrap_hops(&w2, Some(&u1));
+
+        assert!(u2.hops()[0].ts > u1.hops()[0].ts, "time must unwrap forward");
+        let dt = u2.hops()[0].ts - u1.hops()[0].ts;
+        assert!(
+            (dt.as_ps() as i64 - 200_000_000).abs() < 2_000_000,
+            "unwrapped delta ~200us, got {dt}"
+        );
+        assert!(u2.hops()[0].tx_bytes > u1.hops()[0].tx_bytes);
+        let dtx = u2.hops()[0].tx_bytes - u1.hops()[0].tx_bytes;
+        assert!(
+            (dtx as i64 - 1_000_000).abs() < 2 * 1024,
+            "unwrapped tx delta ~1MB, got {dtx}"
+        );
+    }
+
+    #[test]
+    fn quantized_feedback_still_drives_the_estimator() {
+        // End-to-end: wire-roundtripped INT feeds the power estimator and
+        // yields the same qualitative signal as exact INT.
+        use crate::power::PowerEstimator;
+        let tau = Tick::from_micros(20);
+        let bw = Bandwidth::gbps(100);
+        let bps = bw.bytes_per_sec();
+        let dt = Tick::from_micros(2);
+        let tx_per_dt = (bps * dt.as_secs_f64()) as u64;
+        let q = (bps * tau.as_secs_f64()) as u64; // 1 BDP queued -> power 2
+
+        let mut exact = PowerEstimator::new(tau);
+        let mut wired = PowerEstimator::new(tau);
+        let mut prev_unwrapped: Option<IntHeader> = None;
+        let mut ts = Tick::from_micros(10);
+        let mut tx = 0u64;
+        let mut last_exact = None;
+        let mut last_wired = None;
+        for _ in 0..40 {
+            ts += dt;
+            tx += tx_per_dt;
+            let h = header(&[IntHopMetadata {
+                node: 1,
+                port: 0,
+                qlen_bytes: q,
+                ts,
+                tx_bytes: tx,
+                bandwidth: bw,
+            }]);
+            last_exact = exact.update(&h).or(last_exact);
+            let mut buf = [0u8; 16];
+            let n = encode(&h, 8, &mut buf).unwrap();
+            let wire = decode(&buf[..n]).unwrap();
+            let u = unwrap_hops(&wire, prev_unwrapped.as_ref());
+            last_wired = wired.update(&u).or(last_wired);
+            prev_unwrapped = Some(u);
+        }
+        let e = last_exact.unwrap().smoothed;
+        let w = last_wired.unwrap().smoothed;
+        assert!(
+            (e - w).abs() / e < 0.15,
+            "quantization must not distort power materially: exact {e:.3} vs wire {w:.3}"
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Theorem 3: β-weighted proportional fairness.
+//!
+//! Per-flow discrete iteration of PowerTCP's control law against the
+//! shared-bottleneck feedback `f = b·w` (Property 1): at equilibrium each
+//! flow's window is `(w_i)_e = (β̂ + bτ)/β̂ · β_i` — windows proportional
+//! to the flows' additive-increase weights.
+
+use crate::laws::FluidParams;
+
+/// Iterate the N-flow discrete control law to equilibrium; returns the
+/// per-flow windows.
+///
+/// Each flow runs `w_i ← γ(w_i·e/f + β_i) + (1−γ)w_i` with the common
+/// feedback `f = b·Σw` (all flows see the same bottleneck power).
+pub fn equilibrium_windows(p: &FluidParams, betas: &[f64], gamma: f64, iters: usize) -> Vec<f64> {
+    assert!(!betas.is_empty());
+    assert!(gamma > 0.0 && gamma <= 1.0);
+    let b = p.bandwidth;
+    let tau = p.base_rtt;
+    let e = b * b * tau;
+    // Start unequal on purpose: equilibrium must not depend on the start.
+    let mut w: Vec<f64> = (0..betas.len())
+        .map(|i| p.bdp() * (0.2 + 0.3 * i as f64))
+        .collect();
+    for _ in 0..iters {
+        let agg: f64 = w.iter().sum();
+        let f = b * agg.max(1.0);
+        for (wi, beta) in w.iter_mut().zip(betas) {
+            *wi = gamma * (*wi * e / f + beta) + (1.0 - gamma) * *wi;
+        }
+    }
+    w
+}
+
+/// The analytic per-flow equilibrium of Theorem 3.
+pub fn analytic_windows(p: &FluidParams, betas: &[f64]) -> Vec<f64> {
+    let beta_hat: f64 = betas.iter().sum();
+    betas
+        .iter()
+        .map(|b| (beta_hat + p.bdp()) / beta_hat * b)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_stats::jain_index;
+
+    fn p() -> FluidParams {
+        FluidParams::paper_example()
+    }
+
+    #[test]
+    fn equal_betas_give_equal_shares() {
+        let params = p();
+        let betas = vec![5_000.0; 4];
+        let w = equilibrium_windows(&params, &betas, 0.9, 20_000);
+        let j = jain_index(&w).unwrap();
+        assert!(j > 0.9999, "jain={j} windows={w:?}");
+        // And the aggregate hits bτ + β̂.
+        let agg: f64 = w.iter().sum();
+        let expect = params.bdp() + 20_000.0;
+        assert!((agg - expect).abs() / expect < 1e-3);
+    }
+
+    #[test]
+    fn windows_proportional_to_beta() {
+        let params = p();
+        let betas = vec![2_000.0, 4_000.0, 8_000.0];
+        let w = equilibrium_windows(&params, &betas, 0.9, 20_000);
+        // w_i / β_i constant.
+        let r0 = w[0] / betas[0];
+        for (wi, bi) in w.iter().zip(&betas) {
+            assert!(
+                ((wi / bi) - r0).abs() / r0 < 1e-3,
+                "w={w:?} not β-proportional"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_analytic_equilibrium() {
+        let params = p();
+        let betas = vec![1_000.0, 3_000.0, 6_000.0, 10_000.0];
+        let sim = equilibrium_windows(&params, &betas, 0.9, 50_000);
+        let ana = analytic_windows(&params, &betas);
+        for (s, a) in sim.iter().zip(&ana) {
+            assert!((s - a).abs() / a < 0.01, "sim={sim:?} ana={ana:?}");
+        }
+    }
+
+    #[test]
+    fn equilibrium_independent_of_gamma() {
+        // γ sets speed, not the fixed point.
+        let params = p();
+        let betas = vec![2_500.0, 7_500.0];
+        let fast = equilibrium_windows(&params, &betas, 0.9, 30_000);
+        let slow = equilibrium_windows(&params, &betas, 0.1, 300_000);
+        for (f, s) in fast.iter().zip(&slow) {
+            assert!((f - s).abs() / f < 0.01);
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Fluid-model control laws (paper §2.2, Eq. 2–4 and Appendix C,
+//! Eq. 19–27).
+//!
+//! All laws share the simplified window update
+//!
+//! ```text
+//! ẇ = γr · ( w·e/f(t) − w + β̂ )          [Eq. 3 / Eq. 22]
+//! ```
+//!
+//! and the queue dynamics
+//!
+//! ```text
+//! q̇ = w/θ − b  (θ = q/b + τ),  q ≥ 0      [Eq. 9]
+//! ```
+//!
+//! differing only in the equilibrium point `e` and feedback `f(t)`
+//! (Eq. 20/21): queue-length based (HPCC-class), delay based (Swift/FAST
+//! class), RTT-gradient based (TIMELY class), and PowerTCP's power-based
+//! law, for which `w·e/f` reduces exactly to `b·τ` via Property 1.
+
+/// Shared fluid-model parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct FluidParams {
+    /// Bottleneck bandwidth in bytes/s.
+    pub bandwidth: f64,
+    /// Base RTT τ in seconds.
+    pub base_rtt: f64,
+    /// Aggregate additive increase β̂ in bytes.
+    pub beta_hat: f64,
+    /// Control gain γr = γ/δt in 1/s.
+    pub gamma_r: f64,
+}
+
+impl FluidParams {
+    /// The paper's running example: 100 Gbps bottleneck, 20 µs base RTT
+    /// (Figure 3 caption).
+    pub fn paper_example() -> Self {
+        let bandwidth = 100e9 / 8.0;
+        let base_rtt = 20e-6;
+        FluidParams {
+            bandwidth,
+            base_rtt,
+            // A modest additive share: 1/10 of BDP in aggregate.
+            beta_hat: bandwidth * base_rtt / 10.0,
+            // γ = 0.9 per update interval of ~τ/10 (per-ACK updates).
+            gamma_r: 0.9 / (20e-6 / 10.0),
+        }
+    }
+
+    /// Bandwidth-delay product in bytes.
+    pub fn bdp(&self) -> f64 {
+        self.bandwidth * self.base_rtt
+    }
+}
+
+/// The four law families the paper analyses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Law {
+    /// Queue-length based (voltage): `e = b·τ`, `f = q + b·τ` — HPCC.
+    QueueLength,
+    /// Delay based (voltage): `e = τ`, `f = q/b + τ` — FAST/Swift.
+    Delay,
+    /// RTT-gradient based (current): `e = 1`, `f = q̇/b + 1` — TIMELY.
+    RttGradient,
+    /// Power based: `e = b²τ`, `f = Γ = (q+bτ)(q̇+µ)` — PowerTCP. With
+    /// Property 1 the ratio `w·e/f` is exactly `b·τ`.
+    Power,
+}
+
+impl Law {
+    /// Human-readable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Law::QueueLength => "queue-length (voltage)",
+            Law::Delay => "delay (voltage)",
+            Law::RttGradient => "rtt-gradient (current)",
+            Law::Power => "power (PowerTCP)",
+        }
+    }
+
+    /// Is this a voltage-class law (unique equilibrium expected)?
+    pub fn is_voltage(self) -> bool {
+        matches!(self, Law::QueueLength | Law::Delay)
+    }
+}
+
+/// State of the single-bottleneck fluid model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct State {
+    /// Aggregate window in bytes.
+    pub w: f64,
+    /// Bottleneck queue in bytes.
+    pub q: f64,
+}
+
+/// Queue derivative (Eq. 9 with the q ≥ 0 boundary).
+pub fn q_dot(p: &FluidParams, s: State) -> f64 {
+    let theta = s.q / p.bandwidth + p.base_rtt;
+    let raw = s.w / theta - p.bandwidth;
+    if s.q <= 0.0 {
+        raw.max(0.0)
+    } else {
+        raw
+    }
+}
+
+/// Window derivative for a law (Eq. 3 with the law's `e`/`f`).
+pub fn w_dot(law: Law, p: &FluidParams, s: State) -> f64 {
+    let b = p.bandwidth;
+    let tau = p.base_rtt;
+    let ratio = match law {
+        Law::QueueLength => (b * tau) / (s.q + b * tau),
+        Law::Delay => tau / (s.q / b + tau),
+        Law::RttGradient => {
+            let g = q_dot(p, s) / b + 1.0;
+            1.0 / g.max(1e-6)
+        }
+        // Property 1: w·e/f = w·b²τ/(b·w) = b·τ, independent of w.
+        Law::Power => {
+            return p.gamma_r * (b * tau + p.beta_hat - s.w);
+        }
+    };
+    p.gamma_r * (s.w * ratio - s.w + p.beta_hat)
+}
+
+/// The unique equilibrium (w_e, q_e) = (bτ + β̂, β̂) shared by the
+/// voltage-class and power laws (Appendix A/C).
+pub fn analytic_equilibrium(p: &FluidParams) -> State {
+    State {
+        w: p.bdp() + p.beta_hat,
+        q: p.beta_hat,
+    }
+}
+
+/// Inflight bytes for the phase plots: pipe contents capped at one BDP
+/// plus whatever queues.
+pub fn inflight(p: &FluidParams, s: State) -> f64 {
+    s.w.min(p.bdp()) + s.q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> FluidParams {
+        FluidParams::paper_example()
+    }
+
+    #[test]
+    fn paper_example_bdp() {
+        // 100G × 20us = 250 KB.
+        assert!((p().bdp() - 250_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn equilibrium_zeroes_derivatives_for_voltage_and_power() {
+        let params = p();
+        let eq = analytic_equilibrium(&params);
+        for law in [Law::QueueLength, Law::Delay, Law::Power] {
+            let wd = w_dot(law, &params, eq);
+            // Scale-relative tolerance (w ~ 2.75e5, gamma_r ~ 4.5e5).
+            assert!(
+                wd.abs() < 1e-3 * params.gamma_r * eq.w,
+                "{law:?} ẇ = {wd} at equilibrium"
+            );
+        }
+        assert!(q_dot(&params, eq).abs() < 1.0);
+    }
+
+    #[test]
+    fn gradient_law_is_stationary_at_any_queue_when_qdot_zero() {
+        // The Appendix-C result: the RTT-gradient law stabilizes wherever
+        // q̇ = 0, i.e. at any queue length with w = b·θ... verify ẇ has
+        // the same sign structure independent of q.
+        let params = p();
+        for q in [0.0, 50_000.0, 500_000.0] {
+            // Window that exactly fills pipe + queue: q̇ = 0.
+            let theta = q / params.bandwidth + params.base_rtt;
+            let w = params.bandwidth * theta;
+            let s = State { w, q };
+            assert!(q_dot(&params, s).abs() < 1.0);
+            let wd = w_dot(Law::RttGradient, &params, s);
+            // ẇ = γr·β̂ > 0 regardless of q: only the additive term acts.
+            assert!(
+                (wd - params.gamma_r * params.beta_hat).abs() < 1e-6 * wd.abs().max(1.0),
+                "q={q}: wd={wd}"
+            );
+        }
+    }
+
+    #[test]
+    fn voltage_law_reaction_scales_with_queue() {
+        let params = p();
+        let w = params.bdp();
+        let wd_small = w_dot(Law::QueueLength, &params, State { w, q: 10_000.0 });
+        let wd_large = w_dot(Law::QueueLength, &params, State { w, q: 500_000.0 });
+        assert!(wd_large < wd_small, "bigger queue, stronger decrease");
+    }
+
+    #[test]
+    fn power_law_derivative_independent_of_queue() {
+        let params = p();
+        let w = params.bdp() * 1.5;
+        let d1 = w_dot(Law::Power, &params, State { w, q: 0.0 });
+        let d2 = w_dot(Law::Power, &params, State { w, q: 400_000.0 });
+        assert!((d1 - d2).abs() < 1e-9, "Property 1 collapses f to b·w");
+    }
+
+    #[test]
+    fn queue_and_delay_laws_are_equivalent() {
+        // Eq. 20/21: the two voltage laws have identical fluid dynamics.
+        let params = p();
+        for (w, q) in [(100_000.0, 0.0), (300_000.0, 100_000.0)] {
+            let s = State { w, q };
+            let a = w_dot(Law::QueueLength, &params, s);
+            let b = w_dot(Law::Delay, &params, s);
+            assert!((a - b).abs() < 1e-6 * a.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn empty_queue_cannot_go_negative() {
+        let params = p();
+        // Tiny window: pipe underfull, q must stay pinned at zero.
+        let s = State {
+            w: 10_000.0,
+            q: 0.0,
+        };
+        assert_eq!(q_dot(&params, s), 0.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # fluid-model
+//!
+//! The paper's analytical machinery, executable: fluid-model ODEs for the
+//! four control-law families (§2.2, Appendix C), RK4 integration, the
+//! Figure 2 response curves and Figure 3 phase portraits, and numerical
+//! verification of Theorems 1 (stability), 2 (exponential convergence
+//! with time constant δt/γ), and 3 (β-weighted proportional fairness).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod convergence;
+pub mod fairness;
+pub mod laws;
+pub mod ode;
+pub mod phase;
+pub mod response;
+pub mod stability;
+
+pub use convergence::{measure_power_convergence, ConvergenceFit};
+pub use fairness::{analytic_windows, equilibrium_windows};
+pub use laws::{analytic_equilibrium, inflight, q_dot, w_dot, FluidParams, Law, State};
+pub use ode::{rk4_step, settle, trajectory};
+pub use phase::{
+    default_grid, endpoint_spread, phase_portrait, phase_trajectory, PhaseTrajectory,
+};
+pub use response::{current_md, fig2c_cases, power_md, voltage_md, Fig2Case};
+pub use stability::{eigenvalues_2x2, is_asymptotically_stable, powertcp_jacobian};

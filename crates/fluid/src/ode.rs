@@ -1,0 +1,228 @@
+//! Fixed-step RK4 integration of the two-state fluid model.
+
+use crate::laws::{q_dot, w_dot, FluidParams, Law, State};
+
+/// One RK4 step of (ẇ, q̇) with the q ≥ 0 boundary enforced after the
+/// step (projection, the standard treatment for this saturation).
+pub fn rk4_step(law: Law, p: &FluidParams, s: State, dt: f64) -> State {
+    let f = |s: State| -> (f64, f64) { (w_dot(law, p, s), q_dot(p, s)) };
+    let clamp = |s: State| State {
+        w: s.w.max(0.0),
+        q: s.q.max(0.0),
+    };
+    let (k1w, k1q) = f(s);
+    let s2 = clamp(State {
+        w: s.w + 0.5 * dt * k1w,
+        q: s.q + 0.5 * dt * k1q,
+    });
+    let (k2w, k2q) = f(s2);
+    let s3 = clamp(State {
+        w: s.w + 0.5 * dt * k2w,
+        q: s.q + 0.5 * dt * k2q,
+    });
+    let (k3w, k3q) = f(s3);
+    let s4 = clamp(State {
+        w: s.w + dt * k3w,
+        q: s.q + dt * k3q,
+    });
+    let (k4w, k4q) = f(s4);
+    clamp(State {
+        w: s.w + dt / 6.0 * (k1w + 2.0 * k2w + 2.0 * k3w + k4w),
+        q: s.q + dt / 6.0 * (k1q + 2.0 * k2q + 2.0 * k3q + k4q),
+    })
+}
+
+/// Integrate from `s0` for `steps` of `dt`, recording every
+/// `sample_every`-th state (including the initial one).
+pub fn trajectory(
+    law: Law,
+    p: &FluidParams,
+    s0: State,
+    dt: f64,
+    steps: usize,
+    sample_every: usize,
+) -> Vec<State> {
+    assert!(dt > 0.0 && steps > 0 && sample_every > 0);
+    let mut out = Vec::with_capacity(steps / sample_every + 2);
+    let mut s = s0;
+    out.push(s);
+    for i in 1..=steps {
+        s = rk4_step(law, p, s, dt);
+        if i % sample_every == 0 {
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// Integrate until the state stops moving (‖Δ‖ per step below `tol`
+/// relative to BDP) or `max_steps` elapse; returns the final state and
+/// the number of steps taken.
+pub fn settle(law: Law, p: &FluidParams, s0: State, dt: f64, max_steps: usize) -> (State, usize) {
+    let tol = p.bdp() * 1e-9;
+    let mut s = s0;
+    for i in 0..max_steps {
+        let next = rk4_step(law, p, s, dt);
+        let delta = (next.w - s.w).abs() + (next.q - s.q).abs();
+        s = next;
+        if delta < tol {
+            return (s, i + 1);
+        }
+    }
+    (s, max_steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws::analytic_equilibrium;
+
+    fn p() -> FluidParams {
+        FluidParams::paper_example()
+    }
+
+    #[test]
+    fn power_law_settles_to_analytic_equilibrium() {
+        let params = p();
+        let eq = analytic_equilibrium(&params);
+        for s0 in [
+            State { w: 10_000.0, q: 0.0 },
+            State {
+                w: 900_000.0,
+                q: 600_000.0,
+            },
+            State {
+                w: 250_000.0,
+                q: 0.0,
+            },
+        ] {
+            let (s, _) = settle(Law::Power, &params, s0, 1e-7, 4_000_000);
+            assert!(
+                (s.w - eq.w).abs() / eq.w < 0.01,
+                "from {s0:?}: settled w {} vs {}",
+                s.w,
+                eq.w
+            );
+            assert!(
+                (s.q - eq.q).abs() < 0.05 * eq.q + 1_000.0,
+                "from {s0:?}: settled q {} vs {}",
+                s.q,
+                eq.q
+            );
+        }
+    }
+
+    #[test]
+    fn voltage_law_settles_to_same_equilibrium() {
+        let params = p();
+        let eq = analytic_equilibrium(&params);
+        let (s, _) = settle(
+            Law::QueueLength,
+            &params,
+            State {
+                w: 600_000.0,
+                q: 300_000.0,
+            },
+            1e-7,
+            4_000_000,
+        );
+        assert!((s.w - eq.w).abs() / eq.w < 0.02, "w={} eq={}", s.w, eq.w);
+    }
+
+    #[test]
+    fn gradient_law_endpoint_depends_on_start() {
+        // No unique equilibrium: the gradient law is stationary wherever
+        // q̇ = 0 (Appendix C). With β̂ = 0 (pure gradient reaction) two
+        // different starts freeze at very different queue lengths; with
+        // β̂ > 0 the additive term drifts the window upward forever —
+        // either way, no unique equilibrium exists.
+        let mut params = p();
+        params.beta_hat = 0.0;
+        let (a, _) = settle(
+            Law::RttGradient,
+            &params,
+            State {
+                w: 260_000.0,
+                q: 0.0,
+            },
+            1e-7,
+            1_000_000,
+        );
+        let (b, _) = settle(
+            Law::RttGradient,
+            &params,
+            State {
+                w: 800_000.0,
+                q: 500_000.0,
+            },
+            1e-7,
+            1_000_000,
+        );
+        assert!(
+            (a.q - b.q).abs() > 0.2 * params.bdp(),
+            "gradient law must not collapse to one equilibrium: {a:?} vs {b:?}"
+        );
+        // Sanity: the voltage law from the same two starts DOES collapse.
+        let params = p();
+        let (va, _) = settle(
+            Law::QueueLength,
+            &params,
+            State {
+                w: 260_000.0,
+                q: 0.0,
+            },
+            1e-7,
+            2_000_000,
+        );
+        let (vb, _) = settle(
+            Law::QueueLength,
+            &params,
+            State {
+                w: 800_000.0,
+                q: 500_000.0,
+            },
+            1e-7,
+            2_000_000,
+        );
+        assert!((va.q - vb.q).abs() < 0.05 * params.bdp());
+    }
+
+    #[test]
+    fn trajectory_sampling_counts() {
+        let params = p();
+        let t = trajectory(
+            Law::Power,
+            &params,
+            State {
+                w: 100_000.0,
+                q: 0.0,
+            },
+            1e-7,
+            1000,
+            100,
+        );
+        assert_eq!(t.len(), 11);
+    }
+
+    #[test]
+    fn states_remain_finite_and_nonnegative() {
+        let params = p();
+        for law in [Law::QueueLength, Law::Delay, Law::RttGradient, Law::Power] {
+            let t = trajectory(
+                law,
+                &params,
+                State {
+                    w: 1_500_000.0,
+                    q: 1_000_000.0,
+                },
+                1e-7,
+                200_000,
+                1000,
+            );
+            for s in t {
+                assert!(s.w.is_finite() && s.q.is_finite(), "{law:?}");
+                assert!(s.w >= 0.0 && s.q >= 0.0, "{law:?}");
+            }
+        }
+    }
+}

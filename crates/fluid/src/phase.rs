@@ -1,0 +1,144 @@
+//! Figure 3: phase plots of window × inflight trajectories.
+//!
+//! The paper plots trajectories from a grid of initial `(window, queue)`
+//! states to their final points at 100 Gbps / 20 µs base RTT, showing
+//! that voltage-based CC overshoots below the BDP line (throughput loss),
+//! current-based CC lands on start-dependent endpoints (no unique
+//! equilibrium), and PowerTCP tracks straight to the unique equilibrium.
+
+use crate::laws::{inflight, FluidParams, Law, State};
+use crate::ode::{settle, trajectory};
+
+/// One phase-plot trajectory: (window, inflight) points plus endpoint.
+#[derive(Clone, Debug)]
+pub struct PhaseTrajectory {
+    /// Initial state.
+    pub start: State,
+    /// Sampled (window_bytes, inflight_bytes) points.
+    pub points: Vec<(f64, f64)>,
+    /// Settled endpoint.
+    pub end: State,
+    /// Whether the trajectory ever dipped below 99% of BDP *after having
+    /// been above it* — the paper's "throughput loss" region (window
+    /// above BDP collapsing under it means an idle bottleneck).
+    pub throughput_loss: bool,
+}
+
+/// The default grid of initial states used for Figure 3 (mirrors the
+/// paper's spread of starting circles on log-log axes).
+pub fn default_grid(p: &FluidParams) -> Vec<State> {
+    let bdp = p.bdp();
+    let mut grid = Vec::new();
+    for wf in [0.05, 0.3, 1.0, 2.0, 4.0] {
+        for qf in [0.0, 0.5, 2.0] {
+            grid.push(State {
+                w: bdp * wf,
+                q: bdp * qf,
+            });
+        }
+    }
+    grid
+}
+
+/// Integrate one trajectory for the phase plot.
+pub fn phase_trajectory(law: Law, p: &FluidParams, start: State) -> PhaseTrajectory {
+    let dt = p.base_rtt / 400.0;
+    let steps = 400 * 60; // 60 base RTTs
+    let states = trajectory(law, p, start, dt, steps, 40);
+    let bdp = p.bdp();
+    let mut was_above = start.w >= bdp;
+    let mut throughput_loss = false;
+    for s in &states {
+        if s.w >= bdp {
+            was_above = true;
+        }
+        if was_above && inflight(p, *s) < bdp * 0.99 {
+            throughput_loss = true;
+        }
+    }
+    let (end, _) = settle(law, p, *states.last().unwrap(), dt, steps * 4);
+    PhaseTrajectory {
+        start,
+        points: states.iter().map(|s| (s.w, inflight(p, *s))).collect(),
+        end,
+        throughput_loss,
+    }
+}
+
+/// Run the full grid for one law.
+pub fn phase_portrait(law: Law, p: &FluidParams) -> Vec<PhaseTrajectory> {
+    default_grid(p)
+        .into_iter()
+        .map(|s| phase_trajectory(law, p, s))
+        .collect()
+}
+
+/// Spread of endpoints (max pairwise distance in inflight space) — small
+/// for unique-equilibrium laws, large for the gradient law.
+pub fn endpoint_spread(trajs: &[PhaseTrajectory], p: &FluidParams) -> f64 {
+    let endpoints: Vec<f64> = trajs.iter().map(|t| inflight(p, t.end)).collect();
+    let max = endpoints.iter().cloned().fold(f64::MIN, f64::max);
+    let min = endpoints.iter().cloned().fold(f64::MAX, f64::min);
+    max - min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> FluidParams {
+        FluidParams::paper_example()
+    }
+
+    #[test]
+    fn fig3a_voltage_unique_equilibrium_with_throughput_loss() {
+        let params = p();
+        let trajs = phase_portrait(Law::QueueLength, &params);
+        let spread = endpoint_spread(&trajs, &params);
+        assert!(
+            spread < 0.05 * params.bdp(),
+            "voltage endpoints must coincide (spread {spread})"
+        );
+        // The overreaction: at least one trajectory starting congested
+        // dips below the BDP line.
+        assert!(
+            trajs.iter().any(|t| t.throughput_loss),
+            "voltage law should show throughput loss"
+        );
+    }
+
+    #[test]
+    fn fig3b_gradient_no_unique_equilibrium() {
+        let params = p();
+        let trajs = phase_portrait(Law::RttGradient, &params);
+        let spread = endpoint_spread(&trajs, &params);
+        assert!(
+            spread > 0.3 * params.bdp(),
+            "gradient endpoints must differ (spread {spread})"
+        );
+    }
+
+    #[test]
+    fn fig3c_power_unique_equilibrium_without_throughput_loss() {
+        let params = p();
+        let trajs = phase_portrait(Law::Power, &params);
+        let spread = endpoint_spread(&trajs, &params);
+        assert!(
+            spread < 0.02 * params.bdp(),
+            "power endpoints must coincide (spread {spread})"
+        );
+        assert!(
+            trajs.iter().all(|t| !t.throughput_loss),
+            "power law must not lose throughput on any trajectory"
+        );
+    }
+
+    #[test]
+    fn grid_covers_under_and_over_bdp() {
+        let params = p();
+        let grid = default_grid(&params);
+        assert!(grid.iter().any(|s| s.w < params.bdp() * 0.5));
+        assert!(grid.iter().any(|s| s.w > params.bdp() * 2.0));
+        assert!(grid.iter().any(|s| s.q > params.bdp()));
+    }
+}

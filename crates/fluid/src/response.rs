@@ -1,0 +1,124 @@
+//! Figure 2: the orthogonal responses of voltage- and current-based CC.
+//!
+//! The "multiplicative decrease" factor of the simplified model is `f/e` —
+//! the divisor applied to the window. For queue/delay laws it depends only
+//! on queue length; for gradient laws only on the buildup rate. Figure 2c's
+//! three cases put numbers on the resulting blind spots.
+
+/// Multiplicative-decrease factor of a voltage-based law at queue length
+/// `q` (in units of BDP): `(q + bτ)/(bτ) = q_bdp + 1`.
+pub fn voltage_md(q_over_bdp: f64) -> f64 {
+    q_over_bdp + 1.0
+}
+
+/// Multiplicative-decrease factor of a current-based (RTT-gradient) law at
+/// queue buildup rate `q̇` (in units of bandwidth): `q̇/b + 1`.
+pub fn current_md(qdot_over_b: f64) -> f64 {
+    qdot_over_b + 1.0
+}
+
+/// Power-based factor: the product of both (what PowerTCP divides by).
+pub fn power_md(q_over_bdp: f64, qdot_over_b: f64) -> f64 {
+    voltage_md(q_over_bdp) * current_md(qdot_over_b)
+}
+
+/// One scenario of Figure 2c.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig2Case {
+    /// Label ("case-1" …).
+    pub label: &'static str,
+    /// Queue length in BDP units.
+    pub q_over_bdp: f64,
+    /// Queue buildup rate in bandwidth units.
+    pub qdot_over_b: f64,
+}
+
+impl Fig2Case {
+    /// Voltage-law MD for this case.
+    pub fn voltage(&self) -> f64 {
+        voltage_md(self.q_over_bdp)
+    }
+    /// Current-law MD for this case.
+    pub fn current(&self) -> f64 {
+        current_md(self.qdot_over_b)
+    }
+    /// Power-law MD for this case.
+    pub fn power(&self) -> f64 {
+        power_md(self.q_over_bdp, self.qdot_over_b)
+    }
+}
+
+/// The three cases of Figure 2c, with the paper's annotated MD values
+/// (voltage: 3.24 / 2.12 / 2.12, current: 9 / 1 / 9).
+pub fn fig2c_cases() -> [Fig2Case; 3] {
+    [
+        Fig2Case {
+            label: "case-1 (q=2.24 BDP, growing at 8x)",
+            q_over_bdp: 2.24,
+            qdot_over_b: 8.0,
+        },
+        Fig2Case {
+            label: "case-2 (q=1.12 BDP, draining at max rate)",
+            q_over_bdp: 1.12,
+            qdot_over_b: 0.0,
+        },
+        Fig2Case {
+            label: "case-3 (q=1.12 BDP, growing at 8x)",
+            q_over_bdp: 1.12,
+            qdot_over_b: 8.0,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2a_voltage_flat_current_linear_in_rate() {
+        // Sweep buildup rate 0..8×b at fixed queue: voltage constant,
+        // current linear 1..9 (the two lines of Figure 2a).
+        let q = 1.0;
+        let v0 = voltage_md(q);
+        for r in 0..=8 {
+            let r = r as f64;
+            assert_eq!(voltage_md(q), v0);
+            assert_eq!(current_md(r), r + 1.0);
+        }
+    }
+
+    #[test]
+    fn fig2b_current_flat_voltage_linear_in_queue() {
+        // Sweep queue 0..3 BDP at zero buildup: current pinned at 1,
+        // voltage 1..4 (the two lines of Figure 2b).
+        for q10 in 0..=30 {
+            let q = q10 as f64 / 10.0;
+            assert_eq!(current_md(0.0), 1.0);
+            assert!((voltage_md(q) - (q + 1.0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fig2c_reproduces_paper_annotations() {
+        let [c1, c2, c3] = fig2c_cases();
+        assert!((c1.voltage() - 3.24).abs() < 1e-9);
+        assert!((c2.voltage() - 2.12).abs() < 1e-9);
+        assert!((c3.voltage() - 2.12).abs() < 1e-9);
+        assert!((c1.current() - 9.0).abs() < 1e-9);
+        assert!((c2.current() - 1.0).abs() < 1e-9);
+        assert!((c3.current() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig2c_blind_spots_and_power_disambiguation() {
+        let [c1, c2, c3] = fig2c_cases();
+        // Voltage cannot tell case-2 from case-3.
+        assert_eq!(c2.voltage(), c3.voltage());
+        // Current cannot tell case-1 from case-3.
+        assert_eq!(c1.current(), c3.current());
+        // Power distinguishes all three.
+        assert_ne!(c1.power(), c2.power());
+        assert_ne!(c2.power(), c3.power());
+        assert_ne!(c1.power(), c3.power());
+    }
+}

@@ -1,0 +1,242 @@
+//! The RDCN topology of §5: 25 VOQ ToRs × 10 servers, one optical circuit
+//! switch (100 G, rotor schedule), and a separate packet-switched network
+//! (25 G) — "our setup is in line with prior work [reTCP]".
+
+use crate::circuit::CircuitSwitch;
+use crate::schedule::RotorSchedule;
+use crate::voq_tor::{LatencySink, VoqGauge, VoqTor, VoqTorConfig};
+use dcn_sim::{
+    AppFactory, Network, NetworkBuilder, Node, NodeId, PortId, SwitchConfig,
+};
+use powertcp_core::{Bandwidth, Tick};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// RDCN topology parameters (paper §5 defaults).
+#[derive(Clone)]
+pub struct RdcnConfig {
+    /// Rotor schedule (ToR count lives here).
+    pub schedule: RotorSchedule,
+    /// Servers per ToR (paper: 10).
+    pub hosts_per_tor: usize,
+    /// Host link bandwidth (paper: 25 G).
+    pub host_bw: Bandwidth,
+    /// ToR ↔ packet-switch bandwidth (paper: 25 G; Figure 8b sweeps it).
+    pub packet_bw: Bandwidth,
+    /// Circuit bandwidth (paper: 100 G).
+    pub circuit_bw: Bandwidth,
+    /// Host link propagation delay.
+    pub host_delay: Tick,
+    /// ToR ↔ packet switch propagation delay.
+    pub packet_delay: Tick,
+    /// ToR ↔ circuit switch propagation delay.
+    pub circuit_delay: Tick,
+    /// reTCP prebuffering window (0 for PowerTCP/HPCC runs).
+    pub prebuffer: Tick,
+    /// Packet-switch config.
+    pub packet_switch: SwitchConfig,
+}
+
+impl Default for RdcnConfig {
+    fn default() -> Self {
+        RdcnConfig {
+            schedule: RotorSchedule::paper_defaults(),
+            hosts_per_tor: 10,
+            host_bw: Bandwidth::gbps(25),
+            packet_bw: Bandwidth::gbps(25),
+            circuit_bw: Bandwidth::gbps(100),
+            host_delay: Tick::from_micros(2),
+            packet_delay: Tick::from_micros(3),
+            circuit_delay: Tick::from_micros(3),
+            prebuffer: Tick::ZERO,
+            packet_switch: SwitchConfig::default(),
+        }
+    }
+}
+
+impl RdcnConfig {
+    /// A small instance for tests: 4 ToRs × 2 hosts.
+    pub fn small() -> Self {
+        RdcnConfig {
+            schedule: RotorSchedule {
+                n_tors: 4,
+                day: Tick::from_micros(225),
+                night: Tick::from_micros(20),
+            },
+            hosts_per_tor: 2,
+            ..Default::default()
+        }
+    }
+
+    /// The paper's quoted maximum base RTT for this topology (24 µs);
+    /// used to configure τ in the CC algorithms.
+    pub fn base_rtt(&self) -> Tick {
+        Tick::from_micros(24)
+    }
+}
+
+/// A built RDCN.
+pub struct Rdcn {
+    /// The network.
+    pub net: Network,
+    /// Hosts in rack-major order (`hosts[r * hosts_per_tor + j]`).
+    pub hosts: Vec<NodeId>,
+    /// VOQ ToR node ids.
+    pub tors: Vec<NodeId>,
+    /// The optical circuit switch node.
+    pub circuit_switch: NodeId,
+    /// The packet switch node.
+    pub packet_switch: NodeId,
+    /// Per-ToR VOQ occupancy gauges.
+    pub voq_gauges: Vec<VoqGauge>,
+    /// Per-ToR VOQ latency sinks.
+    pub latency_sinks: Vec<LatencySink>,
+    /// The configuration.
+    pub cfg: RdcnConfig,
+}
+
+impl Rdcn {
+    /// The rack of host index `i`.
+    pub fn rack_of(&self, host_index: usize) -> usize {
+        host_index / self.cfg.hosts_per_tor
+    }
+
+    /// Circuit-port throughput counter of a ToR (cumulative tx bytes).
+    pub fn tor_circuit_tx_bytes(&self, rack: usize) -> u64 {
+        let Node::Custom(c) = self.net.node(self.tors[rack]) else {
+            panic!("not a custom node");
+        };
+        c.ports[self.cfg.hosts_per_tor + 1].tx_bytes
+    }
+
+    /// Packet-uplink throughput counter of a ToR.
+    pub fn tor_uplink_tx_bytes(&self, rack: usize) -> u64 {
+        let Node::Custom(c) = self.net.node(self.tors[rack]) else {
+            panic!("not a custom node");
+        };
+        c.ports[self.cfg.hosts_per_tor].tx_bytes
+    }
+}
+
+/// Build the RDCN; `apps` is called with (host NodeId, host index).
+pub fn build_rdcn(cfg: RdcnConfig, apps: &mut AppFactory<'_>) -> Rdcn {
+    let n_tors = cfg.schedule.n_tors;
+    let h = cfg.hosts_per_tor;
+    assert!(n_tors >= 2 && h >= 1);
+
+    // Node-id plan: 0 = packet switch, 1 = circuit switch, then per rack
+    // r: ToR at 2 + r*(1+h), its hosts following.
+    let tor_id = |r: usize| 2 + r * (1 + h);
+    let host_id = |r: usize, j: usize| tor_id(r) + 1 + j;
+    let total_nodes = 2 + n_tors * (1 + h);
+
+    let mut rack_of_node = vec![u16::MAX; total_nodes];
+    let mut local_port_of = vec![u16::MAX; total_nodes];
+    for r in 0..n_tors {
+        for j in 0..h {
+            rack_of_node[host_id(r, j)] = r as u16;
+            local_port_of[host_id(r, j)] = j as u16;
+        }
+    }
+
+    let mut voq_gauges = Vec::new();
+    let mut latency_sinks = Vec::new();
+
+    let mut b = NetworkBuilder::new();
+    let packet_switch = b.add_switch(cfg.packet_switch);
+    let circuit_switch = b.add_custom(Box::new(CircuitSwitch::new(cfg.schedule)));
+    let mut tors = Vec::new();
+    let mut hosts = Vec::new();
+    for r in 0..n_tors {
+        let gauge: VoqGauge = Rc::new(RefCell::new(Vec::new()));
+        let sink: LatencySink = Rc::new(RefCell::new(Vec::new()));
+        voq_gauges.push(gauge.clone());
+        latency_sinks.push(sink.clone());
+        let tor = b.add_custom(Box::new(VoqTor::new(VoqTorConfig {
+            tor_index: r,
+            n_hosts: h,
+            schedule: cfg.schedule,
+            prebuffer: cfg.prebuffer,
+            rack_of_node: rack_of_node.clone(),
+            local_port_of: local_port_of.clone(),
+            voq_gauge: Some(gauge),
+            latency_sink: Some(sink),
+        })));
+        assert_eq!(tor, NodeId(tor_id(r) as u32));
+        tors.push(tor);
+        for j in 0..h {
+            let idx = r * h + j;
+            let host = b.add_host(apps(b.next_node_id(), idx));
+            assert_eq!(host, NodeId(host_id(r, j) as u32));
+            b.connect_host_to_custom(host, tor, cfg.host_bw, cfg.host_delay);
+            hosts.push(host);
+        }
+    }
+
+    // Uplinks and circuit links (after each rack's host ports, in rack
+    // order so circuit-switch port r faces ToR r).
+    let mut uplink_switch_ports = Vec::new();
+    for r in 0..n_tors {
+        let (_pc, ps) =
+            b.connect_custom_to_switch(tors[r], packet_switch, cfg.packet_bw, cfg.packet_delay);
+        uplink_switch_ports.push(ps);
+        let (pt, pc) = b.connect_customs(tors[r], circuit_switch, cfg.circuit_bw, cfg.circuit_delay);
+        assert_eq!(pt, PortId((h + 1) as u16), "ToR circuit port layout");
+        assert_eq!(pc, PortId(r as u16), "circuit switch port r faces ToR r");
+    }
+
+    let mut net = b.build();
+    // Packet-switch routes: every host via its rack's uplink port.
+    for r in 0..n_tors {
+        for j in 0..h {
+            let hid = NodeId(host_id(r, j) as u32);
+            if let Node::Switch(s) = net.node_mut(packet_switch) {
+                s.set_route(hid, vec![uplink_switch_ports[r]]);
+            }
+        }
+    }
+
+    Rdcn {
+        net,
+        hosts,
+        tors,
+        circuit_switch,
+        packet_switch,
+        voq_gauges,
+        latency_sinks,
+        cfg,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_sim::NullEndpoint;
+
+    #[test]
+    fn shapes_and_id_plan() {
+        let mut mk = |_id: NodeId, _idx: usize| -> Box<dyn dcn_sim::Endpoint> {
+            Box::new(NullEndpoint)
+        };
+        let r = build_rdcn(RdcnConfig::small(), &mut mk);
+        assert_eq!(r.tors.len(), 4);
+        assert_eq!(r.hosts.len(), 8);
+        assert_eq!(r.packet_switch, NodeId(0));
+        assert_eq!(r.circuit_switch, NodeId(1));
+        assert_eq!(r.rack_of(0), 0);
+        assert_eq!(r.rack_of(7), 3);
+        // Packet switch has one port per ToR.
+        assert_eq!(r.net.switch(r.packet_switch).num_ports(), 4);
+    }
+
+    #[test]
+    fn paper_scale_builds() {
+        let mut mk = |_id: NodeId, _idx: usize| -> Box<dyn dcn_sim::Endpoint> {
+            Box::new(NullEndpoint)
+        };
+        let r = build_rdcn(RdcnConfig::default(), &mut mk);
+        assert_eq!(r.tors.len(), 25);
+        assert_eq!(r.hosts.len(), 250);
+        assert_eq!(r.voq_gauges.len(), 25);
+    }
+}

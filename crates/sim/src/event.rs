@@ -1,0 +1,230 @@
+//! The discrete-event core: a time-ordered queue with deterministic
+//! tie-breaking.
+
+use crate::ids::{NodeId, PortId};
+use crate::packet::Packet;
+use powertcp_core::Tick;
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+/// Everything that can happen in the simulation.
+#[derive(Debug)]
+pub enum Event {
+    /// A packet finished propagating and arrives at `node` on ingress
+    /// `port`.
+    Arrival {
+        /// Receiving node.
+        node: NodeId,
+        /// Ingress port at the receiving node.
+        port: PortId,
+        /// The packet.
+        pkt: Box<Packet>,
+    },
+    /// A node's egress port finished serializing its current packet.
+    TxDone {
+        /// Transmitting node.
+        node: NodeId,
+        /// Egress port that became free.
+        port: PortId,
+    },
+    /// A host endpoint timer fired.
+    HostTimer {
+        /// The host.
+        node: NodeId,
+        /// Opaque key chosen by the endpoint.
+        key: u64,
+    },
+    /// A custom-switch timer fired.
+    NodeTimer {
+        /// The custom node.
+        node: NodeId,
+        /// Opaque key chosen by the switch logic.
+        key: u64,
+    },
+    /// A registered tracer should take a sample.
+    Sample {
+        /// Index into the simulator's tracer table.
+        tracer: u32,
+    },
+}
+
+struct Scheduled {
+    at: Tick,
+    seq: u64,
+    ev: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // (time, insertion sequence): FIFO among simultaneous events, which
+        // makes every run bit-for-bit reproducible.
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Time-ordered event queue.
+///
+/// `pop` never returns events out of order, and events scheduled for the
+/// same instant come out in insertion order.
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Scheduled>>,
+    seq: u64,
+    now: Tick,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EventQueue {
+    /// Empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(1024),
+            seq: 0,
+            now: Tick::ZERO,
+        }
+    }
+
+    /// Current simulation time (time of the last popped event).
+    #[inline]
+    pub fn now(&self) -> Tick {
+        self.now
+    }
+
+    /// Schedule `ev` at absolute time `at`. Scheduling in the past is a
+    /// logic error and panics in debug builds; in release it is clamped to
+    /// `now` to avoid time travel.
+    #[inline]
+    pub fn schedule(&mut self, at: Tick, ev: Event) {
+        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        let at = at.max(self.now);
+        self.heap.push(Reverse(Scheduled {
+            at,
+            seq: self.seq,
+            ev,
+        }));
+        self.seq += 1;
+    }
+
+    /// Schedule `ev` after a delay relative to now.
+    #[inline]
+    pub fn schedule_in(&mut self, delay: Tick, ev: Event) {
+        self.schedule(self.now + delay, ev);
+    }
+
+    /// Pop the next event, advancing the clock.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(Tick, Event)> {
+        let Reverse(s) = self.heap.pop()?;
+        debug_assert!(s.at >= self.now);
+        self.now = s.at;
+        Some((s.at, s.ev))
+    }
+
+    /// Time of the next event without popping it.
+    #[inline]
+    pub fn peek_time(&self) -> Option<Tick> {
+        self.heap.peek().map(|Reverse(s)| s.at)
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(key: u64) -> Event {
+        Event::HostTimer {
+            node: NodeId(0),
+            key,
+        }
+    }
+
+    fn key_of(ev: &Event) -> u64 {
+        match ev {
+            Event::HostTimer { key, .. } => *key,
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Tick::from_nanos(30), timer(3));
+        q.schedule(Tick::from_nanos(10), timer(1));
+        q.schedule(Tick::from_nanos(20), timer(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(_, e)| key_of(&e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut q = EventQueue::new();
+        let t = Tick::from_nanos(5);
+        for k in 0..100 {
+            q.schedule(t, timer(k));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(_, e)| key_of(&e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(Tick::from_nanos(10), timer(0));
+        q.schedule(Tick::from_nanos(10), timer(1));
+        q.schedule(Tick::from_nanos(40), timer(2));
+        let mut last = Tick::ZERO;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+            assert_eq!(q.now(), t);
+        }
+        assert_eq!(last, Tick::from_nanos(40));
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(Tick::from_nanos(10), timer(0));
+        q.pop();
+        q.schedule_in(Tick::from_nanos(5), timer(1));
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, Tick::from_nanos(15));
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.schedule(Tick::from_nanos(7), timer(0));
+        assert_eq!(q.peek_time(), Some(Tick::from_nanos(7)));
+        assert_eq!(q.now(), Tick::ZERO);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

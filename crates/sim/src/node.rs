@@ -1,0 +1,347 @@
+//! Nodes: hosts (running pluggable endpoint logic), switches, and custom
+//! switches (pluggable forwarding logic, e.g. the RDCN VOQ ToR).
+//!
+//! The event engine owns all nodes; endpoint and custom-switch logic are
+//! the only dynamically-dispatched parts and communicate with the engine
+//! exclusively through action lists — no callbacks into the engine, no
+//! shared mutability, fully deterministic replay.
+
+use crate::ids::{LinkId, NodeId, PortId};
+use crate::packet::Packet;
+use crate::switch::Switch;
+use powertcp_core::{Bandwidth, Tick};
+use std::collections::VecDeque;
+
+/// What an endpoint (host application/transport) may ask the engine to do.
+#[derive(Debug)]
+pub enum EndpointAction {
+    /// Transmit a packet out of the host NIC.
+    Send(Box<Packet>),
+    /// Request a [`crate::event::Event::HostTimer`] callback at `at`.
+    Timer {
+        /// Absolute firing time.
+        at: Tick,
+        /// Opaque key returned to the endpoint.
+        key: u64,
+    },
+}
+
+/// Context handed to endpoint callbacks.
+pub struct EndpointCtx<'a> {
+    /// Current simulation time.
+    pub now: Tick,
+    /// The host this endpoint runs on.
+    pub node: NodeId,
+    /// Bandwidth of the host NIC link.
+    pub nic_bw: Bandwidth,
+    actions: &'a mut Vec<EndpointAction>,
+}
+
+impl<'a> EndpointCtx<'a> {
+    /// Construct a context over an action buffer. Public so endpoint and
+    /// custom-switch implementations in other crates can unit-test their
+    /// logic without spinning up a simulator.
+    pub fn new(
+        now: Tick,
+        node: NodeId,
+        nic_bw: Bandwidth,
+        actions: &'a mut Vec<EndpointAction>,
+    ) -> Self {
+        EndpointCtx {
+            now,
+            node,
+            nic_bw,
+            actions,
+        }
+    }
+
+    /// Queue a packet for transmission on the host NIC.
+    pub fn send(&mut self, pkt: Packet) {
+        self.actions.push(EndpointAction::Send(Box::new(pkt)));
+    }
+
+    /// Schedule a timer callback at absolute time `at` with an opaque key.
+    /// Timers cannot be cancelled; stale timers should be recognized by key
+    /// and ignored by the endpoint (lazy cancellation).
+    pub fn set_timer(&mut self, at: Tick, key: u64) {
+        self.actions.push(EndpointAction::Timer { at, key });
+    }
+}
+
+/// Host-resident logic (the transport layer lives behind this trait).
+pub trait Endpoint {
+    /// Called once before the simulation starts (schedule initial flows).
+    fn on_start(&mut self, _ctx: &mut EndpointCtx<'_>) {}
+
+    /// A packet arrived at this host.
+    fn on_packet(&mut self, pkt: Box<Packet>, ctx: &mut EndpointCtx<'_>);
+
+    /// A previously-set timer fired.
+    fn on_timer(&mut self, key: u64, ctx: &mut EndpointCtx<'_>);
+}
+
+/// A no-op endpoint for hosts that only sink traffic in tests.
+#[derive(Default)]
+pub struct NullEndpoint;
+
+impl Endpoint for NullEndpoint {
+    fn on_packet(&mut self, _pkt: Box<Packet>, _ctx: &mut EndpointCtx<'_>) {}
+    fn on_timer(&mut self, _key: u64, _ctx: &mut EndpointCtx<'_>) {}
+}
+
+/// A host: one NIC egress port plus endpoint logic.
+pub struct Host {
+    /// This host's id.
+    pub id: NodeId,
+    /// Uplink to the ToR.
+    pub link: LinkId,
+    /// NIC transmit queue (FIFO; the transport self-limits its depth
+    /// through windows and pacing, mirroring real NIC behaviour).
+    pub txq: VecDeque<Box<Packet>>,
+    /// Bytes currently queued in the NIC.
+    pub txq_bytes: u64,
+    /// A packet is on the wire.
+    pub busy: bool,
+    /// Paused by PFC from the ToR.
+    pub paused: bool,
+    /// Cumulative bytes transmitted.
+    pub tx_bytes: u64,
+    /// Endpoint logic.
+    pub app: Box<dyn Endpoint>,
+}
+
+impl Host {
+    /// Create a host attached via `link`.
+    pub fn new(id: NodeId, link: LinkId, app: Box<dyn Endpoint>) -> Self {
+        Host {
+            id,
+            link,
+            txq: VecDeque::new(),
+            txq_bytes: 0,
+            busy: false,
+            paused: false,
+            tx_bytes: 0,
+            app,
+        }
+    }
+}
+
+/// What a custom switch may ask the engine to do.
+#[derive(Debug)]
+pub enum CustomAction {
+    /// Begin serializing `pkt` on `port`. The port must be idle (the
+    /// engine panics otherwise — transmitting on a busy port is a logic
+    /// error in the switch implementation, not a runtime condition).
+    StartTx {
+        /// Egress port.
+        port: PortId,
+        /// Packet to transmit.
+        pkt: Box<Packet>,
+        /// If `Some(qlen)`, append INT metadata with this queue length
+        /// (custom switches own their queues, so they report occupancy).
+        int_qlen: Option<u64>,
+    },
+    /// Request a [`crate::event::Event::NodeTimer`] callback.
+    Timer {
+        /// Absolute firing time.
+        at: Tick,
+        /// Opaque key.
+        key: u64,
+    },
+    /// Count a packet as dropped (for statistics).
+    Drop {
+        /// The dropped packet (consumed).
+        pkt: Box<Packet>,
+    },
+}
+
+/// Read-only port state exposed to custom switch logic.
+#[derive(Clone, Copy, Debug)]
+pub struct PortView {
+    /// Configured bandwidth of the egress link.
+    pub bandwidth: Bandwidth,
+    /// Propagation delay of the egress link.
+    pub delay: Tick,
+    /// Whether the port is currently serializing a packet.
+    pub busy: bool,
+    /// Node on the far end of this port's egress link.
+    pub peer: NodeId,
+}
+
+/// Context handed to custom-switch callbacks.
+pub struct CustomCtx<'a> {
+    /// Current simulation time.
+    pub now: Tick,
+    /// This node.
+    pub node: NodeId,
+    /// Per-port state.
+    pub ports: &'a [PortView],
+    actions: &'a mut Vec<CustomAction>,
+}
+
+impl<'a> CustomCtx<'a> {
+    /// Construct a context over an action buffer (public for out-of-crate
+    /// unit tests of custom switches).
+    pub fn new(
+        now: Tick,
+        node: NodeId,
+        ports: &'a [PortView],
+        actions: &'a mut Vec<CustomAction>,
+    ) -> Self {
+        CustomCtx {
+            now,
+            node,
+            ports,
+            actions,
+        }
+    }
+
+    /// Begin transmitting on an idle port.
+    pub fn start_tx(&mut self, port: PortId, pkt: Box<Packet>, int_qlen: Option<u64>) {
+        self.actions.push(CustomAction::StartTx {
+            port,
+            pkt,
+            int_qlen,
+        });
+    }
+
+    /// Schedule a timer.
+    pub fn set_timer(&mut self, at: Tick, key: u64) {
+        self.actions.push(CustomAction::Timer { at, key });
+    }
+
+    /// Record a drop.
+    pub fn drop_packet(&mut self, pkt: Box<Packet>) {
+        self.actions.push(CustomAction::Drop { pkt });
+    }
+}
+
+/// Pluggable forwarding logic for nodes the stock [`Switch`] cannot model
+/// (e.g. VOQ ToRs with circuit-schedule awareness, or the optical circuit
+/// switch itself).
+pub trait CustomSwitch {
+    /// Called once before the simulation starts.
+    fn on_start(&mut self, _ctx: &mut CustomCtx<'_>) {}
+
+    /// A packet arrived on `port`.
+    fn on_packet(&mut self, port: PortId, pkt: Box<Packet>, ctx: &mut CustomCtx<'_>);
+
+    /// A transmission started earlier on `port` completed; the port is idle
+    /// again and more work may be started.
+    fn on_tx_done(&mut self, port: PortId, ctx: &mut CustomCtx<'_>);
+
+    /// A previously-set timer fired.
+    fn on_timer(&mut self, key: u64, ctx: &mut CustomCtx<'_>);
+}
+
+/// Engine-owned wrapper around custom switch logic.
+pub struct CustomNode {
+    /// This node's id.
+    pub id: NodeId,
+    /// Raw egress ports (serialization state only; queueing is the custom
+    /// logic's business).
+    pub ports: Vec<RawPort>,
+    /// The logic.
+    pub logic: Box<dyn CustomSwitch>,
+    /// Packets dropped by the logic.
+    pub drops: u64,
+}
+
+/// Serialization state of one custom-node egress port.
+#[derive(Clone, Copy, Debug)]
+pub struct RawPort {
+    /// Egress link.
+    pub link: LinkId,
+    /// Currently serializing?
+    pub busy: bool,
+    /// Cumulative bytes transmitted (INT counter).
+    pub tx_bytes: u64,
+}
+
+/// A node in the network.
+pub enum Node {
+    /// Stock output-queued shared-buffer switch.
+    Switch(Switch),
+    /// Host with endpoint logic.
+    Host(Host),
+    /// Custom forwarding logic.
+    Custom(CustomNode),
+}
+
+impl Node {
+    /// The node's id.
+    pub fn id(&self) -> NodeId {
+        match self {
+            Node::Switch(s) => s.id,
+            Node::Host(h) => h.id,
+            Node::Custom(c) => c.id,
+        }
+    }
+
+    /// Convenience accessor; panics if not a switch.
+    pub fn as_switch(&self) -> &Switch {
+        match self {
+            Node::Switch(s) => s,
+            _ => panic!("node {} is not a switch", self.id()),
+        }
+    }
+
+    /// Convenience accessor; panics if not a host.
+    pub fn as_host(&self) -> &Host {
+        match self {
+            Node::Host(h) => h,
+            _ => panic!("node {} is not a host", self.id()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::FlowId;
+
+    #[test]
+    fn endpoint_ctx_collects_actions() {
+        let mut actions = Vec::new();
+        let mut ctx = EndpointCtx::new(
+            Tick::from_micros(3),
+            NodeId(1),
+            Bandwidth::gbps(25),
+            &mut actions,
+        );
+        ctx.set_timer(Tick::from_micros(5), 42);
+        ctx.send(Packet::data(
+            FlowId(1),
+            NodeId(1),
+            NodeId(2),
+            0,
+            100,
+            false,
+            ctx.now,
+        ));
+        assert_eq!(actions.len(), 2);
+        assert!(matches!(
+            actions[0],
+            EndpointAction::Timer { key: 42, .. }
+        ));
+        assert!(matches!(actions[1], EndpointAction::Send(_)));
+    }
+
+    #[test]
+    fn custom_ctx_collects_actions() {
+        let mut actions = Vec::new();
+        let ports = [PortView {
+            bandwidth: Bandwidth::gbps(100),
+            delay: Tick::from_micros(1),
+            busy: false,
+            peer: NodeId(9),
+        }];
+        let mut ctx = CustomCtx::new(Tick::ZERO, NodeId(5), &ports, &mut actions);
+        assert_eq!(ctx.ports[0].peer, NodeId(9));
+        let p = Packet::data(FlowId(1), NodeId(0), NodeId(9), 0, 100, false, Tick::ZERO);
+        ctx.start_tx(PortId(0), Box::new(p.clone()), Some(777));
+        ctx.drop_packet(Box::new(p));
+        ctx.set_timer(Tick::from_micros(1), 7);
+        assert_eq!(actions.len(), 3);
+    }
+}

@@ -1,0 +1,261 @@
+//! Packet model.
+//!
+//! Packets are modelled structurally (typed header fields, no byte
+//! buffers): the simulator studies congestion dynamics, not wire formats.
+//! On-wire size is carried explicitly so serialization and queueing delays
+//! are exact. Header overheads are ignored uniformly for every algorithm
+//! (data payload == on-wire bytes), which preserves every comparative shape
+//! the paper reports.
+
+use crate::ids::{FlowId, NodeId};
+use powertcp_core::{IntHeader, Tick};
+
+/// Number of strict-priority queues per switch port (HOMA uses all eight;
+/// everything else defaults to a single best-effort class).
+pub const NUM_PRIORITIES: usize = 8;
+
+/// Default on-wire data packet size (payload MTU), matching the HPCC/
+/// PowerTCP simulation setups (1000 B packets).
+pub const DEFAULT_MTU: u32 = 1000;
+
+/// On-wire size of an ACK/grant/control packet.
+pub const CTRL_PKT_BYTES: u32 = 64;
+
+/// ACK payload: per-packet cumulative acknowledgment with echoed telemetry.
+#[derive(Clone, Debug)]
+pub struct AckPayload {
+    /// Next byte expected by the receiver (cumulative ACK).
+    pub cum_ack: u64,
+    /// Sequence number of the data packet that triggered this ACK.
+    pub data_seq: u64,
+    /// Receiver saw this packet out of order (go-back-N NACK semantics).
+    pub nack: bool,
+    /// Echo of the data packet's transmit timestamp (RTT measurement).
+    pub echo_ts: Tick,
+    /// Echo of the data packet's accumulated INT stack.
+    pub echo_int: IntHeader,
+    /// Echo of the data packet's ECN CE mark.
+    pub ecn_echo: bool,
+}
+
+/// HOMA grant payload (receiver-driven transport).
+#[derive(Clone, Copy, Debug)]
+pub struct GrantPayload {
+    /// Byte offset up to which the sender may transmit.
+    pub grant_offset: u64,
+    /// Priority the granted (scheduled) packets must use.
+    pub priority: u8,
+}
+
+/// What kind of packet this is.
+#[derive(Clone, Debug)]
+pub enum PacketKind {
+    /// Transport data segment carrying `[seq, seq+len)` of the flow.
+    Data {
+        /// First byte carried.
+        seq: u64,
+        /// Payload length in bytes.
+        len: u32,
+        /// Set on the segment that carries the flow's final byte.
+        is_last: bool,
+    },
+    /// Acknowledgment for [`PacketKind::Data`].
+    Ack(AckPayload),
+    /// HOMA message data (both unscheduled and scheduled).
+    HomaData {
+        /// Byte offset within the message.
+        offset: u64,
+        /// Payload length.
+        len: u32,
+        /// Total message length (receivers learn it from the first packet).
+        msg_len: u64,
+        /// True for the blind first-RTT burst.
+        unscheduled: bool,
+    },
+    /// HOMA grant.
+    HomaGrant(GrantPayload),
+    /// PFC pause/resume frame for the egress port facing the sender.
+    Pfc {
+        /// `true` = XOFF (pause), `false` = XON (resume).
+        pause: bool,
+    },
+}
+
+impl PacketKind {
+    /// True for kinds that accumulate INT metadata (data path only; control
+    /// packets are tiny and their queueing is irrelevant to the law).
+    pub fn collects_int(&self) -> bool {
+        matches!(self, PacketKind::Data { .. })
+    }
+}
+
+/// A simulated packet.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    /// Flow (or HOMA message) this packet belongs to.
+    pub flow: FlowId,
+    /// Originating host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// On-wire size in bytes.
+    pub size: u32,
+    /// Strict priority class, 0 = highest.
+    pub priority: u8,
+    /// ECN-capable transport?
+    pub ecn_capable: bool,
+    /// Congestion Experienced mark.
+    pub ecn_ce: bool,
+    /// Whether switches should append INT metadata.
+    pub int_enable: bool,
+    /// Accumulated telemetry.
+    pub int: IntHeader,
+    /// Time the packet left the sender (echoed for RTT).
+    pub sent_at: Tick,
+    /// Payload-specific fields.
+    pub kind: PacketKind,
+}
+
+impl Packet {
+    /// Construct a transport data packet. Data defaults to the lowest
+    /// strict-priority class (`NUM_PRIORITIES - 1`): ACKs ride class 0 and
+    /// HOMA's scheduled/unscheduled classes sit in between. In homogeneous
+    /// experiments every data packet shares the class, so the choice is
+    /// inert there.
+    pub fn data(
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        seq: u64,
+        len: u32,
+        is_last: bool,
+        sent_at: Tick,
+    ) -> Packet {
+        Packet {
+            flow,
+            src,
+            dst,
+            size: len,
+            priority: (NUM_PRIORITIES - 1) as u8,
+            ecn_capable: true,
+            ecn_ce: false,
+            int_enable: true,
+            int: IntHeader::new(),
+            sent_at,
+            kind: PacketKind::Data { seq, len, is_last },
+        }
+    }
+
+    /// Construct the ACK for a data packet, echoing telemetry.
+    pub fn ack_for(data: &Packet, cum_ack: u64, nack: bool, now: Tick) -> Packet {
+        let (seq, _len) = match &data.kind {
+            PacketKind::Data { seq, len, .. } => (*seq, *len),
+            _ => panic!("ack_for() requires a data packet"),
+        };
+        Packet {
+            flow: data.flow,
+            src: data.dst,
+            dst: data.src,
+            size: CTRL_PKT_BYTES,
+            // ACKs ride the highest class so feedback is never stuck
+            // behind data (standard in DCN transports).
+            priority: 0,
+            ecn_capable: false,
+            ecn_ce: false,
+            int_enable: false,
+            int: IntHeader::new(),
+            sent_at: now,
+            kind: PacketKind::Ack(AckPayload {
+                cum_ack,
+                data_seq: seq,
+                nack,
+                echo_ts: data.sent_at,
+                echo_int: data.int,
+                ecn_echo: data.ecn_ce,
+            }),
+        }
+    }
+
+    /// Bytes of transport payload carried (0 for control packets).
+    pub fn payload_len(&self) -> u32 {
+        match &self.kind {
+            PacketKind::Data { len, .. } => *len,
+            PacketKind::HomaData { len, .. } => *len,
+            _ => 0,
+        }
+    }
+
+    /// True if this is a PFC frame (processed by switch control logic,
+    /// never queued).
+    pub fn is_pfc(&self) -> bool {
+        matches!(self.kind, PacketKind::Pfc { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powertcp_core::{Bandwidth, IntHopMetadata};
+
+    #[test]
+    fn data_packet_defaults() {
+        let p = Packet::data(
+            FlowId(1),
+            NodeId(2),
+            NodeId(3),
+            0,
+            1000,
+            false,
+            Tick::from_micros(5),
+        );
+        assert_eq!(p.size, 1000);
+        assert_eq!(p.payload_len(), 1000);
+        assert!(p.kind.collects_int());
+        assert!(!p.is_pfc());
+    }
+
+    #[test]
+    fn ack_echoes_int_and_reverses_direction() {
+        let mut d = Packet::data(
+            FlowId(1),
+            NodeId(2),
+            NodeId(3),
+            5000,
+            1000,
+            true,
+            Tick::from_micros(5),
+        );
+        d.ecn_ce = true;
+        d.int.push(IntHopMetadata {
+            node: 9,
+            port: 1,
+            qlen_bytes: 777,
+            ts: Tick::from_micros(6),
+            tx_bytes: 1,
+            bandwidth: Bandwidth::gbps(100),
+        });
+        let a = Packet::ack_for(&d, 6000, false, Tick::from_micros(7));
+        assert_eq!(a.src, NodeId(3));
+        assert_eq!(a.dst, NodeId(2));
+        assert_eq!(a.size, CTRL_PKT_BYTES);
+        match &a.kind {
+            PacketKind::Ack(pl) => {
+                assert_eq!(pl.cum_ack, 6000);
+                assert_eq!(pl.data_seq, 5000);
+                assert!(pl.ecn_echo);
+                assert_eq!(pl.echo_ts, Tick::from_micros(5));
+                assert_eq!(pl.echo_int.hops()[0].qlen_bytes, 777);
+            }
+            _ => panic!("wrong kind"),
+        }
+        assert!(!a.kind.collects_int());
+    }
+
+    #[test]
+    #[should_panic]
+    fn ack_for_non_data_panics() {
+        let d = Packet::data(FlowId(1), NodeId(2), NodeId(3), 0, 10, false, Tick::ZERO);
+        let a = Packet::ack_for(&d, 10, false, Tick::ZERO);
+        let _ = Packet::ack_for(&a, 10, false, Tick::ZERO);
+    }
+}

@@ -1,0 +1,604 @@
+//! The stock switch: output-queued, shared-buffer (Dynamic Thresholds),
+//! strict-priority scheduling, RED/ECN marking, INT insertion, optional
+//! PFC.
+//!
+//! This mirrors the paper's evaluation substrate (§4.1): "a shared memory
+//! architecture on all the switches … the Dynamic Thresholds algorithm for
+//! buffer management across all the ports", Tofino-proportioned buffers,
+//! and HPCC-style INT where every egress appends `(qlen, ts, txBytes, b)`
+//! at the moment a packet is scheduled for transmission.
+
+use crate::buffer::SharedBuffer;
+use crate::ecn::{EcnConfig, MarkRng};
+use crate::ids::{mix64, LinkId, NodeId, PortId};
+use crate::packet::{Packet, NUM_PRIORITIES};
+use powertcp_core::{IntHopMetadata, Tick};
+use std::collections::VecDeque;
+
+/// PFC (priority flow control) thresholds, in bytes of per-ingress-port
+/// buffered data. Disabled unless configured on the switch.
+#[derive(Clone, Copy, Debug)]
+pub struct PfcConfig {
+    /// Send XOFF upstream when an ingress port's buffered bytes exceed
+    /// this.
+    pub xoff_bytes: u64,
+    /// Send XON when they fall back below this (must be < `xoff_bytes`).
+    pub xon_bytes: u64,
+}
+
+impl PfcConfig {
+    /// Validate threshold ordering.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.xon_bytes >= self.xoff_bytes {
+            return Err(format!(
+                "PFC xon ({}) must be below xoff ({})",
+                self.xon_bytes, self.xoff_bytes
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A queued packet remembers its ingress port for PFC accounting.
+#[derive(Debug)]
+pub(crate) struct QueuedPacket {
+    pub pkt: Box<Packet>,
+    pub ingress: PortId,
+}
+
+/// One egress port: eight strict-priority FIFO queues plus serialization
+/// state.
+pub struct SwitchPort {
+    pub(crate) queues: [VecDeque<QueuedPacket>; NUM_PRIORITIES],
+    /// Total bytes across all priority queues of this port.
+    pub(crate) queued_bytes: u64,
+    /// Cumulative bytes transmitted (the INT `txBytes` counter).
+    pub(crate) tx_bytes: u64,
+    /// Currently serializing a packet.
+    pub(crate) busy: bool,
+    /// Paused by a peer's PFC XOFF.
+    pub(crate) paused: bool,
+    /// The egress link.
+    pub(crate) link: LinkId,
+    /// Packets dropped at this port by buffer admission.
+    pub(crate) drops: u64,
+}
+
+impl SwitchPort {
+    fn new(link: LinkId) -> Self {
+        SwitchPort {
+            queues: Default::default(),
+            queued_bytes: 0,
+            tx_bytes: 0,
+            busy: false,
+            paused: false,
+            link,
+            drops: 0,
+        }
+    }
+
+    /// Bytes queued at this port (all priorities).
+    #[inline]
+    pub fn queued_bytes(&self) -> u64 {
+        self.queued_bytes
+    }
+
+    /// Cumulative bytes transmitted.
+    #[inline]
+    pub fn tx_bytes(&self) -> u64 {
+        self.tx_bytes
+    }
+
+    /// Packets dropped at admission to this port.
+    #[inline]
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// The egress link id.
+    #[inline]
+    pub fn link(&self) -> LinkId {
+        self.link
+    }
+
+    /// True while a packet is being serialized.
+    #[inline]
+    pub fn is_busy(&self) -> bool {
+        self.busy
+    }
+
+    /// True while paused by PFC.
+    #[inline]
+    pub fn is_paused(&self) -> bool {
+        self.paused
+    }
+
+    fn pop_highest(&mut self) -> Option<QueuedPacket> {
+        for q in self.queues.iter_mut() {
+            if let Some(qp) = q.pop_front() {
+                self.queued_bytes -= qp.pkt.size as u64;
+                return Some(qp);
+            }
+        }
+        None
+    }
+}
+
+/// Per-switch configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SwitchConfig {
+    /// Shared buffer pool size in bytes.
+    pub buffer_bytes: u64,
+    /// Dynamic Thresholds α.
+    pub dt_alpha: f64,
+    /// Append INT metadata on dequeue of data packets.
+    pub int_enabled: bool,
+    /// RED/ECN marking, if any.
+    pub ecn: Option<EcnConfig>,
+    /// PFC thresholds, if lossless operation is desired.
+    pub pfc: Option<PfcConfig>,
+}
+
+impl Default for SwitchConfig {
+    fn default() -> Self {
+        SwitchConfig {
+            // Tofino-proportioned default for a ~1 Tbps ToR: the paper
+            // sizes buffers by the bandwidth-buffer ratio of Tofino
+            // (~22 MB per 3.2 Tbps ≈ 6.9 KB per Gbps).
+            buffer_bytes: 7_000_000,
+            dt_alpha: 1.0,
+            int_enabled: true,
+            ecn: None,
+            pfc: None,
+        }
+    }
+}
+
+/// What a switch wants the engine to do after handling an event.
+pub(crate) enum SwitchEmit {
+    /// Start serializing: schedule `TxDone(port)` after the serialization
+    /// time and deliver the packet to the link peer after + propagation.
+    Transmit { port: PortId, pkt: Box<Packet> },
+    /// Send a PFC frame out of `port` (bypasses queues; propagation delay
+    /// only — control frames preempt data on real hardware).
+    Pfc { port: PortId, pause: bool },
+}
+
+/// The stock shared-buffer switch.
+pub struct Switch {
+    /// Node id.
+    pub id: NodeId,
+    pub(crate) ports: Vec<SwitchPort>,
+    pub(crate) shared: SharedBuffer,
+    /// Route table: `routes[dst_node_raw_id]` = candidate egress ports
+    /// (ECMP set). Empty vector = no route (drop + count).
+    pub(crate) routes: Vec<Vec<PortId>>,
+    cfg: SwitchConfig,
+    mark_rng: MarkRng,
+    /// Per-ingress-port buffered bytes (PFC accounting).
+    ingress_bytes: Vec<u64>,
+    /// Whether XOFF is currently asserted towards each ingress peer.
+    xoff_sent: Vec<bool>,
+    /// Packets dropped because no route existed.
+    pub(crate) no_route_drops: u64,
+    /// Total packets forwarded.
+    pub(crate) forwarded: u64,
+}
+
+impl Switch {
+    /// Create a switch; ports are added with [`Switch::add_port`].
+    pub fn new(id: NodeId, cfg: SwitchConfig) -> Self {
+        if let Some(p) = &cfg.pfc {
+            p.validate().expect("invalid PFC config");
+        }
+        Switch {
+            id,
+            ports: Vec::new(),
+            shared: SharedBuffer::new(cfg.buffer_bytes, cfg.dt_alpha),
+            routes: Vec::new(),
+            cfg,
+            mark_rng: MarkRng::new(0xECD0_0000 ^ id.0 as u64),
+            ingress_bytes: Vec::new(),
+            xoff_sent: Vec::new(),
+            no_route_drops: 0,
+            forwarded: 0,
+        }
+    }
+
+    /// Add an egress port backed by `link`; returns the port id. Port
+    /// indices pair up across a cable: if A reaches B via A.p3, then B
+    /// reaches A via B.p_k and both ends agree (the topology builder
+    /// maintains this), which is what lets PFC frames go "back where the
+    /// traffic came from" by egressing the ingress port index.
+    pub fn add_port(&mut self, link: LinkId) -> PortId {
+        let id = PortId(self.ports.len() as u16);
+        self.ports.push(SwitchPort::new(link));
+        self.ingress_bytes.push(0);
+        self.xoff_sent.push(false);
+        id
+    }
+
+    /// Set the ECMP port set for a destination node.
+    pub fn set_route(&mut self, dst: NodeId, ports: Vec<PortId>) {
+        let idx = dst.index();
+        if self.routes.len() <= idx {
+            self.routes.resize_with(idx + 1, Vec::new);
+        }
+        self.routes[idx] = ports;
+    }
+
+    /// Immutable port access.
+    pub fn port(&self, p: PortId) -> &SwitchPort {
+        &self.ports[p.index()]
+    }
+
+    /// Number of ports.
+    pub fn num_ports(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Shared-buffer occupancy in bytes.
+    pub fn buffer_used(&self) -> u64 {
+        self.shared.used()
+    }
+
+    /// Total drops (admission + routing).
+    pub fn total_drops(&self) -> u64 {
+        self.ports.iter().map(|p| p.drops).sum::<u64>() + self.no_route_drops
+    }
+
+    /// Packets forwarded.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// The switch configuration.
+    pub fn config(&self) -> &SwitchConfig {
+        &self.cfg
+    }
+
+    /// Select the egress port for a packet via ECMP on (flow, dst).
+    pub(crate) fn route_for(&self, pkt: &Packet) -> Option<PortId> {
+        let ports = self.routes.get(pkt.dst.index())?;
+        match ports.len() {
+            0 => None,
+            1 => Some(ports[0]),
+            n => {
+                let h = mix64(pkt.flow.0 ^ (pkt.dst.0 as u64) << 32 ^ (self.id.0 as u64) << 48);
+                Some(ports[(h % n as u64) as usize])
+            }
+        }
+    }
+
+    /// Handle a packet arriving on `ingress`; emits transmissions and PFC
+    /// frames into `out`.
+    pub(crate) fn receive(
+        &mut self,
+        ingress: PortId,
+        mut pkt: Box<Packet>,
+        now: Tick,
+        out: &mut Vec<SwitchEmit>,
+    ) {
+        let _ = now;
+        if pkt.is_pfc() {
+            // Pause/resume our egress port facing the sender.
+            let pause = matches!(pkt.kind, crate::packet::PacketKind::Pfc { pause: true });
+            let port = &mut self.ports[ingress.index()];
+            port.paused = pause;
+            if !pause && !port.busy {
+                self.try_transmit(ingress, out);
+            }
+            return;
+        }
+
+        let Some(egress) = self.route_for(&pkt) else {
+            self.no_route_drops += 1;
+            return;
+        };
+
+        // ECN marking on the instantaneous egress queue at enqueue.
+        if pkt.ecn_capable {
+            if let Some(ecn) = &self.cfg.ecn {
+                let p = ecn.mark_probability(self.ports[egress.index()].queued_bytes);
+                if self.mark_rng.chance(p) {
+                    pkt.ecn_ce = true;
+                }
+            }
+        }
+
+        // Shared-buffer admission: Dynamic Thresholds for lossy operation;
+        // with PFC the ingress pause thresholds bound occupancy and only
+        // the hard pool capacity backstops (lossless-pool semantics).
+        let size = pkt.size as u64;
+        let port_occ = self.ports[egress.index()].queued_bytes;
+        let admitted = if self.cfg.pfc.is_some() {
+            self.shared.try_admit_pool_only(size)
+        } else {
+            self.shared.try_admit(port_occ, size)
+        };
+        if !admitted {
+            self.ports[egress.index()].drops += 1;
+            return;
+        }
+
+        // PFC ingress accounting.
+        if self.cfg.pfc.is_some() {
+            self.ingress_bytes[ingress.index()] += size;
+        }
+
+        let prio = (pkt.priority as usize).min(NUM_PRIORITIES - 1);
+        let port = &mut self.ports[egress.index()];
+        port.queues[prio].push_back(QueuedPacket { pkt, ingress });
+        port.queued_bytes += size;
+        self.forwarded += 1;
+
+        if !port.busy && !port.paused {
+            self.try_transmit(egress, out);
+        }
+        self.update_pfc(ingress, out);
+    }
+
+    /// A transmission on `port` completed.
+    pub(crate) fn tx_done(&mut self, port: PortId, out: &mut Vec<SwitchEmit>) {
+        self.ports[port.index()].busy = false;
+        if !self.ports[port.index()].paused {
+            self.try_transmit(port, out);
+        }
+    }
+
+    /// Dequeue the next packet on `port` (if any) and emit a transmission.
+    ///
+    /// INT metadata is appended by the *engine* while handling the emit
+    /// (it owns the link table and the clock); the switch exposes the
+    /// post-dequeue counters through [`Switch::int_record`]. This happens
+    /// at transmission-scheduling time, as the paper specifies.
+    fn try_transmit(&mut self, port_id: PortId, out: &mut Vec<SwitchEmit>) {
+        let port = &mut self.ports[port_id.index()];
+        debug_assert!(!port.busy);
+        let Some(QueuedPacket { pkt, ingress }) = port.pop_highest() else {
+            return;
+        };
+        let size = pkt.size as u64;
+        self.shared.release(size);
+        port.busy = true;
+        port.tx_bytes += size;
+        if self.cfg.pfc.is_some() {
+            let i = ingress.index();
+            self.ingress_bytes[i] = self.ingress_bytes[i].saturating_sub(size);
+            self.update_pfc(ingress, out);
+        }
+        out.push(SwitchEmit::Transmit { port: port_id, pkt });
+    }
+
+    /// Queue length *excluding* the packet currently being serialized —
+    /// the value INT reports for this port right after a dequeue.
+    pub(crate) fn int_record(&self, port_id: PortId, now: Tick, bw: powertcp_core::Bandwidth) -> IntHopMetadata {
+        let port = &self.ports[port_id.index()];
+        IntHopMetadata {
+            node: self.id.0,
+            port: port_id.0,
+            qlen_bytes: port.queued_bytes,
+            ts: now,
+            tx_bytes: port.tx_bytes,
+            bandwidth: bw,
+        }
+    }
+
+    /// Re-evaluate PFC state for one ingress port.
+    fn update_pfc(&mut self, ingress: PortId, out: &mut Vec<SwitchEmit>) {
+        let Some(pfc) = &self.cfg.pfc else { return };
+        let i = ingress.index();
+        let level = self.ingress_bytes[i];
+        if !self.xoff_sent[i] && level > pfc.xoff_bytes {
+            self.xoff_sent[i] = true;
+            out.push(SwitchEmit::Pfc {
+                port: ingress,
+                pause: true,
+            });
+        } else if self.xoff_sent[i] && level < pfc.xon_bytes {
+            self.xoff_sent[i] = false;
+            out.push(SwitchEmit::Pfc {
+                port: ingress,
+                pause: false,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::FlowId;
+
+    fn mk_switch(ecn: Option<EcnConfig>, pfc: Option<PfcConfig>) -> Switch {
+        let cfg = SwitchConfig {
+            buffer_bytes: 100_000,
+            dt_alpha: 1.0,
+            int_enabled: true,
+            ecn,
+            pfc,
+        };
+        let mut sw = Switch::new(NodeId(0), cfg);
+        sw.add_port(LinkId(0));
+        sw.add_port(LinkId(1));
+        sw.set_route(NodeId(10), vec![PortId(1)]);
+        sw
+    }
+
+    fn data_to(dst: NodeId, size: u32) -> Box<Packet> {
+        let mut p = Packet::data(FlowId(1), NodeId(9), dst, 0, size, false, Tick::ZERO);
+        p.size = size;
+        Box::new(p)
+    }
+
+    #[test]
+    fn forwards_to_routed_port() {
+        let mut sw = mk_switch(None, None);
+        let mut out = Vec::new();
+        sw.receive(PortId(0), data_to(NodeId(10), 1000), Tick::ZERO, &mut out);
+        assert_eq!(out.len(), 1);
+        match &out[0] {
+            SwitchEmit::Transmit { port, .. } => assert_eq!(*port, PortId(1)),
+            _ => panic!("expected transmit"),
+        }
+        assert_eq!(sw.forwarded(), 1);
+        // The packet is in flight, not queued.
+        assert_eq!(sw.port(PortId(1)).queued_bytes(), 0);
+        assert!(sw.port(PortId(1)).is_busy());
+    }
+
+    #[test]
+    fn unrouted_packet_is_counted_and_dropped() {
+        let mut sw = mk_switch(None, None);
+        let mut out = Vec::new();
+        sw.receive(PortId(0), data_to(NodeId(77), 1000), Tick::ZERO, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(sw.no_route_drops, 1);
+        assert_eq!(sw.total_drops(), 1);
+    }
+
+    #[test]
+    fn busy_port_queues_then_drains_in_fifo() {
+        let mut sw = mk_switch(None, None);
+        let mut out = Vec::new();
+        for _ in 0..3 {
+            sw.receive(PortId(0), data_to(NodeId(10), 1000), Tick::ZERO, &mut out);
+        }
+        // First packet transmits immediately, two queued.
+        assert_eq!(out.len(), 1);
+        assert_eq!(sw.port(PortId(1)).queued_bytes(), 2000);
+        assert_eq!(sw.buffer_used(), 2000);
+        out.clear();
+        sw.tx_done(PortId(1), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(sw.port(PortId(1)).queued_bytes(), 1000);
+        assert_eq!(sw.buffer_used(), 1000);
+    }
+
+    #[test]
+    fn strict_priority_dequeues_high_first() {
+        let mut sw = mk_switch(None, None);
+        let mut out = Vec::new();
+        // Fill the port with a low-priority packet (starts transmitting),
+        // then queue low and high; high must come out first on tx_done.
+        sw.receive(PortId(0), data_to(NodeId(10), 1000), Tick::ZERO, &mut out);
+        let mut low = data_to(NodeId(10), 1000);
+        low.priority = 7;
+        low.flow = FlowId(100);
+        sw.receive(PortId(0), low, Tick::ZERO, &mut out);
+        let mut high = data_to(NodeId(10), 1000);
+        high.priority = 0;
+        high.flow = FlowId(200);
+        sw.receive(PortId(0), high, Tick::ZERO, &mut out);
+        out.clear();
+        sw.tx_done(PortId(1), &mut out);
+        match &out[0] {
+            SwitchEmit::Transmit { pkt, .. } => assert_eq!(pkt.flow, FlowId(200)),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn buffer_overflow_drops_and_counts() {
+        let mut sw = mk_switch(None, None);
+        let mut out = Vec::new();
+        // Pool = 100 KB; the first packet goes straight to the wire
+        // (never admitted to the pool), so 100 queued packets of 1 KB fill
+        // the pool fully; #102 must be refused by DT before that.
+        let mut drops = 0;
+        for _ in 0..130 {
+            sw.receive(PortId(0), data_to(NodeId(10), 1000), Tick::ZERO, &mut out);
+        }
+        drops += sw.port(PortId(1)).drops();
+        assert!(drops > 0, "expected DT to refuse some packets");
+        assert!(sw.buffer_used() <= 100_000);
+    }
+
+    #[test]
+    fn ecn_marks_above_threshold() {
+        let ecn = EcnConfig::step(5_000);
+        let mut sw = mk_switch(Some(ecn), None);
+        let mut out = Vec::new();
+        // 20 packets: first transmits, next 5 fill to threshold unmarked,
+        // the rest (queued at >= 5KB occupancy) must be marked.
+        for _ in 0..20 {
+            sw.receive(PortId(0), data_to(NodeId(10), 1000), Tick::ZERO, &mut out);
+        }
+        let port = &sw.ports[1];
+        let marked: usize = port.queues[7].iter().filter(|q| q.pkt.ecn_ce).count();
+        let unmarked: usize = port.queues[7].iter().filter(|q| !q.pkt.ecn_ce).count();
+        assert_eq!(unmarked, 5, "packets enqueued below K stay unmarked");
+        assert_eq!(marked, 14);
+    }
+
+    #[test]
+    fn pfc_asserts_xoff_and_xon() {
+        let pfc = PfcConfig {
+            xoff_bytes: 3_000,
+            xon_bytes: 1_500,
+        };
+        let mut sw = mk_switch(None, Some(pfc));
+        let mut out = Vec::new();
+        for _ in 0..5 {
+            sw.receive(PortId(0), data_to(NodeId(10), 1000), Tick::ZERO, &mut out);
+        }
+        // 1 in flight + 4 queued = 4000 ingress bytes > xoff.
+        let xoffs: Vec<_> = out
+            .iter()
+            .filter(|e| matches!(e, SwitchEmit::Pfc { pause: true, .. }))
+            .collect();
+        assert_eq!(xoffs.len(), 1, "exactly one XOFF");
+        out.clear();
+        // Drain: each tx_done dequeues one packet and decrements ingress
+        // accounting; XON must fire when below 1500.
+        for _ in 0..4 {
+            sw.tx_done(PortId(1), &mut out);
+        }
+        let xons: Vec<_> = out
+            .iter()
+            .filter(|e| matches!(e, SwitchEmit::Pfc { pause: false, .. }))
+            .collect();
+        assert_eq!(xons.len(), 1, "exactly one XON");
+    }
+
+    #[test]
+    fn pause_frame_pauses_egress() {
+        let mut sw = mk_switch(None, None);
+        let mut out = Vec::new();
+        let pause = Box::new(Packet {
+            kind: crate::packet::PacketKind::Pfc { pause: true },
+            ..*data_to(NodeId(10), 64)
+        });
+        // Pause arrives on port 1 (the egress toward NodeId(10)).
+        sw.receive(PortId(1), pause, Tick::ZERO, &mut out);
+        assert!(sw.port(PortId(1)).is_paused());
+        // Data for that port queues but does not transmit.
+        sw.receive(PortId(0), data_to(NodeId(10), 1000), Tick::ZERO, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(sw.port(PortId(1)).queued_bytes(), 1000);
+        // Resume: transmission starts.
+        let resume = Box::new(Packet {
+            kind: crate::packet::PacketKind::Pfc { pause: false },
+            ..*data_to(NodeId(10), 64)
+        });
+        sw.receive(PortId(1), resume, Tick::ZERO, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(!sw.port(PortId(1)).is_paused());
+    }
+
+    #[test]
+    fn ecmp_spreads_flows_but_keeps_flow_affinity() {
+        let mut sw = mk_switch(None, None);
+        sw.set_route(NodeId(10), vec![PortId(0), PortId(1)]);
+        let mut seen = [0u32; 2];
+        for f in 0..200u64 {
+            let mut p = data_to(NodeId(10), 1000);
+            p.flow = FlowId(f);
+            let port = sw.route_for(&p).unwrap();
+            seen[port.index()] += 1;
+            // Affinity: same flow always hashes to the same port.
+            assert_eq!(sw.route_for(&p), Some(port));
+        }
+        assert!(seen[0] > 50 && seen[1] > 50, "ECMP imbalance: {seen:?}");
+    }
+}

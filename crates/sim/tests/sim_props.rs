@@ -1,0 +1,159 @@
+//! Property-based tests of the simulator substrate: packet conservation,
+//! buffer accounting, and deterministic replay under randomized traffic.
+
+use dcn_sim::{
+    build_star, Endpoint, EndpointCtx, FlowId, NodeId, Packet, PfcConfig, Simulator,
+    SwitchConfig,
+};
+use powertcp_core::{Bandwidth, Tick};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Sends a scripted schedule of (start_offset_ns, dst_index, packets).
+struct Scripted {
+    bursts: Vec<(u64, u32, u32)>,
+    sent: Rc<RefCell<u64>>,
+}
+
+impl Endpoint for Scripted {
+    fn on_start(&mut self, ctx: &mut EndpointCtx<'_>) {
+        for (i, &(off, _, _)) in self.bursts.iter().enumerate() {
+            ctx.set_timer(Tick::from_nanos(off), i as u64);
+        }
+    }
+    fn on_packet(&mut self, _pkt: Box<Packet>, _ctx: &mut EndpointCtx<'_>) {}
+    fn on_timer(&mut self, key: u64, ctx: &mut EndpointCtx<'_>) {
+        let (_, dst, count) = self.bursts[key as usize];
+        for s in 0..count {
+            ctx.send(Packet::data(
+                FlowId(key << 16 | s as u64),
+                ctx.node,
+                NodeId(dst),
+                s as u64 * 1000,
+                1000,
+                s + 1 == count,
+                ctx.now,
+            ));
+            *self.sent.borrow_mut() += 1;
+        }
+    }
+}
+
+fn run_star(
+    n_hosts: usize,
+    bursts_per_host: Vec<Vec<(u64, u32, u32)>>,
+    switch_cfg: SwitchConfig,
+) -> (u64, u64, u64, Vec<u64>) {
+    let sent = Rc::new(RefCell::new(0u64));
+    let received = Rc::new(RefCell::new(vec![0u64; n_hosts + 1]));
+    let s2 = sent.clone();
+    let r2 = received.clone();
+    let mut mk = move |_id: NodeId, idx: usize| -> Box<dyn Endpoint> {
+        struct Both {
+            inner: Scripted,
+            rx: Rc<RefCell<Vec<u64>>>,
+            me: usize,
+        }
+        impl Endpoint for Both {
+            fn on_start(&mut self, ctx: &mut EndpointCtx<'_>) {
+                self.inner.on_start(ctx);
+            }
+            fn on_packet(&mut self, pkt: Box<Packet>, _ctx: &mut EndpointCtx<'_>) {
+                let _ = pkt;
+                self.rx.borrow_mut()[self.me] += 1;
+            }
+            fn on_timer(&mut self, key: u64, ctx: &mut EndpointCtx<'_>) {
+                self.inner.on_timer(key, ctx);
+            }
+        }
+        Box::new(Both {
+            inner: Scripted {
+                bursts: bursts_per_host[idx].clone(),
+                sent: s2.clone(),
+            },
+            rx: r2.clone(),
+            me: idx,
+        })
+    };
+    let star = build_star(
+        n_hosts,
+        Bandwidth::gbps(25),
+        Tick::from_micros(1),
+        switch_cfg,
+        &mut mk,
+    );
+    let sw = star.switch;
+    let mut sim = Simulator::new(star.net);
+    sim.run_until_idle();
+    let drops = sim.net.switch(sw).total_drops();
+    let total_rx: u64 = received.borrow().iter().sum();
+    let sent = *sent.borrow();
+    let rx_vec = received.borrow().clone();
+    (sent, total_rx, drops, rx_vec)
+}
+
+/// Strategy: 3-6 hosts, each with 0-4 bursts of 1-80 packets to a random
+/// other host within 200 us.
+fn bursts_strategy() -> impl Strategy<Value = (usize, Vec<Vec<(u64, u32, u32)>>)> {
+    (3usize..=6).prop_flat_map(|n| {
+        let host_bursts = prop::collection::vec(
+            (0u64..200_000, 1u32..n as u32, 1u32..80),
+            0..4,
+        );
+        (
+            Just(n),
+            prop::collection::vec(host_bursts, n..=n).prop_map(move |mut v| {
+                // dst indices must address *other* hosts: host i's node id
+                // is 1 + idx; remap dst "slot" to a node id != self.
+                for (i, bursts) in v.iter_mut().enumerate() {
+                    for b in bursts.iter_mut() {
+                        let mut slot = b.1 as usize % n;
+                        if slot == i {
+                            slot = (slot + 1) % n;
+                        }
+                        b.1 = (1 + slot) as u32;
+                    }
+                }
+                v
+            }),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Conservation: every packet sent is delivered or counted as dropped.
+    #[test]
+    fn packets_conserved_lossy((n, bursts) in bursts_strategy()) {
+        let cfg = SwitchConfig {
+            buffer_bytes: 40_000, // small enough to force drops sometimes
+            ..SwitchConfig::default()
+        };
+        let (sent, rx, drops, _) = run_star(n, bursts, cfg);
+        prop_assert_eq!(sent, rx + drops, "sent {} != rx {} + drops {}", sent, rx, drops);
+    }
+
+    /// With PFC, the same traffic is lossless.
+    #[test]
+    fn packets_conserved_lossless((n, bursts) in bursts_strategy()) {
+        let cfg = SwitchConfig {
+            buffer_bytes: 2_000_000,
+            pfc: Some(PfcConfig { xoff_bytes: 30_000, xon_bytes: 15_000 }),
+            ..SwitchConfig::default()
+        };
+        let (sent, rx, drops, _) = run_star(n, bursts, cfg);
+        prop_assert_eq!(drops, 0, "PFC fabric must not drop");
+        prop_assert_eq!(sent, rx);
+    }
+
+    /// Bit-identical replay for arbitrary schedules.
+    #[test]
+    fn replay_is_deterministic((n, bursts) in bursts_strategy()) {
+        let cfg = SwitchConfig::default();
+        let a = run_star(n, bursts.clone(), cfg);
+        let b = run_star(n, bursts, cfg);
+        prop_assert_eq!(a, b);
+    }
+}

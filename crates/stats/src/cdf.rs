@@ -1,0 +1,136 @@
+//! Empirical CDFs (Figure 7g/7h report buffer-occupancy CDFs).
+
+/// An empirical cumulative distribution over `f64` samples.
+#[derive(Clone, Debug, Default)]
+pub struct Cdf {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Cdf {
+    /// Empty CDF.
+    pub fn new() -> Self {
+        Cdf::default()
+    }
+
+    /// Add one sample.
+    pub fn add(&mut self, x: f64) {
+        assert!(x.is_finite(), "non-finite CDF sample");
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Add many samples.
+    pub fn extend(&mut self, xs: impl IntoIterator<Item = f64>) {
+        for x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN checked at add"));
+            self.sorted = true;
+        }
+    }
+
+    /// Fraction of samples ≤ `x`.
+    pub fn fraction_at_or_below(&mut self, x: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let idx = self.samples.partition_point(|&v| v <= x);
+        idx as f64 / self.samples.len() as f64
+    }
+
+    /// The value at cumulative fraction `q ∈ [0,1]`.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.samples.len() - 1) as f64 * q).round() as usize;
+        Some(self.samples[idx])
+    }
+
+    /// Render as `(value, cumulative_fraction)` points for plotting, using
+    /// `resolution` evenly spaced quantiles.
+    pub fn points(&mut self, resolution: usize) -> Vec<(f64, f64)> {
+        if self.samples.is_empty() || resolution == 0 {
+            return Vec::new();
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        (0..=resolution)
+            .map(|i| {
+                let q = i as f64 / resolution as f64;
+                let idx = (((n - 1) as f64) * q).round() as usize;
+                (self.samples[idx], q)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_and_quantiles() {
+        let mut c = Cdf::new();
+        c.extend((1..=100).map(|x| x as f64));
+        assert_eq!(c.len(), 100);
+        assert!((c.fraction_at_or_below(50.0) - 0.5).abs() < 1e-12);
+        assert_eq!(c.fraction_at_or_below(0.0), 0.0);
+        assert_eq!(c.fraction_at_or_below(1000.0), 1.0);
+        assert_eq!(c.quantile(0.0), Some(1.0));
+        assert_eq!(c.quantile(1.0), Some(100.0));
+    }
+
+    #[test]
+    fn interleaved_add_and_query() {
+        let mut c = Cdf::new();
+        c.add(3.0);
+        c.add(1.0);
+        assert_eq!(c.quantile(0.0), Some(1.0));
+        c.add(0.5); // must re-sort
+        assert_eq!(c.quantile(0.0), Some(0.5));
+    }
+
+    #[test]
+    fn points_are_monotone() {
+        let mut c = Cdf::new();
+        c.extend([5.0, 1.0, 9.0, 3.0, 7.0]);
+        let pts = c.points(10);
+        assert_eq!(pts.len(), 11);
+        assert!(pts.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let mut c = Cdf::new();
+        assert!(c.is_empty());
+        assert_eq!(c.quantile(0.5), None);
+        assert_eq!(c.fraction_at_or_below(1.0), 0.0);
+        assert!(c.points(5).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn nan_rejected() {
+        Cdf::new().add(f64::NAN);
+    }
+}

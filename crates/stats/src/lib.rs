@@ -1,0 +1,17 @@
+//! # dcn-stats
+//!
+//! Measurement reduction for the evaluation harness: exact percentiles,
+//! empirical CDFs, FCT-slowdown computation, and the Jain fairness index —
+//! the metrics behind every table and figure in the paper (99.9-percentile
+//! FCT slowdowns, buffer-occupancy CDFs, throughput time series).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cdf;
+pub mod percentile;
+pub mod slowdown;
+
+pub use cdf::Cdf;
+pub use percentile::{jain_index, mean, percentile, Summary};
+pub use slowdown::{ideal_fct, slowdown};

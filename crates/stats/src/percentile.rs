@@ -1,0 +1,165 @@
+//! Exact percentile estimation and summary statistics.
+
+/// Percentile of a sample set, `p ∈ [0, 100]`, nearest-rank with linear
+/// interpolation (type-7 quantile, the numpy/R default). Returns `None`
+/// for empty input.
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let n = v.len();
+    if n == 1 {
+        return Some(v[0]);
+    }
+    let rank = p / 100.0 * (n - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        Some(v[lo])
+    } else {
+        let frac = rank - lo as f64;
+        Some(v[lo] * (1.0 - frac) + v[hi] * frac)
+    }
+}
+
+/// Arithmetic mean; `None` for empty input.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    Some(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Jain's fairness index: `(Σx)² / (n · Σx²)`; 1.0 = perfectly fair.
+pub fn jain_index(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let s: f64 = values.iter().sum();
+    let s2: f64 = values.iter().map(|x| x * x).sum();
+    if s2 == 0.0 {
+        return Some(1.0); // all-zero allocations are (vacuously) fair
+    }
+    Some(s * s / (values.len() as f64 * s2))
+}
+
+/// A compact distribution summary for report tables.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub count: usize,
+    /// Mean.
+    pub mean: f64,
+    /// Median (p50).
+    pub p50: f64,
+    /// p95.
+    pub p95: f64,
+    /// p99.
+    pub p99: f64,
+    /// p99.9 — the paper's headline metric.
+    pub p999: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize a sample set; `None` for empty input.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        Some(Summary {
+            count: values.len(),
+            mean: mean(values)?,
+            p50: percentile(values, 50.0)?,
+            p95: percentile(values, 95.0)?,
+            p99: percentile(values, 99.0)?,
+            p999: percentile(values, 99.9)?,
+            max: percentile(values, 100.0)?,
+        })
+    }
+
+    /// The highest percentile this sample size can estimate credibly
+    /// (needs ≥ ~10 samples beyond the cut): 99.9 for ≥10k samples, 99
+    /// for ≥1k, 95 for ≥200, else 50. Experiments report this so that
+    /// scaled-down runs do not over-claim tail fidelity.
+    pub fn credible_tail_pct(n: usize) -> f64 {
+        if n >= 10_000 {
+            99.9
+        } else if n >= 1_000 {
+            99.0
+        } else if n >= 200 {
+            95.0
+        } else {
+            50.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_basics() {
+        let v: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 100.0), Some(100.0));
+        let p50 = percentile(&v, 50.0).unwrap();
+        assert!((p50 - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = vec![10.0, 20.0];
+        assert!((percentile(&v, 25.0).unwrap() - 12.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let v = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&v, 50.0), Some(3.0));
+    }
+
+    #[test]
+    fn empty_inputs_are_none() {
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(mean(&[]), None);
+        assert_eq!(jain_index(&[]), None);
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn jain_extremes() {
+        // Perfectly fair.
+        assert!((jain_index(&[5.0, 5.0, 5.0, 5.0]).unwrap() - 1.0).abs() < 1e-12);
+        // One hog among n: index = 1/n.
+        let j = jain_index(&[1.0, 0.0, 0.0, 0.0]).unwrap();
+        assert!((j - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_orders_percentiles() {
+        let v: Vec<f64> = (0..10_000).map(|x| x as f64).collect();
+        let s = Summary::of(&v).unwrap();
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.p999 && s.p999 <= s.max);
+        assert_eq!(s.count, 10_000);
+    }
+
+    #[test]
+    fn credible_tail_scales_with_samples() {
+        assert_eq!(Summary::credible_tail_pct(50), 50.0);
+        assert_eq!(Summary::credible_tail_pct(500), 95.0);
+        assert_eq!(Summary::credible_tail_pct(5_000), 99.0);
+        assert_eq!(Summary::credible_tail_pct(50_000), 99.9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_percentile_panics() {
+        percentile(&[1.0], 101.0);
+    }
+}

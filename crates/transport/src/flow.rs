@@ -1,0 +1,49 @@
+//! Flow specifications.
+
+use dcn_sim::{FlowId, NodeId};
+use powertcp_core::Tick;
+
+/// A flow (message) to transfer: `size_bytes` from `src` to `dst`,
+/// starting at `start`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlowSpec {
+    /// Globally unique flow id.
+    pub id: FlowId,
+    /// Sending host.
+    pub src: NodeId,
+    /// Receiving host.
+    pub dst: NodeId,
+    /// Bytes to transfer.
+    pub size_bytes: u64,
+    /// Start time.
+    pub start: Tick,
+}
+
+impl FlowSpec {
+    /// Number of MTU-sized packets this flow needs.
+    pub fn packet_count(&self, mtu: u32) -> u64 {
+        self.size_bytes.div_ceil(mtu as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_count_rounds_up() {
+        let f = FlowSpec {
+            id: FlowId(1),
+            src: NodeId(0),
+            dst: NodeId(1),
+            size_bytes: 2500,
+            start: Tick::ZERO,
+        };
+        assert_eq!(f.packet_count(1000), 3);
+        let g = FlowSpec {
+            size_bytes: 3000,
+            ..f
+        };
+        assert_eq!(g.packet_count(1000), 3);
+    }
+}

@@ -1,0 +1,160 @@
+//! Shared metrics hub.
+//!
+//! Endpoints live inside the simulator as boxed trait objects; the hub is
+//! the channel through which experiments read results out. It is an
+//! `Rc<RefCell<…>>` because the simulator is single-threaded by design.
+
+use crate::flow::FlowSpec;
+use dcn_sim::FlowId;
+use powertcp_core::Tick;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Lifecycle record of one flow.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowRecord {
+    /// The flow.
+    pub spec: FlowSpec,
+    /// When the receiver got the last byte (None = still running).
+    pub completed: Option<Tick>,
+    /// Total retransmitted bytes (go-back-N rewind cost).
+    pub retransmitted_bytes: u64,
+    /// Number of RTO events.
+    pub timeouts: u64,
+}
+
+impl FlowRecord {
+    /// Flow completion time, if finished.
+    pub fn fct(&self) -> Option<Tick> {
+        self.completed.map(|t| t.saturating_sub(self.spec.start))
+    }
+}
+
+/// Registry of all flows in an experiment.
+#[derive(Default, Debug)]
+pub struct MetricsHub {
+    flows: HashMap<FlowId, FlowRecord>,
+}
+
+impl MetricsHub {
+    /// Create an empty, shareable hub.
+    pub fn new_shared() -> SharedMetrics {
+        Rc::new(RefCell::new(MetricsHub::default()))
+    }
+
+    /// Register a flow at sender setup.
+    pub fn register(&mut self, spec: FlowSpec) {
+        let prev = self.flows.insert(
+            spec.id,
+            FlowRecord {
+                spec,
+                completed: None,
+                retransmitted_bytes: 0,
+                timeouts: 0,
+            },
+        );
+        assert!(prev.is_none(), "duplicate flow id {:?}", spec.id);
+    }
+
+    /// Mark a flow complete (receiver got the last byte).
+    pub fn complete(&mut self, id: FlowId, now: Tick) {
+        if let Some(r) = self.flows.get_mut(&id) {
+            if r.completed.is_none() {
+                r.completed = Some(now);
+            }
+        }
+    }
+
+    /// Account retransmitted bytes.
+    pub fn add_retransmission(&mut self, id: FlowId, bytes: u64) {
+        if let Some(r) = self.flows.get_mut(&id) {
+            r.retransmitted_bytes += bytes;
+        }
+    }
+
+    /// Account an RTO.
+    pub fn add_timeout(&mut self, id: FlowId) {
+        if let Some(r) = self.flows.get_mut(&id) {
+            r.timeouts += 1;
+        }
+    }
+
+    /// Look up one flow.
+    pub fn get(&self, id: FlowId) -> Option<&FlowRecord> {
+        self.flows.get(&id)
+    }
+
+    /// All records (unordered).
+    pub fn records(&self) -> impl Iterator<Item = &FlowRecord> {
+        self.flows.values()
+    }
+
+    /// Completed flow count / total.
+    pub fn completion_ratio(&self) -> (usize, usize) {
+        let done = self.flows.values().filter(|r| r.completed.is_some()).count();
+        (done, self.flows.len())
+    }
+}
+
+/// Shared handle to the hub.
+pub type SharedMetrics = Rc<RefCell<MetricsHub>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_sim::NodeId;
+
+    fn spec(id: u64) -> FlowSpec {
+        FlowSpec {
+            id: FlowId(id),
+            src: NodeId(0),
+            dst: NodeId(1),
+            size_bytes: 10_000,
+            start: Tick::from_micros(5),
+        }
+    }
+
+    #[test]
+    fn lifecycle() {
+        let mut hub = MetricsHub::default();
+        hub.register(spec(1));
+        assert_eq!(hub.completion_ratio(), (0, 1));
+        hub.complete(FlowId(1), Tick::from_micros(105));
+        assert_eq!(hub.completion_ratio(), (1, 1));
+        let fct = hub.get(FlowId(1)).unwrap().fct().unwrap();
+        assert_eq!(fct, Tick::from_micros(100));
+    }
+
+    #[test]
+    fn double_complete_keeps_first() {
+        let mut hub = MetricsHub::default();
+        hub.register(spec(1));
+        hub.complete(FlowId(1), Tick::from_micros(50));
+        hub.complete(FlowId(1), Tick::from_micros(90));
+        assert_eq!(
+            hub.get(FlowId(1)).unwrap().completed,
+            Some(Tick::from_micros(50))
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_registration_panics() {
+        let mut hub = MetricsHub::default();
+        hub.register(spec(1));
+        hub.register(spec(1));
+    }
+
+    #[test]
+    fn retransmissions_accumulate() {
+        let mut hub = MetricsHub::default();
+        hub.register(spec(2));
+        hub.add_retransmission(FlowId(2), 1000);
+        hub.add_retransmission(FlowId(2), 500);
+        hub.add_timeout(FlowId(2));
+        let r = hub.get(FlowId(2)).unwrap();
+        assert_eq!(r.retransmitted_bytes, 1500);
+        assert_eq!(r.timeouts, 1);
+    }
+}

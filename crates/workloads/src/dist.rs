@@ -1,0 +1,204 @@
+//! Flow-size distributions.
+//!
+//! The paper generates traffic from the *web search* flow-size
+//! distribution of the DCTCP paper (§4.1). The exact trace file is not
+//! published in the paper; the embedded piecewise CDF below reproduces its
+//! defining shape (documented in DESIGN.md): heavy-tailed, roughly half of
+//! *flows* at or below ~10 KB while the overwhelming majority of *bytes*
+//! come from multi-megabyte flows.
+
+use rand::{Rng, RngExt};
+
+/// A point (size_bytes, cumulative_probability) on a CDF.
+pub type CdfPoint = (u64, f64);
+
+/// Piecewise-linear flow-size CDF sampled by inverse transform.
+#[derive(Clone, Debug)]
+pub struct SizeCdf {
+    points: Vec<CdfPoint>,
+}
+
+impl SizeCdf {
+    /// Build from explicit points; must be sorted, start above probability
+    /// 0 handling (first point's probability is the mass at or below its
+    /// size), and end at probability 1.0.
+    pub fn new(points: Vec<CdfPoint>) -> Self {
+        assert!(points.len() >= 2, "need at least two CDF points");
+        assert!(
+            points.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1),
+            "CDF points must be strictly increasing in size, non-decreasing in probability"
+        );
+        let last = points.last().unwrap();
+        assert!(
+            (last.1 - 1.0).abs() < 1e-9,
+            "CDF must end at probability 1.0"
+        );
+        SizeCdf { points }
+    }
+
+    /// The web search distribution (DCTCP, Alizadeh et al. 2010) as used
+    /// throughout the paper's evaluation. ~50% of flows ≤ 10 KB, ~95% of
+    /// bytes from flows ≥ 1 MB, mean ≈ 1.3 MB.
+    pub fn websearch() -> Self {
+        SizeCdf::new(vec![
+            (1_000, 0.00),
+            (2_000, 0.10),
+            (3_000, 0.20),
+            (5_000, 0.30),
+            (7_000, 0.40),
+            (10_000, 0.50),
+            (20_000, 0.58),
+            (30_000, 0.63),
+            (50_000, 0.68),
+            (80_000, 0.72),
+            (200_000, 0.76),
+            (1_000_000, 0.82),
+            (2_000_000, 0.88),
+            (5_000_000, 0.93),
+            (10_000_000, 0.96),
+            (30_000_000, 1.00),
+        ])
+    }
+
+    /// Fixed-size "distribution" (useful for controlled experiments).
+    pub fn fixed(size: u64) -> Self {
+        SizeCdf::new(vec![(size.saturating_sub(1).max(1), 0.0), (size.max(2), 1.0)])
+    }
+
+    /// Inverse-transform sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.random();
+        self.quantile(u)
+    }
+
+    /// The size at cumulative probability `u` (linear interpolation).
+    pub fn quantile(&self, u: f64) -> u64 {
+        let u = u.clamp(0.0, 1.0);
+        let first = self.points[0];
+        if u <= first.1 {
+            return first.0;
+        }
+        for w in self.points.windows(2) {
+            let (s0, p0) = w[0];
+            let (s1, p1) = w[1];
+            if u <= p1 {
+                if p1 <= p0 {
+                    return s1;
+                }
+                let frac = (u - p0) / (p1 - p0);
+                return s0 + ((s1 - s0) as f64 * frac).round() as u64;
+            }
+        }
+        self.points.last().unwrap().0
+    }
+
+    /// Mean flow size implied by the piecewise-linear CDF.
+    pub fn mean(&self) -> f64 {
+        // E[X] = Σ segment probability × segment midpoint (linear pieces),
+        // plus the initial mass at the first point.
+        let mut mean = self.points[0].0 as f64 * self.points[0].1;
+        for w in self.points.windows(2) {
+            let (s0, p0) = w[0];
+            let (s1, p1) = w[1];
+            mean += (p1 - p0) * (s0 + s1) as f64 / 2.0;
+        }
+        mean
+    }
+
+    /// CDF points (for reporting).
+    pub fn points(&self) -> &[CdfPoint] {
+        &self.points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn websearch_shape() {
+        let d = SizeCdf::websearch();
+        // Median at or below 10KB-ish.
+        assert!(d.quantile(0.5) <= 10_000);
+        // Tail is tens of MB.
+        assert_eq!(d.quantile(1.0), 30_000_000);
+        // Mean dominated by the tail: ~1.3 MB.
+        let m = d.mean();
+        assert!(m > 1_000_000.0 && m < 2_000_000.0, "mean={m}");
+    }
+
+    #[test]
+    fn sampling_matches_analytic_mean() {
+        let d = SizeCdf::websearch();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| d.sample(&mut rng) as f64).sum();
+        let emp = sum / n as f64;
+        let ana = d.mean();
+        assert!(
+            (emp - ana).abs() / ana < 0.05,
+            "empirical {emp} vs analytic {ana}"
+        );
+    }
+
+    #[test]
+    fn short_flow_fraction_is_about_half() {
+        let d = SizeCdf::websearch();
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 100_000;
+        let short = (0..n).filter(|_| d.sample(&mut rng) <= 10_000).count();
+        let frac = short as f64 / n as f64;
+        assert!(frac > 0.45 && frac < 0.60, "short fraction {frac}");
+    }
+
+    #[test]
+    fn bytes_dominated_by_large_flows() {
+        let d = SizeCdf::websearch();
+        let mut rng = StdRng::seed_from_u64(11);
+        let samples: Vec<u64> = (0..100_000).map(|_| d.sample(&mut rng)).collect();
+        let total: u64 = samples.iter().sum();
+        let big: u64 = samples.iter().filter(|&&s| s >= 1_000_000).sum();
+        assert!(
+            big as f64 / total as f64 > 0.7,
+            "large flows carry most bytes"
+        );
+    }
+
+    #[test]
+    fn fixed_returns_constant() {
+        let d = SizeCdf::fixed(5000);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let s = d.sample(&mut rng);
+            assert!((4999..=5000).contains(&s));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = SizeCdf::websearch();
+        let a: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(3);
+            (0..100).map(|_| d.sample(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(3);
+            (0..100).map(|_| d.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unsorted_points_rejected() {
+        SizeCdf::new(vec![(10, 0.0), (5, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn cdf_must_reach_one() {
+        SizeCdf::new(vec![(10, 0.0), (20, 0.9)]);
+    }
+}
