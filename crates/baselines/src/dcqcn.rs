@@ -18,9 +18,7 @@
 //! marking threshold, which is exactly what Figures 6–7 show as inflated
 //! short-flow tail FCTs.
 
-use powertcp_core::{
-    AckInfo, Bandwidth, CcContext, CongestionControl, LossKind, Tick,
-};
+use powertcp_core::{AckInfo, Bandwidth, CcContext, CongestionControl, LossKind, Tick};
 
 /// DCQCN parameters (paper / common NIC defaults).
 #[derive(Clone, Copy, Debug)]

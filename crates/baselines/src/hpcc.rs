@@ -15,8 +15,8 @@
 //! onset and briefly loses throughput after draining (Figure 4d).
 
 use powertcp_core::{
-    clamp_cwnd, rate_from_cwnd, AckInfo, Bandwidth, CcContext, CongestionControl,
-    IntHopMetadata, LossKind, Tick, MAX_INT_HOPS,
+    clamp_cwnd, rate_from_cwnd, AckInfo, Bandwidth, CcContext, CongestionControl, IntHopMetadata,
+    LossKind, Tick, MAX_INT_HOPS,
 };
 
 /// HPCC parameters (paper defaults).
@@ -84,8 +84,7 @@ impl Hpcc {
     /// The additive increase W_AI in bytes.
     pub fn wai(&self) -> f64 {
         self.cfg.wai_override_bytes.unwrap_or_else(|| {
-            self.ctx.host_bdp_bytes() * (1.0 - self.cfg.eta)
-                / self.ctx.expected_flows.max(1) as f64
+            self.ctx.host_bdp_bytes() * (1.0 - self.cfg.eta) / self.ctx.expected_flows.max(1) as f64
         })
     }
 

@@ -15,13 +15,10 @@
 //! reTCP").
 
 use crate::newreno::{NewReno, NewRenoConfig};
-use powertcp_core::{
-    AckInfo, Bandwidth, CcContext, CongestionControl, LossKind, NetSignal, Tick,
-};
+use powertcp_core::{AckInfo, Bandwidth, CcContext, CongestionControl, LossKind, NetSignal, Tick};
 
 /// reTCP parameters.
-#[derive(Clone, Copy, Debug)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct ReTcpConfig {
     /// Base TCP parameters.
     pub base: NewRenoConfig,
@@ -29,7 +26,6 @@ pub struct ReTcpConfig {
     /// circuit_bw / packet_bw from the signal.
     pub scale_override: Option<f64>,
 }
-
 
 /// The reTCP sender.
 #[derive(Clone, Debug)]

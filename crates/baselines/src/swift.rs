@@ -101,8 +101,7 @@ impl CongestionControl for Swift {
     }
 
     fn on_loss(&mut self, now: Tick, kind: LossKind) {
-        if kind == LossKind::Timeout
-            && now.saturating_sub(self.last_decrease) >= self.ctx.base_rtt
+        if kind == LossKind::Timeout && now.saturating_sub(self.last_decrease) >= self.ctx.base_rtt
         {
             self.cwnd = clamp_cwnd(
                 self.cwnd * (1.0 - self.cfg.max_mdf),

@@ -199,7 +199,12 @@ mod tests {
         for i in 0..20u64 {
             t.on_ack(&ack(100 + i, i, Tick::from_micros(24 + i)));
         }
-        assert!(t.rate_bytes() < 0.8 * r0, "rate={} r0={}", t.rate_bytes(), r0);
+        assert!(
+            t.rate_bytes() < 0.8 * r0,
+            "rate={} r0={}",
+            t.rate_bytes(),
+            r0
+        );
         assert!(t.gradient() > 0.0);
     }
 

@@ -45,7 +45,7 @@ fn run(make: MkCc, ecn: bool, pfc: bool) -> (usize, usize, f64, f64, u64) {
         Box::new(h)
     };
     let sw_cfg = SwitchConfig {
-        ecn: ecn.then(|| EcnConfig {
+        ecn: ecn.then_some(EcnConfig {
             kmin_bytes: 25_000,
             kmax_bytes: 100_000,
             pmax: 0.2,
@@ -60,7 +60,10 @@ fn run(make: MkCc, ecn: bool, pfc: bool) -> (usize, usize, f64, f64, u64) {
     let sw = star.switch;
     let mut sim = Simulator::new(star.net);
     let qs = series();
-    sim.add_tracer(Tick::from_micros(10), queue_tracer(sw, PortId(0), qs.clone()));
+    sim.add_tracer(
+        Tick::from_micros(10),
+        queue_tracer(sw, PortId(0), qs.clone()),
+    );
     sim.run_until(Tick::from_millis(10));
     let q = qs.borrow();
     let peak = q.iter().map(|&(_, v)| v).fold(0.0, f64::max);
@@ -84,7 +87,10 @@ fn hpcc_completes_with_near_zero_steady_queue() {
         true,
     );
     assert_eq!(done, total);
-    assert!(steady < 30_000.0, "HPCC targets η=0.95: steady {steady:.0}B");
+    assert!(
+        steady < 30_000.0,
+        "HPCC targets η=0.95: steady {steady:.0}B"
+    );
 }
 
 #[test]

@@ -82,7 +82,10 @@ fn bench_cc(c: &mut Criterion) {
         };
     }
 
-    bench_algo!("powertcp", || PowerTcp::new(PowerTcpConfig::default(), ctx()));
+    bench_algo!("powertcp", || PowerTcp::new(
+        PowerTcpConfig::default(),
+        ctx()
+    ));
     bench_algo!("theta_powertcp", || ThetaPowerTcp::new(
         PowerTcpConfig::default(),
         ctx()

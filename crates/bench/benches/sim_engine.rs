@@ -3,8 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dcn_sim::{
-    build_star, Endpoint, EndpointCtx, FlowId, NodeId, Packet, Simulator, SwitchConfig,
-    DEFAULT_MTU,
+    build_star, Endpoint, EndpointCtx, FlowId, NodeId, Packet, Simulator, SwitchConfig, DEFAULT_MTU,
 };
 use dcn_transport::{FlowSpec, MetricsHub, TransportConfig, TransportHost};
 use powertcp_core::{Bandwidth, CongestionControl, PowerTcp, PowerTcpConfig, Tick};

@@ -1,199 +1,5 @@
-//! Algorithm registry: one place mapping the paper's protocol names to
-//! constructors, switch requirements (INT / ECN), and transport choices.
+//! Algorithm registry — moved to `dcn-scenarios` (so declarative
+//! scenario specs can name algorithms) and re-exported here unchanged
+//! for the fig* binaries, benches, and downstream users.
 
-use cc_baselines::{
-    Dcqcn, DcqcnConfig, Dctcp, DctcpConfig, Hpcc, HpccConfig, NewReno, NewRenoConfig, ReTcp,
-    ReTcpConfig, Swift, SwiftConfig, Timely, TimelyConfig,
-};
-use dcn_sim::{EcnConfig, PfcConfig, SwitchConfig};
-use dcn_transport::{CcFactory, TransportConfig};
-use powertcp_core::{Bandwidth, CongestionControl, PowerTcp, PowerTcpConfig, ThetaPowerTcp};
-
-/// The protocols under evaluation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Algo {
-    /// PowerTCP with INT (the paper's primary contribution).
-    PowerTcp,
-    /// θ-PowerTCP (delay-based standalone variant).
-    ThetaPowerTcp,
-    /// HPCC (INT baseline).
-    Hpcc,
-    /// DCQCN (ECN baseline).
-    Dcqcn,
-    /// TIMELY (RTT-gradient baseline).
-    Timely,
-    /// Swift (delay baseline; extension beyond the paper's Figure 6 set).
-    Swift,
-    /// DCTCP (ECN baseline; extension).
-    Dctcp,
-    /// TCP NewReno (loss-based anchor; extension).
-    NewReno,
-    /// HOMA receiver-driven transport with an overcommitment level.
-    Homa(usize),
-    /// reTCP (RDCN case study only).
-    ReTcp,
-}
-
-impl Algo {
-    /// The paper's Figure 4/6/7 comparison set.
-    pub fn paper_set() -> Vec<Algo> {
-        vec![
-            Algo::PowerTcp,
-            Algo::ThetaPowerTcp,
-            Algo::Hpcc,
-            Algo::Dcqcn,
-            Algo::Timely,
-            Algo::Homa(1),
-        ]
-    }
-
-    /// Report name (matches the paper's legends).
-    pub fn name(self) -> String {
-        match self {
-            Algo::PowerTcp => "PowerTCP-INT".into(),
-            Algo::ThetaPowerTcp => "PowerTCP-Delay".into(),
-            Algo::Hpcc => "HPCC".into(),
-            Algo::Dcqcn => "DCQCN".into(),
-            Algo::Timely => "TIMELY".into(),
-            Algo::Swift => "Swift".into(),
-            Algo::Dctcp => "DCTCP".into(),
-            Algo::NewReno => "NewReno".into(),
-            Algo::Homa(oc) => format!("HOMA(oc={oc})"),
-            Algo::ReTcp => "reTCP".into(),
-        }
-    }
-
-    /// Whether this algorithm runs on the HOMA transport (everything else
-    /// uses the windowed sender transport).
-    pub fn is_homa(self) -> bool {
-        matches!(self, Algo::Homa(_))
-    }
-
-    /// Does it need switches to append INT?
-    pub fn needs_int(self) -> bool {
-        matches!(self, Algo::PowerTcp | Algo::Hpcc | Algo::ReTcp)
-    }
-
-    /// Does it need ECN marking at switches?
-    pub fn needs_ecn(self) -> bool {
-        matches!(self, Algo::Dcqcn | Algo::Dctcp)
-    }
-
-    /// Apply this algorithm's switch requirements to a base config.
-    /// ECN thresholds follow the DCQCN recommendation scaled to the
-    /// narrowest (host) link bandwidth. The windowed-transport algorithms
-    /// run on a *lossless* fabric (PFC), matching their RDMA deployment
-    /// context in the paper (DCQCN/TIMELY/HPCC/PowerTCP all assume it);
-    /// HOMA runs lossy — the paper explicitly attributes part of HOMA's
-    /// behaviour to limited, DT-shared buffers.
-    pub fn switch_config(self, base: SwitchConfig, host_bw: Bandwidth) -> SwitchConfig {
-        let mut cfg = base;
-        cfg.int_enabled = self.needs_int() || matches!(self, Algo::PowerTcp | Algo::Hpcc);
-        if !self.is_homa() {
-            cfg.pfc = Some(PfcConfig {
-                xoff_bytes: 100_000,
-                xon_bytes: 50_000,
-            });
-        }
-        if self.needs_ecn() {
-            let gbps = host_bw.as_gbps_f64();
-            cfg.ecn = Some(match self {
-                // DCQCN: Kmin/Kmax/Pmax per [HPCC §5 config], scaled by bw.
-                Algo::Dcqcn => EcnConfig {
-                    kmin_bytes: (1_000.0 * gbps) as u64,
-                    kmax_bytes: (4_000.0 * gbps) as u64,
-                    pmax: 0.2,
-                },
-                // DCTCP: step marking at ~1.2 KB per Gbps.
-                _ => EcnConfig::step((1_200.0 * gbps) as u64),
-            });
-        }
-        cfg
-    }
-
-    /// Build the per-flow CC factory for the windowed transport. Panics
-    /// for HOMA (which is a transport, not a CC law).
-    pub fn cc_factory(self, tcfg: TransportConfig) -> CcFactory {
-        assert!(!self.is_homa(), "HOMA runs on its own transport");
-        Box::new(move |_flow, nic_bw| -> Box<dyn CongestionControl> {
-            let ctx = tcfg.cc_context(nic_bw);
-            match self {
-                Algo::PowerTcp => Box::new(PowerTcp::new(PowerTcpConfig::default(), ctx)),
-                Algo::ThetaPowerTcp => {
-                    Box::new(ThetaPowerTcp::new(PowerTcpConfig::default(), ctx))
-                }
-                Algo::Hpcc => Box::new(Hpcc::new(HpccConfig::default(), ctx)),
-                Algo::Dcqcn => Box::new(Dcqcn::new(DcqcnConfig::default(), ctx)),
-                Algo::Timely => Box::new(Timely::new(TimelyConfig::default(), ctx)),
-                Algo::Swift => Box::new(Swift::new(SwiftConfig::default(), ctx)),
-                Algo::Dctcp => Box::new(Dctcp::new(DctcpConfig::default(), ctx)),
-                Algo::NewReno => Box::new(NewReno::new(NewRenoConfig::default(), ctx)),
-                Algo::ReTcp => Box::new(ReTcp::new(ReTcpConfig::default(), ctx)),
-                Algo::Homa(_) => unreachable!(),
-            }
-        })
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use powertcp_core::Tick;
-
-    #[test]
-    fn paper_set_matches_figure6_legend() {
-        let names: Vec<String> = Algo::paper_set().iter().map(|a| a.name()).collect();
-        assert_eq!(
-            names,
-            vec![
-                "PowerTCP-INT",
-                "PowerTCP-Delay",
-                "HPCC",
-                "DCQCN",
-                "TIMELY",
-                "HOMA(oc=1)"
-            ]
-        );
-    }
-
-    #[test]
-    fn switch_requirements() {
-        assert!(Algo::PowerTcp.needs_int());
-        assert!(!Algo::PowerTcp.needs_ecn());
-        assert!(Algo::Dcqcn.needs_ecn());
-        assert!(!Algo::Timely.needs_int());
-        let cfg = Algo::Dcqcn.switch_config(SwitchConfig::default(), Bandwidth::gbps(25));
-        let ecn = cfg.ecn.expect("DCQCN needs ECN");
-        assert_eq!(ecn.kmin_bytes, 25_000);
-        assert_eq!(ecn.kmax_bytes, 100_000);
-    }
-
-    #[test]
-    fn factories_build_for_all_non_homa() {
-        let tcfg = TransportConfig {
-            base_rtt: Tick::from_micros(20),
-            ..TransportConfig::default()
-        };
-        for algo in [
-            Algo::PowerTcp,
-            Algo::ThetaPowerTcp,
-            Algo::Hpcc,
-            Algo::Dcqcn,
-            Algo::Timely,
-            Algo::Swift,
-            Algo::Dctcp,
-            Algo::NewReno,
-            Algo::ReTcp,
-        ] {
-            let mut f = algo.cc_factory(tcfg);
-            let cc = f(dcn_sim::FlowId(1), Bandwidth::gbps(25));
-            assert!(cc.cwnd() > 0.0, "{}", algo.name());
-        }
-    }
-
-    #[test]
-    #[should_panic]
-    fn homa_has_no_cc_factory() {
-        let _ = Algo::Homa(1).cc_factory(TransportConfig::default());
-    }
-}
+pub use dcn_scenarios::algo::Algo;

@@ -16,9 +16,7 @@ use dcn_stats::percentile;
 use dcn_transport::{FlowSpec, MetricsHub, TransportConfig, TransportHost};
 use dcn_workloads::{poisson_flows, HostMap, PoissonConfig, SizeCdf};
 use powertcp_bench::{table, Algo, Scale};
-use powertcp_core::{
-    Bandwidth, CongestionControl, PowerTcp, PowerTcpConfig, ThetaPowerTcp,
-};
+use powertcp_core::{Bandwidth, CongestionControl, PowerTcp, PowerTcpConfig, ThetaPowerTcp};
 
 struct Outcome {
     short_p95: f64,
@@ -29,14 +27,12 @@ struct Outcome {
 }
 
 /// Run websearch @60% on the fat-tree with a parameterized PowerTCP.
-fn run_with(
-    scale: Scale,
-    gamma: f64,
-    expected_flows: u32,
-    dt_alpha: f64,
-    theta: bool,
-) -> Outcome {
-    let algo = if theta { Algo::ThetaPowerTcp } else { Algo::PowerTcp };
+fn run_with(scale: Scale, gamma: f64, expected_flows: u32, dt_alpha: f64, theta: bool) -> Outcome {
+    let algo = if theta {
+        Algo::ThetaPowerTcp
+    } else {
+        Algo::PowerTcp
+    };
     let mut ft_cfg = scale.fat_tree_config(algo);
     ft_cfg.switch.dt_alpha = dt_alpha;
     let base_rtt = ft_cfg.max_base_rtt();
@@ -128,8 +124,7 @@ fn run_with(
 }
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--scale")
-        && std::env::args().any(|a| a == "tiny")
+    let scale = if std::env::args().any(|a| a == "--scale") && std::env::args().any(|a| a == "tiny")
     {
         Scale::tiny()
     } else {
@@ -148,13 +143,13 @@ fn main() {
             format!("{}/{}", o.completed, o.offered),
         ]);
     }
-    table::table(
-        &["γ", "short p95", "short p99", "long p95", "done"],
-        &rows,
-    );
+    table::table(&["γ", "short p95", "short p99", "long p95", "done"], &rows);
     table::paper_note("the paper recommends γ = 0.9; the law is insensitive across a broad range");
 
-    table::header("Ablation B", "β = HostBw·τ/N sweep (equilibrium queue is β̂)");
+    table::header(
+        "Ablation B",
+        "β = HostBw·τ/N sweep (equilibrium queue is β̂)",
+    );
     let mut rows = Vec::new();
     for n in [8u32, 16, 32, 64, 128] {
         let o = run_with(scale, 0.9, n, 1.0, false);

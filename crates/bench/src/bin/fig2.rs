@@ -58,7 +58,10 @@ fn main() {
          voltage-based CC rises linearly ~1→4 over 0→60 pkts",
     );
 
-    table::header("Figure 2c", "three scenarios the classes cannot distinguish");
+    table::header(
+        "Figure 2c",
+        "three scenarios the classes cannot distinguish",
+    );
     let rows: Vec<Vec<String>> = fig2c_cases()
         .iter()
         .map(|c| {

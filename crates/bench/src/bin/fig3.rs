@@ -59,9 +59,9 @@ fn main() {
                 "unique equilibrium but overreaction: trajectories dip below \
                  the BDP line (throughput loss) for almost every initial point",
             ),
-            Law::RttGradient => table::paper_note(
-                "no unique equilibrium: endpoints depend on the initial state",
-            ),
+            Law::RttGradient => {
+                table::paper_note("no unique equilibrium: endpoints depend on the initial state")
+            }
             Law::Power => table::paper_note(
                 "unique equilibrium, accurate control: no trajectory loses \
                  throughput",

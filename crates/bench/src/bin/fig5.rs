@@ -48,11 +48,7 @@ fn main() {
         }
     }
     table::table(
-        &[
-            "protocol",
-            "per-flow mean Gbps (all active)",
-            "Jain index",
-        ],
+        &["protocol", "per-flow mean Gbps (all active)", "Jain index"],
         &rows,
     );
     table::paper_note(

@@ -39,7 +39,10 @@ fn main() {
     for load in [0.2, 0.6] {
         table::header(
             &format!("Figure 6{}", if load == 0.2 { 'a' } else { 'b' }),
-            &format!("tail FCT slowdown vs flow size, websearch @ {:.0}% load", load * 100.0),
+            &format!(
+                "tail FCT slowdown vs flow size, websearch @ {:.0}% load",
+                load * 100.0
+            ),
         );
         let mut rows = Vec::new();
         for algo in Algo::paper_set() {

@@ -4,9 +4,7 @@
 //! Usage: `fig7 [--panel load|rate|size|bufcdf|bufcdf-incast|all]
 //!               [--scale tiny|bench|paper] [--seed N]`
 
-use powertcp_bench::{
-    run_fct_experiment, table, Algo, FctResult, IncastOverlay, Scale,
-};
+use powertcp_bench::{run_fct_experiment, table, Algo, FctResult, IncastOverlay, Scale};
 
 struct Args {
     panel: String,
@@ -79,7 +77,13 @@ fn panel_load(scale: Scale, seed: u64) {
         }
     }
     table::table(
-        &["load", "protocol", "short-flow tail", "long-flow tail", "done/offered"],
+        &[
+            "load",
+            "protocol",
+            "short-flow tail",
+            "long-flow tail",
+            "done/offered",
+        ],
         &rows,
     );
     table::paper_note(
@@ -117,7 +121,12 @@ fn panel_rate(scale: Scale, seed: u64) {
         }
     }
     table::table(
-        &["request rate (paper units)", "protocol", "short tail", "long tail"],
+        &[
+            "request rate (paper units)",
+            "protocol",
+            "short tail",
+            "long tail",
+        ],
         &rows,
     );
     table::paper_note(
@@ -168,7 +177,10 @@ fn panel_size(scale: Scale, seed: u64) {
 
 fn panel_bufcdf(scale: Scale, seed: u64, incast: bool) {
     let (fig, caption) = if incast {
-        ("Figure 7h", "buffer occupancy CDF, websearch @80% + 2MB incasts @16/s")
+        (
+            "Figure 7h",
+            "buffer occupancy CDF, websearch @80% + 2MB incasts @16/s",
+        )
     } else {
         ("Figure 7g", "buffer occupancy CDF, websearch @80% load")
     };
@@ -192,7 +204,12 @@ fn panel_bufcdf(scale: Scale, seed: u64, incast: bool) {
         ]);
     }
     table::table(
-        &["protocol", "p50 buffer (KB)", "p99 buffer (KB)", "max buffer (KB)"],
+        &[
+            "protocol",
+            "p50 buffer (KB)",
+            "p99 buffer (KB)",
+            "max buffer (KB)",
+        ],
         &rows,
     );
     table::paper_note(if incast {

@@ -55,11 +55,19 @@ fn main() {
                 table::f(r.mean_throughput),
                 table::f(tail_latency_us(&r.latency, 99.0)),
             ]);
-            table::series_csv(&format!("{} throughput", r.label), "Gbps", &r.throughput, 50);
+            table::series_csv(
+                &format!("{} throughput", r.label),
+                "Gbps",
+                &r.throughput,
+                50,
+            );
             table::series_csv(
                 &format!("{} VOQ", r.label),
                 "KB",
-                &r.voq.iter().map(|&(t, v)| (t, v / 1000.0)).collect::<Vec<_>>(),
+                &r.voq
+                    .iter()
+                    .map(|&(t, v)| (t, v / 1000.0))
+                    .collect::<Vec<_>>(),
                 50,
             );
         }

@@ -42,12 +42,19 @@ fn main() {
         ("Figure 11", 10usize, 150_000u64),
     ] {
         if panel != "all" {
-            let want = if name == "Figure 10" { "incast255" } else { "incast10" };
+            let want = if name == "Figure 10" {
+                "incast255"
+            } else {
+                "incast10"
+            };
             if panel != want {
                 continue;
             }
         }
-        table::header(name, &format!("HOMA {fan_in}:1 incast at overcommitment 1-6"));
+        table::header(
+            name,
+            &format!("HOMA {fan_in}:1 incast at overcommitment 1-6"),
+        );
         let mut rows = Vec::new();
         for oc in ocs.clone() {
             let r = run_incast_series(Algo::Homa(oc), fan_in, burst, Tick::from_millis(5));

@@ -36,7 +36,9 @@ fn main() {
             vec!["imaginary part".into(), table::f(im), "0".into()],
         ],
     );
-    table::paper_note("both eigenvalues strictly negative → asymptotically stable unique equilibrium");
+    table::paper_note(
+        "both eigenvalues strictly negative → asymptotically stable unique equilibrium",
+    );
 
     table::header("Theorem 2", "exponential convergence, time constant δt/γ");
     let mut rows = Vec::new();
@@ -54,10 +56,17 @@ fn main() {
         ]);
     }
     table::table(
-        &["perturbation", "fitted τ", "theoretical δt/γ", "residual after 5τ"],
+        &[
+            "perturbation",
+            "fitted τ",
+            "theoretical δt/γ",
+            "residual after 5τ",
+        ],
         &rows,
     );
-    table::paper_note("error decays exponentially with constant δt/γ; ≤0.7% remains after five update intervals");
+    table::paper_note(
+        "error decays exponentially with constant δt/γ; ≤0.7% remains after five update intervals",
+    );
 
     table::header("Theorem 3", "β-weighted proportional fairness");
     let betas = vec![1_000.0, 2_000.0, 4_000.0, 8_000.0];
@@ -66,20 +75,11 @@ fn main() {
     let rows: Vec<Vec<String>> = betas
         .iter()
         .zip(sim.iter().zip(&ana))
-        .map(|(b, (s, a))| {
-            vec![
-                table::f(*b),
-                table::f(*s),
-                table::f(*a),
-                table::f(s / b),
-            ]
-        })
+        .map(|(b, (s, a))| vec![table::f(*b), table::f(*s), table::f(*a), table::f(s / b)])
         .collect();
     table::table(
         &["β_i (bytes)", "simulated w_i", "analytic w_i", "w_i / β_i"],
         &rows,
     );
-    table::paper_note(
-        "equilibrium windows are proportional to β_i: (w_i)e = (β̂ + bτ)/β̂ · β_i",
-    );
+    table::paper_note("equilibrium windows are proportional to β_i: (w_i)e = (β̂ + bτ)/β̂ · β_i");
 }

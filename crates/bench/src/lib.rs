@@ -5,6 +5,13 @@
 //! regeneration binaries (`fig2` … `fig9to11`, `theorems`) and the
 //! Criterion benches. See `EXPERIMENTS.md` for the experiment ↔ figure
 //! mapping and recorded results.
+//!
+//! The algorithm registry and the FCT experiment engine live in
+//! `dcn-scenarios` (the declarative spec + sweep subsystem; see
+//! `DESIGN.md`); this crate re-exports them under their original paths
+//! and keeps the time-series and fluid-model experiments the figures
+//! also need. Prefer expressing new experiments as scenario specs run
+//! via `xp run` over adding binaries here.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

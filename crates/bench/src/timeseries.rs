@@ -3,8 +3,8 @@
 
 use crate::algo::Algo;
 use dcn_sim::{
-    build_star, host_throughput_tracer, queue_tracer, series, throughput_tracer, Endpoint,
-    FlowId, NodeId, PortId, Series, Simulator, SwitchConfig,
+    build_star, host_throughput_tracer, queue_tracer, series, throughput_tracer, Endpoint, FlowId,
+    NodeId, PortId, Series, Simulator, SwitchConfig,
 };
 use dcn_transport::{
     FlowSpec, HomaConfig, HomaHost, MetricsHub, SharedMetrics, TransportConfig, TransportHost,
@@ -367,10 +367,8 @@ pub fn run_rdcn_series(
     let circuit_bytes = c.ports[hpt + 1].tx_bytes;
     let uplink_bytes = c.ports[hpt].tx_bytes;
     let day_seconds = schedule.day.as_secs_f64() * weeks as f64;
-    let day_utilization =
-        circuit_bytes as f64 / (circuit_bw.bytes_per_sec() * day_seconds);
-    let mean_throughput =
-        (circuit_bytes + uplink_bytes) as f64 * 8.0 / horizon.as_secs_f64() / 1e9;
+    let day_utilization = circuit_bytes as f64 / (circuit_bw.bytes_per_sec() * day_seconds);
+    let mean_throughput = (circuit_bytes + uplink_bytes) as f64 * 8.0 / horizon.as_secs_f64() / 1e9;
 
     let m = metrics.borrow();
     let label = if prebuffer.is_zero() {

@@ -83,8 +83,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_gamma() {
-        let mut c = PowerTcpConfig::default();
-        c.gamma = 0.0;
+        let mut c = PowerTcpConfig {
+            gamma: 0.0,
+            ..PowerTcpConfig::default()
+        };
         assert!(c.validate().is_err());
         c.gamma = 1.5;
         assert!(c.validate().is_err());
@@ -94,8 +96,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_beta() {
-        let mut c = PowerTcpConfig::default();
-        c.beta_override_bytes = Some(-1.0);
+        let mut c = PowerTcpConfig {
+            beta_override_bytes: Some(-1.0),
+            ..PowerTcpConfig::default()
+        };
         assert!(c.validate().is_err());
         c.beta_override_bytes = Some(f64::NAN);
         assert!(c.validate().is_err());
@@ -103,11 +107,15 @@ mod tests {
 
     #[test]
     fn rejects_bad_clamps() {
-        let mut c = PowerTcpConfig::default();
-        c.min_cwnd_bytes = 0.0;
+        let c = PowerTcpConfig {
+            min_cwnd_bytes: 0.0,
+            ..PowerTcpConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = PowerTcpConfig::default();
-        c.max_cwnd_factor = 0.5;
+        let c = PowerTcpConfig {
+            max_cwnd_factor: 0.5,
+            ..PowerTcpConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

@@ -275,8 +275,8 @@ mod tests {
         est.update(&header(&[hop(t0, 0, 0), hop(t0, 0, 0)]));
         let s = est
             .update(&header(&[
-                hop(t1, 0, tx / 4),      // hop 0: 25% utilization
-                hop(t1, 50_000, tx),     // hop 1: line rate + queue
+                hop(t1, 0, tx / 4),  // hop 0: 25% utilization
+                hop(t1, 50_000, tx), // hop 1: line rate + queue
             ]))
             .unwrap();
         assert_eq!(s.bottleneck_hop, 1);
@@ -323,11 +323,7 @@ mod tests {
         let q0 = 50_000.0 - 0.25 * b * dts; // so that q(t1) = 50KB
         est.update(&header(&[hop(t0, q0.round() as u64, 0)]));
         let s = est
-            .update(&header(&[hop(
-                t0 + dt,
-                50_000,
-                (b * dts).round() as u64,
-            )]))
+            .update(&header(&[hop(t0 + dt, 50_000, (b * dts).round() as u64)]))
             .unwrap();
         assert!(
             (s.raw - direct).abs() / direct < 1e-3,

@@ -96,8 +96,8 @@ impl ThetaPowerTcp {
         let dt = dt_tick.as_secs_f64();
         // θ̇ = (RTT − prevRTT) / dt — dimensionless gradient.
         let theta_dot = (rtt.as_secs_f64() - prev_rtt.as_secs_f64()) / dt;
-        let raw = ((theta_dot + 1.0) * rtt.as_secs_f64() / tau)
-            .clamp(MIN_NORM_POWER, MAX_NORM_POWER);
+        let raw =
+            ((theta_dot + 1.0) * rtt.as_secs_f64() / tau).clamp(MIN_NORM_POWER, MAX_NORM_POWER);
         let dt_s = dt.min(tau);
         self.smoothed_power = (self.smoothed_power * (tau - dt_s) + raw * dt_s) / tau;
         Some(self.smoothed_power)
@@ -218,7 +218,11 @@ mod tests {
         let now0 = Tick::from_micros(100);
         p.on_ack(&ack(now0, 1000, Tick::from_micros(40)));
         // Second ack triggers an update and sets the gate to snd_nxt.
-        p.on_ack(&ack(now0 + Tick::from_micros(2), 2000, Tick::from_micros(40)));
+        p.on_ack(&ack(
+            now0 + Tick::from_micros(2),
+            2000,
+            Tick::from_micros(40),
+        ));
         let w_after_update = p.cwnd();
         // Acks below the gate (seq < snd_nxt of the update) must not move
         // the window again within the same RTT.

@@ -99,7 +99,7 @@ pub fn encode(int: &IntHeader, max_hops: usize, out: &mut [u8]) -> Result<usize,
     out[2] = n as u8;
     out[3] = 0; // flags (reserved)
     for (i, hop) in hops[skip..].iter().enumerate() {
-        let qlen_q = (hop.qlen_bytes >> QLEN_SHIFT).min((1 << QLEN_BITS) - 1) as u64;
+        let qlen_q = (hop.qlen_bytes >> QLEN_SHIFT).min((1 << QLEN_BITS) - 1);
         let ts_ns = hop.ts.as_ps() / 1_000;
         let ts_q = ts_ns & ((1 << TS_BITS) - 1);
         let tx_q = (hop.tx_bytes >> TX_SHIFT) & ((1 << TX_BITS) - 1);
@@ -166,10 +166,7 @@ pub fn decode(buf: &[u8]) -> Result<Vec<WireHop>, WireError> {
 /// reference: the receiver tracks, per hop, the last unwrapped timestamp
 /// and tx counter (exactly what `prevInt` already stores) and extends the
 /// wrapped fields monotonically.
-pub fn unwrap_hops(
-    wire: &[WireHop],
-    prev: Option<&IntHeader>,
-) -> IntHeader {
+pub fn unwrap_hops(wire: &[WireHop], prev: Option<&IntHeader>) -> IntHeader {
     let mut out = IntHeader::new();
     for (i, w) in wire.iter().enumerate() {
         let (prev_ts_ps, prev_tx) = prev
@@ -239,10 +236,7 @@ mod tests {
 
     #[test]
     fn roundtrip_within_quantization() {
-        let h = header(&[
-            hop(123_456, 100, 9_999_999, 100),
-            hop(0, 101, 5_000, 25),
-        ]);
+        let h = header(&[hop(123_456, 100, 9_999_999, 100), hop(0, 101, 5_000, 25)]);
         let mut buf = [0u8; 64];
         let n = encode(&h, MAX_INT_HOPS, &mut buf).unwrap();
         assert_eq!(n, BASE_BYTES + 2 * HOP_BYTES);
@@ -282,10 +276,7 @@ mod tests {
         assert_eq!(decode(&[]), Err(WireError::Truncated));
         assert_eq!(decode(&[35, 4, 0, 0]), Err(WireError::WrongKind));
         assert_eq!(decode(&[36, 5, 0, 0, 0]), Err(WireError::BadLength));
-        assert_eq!(
-            decode(&[36, 12, 200, 0]),
-            Err(WireError::TooManyHops)
-        );
+        assert_eq!(decode(&[36, 12, 200, 0]), Err(WireError::TooManyHops));
         // Advertised longer than buffer.
         assert_eq!(decode(&[36, 12, 1, 0]), Err(WireError::BadLength));
     }
@@ -298,10 +289,16 @@ mod tests {
         let t2 = Tick::from_nanos(16_900_000); // past it
         let h1 = header(&[hop(0, 0, 16_000_000, 100)]);
         let mut h1m = IntHeader::new();
-        h1m.push(IntHopMetadata { ts: t1, ..h1.hops()[0] });
+        h1m.push(IntHopMetadata {
+            ts: t1,
+            ..h1.hops()[0]
+        });
         let h2 = header(&[hop(0, 0, 17_000_000, 100)]);
         let mut h2m = IntHeader::new();
-        h2m.push(IntHopMetadata { ts: t2, ..h2.hops()[0] });
+        h2m.push(IntHopMetadata {
+            ts: t2,
+            ..h2.hops()[0]
+        });
 
         let mut buf = [0u8; 16];
         let n1 = encode(&h1m, 8, &mut buf).unwrap();
@@ -312,7 +309,10 @@ mod tests {
         let w2 = decode(&buf[..n2]).unwrap();
         let u2 = unwrap_hops(&w2, Some(&u1));
 
-        assert!(u2.hops()[0].ts > u1.hops()[0].ts, "time must unwrap forward");
+        assert!(
+            u2.hops()[0].ts > u1.hops()[0].ts,
+            "time must unwrap forward"
+        );
         let dt = u2.hops()[0].ts - u1.hops()[0].ts;
         assert!(
             (dt.as_ps() as i64 - 200_000_000).abs() < 2_000_000,

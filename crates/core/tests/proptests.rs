@@ -2,8 +2,8 @@
 
 use powertcp_core::{
     norm_power_closed_form, AckInfo, Bandwidth, CcContext, CongestionControl, IntHeader,
-    IntHopMetadata, PowerEstimator, PowerTcp, PowerTcpConfig, ThetaPowerTcp, Tick,
-    MAX_NORM_POWER, MIN_NORM_POWER,
+    IntHopMetadata, PowerEstimator, PowerTcp, PowerTcpConfig, ThetaPowerTcp, Tick, MAX_NORM_POWER,
+    MIN_NORM_POWER,
 };
 use proptest::prelude::*;
 

@@ -24,11 +24,7 @@ pub struct ConvergenceFit {
 /// Perturb the window to `w_init` (with the queue consistent at whatever
 /// `q_init` is given), integrate the power law, and fit the window-error
 /// decay `log|w − w_e|` by least squares.
-pub fn measure_power_convergence(
-    p: &FluidParams,
-    w_init: f64,
-    q_init: f64,
-) -> ConvergenceFit {
+pub fn measure_power_convergence(p: &FluidParams, w_init: f64, q_init: f64) -> ConvergenceFit {
     let eq = analytic_equilibrium(p);
     let theo = 1.0 / p.gamma_r;
     let dt = theo / 200.0;
@@ -102,7 +98,12 @@ mod tests {
         let small = measure_power_convergence(&p, p.bdp() * 0.9, 0.0);
         let large = measure_power_convergence(&p, p.bdp() * 4.0, 400_000.0);
         let rel = (small.fitted_tau_s - large.fitted_tau_s).abs() / small.fitted_tau_s;
-        assert!(rel < 0.05, "{} vs {}", small.fitted_tau_s, large.fitted_tau_s);
+        assert!(
+            rel < 0.05,
+            "{} vs {}",
+            small.fitted_tau_s,
+            large.fitted_tau_s
+        );
     }
 
     #[test]

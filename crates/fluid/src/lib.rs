@@ -21,8 +21,6 @@ pub use convergence::{measure_power_convergence, ConvergenceFit};
 pub use fairness::{analytic_windows, equilibrium_windows};
 pub use laws::{analytic_equilibrium, inflight, q_dot, w_dot, FluidParams, Law, State};
 pub use ode::{rk4_step, settle, trajectory};
-pub use phase::{
-    default_grid, endpoint_spread, phase_portrait, phase_trajectory, PhaseTrajectory,
-};
+pub use phase::{default_grid, endpoint_spread, phase_portrait, phase_trajectory, PhaseTrajectory};
 pub use response::{current_md, fig2c_cases, power_md, voltage_md, Fig2Case};
 pub use stability::{eigenvalues_2x2, is_asymptotically_stable, powertcp_jacobian};

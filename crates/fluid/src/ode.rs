@@ -86,7 +86,10 @@ mod tests {
         let params = p();
         let eq = analytic_equilibrium(&params);
         for s0 in [
-            State { w: 10_000.0, q: 0.0 },
+            State {
+                w: 10_000.0,
+                q: 0.0,
+            },
             State {
                 w: 900_000.0,
                 q: 600_000.0,

@@ -31,10 +31,7 @@ pub fn eigenvalues_2x2(a: f64, b: f64, c: f64, d: f64) -> ((f64, f64), f64) {
 
 /// The paper's linearized system matrix (Eq. 16/17).
 pub fn powertcp_jacobian(p: &FluidParams) -> [[f64; 2]; 2] {
-    [
-        [-1.0 / p.base_rtt, 1.0 / p.base_rtt],
-        [0.0, -p.gamma_r],
-    ]
+    [[-1.0 / p.base_rtt, 1.0 / p.base_rtt], [0.0, -p.gamma_r]]
 }
 
 /// True if all eigenvalue real parts are strictly negative (asymptotic

@@ -55,11 +55,15 @@ impl CircuitAwareHost {
     }
 
     fn next_transition(&self, now: Tick) -> Tick {
-        if self.schedule.circuit_up(self.my_rack, self.target_rack, now) {
+        if self
+            .schedule
+            .circuit_up(self.my_rack, self.target_rack, now)
+        {
             // Currently up: next transition is this day's end.
             self.schedule.at(now).phase_end
         } else {
-            self.schedule.next_day_start(self.my_rack, self.target_rack, now)
+            self.schedule
+                .next_day_start(self.my_rack, self.target_rack, now)
         }
     }
 
@@ -118,7 +122,10 @@ mod tests {
         );
         let h = CircuitAwareHost::new(inner, s, 0, 1, Bandwidth::gbps(100));
         // During the day, next transition = day end.
-        assert_eq!(h.next_transition(Tick::from_micros(10)), Tick::from_micros(225));
+        assert_eq!(
+            h.next_transition(Tick::from_micros(10)),
+            Tick::from_micros(225)
+        );
         // During the rest of the week, next transition = next week's day 0.
         let later = Tick::from_micros(300);
         let next = h.next_transition(later);

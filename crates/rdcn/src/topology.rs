@@ -5,9 +5,7 @@
 use crate::circuit::CircuitSwitch;
 use crate::schedule::RotorSchedule;
 use crate::voq_tor::{LatencySink, VoqGauge, VoqTor, VoqTorConfig};
-use dcn_sim::{
-    AppFactory, Network, NetworkBuilder, Node, NodeId, PortId, SwitchConfig,
-};
+use dcn_sim::{AppFactory, Network, NetworkBuilder, Node, NodeId, PortId, SwitchConfig};
 use powertcp_core::{Bandwidth, Tick};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -176,22 +174,22 @@ pub fn build_rdcn(cfg: RdcnConfig, apps: &mut AppFactory<'_>) -> Rdcn {
     // Uplinks and circuit links (after each rack's host ports, in rack
     // order so circuit-switch port r faces ToR r).
     let mut uplink_switch_ports = Vec::new();
-    for r in 0..n_tors {
+    for (r, &tor) in tors.iter().enumerate() {
         let (_pc, ps) =
-            b.connect_custom_to_switch(tors[r], packet_switch, cfg.packet_bw, cfg.packet_delay);
+            b.connect_custom_to_switch(tor, packet_switch, cfg.packet_bw, cfg.packet_delay);
         uplink_switch_ports.push(ps);
-        let (pt, pc) = b.connect_customs(tors[r], circuit_switch, cfg.circuit_bw, cfg.circuit_delay);
+        let (pt, pc) = b.connect_customs(tor, circuit_switch, cfg.circuit_bw, cfg.circuit_delay);
         assert_eq!(pt, PortId((h + 1) as u16), "ToR circuit port layout");
         assert_eq!(pc, PortId(r as u16), "circuit switch port r faces ToR r");
     }
 
     let mut net = b.build();
     // Packet-switch routes: every host via its rack's uplink port.
-    for r in 0..n_tors {
+    for (r, &uplink) in uplink_switch_ports.iter().enumerate() {
         for j in 0..h {
             let hid = NodeId(host_id(r, j) as u32);
             if let Node::Switch(s) = net.node_mut(packet_switch) {
-                s.set_route(hid, vec![uplink_switch_ports[r]]);
+                s.set_route(hid, vec![uplink]);
             }
         }
     }
@@ -215,9 +213,8 @@ mod tests {
 
     #[test]
     fn shapes_and_id_plan() {
-        let mut mk = |_id: NodeId, _idx: usize| -> Box<dyn dcn_sim::Endpoint> {
-            Box::new(NullEndpoint)
-        };
+        let mut mk =
+            |_id: NodeId, _idx: usize| -> Box<dyn dcn_sim::Endpoint> { Box::new(NullEndpoint) };
         let r = build_rdcn(RdcnConfig::small(), &mut mk);
         assert_eq!(r.tors.len(), 4);
         assert_eq!(r.hosts.len(), 8);
@@ -231,9 +228,8 @@ mod tests {
 
     #[test]
     fn paper_scale_builds() {
-        let mut mk = |_id: NodeId, _idx: usize| -> Box<dyn dcn_sim::Endpoint> {
-            Box::new(NullEndpoint)
-        };
+        let mut mk =
+            |_id: NodeId, _idx: usize| -> Box<dyn dcn_sim::Endpoint> { Box::new(NullEndpoint) };
         let r = build_rdcn(RdcnConfig::default(), &mut mk);
         assert_eq!(r.tors.len(), 25);
         assert_eq!(r.hosts.len(), 250);

@@ -134,10 +134,7 @@ impl VoqTor {
         if self.cfg.prebuffer.is_zero() {
             return false;
         }
-        let next = self
-            .cfg
-            .schedule
-            .next_day_start(self.cfg.tor_index, d, now);
+        let next = self.cfg.schedule.next_day_start(self.cfg.tor_index, d, now);
         next.saturating_sub(now) <= self.cfg.prebuffer
     }
 
@@ -433,7 +430,12 @@ mod tests {
             false,
             Tick::ZERO,
         ));
-        let remote_ack = Box::new(Packet::ack_for(&data_rev, 1000, false, Tick::from_micros(1)));
+        let remote_ack = Box::new(Packet::ack_for(
+            &data_rev,
+            1000,
+            false,
+            Tick::from_micros(1),
+        ));
         drop(ack);
         // t=230us: night, and prebuffer=1000us would hold ALL data.
         let mut ctx = CustomCtx::new(Tick::from_micros(230), NodeId(0), &v, &mut actions);

@@ -9,11 +9,7 @@ use rdcn::{build_rdcn, CircuitAwareHost, Rdcn, RdcnConfig};
 
 /// Build a small RDCN where every host of rack 0 sends a long flow to its
 /// counterpart in rack 1.
-fn rack_pair_setup(
-    cfg: RdcnConfig,
-    flow_bytes: u64,
-    use_retcp: bool,
-) -> (Rdcn, SharedMetrics) {
+fn rack_pair_setup(cfg: RdcnConfig, flow_bytes: u64, use_retcp: bool) -> (Rdcn, SharedMetrics) {
     let metrics = MetricsHub::new_shared();
     let schedule = cfg.schedule;
     let h = cfg.hosts_per_tor;

@@ -1,0 +1,196 @@
+//! `xp` — the experiment CLI of the PowerTCP reproduction.
+//!
+//! ```text
+//! xp list                         # built-in scenarios
+//! xp show <name>                  # print a built-in spec as TOML
+//! xp run <spec.toml | name>       # execute a sweep
+//!        [--threads N]            # worker threads (default: all cores)
+//!        [--json FILE | -]        # write JSON results (- = stdout)
+//!        [--csv FILE | -]         # write CSV aggregates (- = stdout)
+//!        [--seeds a,b,c]          # override the spec's seed grid
+//! ```
+//!
+//! Results are deterministic: the same spec produces byte-identical JSON
+//! at any `--threads` value.
+
+use dcn_scenarios::{builtin, builtin_specs, run_sweep, ScenarioSpec};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  xp list\n  xp show <name>\n  xp run <spec.toml | name> \
+         [--threads N] [--json FILE|-] [--csv FILE|-] [--seeds a,b,c]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => list(),
+        Some("show") => match args.get(1) {
+            Some(name) => show(name),
+            None => usage(),
+        },
+        Some("run") => run(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn list() -> ExitCode {
+    println!("built-in scenarios (run with `xp run <name>`):\n");
+    for spec in builtin_specs() {
+        println!(
+            "  {:<16} {:>3} points  {}",
+            spec.name,
+            spec.num_points(),
+            spec.description
+        );
+    }
+    println!("\ncustom scenarios: `xp show <name> > my.toml`, edit, `xp run my.toml`");
+    ExitCode::SUCCESS
+}
+
+fn show(name: &str) -> ExitCode {
+    match builtin(name) {
+        Some(spec) => {
+            print!("{}", spec.to_toml());
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("unknown scenario {name:?}; `xp list` shows the library");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct RunArgs {
+    target: String,
+    threads: usize,
+    json: Option<String>,
+    csv: Option<String>,
+    seeds: Option<Vec<u64>>,
+}
+
+fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
+    let mut target = None;
+    let mut threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut json = None;
+    let mut csv = None;
+    let mut seeds = None;
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{} needs a value", args[*i - 1]))
+        };
+        match args[i].as_str() {
+            "--threads" => {
+                threads = take(&mut i)?
+                    .parse()
+                    .map_err(|_| "--threads expects a positive integer".to_string())?;
+                if threads == 0 {
+                    return Err("--threads expects a positive integer".into());
+                }
+            }
+            "--json" => json = Some(take(&mut i)?),
+            "--csv" => csv = Some(take(&mut i)?),
+            "--seeds" => {
+                let list = take(&mut i)?;
+                let parsed: Result<Vec<u64>, _> =
+                    list.split(',').map(|s| s.trim().parse::<u64>()).collect();
+                seeds = Some(parsed.map_err(|_| {
+                    "--seeds expects a comma-separated list of non-negative integers".to_string()
+                })?);
+            }
+            other if target.is_none() && !other.starts_with("--") => {
+                target = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    Ok(RunArgs {
+        target: target.ok_or("missing spec file or scenario name")?,
+        threads,
+        json,
+        csv,
+        seeds,
+    })
+}
+
+fn load_spec(target: &str) -> Result<ScenarioSpec, String> {
+    if std::path::Path::new(target).exists() {
+        let src =
+            std::fs::read_to_string(target).map_err(|e| format!("cannot read {target}: {e}"))?;
+        ScenarioSpec::from_toml(&src).map_err(|e| format!("{target}: {e}"))
+    } else {
+        builtin(target).ok_or_else(|| {
+            format!("{target:?} is neither a file nor a built-in scenario (`xp list`)")
+        })
+    }
+}
+
+fn emit(kind: &str, dest: &str, content: &str) -> Result<(), String> {
+    if dest == "-" {
+        print!("{content}");
+        Ok(())
+    } else {
+        std::fs::write(dest, content).map_err(|e| format!("cannot write {kind} {dest}: {e}"))?;
+        eprintln!("wrote {kind} to {dest}");
+        Ok(())
+    }
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let parsed = match parse_run_args(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let mut spec = match load_spec(&parsed.target) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(seeds) = parsed.seeds {
+        spec = spec.seeds(seeds);
+    }
+    eprintln!(
+        "running scenario {:?}: {} points on {} thread(s)...",
+        spec.name,
+        spec.num_points(),
+        parsed.threads
+    );
+    let t0 = std::time::Instant::now();
+    let result = match run_sweep(&spec, parsed.threads) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("done in {:.2?}", t0.elapsed());
+
+    println!("{}", result.table());
+    for (kind, dest, content) in [
+        ("JSON", &parsed.json, result.to_json()),
+        ("CSV", &parsed.csv, result.to_csv()),
+    ] {
+        if let Some(dest) = dest {
+            if let Err(e) = emit(kind, dest, &content) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

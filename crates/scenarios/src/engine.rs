@@ -1,0 +1,678 @@
+//! The experiment engine: build a topology, offer a workload, run one
+//! deterministic simulation, reduce to FCT slowdowns and buffer
+//! occupancy.
+//!
+//! This generalizes the original fat-tree-only FCT runner of
+//! `powertcp-bench` (which now delegates here) to every
+//! [`TopologySpec`]: the same workload generators and the same reduction
+//! run against a fat-tree, a star, or a dumbbell, so a scenario spec can
+//! swap fabrics without touching experiment code. One call to
+//! [`run_point`] is one sweep point: it owns its `Simulator` and is a
+//! pure function of `(spec, algo, load, seed)` — the property the
+//! parallel sweep executor ([`crate::sweep`]) relies on.
+
+use crate::algo::Algo;
+use crate::spec::{
+    gbps, IncastSpec, PoissonSpec, ScenarioSpec, SizeSpec, TopologySpec, WorkloadSpec,
+};
+use dcn_sim::{
+    buffer_tracer, build_dumbbell, build_fat_tree, build_star, series, star_base_rtt,
+    DumbbellConfig, Endpoint, FatTreeConfig, Network, NodeId, Simulator, SwitchConfig,
+};
+use dcn_stats::{slowdown, Cdf, Summary};
+use dcn_transport::{
+    FlowSpec, HomaConfig, HomaHost, MetricsHub, SharedMetrics, TransportConfig, TransportHost,
+};
+use dcn_workloads::{incast_flows, poisson_flows, HostMap, IncastConfig, PoissonConfig, SizeCdf};
+use powertcp_core::{Bandwidth, Tick};
+use std::collections::BTreeMap;
+
+/// The Figure 6 x-axis buckets (bytes).
+pub const SIZE_BUCKETS: [u64; 8] = [
+    5_000, 20_000, 50_000, 100_000, 400_000, 800_000, 5_000_000, 30_000_000,
+];
+
+/// Raw outcome of one sweep point (one simulation). Slowdown vectors are
+/// kept unsummarized so seeds can be merged before percentiles are taken.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PointOutcome {
+    /// Algorithm that ran.
+    pub algo: Algo,
+    /// Swept load (0 for incast-only workloads).
+    pub load: f64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Per-size-bucket slowdowns (`SIZE_BUCKETS` boundaries).
+    pub buckets: Vec<Vec<f64>>,
+    /// Short-flow (<10KB) slowdowns.
+    pub short: Vec<f64>,
+    /// Medium-flow (100KB–1MB) slowdowns.
+    pub medium: Vec<f64>,
+    /// Long-flow (≥1MB) slowdowns.
+    pub long: Vec<f64>,
+    /// All flow slowdowns.
+    pub all: Vec<f64>,
+    /// Edge-switch shared-buffer occupancy samples (bytes).
+    pub buffer: Vec<f64>,
+    /// Flows completed before the run ended.
+    pub completed: usize,
+    /// Flows offered.
+    pub offered: usize,
+    /// Packet drops across all switches.
+    pub drops: u64,
+}
+
+/// Everything the workload generators need to know about a topology
+/// before it is built: the (deterministic) host node-id plan, rack
+/// layout, base RTT, and the capacity that `load` is a fraction of.
+struct Plan {
+    map: HostMap,
+    base_rtt: Tick,
+    host_bw: Bandwidth,
+    capacity: Bandwidth,
+}
+
+/// The `FatTreeConfig` a fat-tree topology spec denotes (default 4-pod
+/// layout; switch features per `algo` when given).
+pub(crate) fn fat_tree_config(topo: &TopologySpec, algo: Option<Algo>) -> FatTreeConfig {
+    let TopologySpec::FatTree {
+        hosts_per_tor,
+        host_gbps,
+        fabric_gbps,
+    } = *topo
+    else {
+        panic!("fat_tree_config on a non-fat-tree topology");
+    };
+    let host_bw = gbps(host_gbps);
+    let mut cfg = FatTreeConfig {
+        hosts_per_tor,
+        host_bw,
+        fabric_bw: gbps(fabric_gbps),
+        ..FatTreeConfig::default()
+    };
+    if let Some(algo) = algo {
+        cfg.switch = algo.switch_config(SwitchConfig::default(), host_bw);
+    }
+    cfg
+}
+
+/// Propagation delay of host links in the star and dumbbell fixtures
+/// (matches the `timeseries` experiments of `powertcp-bench`).
+const EDGE_HOST_DELAY: Tick = Tick::from_micros(1);
+
+/// The `DumbbellConfig` a dumbbell topology spec denotes.
+fn dumbbell_config(topo: &TopologySpec, algo: Algo) -> DumbbellConfig {
+    let TopologySpec::Dumbbell {
+        pairs,
+        host_gbps,
+        bottleneck_gbps,
+    } = *topo
+    else {
+        panic!("dumbbell_config on a non-dumbbell topology");
+    };
+    let host_bw = gbps(host_gbps);
+    DumbbellConfig {
+        pairs,
+        host_bw,
+        bottleneck_bw: gbps(bottleneck_gbps),
+        host_delay: EDGE_HOST_DELAY,
+        bottleneck_delay: Tick::from_micros(2),
+        switch: algo.switch_config(SwitchConfig::default(), host_bw),
+    }
+}
+
+fn plan(topo: &TopologySpec, algo: Algo) -> Plan {
+    match *topo {
+        TopologySpec::FatTree { hosts_per_tor, .. } => {
+            let cfg = fat_tree_config(topo, Some(algo));
+            let tors = cfg.pods * cfg.tors_per_pod;
+            Plan {
+                map: HostMap {
+                    hosts: (0..cfg.num_hosts()).map(|i| cfg.host_node_id(i)).collect(),
+                    rack_of: (0..cfg.num_hosts()).map(|i| i / hosts_per_tor).collect(),
+                },
+                base_rtt: cfg.max_base_rtt(),
+                host_bw: cfg.host_bw,
+                // Aggregate ToR-uplink capacity (the paper's load
+                // denominator).
+                capacity: Bandwidth::from_bps(
+                    cfg.fabric_bw.bps() * (tors * cfg.aggs_per_pod) as u64,
+                ),
+            }
+        }
+        TopologySpec::Star { hosts, host_gbps } => {
+            let host_bw = gbps(host_gbps);
+            // Node plan of `build_star`: switch = 0, host i = 1 + i. Every
+            // host is its own "rack" (a star has no rack sharing), so
+            // inter-rack-only Poisson means src != dst and incast
+            // responders are simply other hosts.
+            Plan {
+                map: HostMap {
+                    hosts: (0..hosts).map(|i| NodeId(1 + i as u32)).collect(),
+                    rack_of: (0..hosts).collect(),
+                },
+                base_rtt: star_base_rtt(host_bw, EDGE_HOST_DELAY),
+                host_bw,
+                // Load denominator: half the aggregate NIC capacity, so
+                // `load` approximates per-NIC utilization (each flow
+                // consumes a source NIC and a destination NIC).
+                capacity: Bandwidth::from_bps(host_bw.bps() * hosts as u64 / 2),
+            }
+        }
+        TopologySpec::Dumbbell { pairs, .. } => {
+            let cfg = dumbbell_config(topo, algo);
+            // Node plan of `build_dumbbell`: switches 0 and 1, senders
+            // 2..2+pairs (rack 0), receivers 2+pairs.. (rack 1).
+            Plan {
+                map: HostMap {
+                    hosts: (0..2 * pairs).map(|i| NodeId(2 + i as u32)).collect(),
+                    rack_of: (0..2 * pairs).map(|i| i / pairs).collect(),
+                },
+                base_rtt: cfg.base_rtt(),
+                host_bw: cfg.host_bw,
+                // `load` is bottleneck utilization.
+                capacity: cfg.bottleneck_bw,
+            }
+        }
+    }
+}
+
+/// Run one sweep point of a scenario spec. Deterministic: identical
+/// arguments replay bit-for-bit, on any thread.
+pub fn run_point(spec: &ScenarioSpec, algo: Algo, load: f64, seed: u64) -> PointOutcome {
+    run_experiment(
+        &spec.topology,
+        &spec.workload,
+        spec.horizon(),
+        spec.drain(),
+        algo,
+        load,
+        seed,
+    )
+}
+
+/// The engine behind [`run_point`] (and the legacy
+/// [`run_fct_experiment`], which predates `ScenarioSpec`).
+pub(crate) fn run_experiment(
+    topo: &TopologySpec,
+    workload: &WorkloadSpec,
+    horizon: Tick,
+    drain: Tick,
+    algo: Algo,
+    load: f64,
+    seed: u64,
+) -> PointOutcome {
+    let plan = plan(topo, algo);
+    let base_rtt = plan.base_rtt;
+    let host_bw = plan.host_bw;
+
+    // ---- Workload (flow specs reference the planned host node ids).
+    let mut flows: Vec<FlowSpec> = Vec::new();
+    if let Some(PoissonSpec { sizes }) = workload.poisson {
+        let sizes = match sizes {
+            SizeSpec::Websearch => SizeCdf::websearch(),
+            SizeSpec::Fixed(bytes) => SizeCdf::fixed(bytes),
+        };
+        flows = poisson_flows(
+            &PoissonConfig {
+                load,
+                fabric_uplink_capacity: plan.capacity,
+                sizes,
+                horizon,
+                inter_rack_only: true,
+                seed,
+                first_flow_id: 1,
+            },
+            &plan.map,
+        );
+        if let TopologySpec::Dumbbell { pairs, .. } = *topo {
+            // Orient all background traffic left -> right (mirroring each
+            // endpoint to its same-index counterpart on the other side),
+            // so `load` loads the instrumented bottleneck direction.
+            for f in &mut flows {
+                let src_idx = f.src.0 as usize - 2;
+                let dst_idx = f.dst.0 as usize - 2;
+                if src_idx >= pairs {
+                    f.src = plan.map.hosts[src_idx - pairs];
+                    f.dst = plan.map.hosts[dst_idx + pairs];
+                }
+            }
+        }
+    }
+    if let Some(ic) = workload.incast {
+        let first = flows.iter().map(|f| f.id.0).max().unwrap_or(0) + 1;
+        flows.extend(incast_flows(
+            &IncastConfig {
+                request_rate_per_sec: ic.rate_per_sec,
+                request_size_bytes: ic.request_bytes,
+                fan_in: ic.fan_in,
+                horizon,
+                seed: seed ^ 0x1234_5678,
+                first_flow_id: first,
+                periodic: ic.periodic,
+            },
+            &plan.map,
+        ));
+    }
+    let offered = flows.len();
+
+    // ---- Group flows by source host index.
+    let index_of: BTreeMap<NodeId, usize> = plan
+        .map
+        .hosts
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| (n, i))
+        .collect();
+    let mut per_host: Vec<Vec<FlowSpec>> = vec![Vec::new(); plan.map.hosts.len()];
+    for f in &flows {
+        per_host[index_of[&f.src]].push(*f);
+    }
+
+    // ---- Endpoints.
+    let metrics: SharedMetrics = MetricsHub::new_shared();
+    let tcfg = TransportConfig {
+        base_rtt,
+        rto: base_rtt * 10,
+        nack_guard: base_rtt,
+        // N in the paper's β = HostBw·τ/N. A larger N keeps the aggregate
+        // additive increase (and hence PowerTCP's equilibrium queue β̂)
+        // small under heavy flow multiplexing, matching the paper's
+        // near-zero buffer occupancy.
+        expected_flows: 64,
+        mtu: 1000,
+    };
+    let m2 = metrics.clone();
+    let mut mk = move |_id: NodeId, idx: usize| -> Box<dyn Endpoint> {
+        if let Algo::Homa(oc) = algo {
+            let mut hcfg = HomaConfig::paper_defaults(host_bw, base_rtt);
+            hcfg.overcommit = oc;
+            let mut h = HomaHost::new(hcfg, m2.clone());
+            for f in &per_host[idx] {
+                h.add_flow(*f);
+            }
+            Box::new(h)
+        } else {
+            let mut h = TransportHost::new(tcfg, m2.clone(), algo.cc_factory(tcfg));
+            for f in &per_host[idx] {
+                h.add_flow(*f);
+            }
+            Box::new(h)
+        }
+    };
+
+    // ---- Build the fabric. `traced` switches get buffer-occupancy
+    // sampling (the edge switches whose shared buffer the paper reports);
+    // `all_switches` are polled for drops.
+    let (net, traced, all_switches): (Network, Vec<NodeId>, Vec<NodeId>) = match *topo {
+        TopologySpec::FatTree { .. } => {
+            let ft = build_fat_tree(fat_tree_config(topo, Some(algo)), &mut mk);
+            let all: Vec<NodeId> = ft
+                .tors
+                .iter()
+                .chain(ft.aggs.iter())
+                .chain(ft.cores.iter())
+                .copied()
+                .collect();
+            (ft.net, ft.tors, all)
+        }
+        TopologySpec::Star { hosts, .. } => {
+            let star = build_star(
+                hosts,
+                host_bw,
+                EDGE_HOST_DELAY,
+                algo.switch_config(SwitchConfig::default(), host_bw),
+                &mut mk,
+            );
+            (star.net, vec![star.switch], vec![star.switch])
+        }
+        TopologySpec::Dumbbell { .. } => {
+            let db = build_dumbbell(dumbbell_config(topo, algo), &mut mk);
+            (db.net, vec![db.left, db.right], vec![db.left, db.right])
+        }
+    };
+
+    // ---- Run, sampling buffer occupancy on the traced switches.
+    let mut sim = Simulator::new(net);
+    let buf_series = series();
+    for &sw in &traced {
+        sim.add_tracer(
+            Tick::from_micros(100),
+            buffer_tracer(sw, buf_series.clone()),
+        );
+    }
+    let run_end = horizon + drain;
+    sim.run_until(run_end);
+
+    // ---- Reduce. Flows still unfinished at the end of the run are
+    // *censored* at the run end rather than dropped — excluding them
+    // would silently reward protocols that stall flows (survivorship
+    // bias).
+    let m = metrics.borrow();
+    let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); SIZE_BUCKETS.len()];
+    let (mut short, mut medium, mut long) = (Vec::new(), Vec::new(), Vec::new());
+    let mut all = Vec::new();
+    let mut completed = 0;
+    for rec in m.records() {
+        let fct = match rec.fct() {
+            Some(f) => {
+                completed += 1;
+                f
+            }
+            None => run_end.saturating_sub(rec.spec.start),
+        };
+        let s = slowdown(fct, rec.spec.size_bytes, base_rtt, host_bw);
+        let size = rec.spec.size_bytes;
+        if let Some(b) = SIZE_BUCKETS.iter().position(|&ub| size <= ub) {
+            buckets[b].push(s);
+        }
+        match dcn_workloads::size_class(size) {
+            dcn_workloads::SizeClass::Short => short.push(s),
+            dcn_workloads::SizeClass::Medium => medium.push(s),
+            dcn_workloads::SizeClass::Long => long.push(s),
+            dcn_workloads::SizeClass::SmallMedium => {}
+        }
+        all.push(s);
+    }
+    let buffer: Vec<f64> = buf_series.borrow().iter().map(|&(_, v)| v).collect();
+    let drops = all_switches
+        .iter()
+        .map(|&s| sim.net.switch(s).total_drops())
+        .sum();
+
+    PointOutcome {
+        algo,
+        load,
+        seed,
+        buckets,
+        short,
+        medium,
+        long,
+        all,
+        buffer,
+        completed,
+        offered,
+        drops,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Legacy fat-tree FCT API (used by the `powertcp-bench` fig* binaries,
+// which predate `ScenarioSpec`).
+// ---------------------------------------------------------------------
+
+/// Experiment scale: topology size and time horizon. The shapes of the
+/// paper's figures survive scaling down; absolute tail credibility is
+/// reported alongside (see [`Summary::credible_tail_pct`]).
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Hosts per ToR (paper: 32).
+    pub hosts_per_tor: usize,
+    /// Fabric (switch-to-switch) bandwidth; scaled with hosts_per_tor to
+    /// preserve the paper's 4:1 oversubscription.
+    pub fabric_bw: Bandwidth,
+    /// Workload generation horizon.
+    pub horizon: Tick,
+    /// Extra drain time after the horizon before measuring.
+    pub drain: Tick,
+}
+
+impl Scale {
+    /// Tiny: for unit tests and criterion benches (seconds of wall time).
+    /// 2:1 oversubscription (exact 4:1 would need sub-line-rate uplinks at
+    /// this size, which distorts more than it preserves).
+    pub fn tiny() -> Self {
+        Scale {
+            hosts_per_tor: 2,
+            fabric_bw: Bandwidth::from_bps(12_500_000_000),
+            horizon: Tick::from_millis(4),
+            drain: Tick::from_millis(6),
+        }
+    }
+
+    /// Default for figure regeneration: 64 hosts, and the paper's 4:1
+    /// oversubscription (8 × 25 G down vs 2 × 25 G up per ToR).
+    pub fn bench() -> Self {
+        Scale {
+            hosts_per_tor: 8,
+            fabric_bw: Bandwidth::gbps(25),
+            horizon: Tick::from_millis(50),
+            drain: Tick::from_millis(20),
+        }
+    }
+
+    /// The paper's full scale (256 hosts, 100 G fabric).
+    pub fn paper() -> Self {
+        Scale {
+            hosts_per_tor: 32,
+            fabric_bw: Bandwidth::gbps(100),
+            horizon: Tick::from_millis(100),
+            drain: Tick::from_millis(30),
+        }
+    }
+
+    /// This scale as a declarative topology.
+    pub fn topology(&self) -> TopologySpec {
+        TopologySpec::FatTree {
+            hosts_per_tor: self.hosts_per_tor,
+            host_gbps: 25.0,
+            fabric_gbps: self.fabric_bw.bps() as f64 / 1e9,
+        }
+    }
+
+    /// The fat-tree configuration for this scale under `algo`.
+    pub fn fat_tree_config(&self, algo: Algo) -> FatTreeConfig {
+        fat_tree_config(&self.topology(), Some(algo))
+    }
+
+    /// Aggregate ToR-uplink capacity (the paper's load denominator).
+    pub fn fabric_uplink_capacity(&self, cfg: &FatTreeConfig) -> Bandwidth {
+        let tors = cfg.pods * cfg.tors_per_pod;
+        Bandwidth::from_bps(cfg.fabric_bw.bps() * (tors * cfg.aggs_per_pod) as u64)
+    }
+}
+
+/// Incast overlay parameters for Figure 7c–f.
+#[derive(Clone, Copy, Debug)]
+pub struct IncastOverlay {
+    /// Requests per second.
+    pub rate_per_sec: f64,
+    /// Total bytes per request.
+    pub request_bytes: u64,
+    /// Responding servers per request.
+    pub fan_in: usize,
+}
+
+/// Outcome of one FCT experiment.
+pub struct FctResult {
+    /// Protocol name.
+    pub algo: String,
+    /// Per-bucket slowdowns: `buckets[i]` holds flows with size ≤
+    /// `SIZE_BUCKETS[i]` (and > the previous bucket).
+    pub buckets: Vec<Vec<f64>>,
+    /// Short-flow (<10KB) slowdowns.
+    pub short: Vec<f64>,
+    /// Medium-flow (100KB–1MB) slowdowns.
+    pub medium: Vec<f64>,
+    /// Long-flow (≥1MB) slowdowns.
+    pub long: Vec<f64>,
+    /// ToR shared-buffer occupancy samples (bytes).
+    pub buffer_cdf: Cdf,
+    /// Completed / started flows.
+    pub completed: usize,
+    /// Total flows offered.
+    pub offered: usize,
+    /// Switch drops across the fabric.
+    pub drops: u64,
+}
+
+impl FctResult {
+    /// Tail-percentile summary of a slowdown vector at the credibility the
+    /// sample size supports.
+    pub fn tail(xs: &[f64]) -> Option<(f64, f64)> {
+        let pct = Summary::credible_tail_pct(xs.len());
+        dcn_stats::percentile(xs, pct).map(|v| (pct, v))
+    }
+}
+
+/// Run one websearch (± incast) FCT experiment on the fat-tree at
+/// `scale` (the machinery behind the paper's Figures 6 and 7; thin
+/// wrapper over the scenario engine).
+pub fn run_fct_experiment(
+    algo: Algo,
+    scale: Scale,
+    load: f64,
+    incast: Option<IncastOverlay>,
+    seed: u64,
+) -> FctResult {
+    let workload = WorkloadSpec {
+        poisson: Some(PoissonSpec {
+            sizes: SizeSpec::Websearch,
+        }),
+        incast: incast.map(|ic| IncastSpec {
+            rate_per_sec: ic.rate_per_sec,
+            request_bytes: ic.request_bytes,
+            fan_in: ic.fan_in,
+            periodic: false,
+        }),
+    };
+    let out = run_experiment(
+        &scale.topology(),
+        &workload,
+        scale.horizon,
+        scale.drain,
+        algo,
+        load,
+        seed,
+    );
+    let mut buffer_cdf = Cdf::new();
+    buffer_cdf.extend(out.buffer.iter().copied());
+    FctResult {
+        algo: algo.name(),
+        buckets: out.buckets,
+        short: out.short,
+        medium: out.medium,
+        long: out.long,
+        buffer_cdf,
+        completed: out.completed,
+        offered: out.offered,
+        drops: out.drops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_experiment_completes_for_powertcp() {
+        let r = run_fct_experiment(Algo::PowerTcp, Scale::tiny(), 0.4, None, 7);
+        assert!(r.offered > 10, "offered {}", r.offered);
+        assert!(
+            r.completed as f64 >= 0.9 * r.offered as f64,
+            "completed {}/{}",
+            r.completed,
+            r.offered
+        );
+        assert!(!r.short.is_empty());
+        assert!(!r.buffer_cdf.is_empty());
+    }
+
+    #[test]
+    fn tiny_experiment_completes_for_homa() {
+        let r = run_fct_experiment(Algo::Homa(1), Scale::tiny(), 0.3, None, 9);
+        assert!(
+            r.completed as f64 >= 0.8 * r.offered as f64,
+            "completed {}/{}",
+            r.completed,
+            r.offered
+        );
+    }
+
+    #[test]
+    fn incast_overlay_adds_flows() {
+        let with = run_fct_experiment(
+            Algo::PowerTcp,
+            Scale::tiny(),
+            0.3,
+            Some(IncastOverlay {
+                rate_per_sec: 1000.0,
+                request_bytes: 200_000,
+                fan_in: 4,
+            }),
+            11,
+        );
+        let without = run_fct_experiment(Algo::PowerTcp, Scale::tiny(), 0.3, None, 11);
+        assert!(with.offered > without.offered);
+    }
+
+    fn star_incast_spec() -> ScenarioSpec {
+        ScenarioSpec::new(
+            "star-incast",
+            TopologySpec::Star {
+                hosts: 8,
+                host_gbps: 25.0,
+            },
+        )
+        .incast(IncastSpec {
+            rate_per_sec: 2_000.0,
+            request_bytes: 400_000,
+            fan_in: 4,
+            periodic: true,
+        })
+        .horizon_ms(2.0)
+        .drain_ms(4.0)
+    }
+
+    #[test]
+    fn star_incast_point_completes() {
+        let spec = star_incast_spec();
+        let out = run_point(&spec, Algo::PowerTcp, 0.0, 3);
+        assert!(out.offered > 0);
+        assert!(
+            out.completed as f64 >= 0.9 * out.offered as f64,
+            "completed {}/{}",
+            out.completed,
+            out.offered
+        );
+        assert!(!out.buffer.is_empty());
+    }
+
+    #[test]
+    fn dumbbell_poisson_point_completes_and_is_oriented() {
+        let spec = ScenarioSpec::new(
+            "db",
+            TopologySpec::Dumbbell {
+                pairs: 4,
+                host_gbps: 25.0,
+                bottleneck_gbps: 25.0,
+            },
+        )
+        .poisson(SizeSpec::Fixed(40_000))
+        .horizon_ms(2.0)
+        .drain_ms(4.0);
+        let out = run_point(&spec, Algo::PowerTcp, 0.5, 5);
+        assert!(out.offered > 5, "offered {}", out.offered);
+        assert!(
+            out.completed as f64 >= 0.9 * out.offered as f64,
+            "completed {}/{}",
+            out.completed,
+            out.offered
+        );
+    }
+
+    #[test]
+    fn points_replay_bit_for_bit() {
+        let spec = star_incast_spec();
+        let a = run_point(&spec, Algo::Hpcc, 0.0, 17);
+        let b = run_point(&spec, Algo::Hpcc, 0.0, 17);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn homa_runs_on_star() {
+        let spec = star_incast_spec();
+        let out = run_point(&spec, Algo::Homa(2), 0.0, 1);
+        assert!(out.completed > 0);
+    }
+}

@@ -1,0 +1,76 @@
+//! # dcn-scenarios
+//!
+//! The experiment-orchestration subsystem of the PowerTCP reproduction:
+//! instead of one hand-written binary per figure, an experiment is a
+//! declarative [`ScenarioSpec`] — topology × workload × sweep axes —
+//! that can be written in TOML, built in code, or taken from the
+//! built-in [`library`] of paper scenarios, and executed by a parallel,
+//! deterministic sweep runner.
+//!
+//! ## The pieces
+//!
+//! * [`spec`] — [`ScenarioSpec`]: fat-tree / star / dumbbell topologies,
+//!   Poisson (websearch or fixed-size) and incast workloads, and the
+//!   sweep grid (algorithms × loads × seeds); TOML round-trip via the
+//!   dependency-free parser in [`toml`].
+//! * [`algo`] — the [`Algo`] registry mapping the paper's protocol names
+//!   to CC constructors, switch requirements, and transports (moved here
+//!   from `powertcp-bench`, which re-exports it).
+//! * [`engine`] — one sweep point = one deterministic single-threaded
+//!   `Simulator` run, reduced to FCT slowdowns, completion counts, drops
+//!   and buffer occupancy ([`PointOutcome`]).
+//! * [`sweep`] — the executor: shards the cross-product over OS threads
+//!   (each point is a pure function of `(spec, algo, load, seed)`), with
+//!   results ordered by point index so output is byte-identical at any
+//!   thread count.
+//! * [`report`] — structured [`SweepResult`]: per-point and pooled
+//!   per-(algo, load) summaries as JSON, CSV, or a markdown table.
+//! * [`library`] — fig6 / fig7 / fig9to11 / incast-battle as specs.
+//!
+//! The `xp` binary is the CLI: `xp list`, `xp show <name>`,
+//! `xp run <spec.toml | name> [--threads N] [--json F] [--csv F]`.
+//!
+//! ## Example
+//!
+//! ```
+//! use dcn_scenarios::{run_sweep, Algo, IncastSpec, ScenarioSpec, TopologySpec};
+//!
+//! let spec = ScenarioSpec::new(
+//!     "quick-incast",
+//!     TopologySpec::Star { hosts: 6, host_gbps: 25.0 },
+//! )
+//! .incast(IncastSpec {
+//!     rate_per_sec: 1000.0,
+//!     request_bytes: 120_000,
+//!     fan_in: 3,
+//!     periodic: true,
+//! })
+//! .algos([Algo::PowerTcp, Algo::Hpcc])
+//! .horizon_ms(1.0)
+//! .drain_ms(2.0);
+//!
+//! let result = run_sweep(&spec, 2).unwrap();
+//! assert_eq!(result.aggregates.len(), 2); // one per algorithm
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algo;
+pub mod engine;
+pub mod library;
+pub mod report;
+pub mod spec;
+pub mod sweep;
+pub mod toml;
+
+pub use algo::Algo;
+pub use engine::{
+    run_fct_experiment, run_point, FctResult, IncastOverlay, PointOutcome, Scale, SIZE_BUCKETS,
+};
+pub use library::{builtin, builtin_specs};
+pub use report::{AggregateReport, PointReport, SweepResult};
+pub use spec::{
+    IncastSpec, PoissonSpec, ScenarioSpec, SizeSpec, SweepSpec, TopologySpec, WorkloadSpec,
+};
+pub use sweep::{run_sweep, sweep_points, SweepPoint};

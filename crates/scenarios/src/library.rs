@@ -1,0 +1,154 @@
+//! Built-in scenario library: the paper's figure experiments re-expressed
+//! as declarative specs.
+//!
+//! These default to the `tiny` fat-tree scale (seconds of wall time per
+//! sweep) so they are runnable anywhere; scale up by editing the TOML
+//! that `xp show <name>` prints (e.g. `hosts_per_tor = 8` for the
+//! `bench` scale of the fig* binaries, `32` + `fabric_gbps = 100.0` for
+//! the paper's 256-host fabric).
+
+use crate::algo::Algo;
+use crate::spec::{IncastSpec, ScenarioSpec, SizeSpec, TopologySpec};
+
+/// The `tiny`-scale fat-tree (16 hosts, 2:1 oversubscription) used by
+/// the built-in specs.
+fn tiny_fat_tree() -> TopologySpec {
+    TopologySpec::FatTree {
+        hosts_per_tor: 2,
+        host_gbps: 25.0,
+        fabric_gbps: 12.5,
+    }
+}
+
+/// Figure 6: tail FCT slowdown vs flow size, websearch at 20% / 60%
+/// load, all six paper protocols.
+pub fn fig6() -> ScenarioSpec {
+    ScenarioSpec::new("fig6", tiny_fat_tree())
+        .describe(
+            "tail FCT slowdown vs flow size: websearch on the oversubscribed \
+             fat-tree at 20% and 60% load, paper Figure 6 protocol set",
+        )
+        .poisson(SizeSpec::Websearch)
+        .algos(Algo::paper_set())
+        .loads([0.2, 0.6])
+        .seeds([42])
+}
+
+/// Figure 7: the detailed comparison — websearch plus a 2 MB / 8-way
+/// incast overlay, PowerTCP vs θ-PowerTCP vs HPCC.
+///
+/// The request rate is the paper's 16/s scaled ×50 because the simulated
+/// horizon is milliseconds, not seconds — the per-horizon incast count
+/// matches the paper's setup.
+pub fn fig7() -> ScenarioSpec {
+    ScenarioSpec::new("fig7", tiny_fat_tree())
+        .describe(
+            "websearch at 40%/80% load with 2MB 8:1 incasts at the paper's \
+             16/s (time-scaled): short- and long-flow tails plus buffer \
+             occupancy, paper Figure 7",
+        )
+        .poisson(SizeSpec::Websearch)
+        .incast(IncastSpec {
+            rate_per_sec: 16.0 * 50.0,
+            request_bytes: 2_000_000,
+            fan_in: 8,
+            periodic: false,
+        })
+        .algos([Algo::PowerTcp, Algo::ThetaPowerTcp, Algo::Hpcc])
+        .loads([0.4, 0.8])
+        .seeds([42])
+}
+
+/// Figures 9–11 (Appendix D): HOMA under incast at overcommitment
+/// levels 1–6, on the canonical star fixture.
+pub fn fig9to11() -> ScenarioSpec {
+    ScenarioSpec::new(
+        "fig9to11",
+        TopologySpec::Star {
+            hosts: 12,
+            host_gbps: 25.0,
+        },
+    )
+    .describe(
+        "HOMA at overcommitment 1-6 absorbing periodic 8:1 incasts on a \
+             single-switch star, paper Figures 9-11",
+    )
+    .incast(IncastSpec {
+        rate_per_sec: 2_000.0,
+        request_bytes: 480_000,
+        fan_in: 8,
+        periodic: true,
+    })
+    .algos((1..=6).map(Algo::Homa))
+    .seeds([42])
+    .horizon_ms(2.0)
+    .drain_ms(6.0)
+}
+
+/// The `incast_battle` example as a spec: PowerTCP vs HPCC vs TIMELY
+/// absorbing 16:1 bursts on a star (the Figure 4 scenario, reduced to
+/// FCT/buffer statistics).
+pub fn incast_battle() -> ScenarioSpec {
+    ScenarioSpec::new(
+        "incast-battle",
+        TopologySpec::Star {
+            hosts: 18,
+            host_gbps: 25.0,
+        },
+    )
+    .describe(
+        "16:1 incast bursts onto a 25G downlink: PowerTCP vs HPCC vs \
+             TIMELY (the Figure 4 scenario as FCT statistics)",
+    )
+    .incast(IncastSpec {
+        rate_per_sec: 500.0,
+        request_bytes: 1_920_000,
+        fan_in: 16,
+        periodic: true,
+    })
+    .algos([Algo::PowerTcp, Algo::Hpcc, Algo::Timely])
+    .seeds([42])
+    .horizon_ms(4.0)
+    .drain_ms(6.0)
+}
+
+/// All built-in scenarios.
+pub fn builtin_specs() -> Vec<ScenarioSpec> {
+    vec![fig6(), fig7(), fig9to11(), incast_battle()]
+}
+
+/// Look up a built-in scenario by name.
+pub fn builtin(name: &str) -> Option<ScenarioSpec> {
+    builtin_specs().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_validate_and_round_trip() {
+        let specs = builtin_specs();
+        assert!(specs.len() >= 4);
+        for spec in specs {
+            spec.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            let back = ScenarioSpec::from_toml(&spec.to_toml())
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            assert_eq!(back, spec, "{}", spec.name);
+            assert!(builtin(&spec.name).is_some());
+        }
+        assert!(builtin("nope").is_none());
+    }
+
+    #[test]
+    fn fig7_covers_the_acceptance_scenario() {
+        // websearch + incast, PowerTCP vs >= 2 baselines.
+        let spec = fig7();
+        assert!(spec.workload.poisson.is_some());
+        assert!(spec.workload.incast.is_some());
+        assert!(spec.sweep.algos.contains(&Algo::PowerTcp));
+        assert!(spec.sweep.algos.len() >= 3);
+        assert!(spec.num_points() >= 2);
+    }
+}

@@ -1,0 +1,518 @@
+//! Structured sweep results: per-point and per-(algo, load) aggregate
+//! summaries, rendered as JSON, CSV, or a markdown table.
+//!
+//! Rendering is deliberately hand-rolled and deterministic: fields are
+//! emitted in fixed order and floats use Rust's shortest round-trip
+//! formatting, so a sweep's JSON is byte-identical across runs and
+//! thread counts (the determinism contract tested in
+//! `tests/determinism.rs`).
+
+use crate::engine::PointOutcome;
+use crate::spec::ScenarioSpec;
+use dcn_stats::{percentile, Summary};
+
+/// Summaries of one sweep point.
+#[derive(Clone, Debug)]
+pub struct PointReport {
+    /// Spec identifier of the algorithm (`Algo::key`).
+    pub algo_key: String,
+    /// Display name of the algorithm (`Algo::name`).
+    pub algo_name: String,
+    /// Swept load.
+    pub load: f64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Flows offered.
+    pub offered: usize,
+    /// Flows completed before run end.
+    pub completed: usize,
+    /// Switch drops.
+    pub drops: u64,
+    /// Short-flow (<10KB) slowdown summary.
+    pub short: Option<Summary>,
+    /// Medium-flow (100KB–1MB) slowdown summary.
+    pub medium: Option<Summary>,
+    /// Long-flow (≥1MB) slowdown summary.
+    pub long: Option<Summary>,
+    /// All-flow slowdown summary.
+    pub all: Option<Summary>,
+    /// Median edge-buffer occupancy (bytes).
+    pub buffer_p50: Option<f64>,
+    /// p99 edge-buffer occupancy (bytes).
+    pub buffer_p99: Option<f64>,
+    /// Peak edge-buffer occupancy (bytes).
+    pub buffer_max: Option<f64>,
+}
+
+/// Summaries of one (algo, load) cell with all seeds merged. Slowdown
+/// vectors are pooled across seeds *before* percentiles are taken, so
+/// tails reflect the whole sample, not a mean of per-seed tails.
+#[derive(Clone, Debug)]
+pub struct AggregateReport {
+    /// Spec identifier of the algorithm.
+    pub algo_key: String,
+    /// Display name of the algorithm.
+    pub algo_name: String,
+    /// Swept load.
+    pub load: f64,
+    /// Number of seeds pooled.
+    pub seeds: usize,
+    /// Flows offered (across seeds).
+    pub offered: usize,
+    /// Flows completed (across seeds).
+    pub completed: usize,
+    /// Switch drops (across seeds).
+    pub drops: u64,
+    /// Short-flow slowdown summary.
+    pub short: Option<Summary>,
+    /// Medium-flow slowdown summary.
+    pub medium: Option<Summary>,
+    /// Long-flow slowdown summary.
+    pub long: Option<Summary>,
+    /// All-flow slowdown summary.
+    pub all: Option<Summary>,
+    /// Credible short-flow tail: `(percentile, value)` at the highest
+    /// percentile the pooled sample size supports.
+    pub short_tail: Option<(f64, f64)>,
+    /// Credible long-flow tail.
+    pub long_tail: Option<(f64, f64)>,
+    /// Median edge-buffer occupancy (bytes, pooled samples).
+    pub buffer_p50: Option<f64>,
+    /// p99 edge-buffer occupancy (bytes).
+    pub buffer_p99: Option<f64>,
+    /// Peak edge-buffer occupancy (bytes).
+    pub buffer_max: Option<f64>,
+}
+
+/// The full, structured result of a sweep.
+#[derive(Clone, Debug)]
+pub struct SweepResult {
+    /// Scenario name.
+    pub name: String,
+    /// Scenario description.
+    pub description: String,
+    /// One report per sweep point, in point order.
+    pub points: Vec<PointReport>,
+    /// One report per (algo, load) cell, in sweep order.
+    pub aggregates: Vec<AggregateReport>,
+}
+
+fn credible_tail(xs: &[f64]) -> Option<(f64, f64)> {
+    let pct = Summary::credible_tail_pct(xs.len());
+    percentile(xs, pct).map(|v| (pct, v))
+}
+
+impl SweepResult {
+    /// Reduce raw outcomes (in sweep-point order) to reports.
+    pub(crate) fn build(spec: &ScenarioSpec, outcomes: Vec<PointOutcome>) -> SweepResult {
+        let points: Vec<PointReport> = outcomes
+            .iter()
+            .map(|o| PointReport {
+                algo_key: o.algo.key(),
+                algo_name: o.algo.name(),
+                load: o.load,
+                seed: o.seed,
+                offered: o.offered,
+                completed: o.completed,
+                drops: o.drops,
+                short: Summary::of(&o.short),
+                medium: Summary::of(&o.medium),
+                long: Summary::of(&o.long),
+                all: Summary::of(&o.all),
+                buffer_p50: percentile(&o.buffer, 50.0),
+                buffer_p99: percentile(&o.buffer, 99.0),
+                buffer_max: percentile(&o.buffer, 100.0),
+            })
+            .collect();
+
+        // The expansion is algo-major with seeds innermost, so each
+        // (algo, load) cell is a consecutive run of `seeds` outcomes.
+        let seeds = spec.sweep.seeds.len();
+        let mut aggregates = Vec::new();
+        for cell in outcomes.chunks(seeds) {
+            let first = &cell[0];
+            let pool = |f: fn(&PointOutcome) -> &Vec<f64>| -> Vec<f64> {
+                cell.iter().flat_map(|o| f(o).iter().copied()).collect()
+            };
+            let short = pool(|o| &o.short);
+            let medium = pool(|o| &o.medium);
+            let long = pool(|o| &o.long);
+            let all = pool(|o| &o.all);
+            let buffer = pool(|o| &o.buffer);
+            aggregates.push(AggregateReport {
+                algo_key: first.algo.key(),
+                algo_name: first.algo.name(),
+                load: first.load,
+                seeds: cell.len(),
+                offered: cell.iter().map(|o| o.offered).sum(),
+                completed: cell.iter().map(|o| o.completed).sum(),
+                drops: cell.iter().map(|o| o.drops).sum(),
+                short_tail: credible_tail(&short),
+                long_tail: credible_tail(&long),
+                short: Summary::of(&short),
+                medium: Summary::of(&medium),
+                long: Summary::of(&long),
+                all: Summary::of(&all),
+                buffer_p50: percentile(&buffer, 50.0),
+                buffer_p99: percentile(&buffer, 99.0),
+                buffer_max: percentile(&buffer, 100.0),
+            });
+        }
+
+        SweepResult {
+            name: spec.name.clone(),
+            description: spec.description.clone(),
+            points,
+            aggregates,
+        }
+    }
+
+    /// Render as JSON (fixed field order, shortest-round-trip floats;
+    /// byte-identical for identical sweeps).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"scenario\": {},\n", jstr(&self.name)));
+        out.push_str(&format!(
+            "  \"description\": {},\n",
+            jstr(&self.description)
+        ));
+        out.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!(
+                "\"algo\": {}, \"load\": {}, \"seed\": {}, \"offered\": {}, \
+                 \"completed\": {}, \"drops\": {}, ",
+                jstr(&p.algo_key),
+                jf(p.load),
+                p.seed,
+                p.offered,
+                p.completed,
+                p.drops
+            ));
+            push_classes(&mut out, &p.short, &p.medium, &p.long, &p.all);
+            push_buffer(&mut out, p.buffer_p50, p.buffer_p99, p.buffer_max);
+            out.push('}');
+            out.push_str(if i + 1 < self.points.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"aggregates\": [\n");
+        for (i, a) in self.aggregates.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!(
+                "\"algo\": {}, \"algo_name\": {}, \"load\": {}, \"seeds\": {}, \
+                 \"offered\": {}, \"completed\": {}, \"drops\": {}, ",
+                jstr(&a.algo_key),
+                jstr(&a.algo_name),
+                jf(a.load),
+                a.seeds,
+                a.offered,
+                a.completed,
+                a.drops
+            ));
+            out.push_str(&format!(
+                "\"short_tail\": {}, \"long_tail\": {}, ",
+                jtail(a.short_tail),
+                jtail(a.long_tail)
+            ));
+            push_classes(&mut out, &a.short, &a.medium, &a.long, &a.all);
+            push_buffer(&mut out, a.buffer_p50, a.buffer_p99, a.buffer_max);
+            out.push('}');
+            out.push_str(if i + 1 < self.aggregates.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Render the aggregates as CSV (one row per (algo, load) cell).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "scenario,algo,load,seeds,offered,completed,drops,\
+             short_n,short_mean,short_tail_pct,short_tail,\
+             medium_n,medium_mean,long_n,long_mean,long_tail_pct,long_tail,\
+             all_n,all_mean,buffer_p50_bytes,buffer_p99_bytes,buffer_max_bytes\n",
+        );
+        for a in &self.aggregates {
+            let class = |s: &Option<Summary>| match s {
+                Some(s) => (s.count.to_string(), jf(s.mean)),
+                None => ("0".into(), String::new()),
+            };
+            let (sn, sm) = class(&a.short);
+            let (mn, mm) = class(&a.medium);
+            let (ln, lm) = class(&a.long);
+            let (an, am) = class(&a.all);
+            let tail = |t: Option<(f64, f64)>| match t {
+                Some((p, v)) => (jf(p), jf(v)),
+                None => (String::new(), String::new()),
+            };
+            let (stp, stv) = tail(a.short_tail);
+            let (ltp, ltv) = tail(a.long_tail);
+            let buf = |b: Option<f64>| b.map(jf).unwrap_or_default();
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{sn},{sm},{stp},{stv},{mn},{mm},{ln},{lm},{ltp},{ltv},{an},{am},{},{},{}\n",
+                csv_escape(&self.name),
+                a.algo_key,
+                jf(a.load),
+                a.seeds,
+                a.offered,
+                a.completed,
+                a.drops,
+                buf(a.buffer_p50),
+                buf(a.buffer_p99),
+                buf(a.buffer_max),
+            ));
+        }
+        out
+    }
+
+    /// Render the aggregates as a human-readable markdown table.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("\n## {} — {}\n\n", self.name, self.description));
+        out.push_str(
+            "| protocol | load | short-flow tail | long-flow tail | mean slowdown | done/offered | drops | p99 buffer (KB) |\n",
+        );
+        out.push_str("|---|---|---|---|---|---|---|---|\n");
+        for a in &self.aggregates {
+            let tail = |t: Option<(f64, f64)>| match t {
+                Some((p, v)) => format!("{} (p{p})", fmt(v)),
+                None => "-".into(),
+            };
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} | {}/{} | {} | {} |\n",
+                a.algo_name,
+                if a.load > 0.0 {
+                    format!("{:.0}%", a.load * 100.0)
+                } else {
+                    "-".into()
+                },
+                tail(a.short_tail),
+                tail(a.long_tail),
+                a.all.map(|s| fmt(s.mean)).unwrap_or_else(|| "-".into()),
+                a.completed,
+                a.offered,
+                a.drops,
+                a.buffer_p99.map(|b| fmt(b / 1000.0)).unwrap_or_default(),
+            ));
+        }
+        out
+    }
+}
+
+fn push_classes(
+    out: &mut String,
+    short: &Option<Summary>,
+    medium: &Option<Summary>,
+    long: &Option<Summary>,
+    all: &Option<Summary>,
+) {
+    out.push_str(&format!(
+        "\"short\": {}, \"medium\": {}, \"long\": {}, \"all\": {}, ",
+        jsummary(short),
+        jsummary(medium),
+        jsummary(long),
+        jsummary(all)
+    ));
+}
+
+fn push_buffer(out: &mut String, p50: Option<f64>, p99: Option<f64>, max: Option<f64>) {
+    out.push_str(&format!(
+        "\"buffer_p50\": {}, \"buffer_p99\": {}, \"buffer_max\": {}",
+        jopt(p50),
+        jopt(p99),
+        jopt(max)
+    ));
+}
+
+/// JSON string escape.
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number (shortest round-trip; non-finite becomes null).
+fn jf(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".into()
+    }
+}
+
+fn jopt(x: Option<f64>) -> String {
+    x.map(jf).unwrap_or_else(|| "null".into())
+}
+
+fn jtail(t: Option<(f64, f64)>) -> String {
+    match t {
+        Some((p, v)) => format!("{{\"pct\": {}, \"value\": {}}}", jf(p), jf(v)),
+        None => "null".into(),
+    }
+}
+
+fn jsummary(s: &Option<Summary>) -> String {
+    match s {
+        Some(s) => format!(
+            "{{\"count\": {}, \"mean\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \
+             \"p999\": {}, \"max\": {}}}",
+            s.count,
+            jf(s.mean),
+            jf(s.p50),
+            jf(s.p95),
+            jf(s.p99),
+            jf(s.p999),
+            jf(s.max)
+        ),
+        None => "null".into(),
+    }
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Compact float for tables (shared with `powertcp_bench::table::f`).
+pub fn fmt(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 100.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::Algo;
+    use crate::engine::PointOutcome;
+    use crate::spec::{ScenarioSpec, SizeSpec, TopologySpec};
+
+    fn fake_outcome(algo: Algo, load: f64, seed: u64, base: f64) -> PointOutcome {
+        PointOutcome {
+            algo,
+            load,
+            seed,
+            buckets: vec![Vec::new(); crate::engine::SIZE_BUCKETS.len()],
+            short: vec![base, base * 2.0],
+            medium: vec![base * 3.0],
+            long: Vec::new(),
+            all: vec![base, base * 2.0, base * 3.0],
+            buffer: vec![1000.0, 2000.0],
+            completed: 3,
+            offered: 3,
+            drops: 1,
+        }
+    }
+
+    fn spec2x2() -> ScenarioSpec {
+        ScenarioSpec::new(
+            "r",
+            TopologySpec::Star {
+                hosts: 4,
+                host_gbps: 25.0,
+            },
+        )
+        .poisson(SizeSpec::Websearch)
+        .algos([Algo::PowerTcp, Algo::Hpcc])
+        .loads([0.5])
+        .seeds([1, 2])
+    }
+
+    #[test]
+    fn aggregates_pool_seeds() {
+        let spec = spec2x2();
+        let outcomes = vec![
+            fake_outcome(Algo::PowerTcp, 0.5, 1, 1.0),
+            fake_outcome(Algo::PowerTcp, 0.5, 2, 2.0),
+            fake_outcome(Algo::Hpcc, 0.5, 1, 4.0),
+            fake_outcome(Algo::Hpcc, 0.5, 2, 8.0),
+        ];
+        let r = SweepResult::build(&spec, outcomes);
+        assert_eq!(r.points.len(), 4);
+        assert_eq!(r.aggregates.len(), 2);
+        let a = &r.aggregates[0];
+        assert_eq!(a.algo_key, "powertcp");
+        assert_eq!(a.seeds, 2);
+        assert_eq!(a.offered, 6);
+        assert_eq!(a.drops, 2);
+        // Pooled short samples: [1, 2] + [2, 4] -> count 4.
+        assert_eq!(a.short.unwrap().count, 4);
+        assert!(a.long.is_none());
+    }
+
+    #[test]
+    fn json_is_well_formed_and_stable() {
+        let spec = spec2x2();
+        let outcomes = vec![
+            fake_outcome(Algo::PowerTcp, 0.5, 1, 1.0),
+            fake_outcome(Algo::PowerTcp, 0.5, 2, 2.0),
+            fake_outcome(Algo::Hpcc, 0.5, 1, 4.0),
+            fake_outcome(Algo::Hpcc, 0.5, 2, 8.0),
+        ];
+        let r = SweepResult::build(&spec, outcomes.clone());
+        let j = r.to_json();
+        assert_eq!(j, SweepResult::build(&spec, outcomes).to_json());
+        // Balanced braces/brackets, quoted keys, null for missing long.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert!(j.contains("\"scenario\": \"r\""));
+        assert!(j.contains("\"long\": null"));
+        assert!(j.contains("\"algo\": \"powertcp\""));
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_aggregate() {
+        let spec = spec2x2();
+        let outcomes = vec![
+            fake_outcome(Algo::PowerTcp, 0.5, 1, 1.0),
+            fake_outcome(Algo::PowerTcp, 0.5, 2, 2.0),
+            fake_outcome(Algo::Hpcc, 0.5, 1, 4.0),
+            fake_outcome(Algo::Hpcc, 0.5, 2, 8.0),
+        ];
+        let r = SweepResult::build(&spec, outcomes);
+        let csv = r.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv
+            .lines()
+            .next()
+            .unwrap()
+            .starts_with("scenario,algo,load"));
+        assert!(csv.contains("r,hpcc,0.5,2,6,6,2"));
+    }
+
+    #[test]
+    fn json_string_escaping() {
+        assert_eq!(jstr("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(jf(f64::NAN), "null");
+    }
+}

@@ -1,0 +1,796 @@
+//! Declarative experiment specifications.
+//!
+//! A [`ScenarioSpec`] fully describes one experiment family: a topology
+//! (fat-tree / star / dumbbell), a workload (Poisson background traffic,
+//! an incast overlay, or both), a time horizon, and the sweep axes
+//! (algorithm grid × load grid × seed grid). Specs are plain data: they
+//! can be built in code (builder methods), loaded from TOML (`xp run
+//! spec.toml`), or taken from the built-in library
+//! ([`crate::library`]), and the cross-product of their sweep axes is
+//! executed by [`crate::sweep::run_sweep`].
+
+use crate::algo::Algo;
+use crate::toml::{self, Value};
+use powertcp_core::{Bandwidth, Tick};
+use std::collections::BTreeMap;
+
+/// The network under test.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TopologySpec {
+    /// The paper's oversubscribed fat-tree (§4.1). Oversubscription is
+    /// set by `hosts_per_tor × host_gbps` versus the ToR uplink capacity
+    /// (`aggs_per_pod × fabric_gbps`, 2 uplinks by default).
+    FatTree {
+        /// Hosts per ToR (paper: 32; `tiny` scale: 2).
+        hosts_per_tor: usize,
+        /// Host NIC bandwidth in Gbps.
+        host_gbps: f64,
+        /// Switch-to-switch bandwidth in Gbps.
+        fabric_gbps: f64,
+    },
+    /// A single-switch star — the canonical incast fixture: every
+    /// sender shares the receiver's downlink.
+    Star {
+        /// Number of hosts (≥ 2).
+        hosts: usize,
+        /// Host NIC bandwidth in Gbps.
+        host_gbps: f64,
+    },
+    /// Two switches with one bottleneck link; `pairs` senders on the
+    /// left, `pairs` receivers on the right. All Poisson traffic is
+    /// oriented left → right so `load` is bottleneck utilization.
+    Dumbbell {
+        /// Hosts per side (≥ 1).
+        pairs: usize,
+        /// Host NIC bandwidth in Gbps.
+        host_gbps: f64,
+        /// Bottleneck bandwidth in Gbps.
+        bottleneck_gbps: f64,
+    },
+}
+
+impl TopologySpec {
+    /// The host NIC bandwidth.
+    pub fn host_bw(&self) -> Bandwidth {
+        let g = match self {
+            TopologySpec::FatTree { host_gbps, .. } => *host_gbps,
+            TopologySpec::Star { host_gbps, .. } => *host_gbps,
+            TopologySpec::Dumbbell { host_gbps, .. } => *host_gbps,
+        };
+        gbps(g)
+    }
+
+    /// Total host count.
+    pub fn num_hosts(&self) -> usize {
+        match self {
+            TopologySpec::FatTree { .. } => {
+                // pods × tors_per_pod × hosts_per_tor with the default
+                // 4-pod, 2-ToR layout of `FatTreeConfig::default()`.
+                crate::engine::fat_tree_config(self, None).num_hosts()
+            }
+            TopologySpec::Star { hosts, .. } => *hosts,
+            TopologySpec::Dumbbell { pairs, .. } => pairs * 2,
+        }
+    }
+
+    /// Number of distinct "racks" the workload generators see (fat-tree:
+    /// ToRs; star: one per host, since there is no rack sharing; dumbbell:
+    /// the two sides).
+    pub fn num_racks(&self) -> usize {
+        match self {
+            TopologySpec::FatTree { hosts_per_tor, .. } => self.num_hosts() / hosts_per_tor.max(&1),
+            TopologySpec::Star { hosts, .. } => *hosts,
+            TopologySpec::Dumbbell { .. } => 2,
+        }
+    }
+
+    /// The maximum incast fan-in this topology supports (responders must
+    /// live outside the requester's rack).
+    pub fn max_fan_in(&self) -> usize {
+        match self {
+            TopologySpec::FatTree { hosts_per_tor, .. } => {
+                self.num_hosts().saturating_sub(*hosts_per_tor)
+            }
+            TopologySpec::Star { hosts, .. } => hosts.saturating_sub(1),
+            TopologySpec::Dumbbell { pairs, .. } => *pairs,
+        }
+    }
+}
+
+/// Convert Gbps (possibly fractional, e.g. 12.5) to [`Bandwidth`].
+pub(crate) fn gbps(g: f64) -> Bandwidth {
+    Bandwidth::from_bps((g * 1e9).round() as u64)
+}
+
+/// Flow-size distribution for Poisson background traffic.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SizeSpec {
+    /// The paper's web search distribution (DCTCP §4.1).
+    Websearch,
+    /// Every flow has the same size (controlled experiments).
+    Fixed(u64),
+}
+
+/// Poisson background traffic at the swept load.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PoissonSpec {
+    /// Flow-size distribution.
+    pub sizes: SizeSpec,
+}
+
+/// The synthetic incast overlay of §4.1 (paper Figure 7c–f).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IncastSpec {
+    /// Requests per second across the fabric.
+    pub rate_per_sec: f64,
+    /// Total response bytes per request (split across responders).
+    pub request_bytes: u64,
+    /// Responding servers per request.
+    pub fan_in: usize,
+    /// Fire requests at a fixed period instead of Poisson arrivals.
+    pub periodic: bool,
+}
+
+/// What traffic the scenario offers.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WorkloadSpec {
+    /// Poisson background traffic (rate set by the swept `load`).
+    pub poisson: Option<PoissonSpec>,
+    /// Incast overlay.
+    pub incast: Option<IncastSpec>,
+}
+
+/// The sweep axes: every (algo, load, seed) combination runs as one
+/// independent, deterministic simulation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepSpec {
+    /// Algorithms to compare.
+    pub algos: Vec<Algo>,
+    /// Target loads (fraction of the reference capacity; empty means the
+    /// single pseudo-load 0, for incast-only workloads).
+    pub loads: Vec<f64>,
+    /// Workload seeds. The same seed is reused across algorithms and
+    /// loads so comparisons are paired (identical arrival processes).
+    pub seeds: Vec<u64>,
+}
+
+/// A complete declarative experiment description.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario name (used in reports and `xp list`).
+    pub name: String,
+    /// One-line description.
+    pub description: String,
+    /// Network under test.
+    pub topology: TopologySpec,
+    /// Offered traffic.
+    pub workload: WorkloadSpec,
+    /// Workload generation horizon, milliseconds.
+    pub horizon_ms: f64,
+    /// Extra drain time after the horizon, milliseconds.
+    pub drain_ms: f64,
+    /// Sweep axes.
+    pub sweep: SweepSpec,
+}
+
+impl ScenarioSpec {
+    /// A new spec with an empty workload, a PowerTCP-only algorithm
+    /// grid, seed 42, and a 4 ms + 6 ms time box (the `tiny` scale).
+    pub fn new(name: impl Into<String>, topology: TopologySpec) -> Self {
+        ScenarioSpec {
+            name: name.into(),
+            description: String::new(),
+            topology,
+            workload: WorkloadSpec::default(),
+            horizon_ms: 4.0,
+            drain_ms: 6.0,
+            sweep: SweepSpec {
+                algos: vec![Algo::PowerTcp],
+                loads: Vec::new(),
+                seeds: vec![42],
+            },
+        }
+    }
+
+    /// Set the description.
+    pub fn describe(mut self, d: impl Into<String>) -> Self {
+        self.description = d.into();
+        self
+    }
+
+    /// Add Poisson background traffic with the given size distribution.
+    pub fn poisson(mut self, sizes: SizeSpec) -> Self {
+        self.workload.poisson = Some(PoissonSpec { sizes });
+        self
+    }
+
+    /// Add an incast overlay.
+    pub fn incast(mut self, incast: IncastSpec) -> Self {
+        self.workload.incast = Some(incast);
+        self
+    }
+
+    /// Set the generation horizon (ms).
+    pub fn horizon_ms(mut self, ms: f64) -> Self {
+        self.horizon_ms = ms;
+        self
+    }
+
+    /// Set the post-horizon drain time (ms).
+    pub fn drain_ms(mut self, ms: f64) -> Self {
+        self.drain_ms = ms;
+        self
+    }
+
+    /// Set the algorithm grid.
+    pub fn algos(mut self, algos: impl IntoIterator<Item = Algo>) -> Self {
+        self.sweep.algos = algos.into_iter().collect();
+        self
+    }
+
+    /// Set the load grid.
+    pub fn loads(mut self, loads: impl IntoIterator<Item = f64>) -> Self {
+        self.sweep.loads = loads.into_iter().collect();
+        self
+    }
+
+    /// Set the seed grid.
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.sweep.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// The generation horizon as simulator time.
+    pub fn horizon(&self) -> Tick {
+        Tick::from_secs_f64(self.horizon_ms / 1e3)
+    }
+
+    /// The drain window as simulator time.
+    pub fn drain(&self) -> Tick {
+        Tick::from_secs_f64(self.drain_ms / 1e3)
+    }
+
+    /// The effective load grid: `[0.0]` when there is no Poisson traffic
+    /// (incast-only scenarios have no load axis).
+    pub fn effective_loads(&self) -> Vec<f64> {
+        if self.workload.poisson.is_some() {
+            self.sweep.loads.clone()
+        } else {
+            vec![0.0]
+        }
+    }
+
+    /// Check internal consistency; returns a human-readable error.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("scenario needs a name".into());
+        }
+        if self.horizon_ms <= 0.0 {
+            return Err(format!(
+                "horizon_ms must be positive, got {}",
+                self.horizon_ms
+            ));
+        }
+        if self.drain_ms < 0.0 {
+            return Err(format!("drain_ms must be >= 0, got {}", self.drain_ms));
+        }
+        match self.topology {
+            TopologySpec::FatTree {
+                hosts_per_tor,
+                host_gbps,
+                fabric_gbps,
+            } => {
+                if hosts_per_tor == 0 {
+                    return Err("fat-tree needs hosts_per_tor >= 1".into());
+                }
+                if host_gbps <= 0.0 || fabric_gbps <= 0.0 {
+                    return Err("fat-tree bandwidths must be positive".into());
+                }
+            }
+            TopologySpec::Star { hosts, host_gbps } => {
+                if hosts < 2 {
+                    return Err("star needs at least 2 hosts".into());
+                }
+                if host_gbps <= 0.0 {
+                    return Err("star host_gbps must be positive".into());
+                }
+            }
+            TopologySpec::Dumbbell {
+                pairs,
+                host_gbps,
+                bottleneck_gbps,
+            } => {
+                if pairs == 0 {
+                    return Err("dumbbell needs pairs >= 1".into());
+                }
+                if host_gbps <= 0.0 || bottleneck_gbps <= 0.0 {
+                    return Err("dumbbell bandwidths must be positive".into());
+                }
+            }
+        }
+        if self.workload.poisson.is_none() && self.workload.incast.is_none() {
+            return Err("workload needs poisson traffic, an incast overlay, or both".into());
+        }
+        if let Some(PoissonSpec {
+            sizes: SizeSpec::Fixed(b),
+        }) = self.workload.poisson
+        {
+            if b == 0 {
+                return Err("fixed flow size must be >= 1 byte".into());
+            }
+        }
+        if self.workload.poisson.is_some() {
+            if self.sweep.loads.is_empty() {
+                return Err("poisson workload needs a non-empty load grid".into());
+            }
+            for &l in &self.sweep.loads {
+                if !(0.0..1.5).contains(&l) || l <= 0.0 {
+                    return Err(format!("implausible load {l} (expected 0 < load < 1.5)"));
+                }
+            }
+        }
+        if let Some(ic) = self.workload.incast {
+            if ic.rate_per_sec <= 0.0 {
+                return Err("incast rate_per_sec must be positive".into());
+            }
+            if ic.request_bytes == 0 {
+                return Err("incast request_bytes must be >= 1".into());
+            }
+            if ic.fan_in == 0 {
+                return Err("incast fan_in must be >= 1".into());
+            }
+            let max = self.topology.max_fan_in();
+            if ic.fan_in > max {
+                return Err(format!(
+                    "incast fan_in {} exceeds what the topology supports ({max})",
+                    ic.fan_in
+                ));
+            }
+        }
+        if self.sweep.algos.is_empty() {
+            return Err("sweep needs at least one algorithm".into());
+        }
+        if self.sweep.seeds.is_empty() {
+            return Err("sweep needs at least one seed".into());
+        }
+        Ok(())
+    }
+
+    /// Total number of sweep points (algos × loads × seeds).
+    pub fn num_points(&self) -> usize {
+        self.sweep.algos.len() * self.effective_loads().len() * self.sweep.seeds.len()
+    }
+
+    // ---- TOML ----
+
+    /// Render as TOML (the exact format [`ScenarioSpec::from_toml`]
+    /// reads back; `parse(to_toml(s)) == s`).
+    pub fn to_toml(&self) -> String {
+        let mut out = String::new();
+        let kv = |out: &mut String, k: &str, v: Value| {
+            out.push_str(k);
+            out.push_str(" = ");
+            out.push_str(&toml::write_value(&v));
+            out.push('\n');
+        };
+        kv(&mut out, "name", Value::Str(self.name.clone()));
+        kv(
+            &mut out,
+            "description",
+            Value::Str(self.description.clone()),
+        );
+        kv(&mut out, "horizon_ms", Value::Float(self.horizon_ms));
+        kv(&mut out, "drain_ms", Value::Float(self.drain_ms));
+
+        out.push_str("\n[topology]\n");
+        match self.topology {
+            TopologySpec::FatTree {
+                hosts_per_tor,
+                host_gbps,
+                fabric_gbps,
+            } => {
+                kv(&mut out, "kind", Value::Str("fat-tree".into()));
+                kv(&mut out, "hosts_per_tor", Value::Int(hosts_per_tor as i64));
+                kv(&mut out, "host_gbps", Value::Float(host_gbps));
+                kv(&mut out, "fabric_gbps", Value::Float(fabric_gbps));
+            }
+            TopologySpec::Star { hosts, host_gbps } => {
+                kv(&mut out, "kind", Value::Str("star".into()));
+                kv(&mut out, "hosts", Value::Int(hosts as i64));
+                kv(&mut out, "host_gbps", Value::Float(host_gbps));
+            }
+            TopologySpec::Dumbbell {
+                pairs,
+                host_gbps,
+                bottleneck_gbps,
+            } => {
+                kv(&mut out, "kind", Value::Str("dumbbell".into()));
+                kv(&mut out, "pairs", Value::Int(pairs as i64));
+                kv(&mut out, "host_gbps", Value::Float(host_gbps));
+                kv(&mut out, "bottleneck_gbps", Value::Float(bottleneck_gbps));
+            }
+        }
+
+        if let Some(p) = self.workload.poisson {
+            out.push_str("\n[workload.poisson]\n");
+            match p.sizes {
+                SizeSpec::Websearch => kv(&mut out, "sizes", Value::Str("websearch".into())),
+                SizeSpec::Fixed(b) => {
+                    kv(&mut out, "sizes", Value::Str("fixed".into()));
+                    kv(&mut out, "fixed_bytes", Value::Int(b as i64));
+                }
+            }
+        }
+        if let Some(ic) = self.workload.incast {
+            out.push_str("\n[workload.incast]\n");
+            kv(&mut out, "rate_per_sec", Value::Float(ic.rate_per_sec));
+            kv(
+                &mut out,
+                "request_bytes",
+                Value::Int(ic.request_bytes as i64),
+            );
+            kv(&mut out, "fan_in", Value::Int(ic.fan_in as i64));
+            kv(&mut out, "periodic", Value::Bool(ic.periodic));
+        }
+
+        out.push_str("\n[sweep]\n");
+        kv(
+            &mut out,
+            "algos",
+            Value::Array(
+                self.sweep
+                    .algos
+                    .iter()
+                    .map(|a| Value::Str(a.key()))
+                    .collect(),
+            ),
+        );
+        kv(
+            &mut out,
+            "loads",
+            Value::Array(self.sweep.loads.iter().map(|&l| Value::Float(l)).collect()),
+        );
+        kv(
+            &mut out,
+            "seeds",
+            Value::Array(
+                self.sweep
+                    .seeds
+                    .iter()
+                    .map(|&s| Value::Int(s as i64))
+                    .collect(),
+            ),
+        );
+        out
+    }
+
+    /// Parse a spec from TOML source. The result is validated.
+    pub fn from_toml(src: &str) -> Result<Self, String> {
+        let root = toml::parse(src).map_err(|e| e.to_string())?;
+        let spec = Self::from_table(&root)?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    fn from_table(root: &BTreeMap<String, Value>) -> Result<Self, String> {
+        for key in root.keys() {
+            if !matches!(
+                key.as_str(),
+                "name"
+                    | "description"
+                    | "horizon_ms"
+                    | "drain_ms"
+                    | "topology"
+                    | "workload"
+                    | "sweep"
+            ) {
+                return Err(format!("unknown top-level key {key:?}"));
+            }
+        }
+        let name = get_str(root, "name")?;
+        let description = match root.get("description") {
+            Some(v) => v
+                .as_str()
+                .ok_or("description must be a string")?
+                .to_string(),
+            None => String::new(),
+        };
+        let horizon_ms = get_f64_or(root, "horizon_ms", 4.0)?;
+        let drain_ms = get_f64_or(root, "drain_ms", 6.0)?;
+
+        let topo_t = get_table(root, "topology")?;
+        let kind = get_str(topo_t, "kind")?;
+        let topology = match kind.as_str() {
+            "fat-tree" => TopologySpec::FatTree {
+                hosts_per_tor: get_usize(topo_t, "hosts_per_tor")?,
+                host_gbps: get_f64_or(topo_t, "host_gbps", 25.0)?,
+                fabric_gbps: get_f64(topo_t, "fabric_gbps")?,
+            },
+            "star" => TopologySpec::Star {
+                hosts: get_usize(topo_t, "hosts")?,
+                host_gbps: get_f64_or(topo_t, "host_gbps", 25.0)?,
+            },
+            "dumbbell" => TopologySpec::Dumbbell {
+                pairs: get_usize(topo_t, "pairs")?,
+                host_gbps: get_f64_or(topo_t, "host_gbps", 25.0)?,
+                bottleneck_gbps: get_f64(topo_t, "bottleneck_gbps")?,
+            },
+            other => {
+                return Err(format!(
+                    "unknown topology kind {other:?} (expected fat-tree, star, or dumbbell)"
+                ))
+            }
+        };
+
+        let mut workload = WorkloadSpec::default();
+        if let Some(wl) = root.get("workload") {
+            let wl = wl.as_table().ok_or("workload must be a table")?;
+            if let Some(p) = wl.get("poisson") {
+                let p = p.as_table().ok_or("workload.poisson must be a table")?;
+                let sizes = match get_str(p, "sizes")?.as_str() {
+                    "websearch" => SizeSpec::Websearch,
+                    "fixed" => SizeSpec::Fixed(get_u64(p, "fixed_bytes")?),
+                    other => {
+                        return Err(format!(
+                            "unknown size distribution {other:?} (expected websearch or fixed)"
+                        ))
+                    }
+                };
+                workload.poisson = Some(PoissonSpec { sizes });
+            }
+            if let Some(ic) = wl.get("incast") {
+                let ic = ic.as_table().ok_or("workload.incast must be a table")?;
+                workload.incast = Some(IncastSpec {
+                    rate_per_sec: get_f64(ic, "rate_per_sec")?,
+                    request_bytes: get_u64(ic, "request_bytes")?,
+                    fan_in: get_usize(ic, "fan_in")?,
+                    periodic: match ic.get("periodic") {
+                        Some(v) => v.as_bool().ok_or("periodic must be a boolean")?,
+                        None => false,
+                    },
+                });
+            }
+        }
+
+        let sweep_t = get_table(root, "sweep")?;
+        let algos = get_array(sweep_t, "algos")?
+            .iter()
+            .map(|v| {
+                v.as_str()
+                    .ok_or_else(|| "sweep.algos entries must be strings".to_string())
+                    .and_then(Algo::parse)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let loads = match sweep_t.get("loads") {
+            Some(v) => v
+                .as_array()
+                .ok_or("sweep.loads must be an array")?
+                .iter()
+                .map(|v| {
+                    v.as_f64()
+                        .ok_or("sweep.loads entries must be numbers".to_string())
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+        };
+        let seeds = get_array(sweep_t, "seeds")?
+            .iter()
+            .map(|v| {
+                v.as_i64()
+                    .filter(|&s| s >= 0)
+                    .map(|s| s as u64)
+                    .ok_or_else(|| "sweep.seeds entries must be non-negative integers".to_string())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        Ok(ScenarioSpec {
+            name,
+            description,
+            topology,
+            workload,
+            horizon_ms,
+            drain_ms,
+            sweep: SweepSpec {
+                algos,
+                loads,
+                seeds,
+            },
+        })
+    }
+}
+
+fn get_table<'a>(
+    t: &'a BTreeMap<String, Value>,
+    key: &str,
+) -> Result<&'a BTreeMap<String, Value>, String> {
+    t.get(key)
+        .ok_or_else(|| format!("missing [{key}] section"))?
+        .as_table()
+        .ok_or_else(|| format!("{key} must be a table"))
+}
+
+fn get_str(t: &BTreeMap<String, Value>, key: &str) -> Result<String, String> {
+    t.get(key)
+        .ok_or_else(|| format!("missing key {key:?}"))?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("{key} must be a string"))
+}
+
+fn get_f64(t: &BTreeMap<String, Value>, key: &str) -> Result<f64, String> {
+    t.get(key)
+        .ok_or_else(|| format!("missing key {key:?}"))?
+        .as_f64()
+        .ok_or_else(|| format!("{key} must be a number"))
+}
+
+fn get_f64_or(t: &BTreeMap<String, Value>, key: &str, default: f64) -> Result<f64, String> {
+    match t.get(key) {
+        Some(v) => v.as_f64().ok_or_else(|| format!("{key} must be a number")),
+        None => Ok(default),
+    }
+}
+
+fn get_u64(t: &BTreeMap<String, Value>, key: &str) -> Result<u64, String> {
+    t.get(key)
+        .ok_or_else(|| format!("missing key {key:?}"))?
+        .as_i64()
+        .filter(|&v| v >= 0)
+        .map(|v| v as u64)
+        .ok_or_else(|| format!("{key} must be a non-negative integer"))
+}
+
+fn get_usize(t: &BTreeMap<String, Value>, key: &str) -> Result<usize, String> {
+    get_u64(t, key).map(|v| v as usize)
+}
+
+fn get_array<'a>(t: &'a BTreeMap<String, Value>, key: &str) -> Result<&'a [Value], String> {
+    t.get(key)
+        .ok_or_else(|| format!("missing key {key:?}"))?
+        .as_array()
+        .ok_or_else(|| format!("{key} must be an array"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spec() -> ScenarioSpec {
+        ScenarioSpec::new(
+            "sample",
+            TopologySpec::FatTree {
+                hosts_per_tor: 2,
+                host_gbps: 25.0,
+                fabric_gbps: 12.5,
+            },
+        )
+        .describe("a sample scenario")
+        .poisson(SizeSpec::Websearch)
+        .incast(IncastSpec {
+            rate_per_sec: 1000.0,
+            request_bytes: 200_000,
+            fan_in: 4,
+            periodic: false,
+        })
+        .algos([Algo::PowerTcp, Algo::Hpcc, Algo::Homa(2)])
+        .loads([0.2, 0.6])
+        .seeds([7, 11])
+    }
+
+    #[test]
+    fn toml_round_trip_is_identity() {
+        let spec = sample_spec();
+        let text = spec.to_toml();
+        let back = ScenarioSpec::from_toml(&text).expect("reparse");
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn round_trip_all_topologies_and_fixed_sizes() {
+        for topo in [
+            TopologySpec::Star {
+                hosts: 10,
+                host_gbps: 25.0,
+            },
+            TopologySpec::Dumbbell {
+                pairs: 4,
+                host_gbps: 25.0,
+                bottleneck_gbps: 25.0,
+            },
+        ] {
+            let spec = ScenarioSpec::new("t", topo)
+                .poisson(SizeSpec::Fixed(50_000))
+                .loads([0.5])
+                .seeds([1]);
+            assert_eq!(ScenarioSpec::from_toml(&spec.to_toml()).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn validation_catches_mistakes() {
+        let ok = sample_spec();
+        assert!(ok.validate().is_ok());
+
+        let mut s = sample_spec();
+        s.sweep.loads = vec![2.0];
+        assert!(s.validate().unwrap_err().contains("implausible load"));
+
+        let mut s = sample_spec();
+        s.workload = WorkloadSpec::default();
+        assert!(s.validate().is_err());
+
+        let mut s = sample_spec();
+        s.workload.incast.as_mut().unwrap().fan_in = 1000;
+        assert!(s.validate().unwrap_err().contains("fan_in"));
+
+        let mut s = sample_spec();
+        s.sweep.seeds.clear();
+        assert!(s.validate().is_err());
+
+        let s = ScenarioSpec::new(
+            "s",
+            TopologySpec::Star {
+                hosts: 1,
+                host_gbps: 25.0,
+            },
+        )
+        .poisson(SizeSpec::Websearch)
+        .loads([0.5]);
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn incast_only_scenarios_have_one_pseudo_load() {
+        let spec = ScenarioSpec::new(
+            "i",
+            TopologySpec::Star {
+                hosts: 6,
+                host_gbps: 25.0,
+            },
+        )
+        .incast(IncastSpec {
+            rate_per_sec: 2000.0,
+            request_bytes: 500_000,
+            fan_in: 4,
+            periodic: true,
+        })
+        .algos([Algo::Homa(1), Algo::Homa(2)])
+        .seeds([1, 2, 3]);
+        assert!(spec.validate().is_ok());
+        assert_eq!(spec.effective_loads(), vec![0.0]);
+        assert_eq!(spec.num_points(), 6); // 2 algos x 1 pseudo-load x 3 seeds
+    }
+
+    #[test]
+    fn from_toml_reports_helpful_errors() {
+        assert!(ScenarioSpec::from_toml("name = \"x\"")
+            .unwrap_err()
+            .contains("topology"));
+        let bad_algo = r#"
+name = "x"
+[topology]
+kind = "star"
+hosts = 4
+[workload.poisson]
+sizes = "websearch"
+[sweep]
+algos = ["bbr"]
+loads = [0.5]
+seeds = [1]
+"#;
+        assert!(ScenarioSpec::from_toml(bad_algo)
+            .unwrap_err()
+            .contains("unknown algorithm"));
+        let bad_kind = r#"
+name = "x"
+[topology]
+kind = "torus"
+[sweep]
+algos = ["powertcp"]
+seeds = [1]
+"#;
+        assert!(ScenarioSpec::from_toml(bad_kind)
+            .unwrap_err()
+            .contains("topology kind"));
+    }
+}

@@ -1,0 +1,157 @@
+//! The parallel sweep executor.
+//!
+//! A scenario's sweep axes (algorithms × loads × seeds) expand to a list
+//! of independent [`SweepPoint`]s. Each point runs one deterministic,
+//! single-threaded `Simulator` (the simulator's determinism contract);
+//! the executor shards points across OS threads with a work-stealing
+//! counter and writes each outcome into its point's slot. Because a
+//! point's outcome is a pure function of `(spec, algo, load, seed)` and
+//! results are ordered by point index — never by completion order — the
+//! aggregated [`SweepResult`](crate::report::SweepResult) is
+//! byte-identical no matter how many threads run the sweep.
+
+use crate::algo::Algo;
+use crate::engine::{run_point, PointOutcome};
+use crate::report::SweepResult;
+use crate::spec::ScenarioSpec;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One cell of the sweep cross-product.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SweepPoint {
+    /// Position in the expansion (stable: algo-major, then load, then
+    /// seed).
+    pub index: usize,
+    /// Algorithm.
+    pub algo: Algo,
+    /// Load (0 for incast-only workloads).
+    pub load: f64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+/// Expand a spec's sweep axes into points, in stable order.
+pub fn sweep_points(spec: &ScenarioSpec) -> Vec<SweepPoint> {
+    let mut out = Vec::with_capacity(spec.num_points());
+    let loads = spec.effective_loads();
+    for &algo in &spec.sweep.algos {
+        for &load in &loads {
+            for &seed in &spec.sweep.seeds {
+                out.push(SweepPoint {
+                    index: out.len(),
+                    algo,
+                    load,
+                    seed,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Run a whole sweep on `threads` worker threads (clamped to
+/// `[1, num_points]`). Returns the aggregated result; the spec is
+/// validated first.
+pub fn run_sweep(spec: &ScenarioSpec, threads: usize) -> Result<SweepResult, String> {
+    spec.validate()?;
+    let points = sweep_points(spec);
+    let outcomes = run_points(spec, &points, threads);
+    Ok(SweepResult::build(spec, outcomes))
+}
+
+fn run_points(spec: &ScenarioSpec, points: &[SweepPoint], threads: usize) -> Vec<PointOutcome> {
+    let n = points.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 {
+        return points
+            .iter()
+            .map(|p| run_point(spec, p.algo, p.load, p.seed))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<PointOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                // Work stealing: whichever worker is free takes the next
+                // point; the outcome lands in the point's own slot, so
+                // scheduling order cannot leak into results.
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let p = &points[i];
+                let out = run_point(spec, p.algo, p.load, p.seed);
+                *slots[i].lock().expect("slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("slot poisoned")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{IncastSpec, SizeSpec, TopologySpec};
+
+    fn small_spec() -> ScenarioSpec {
+        ScenarioSpec::new(
+            "exec-test",
+            TopologySpec::Star {
+                hosts: 6,
+                host_gbps: 25.0,
+            },
+        )
+        .poisson(SizeSpec::Fixed(30_000))
+        .incast(IncastSpec {
+            rate_per_sec: 1_000.0,
+            request_bytes: 120_000,
+            fan_in: 3,
+            periodic: true,
+        })
+        .algos([Algo::PowerTcp, Algo::Hpcc])
+        .loads([0.3, 0.5])
+        .seeds([1, 2])
+        .horizon_ms(1.0)
+        .drain_ms(2.0)
+    }
+
+    #[test]
+    fn expansion_is_algo_major_and_indexed() {
+        let spec = small_spec();
+        let pts = sweep_points(&spec);
+        assert_eq!(pts.len(), 2 * 2 * 2);
+        assert_eq!(pts[0].algo, Algo::PowerTcp);
+        assert_eq!((pts[0].load, pts[0].seed), (0.3, 1));
+        assert_eq!((pts[1].load, pts[1].seed), (0.3, 2));
+        assert_eq!((pts[2].load, pts[2].seed), (0.5, 1));
+        assert_eq!(pts[4].algo, Algo::Hpcc);
+        assert!(pts.iter().enumerate().all(|(i, p)| p.index == i));
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let spec = small_spec();
+        let serial = run_sweep(&spec, 1).expect("serial");
+        let parallel = run_sweep(&spec, 4).expect("parallel");
+        let wide = run_sweep(&spec, 64).expect("over-provisioned");
+        assert_eq!(serial.to_json(), parallel.to_json());
+        assert_eq!(serial.to_json(), wide.to_json());
+        assert_eq!(serial.to_csv(), parallel.to_csv());
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected_before_running() {
+        let mut spec = small_spec();
+        spec.sweep.algos.clear();
+        assert!(run_sweep(&spec, 2).is_err());
+    }
+}

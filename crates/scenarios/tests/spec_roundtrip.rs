@@ -1,0 +1,81 @@
+//! Spec round-trip: a scenario written as TOML parses back to the same
+//! spec, and the parsed spec *runs* — producing the same results as the
+//! builder-constructed original (TOML is a faithful interface to the
+//! engine, not just to the data structure).
+
+use dcn_scenarios::{
+    builtin_specs, run_sweep, Algo, IncastSpec, ScenarioSpec, SizeSpec, TopologySpec,
+};
+
+/// A fig7-shaped scenario (websearch + incast on the fat-tree, PowerTCP
+/// vs two baselines) trimmed to one load and a short horizon so the
+/// round-trip test runs in seconds.
+fn fig7_trimmed() -> ScenarioSpec {
+    ScenarioSpec::new(
+        "fig7-trimmed",
+        TopologySpec::FatTree {
+            hosts_per_tor: 2,
+            host_gbps: 25.0,
+            fabric_gbps: 12.5,
+        },
+    )
+    .describe("fig7 acceptance scenario: websearch + incast, 3 protocols")
+    .poisson(SizeSpec::Websearch)
+    .incast(IncastSpec {
+        rate_per_sec: 800.0,
+        request_bytes: 400_000,
+        fan_in: 4,
+        periodic: false,
+    })
+    .algos([Algo::PowerTcp, Algo::ThetaPowerTcp, Algo::Hpcc])
+    .loads([0.4])
+    .seeds([42])
+    .horizon_ms(2.0)
+    .drain_ms(4.0)
+}
+
+#[test]
+fn toml_parses_back_to_the_same_spec() {
+    let spec = fig7_trimmed();
+    let text = spec.to_toml();
+    let parsed = ScenarioSpec::from_toml(&text).expect("re-parse");
+    assert_eq!(parsed, spec);
+    // And the rendering is stable (parse -> render -> parse fixpoint).
+    assert_eq!(parsed.to_toml(), text);
+}
+
+#[test]
+fn parsed_toml_runs_identically_to_the_builder_spec() {
+    let spec = fig7_trimmed();
+    let parsed = ScenarioSpec::from_toml(&spec.to_toml()).expect("re-parse");
+
+    let from_builder = run_sweep(&spec, 2).expect("builder spec runs");
+    let from_toml = run_sweep(&parsed, 2).expect("parsed spec runs");
+    assert_eq!(from_builder.to_json(), from_toml.to_json());
+
+    // The fig7-equivalent acceptance shape: three protocols compared on
+    // websearch + incast, flows actually complete under every one.
+    assert_eq!(from_toml.aggregates.len(), 3);
+    for a in &from_toml.aggregates {
+        assert!(a.offered > 10, "{}: offered {}", a.algo_name, a.offered);
+        assert!(
+            a.completed as f64 >= 0.8 * a.offered as f64,
+            "{}: completed {}/{}",
+            a.algo_name,
+            a.completed,
+            a.offered
+        );
+        assert!(a.short.is_some(), "{}: no short-flow samples", a.algo_name);
+        assert!(a.buffer_p99.is_some());
+    }
+}
+
+#[test]
+fn every_builtin_round_trips_through_toml() {
+    for spec in builtin_specs() {
+        let text = spec.to_toml();
+        let parsed =
+            ScenarioSpec::from_toml(&text).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        assert_eq!(parsed, spec, "{}", spec.name);
+    }
+}

@@ -67,10 +67,13 @@ enum NodeKind {
     Custom,
 }
 
+/// Boxed periodic-observer callback (see [`Simulator::add_tracer`]).
+type TracerFn = Box<dyn FnMut(&Network, Tick)>;
+
 /// Periodic observer of network state.
 struct Tracer {
     every: Tick,
-    f: Box<dyn FnMut(&Network, Tick)>,
+    f: TracerFn,
 }
 
 /// The simulator.
@@ -256,7 +259,12 @@ impl Simulator {
                         h.paused = pause;
                     }
                     if !pause {
-                        Self::host_kick(&mut self.net, &mut self.queue, &mut self.live_events, node);
+                        Self::host_kick(
+                            &mut self.net,
+                            &mut self.queue,
+                            &mut self.live_events,
+                            node,
+                        );
                     }
                     return;
                 }
@@ -552,11 +560,8 @@ impl NetworkBuilder {
     /// [`NetworkBuilder::connect_host`]; until then it has a placeholder.
     pub fn add_host(&mut self, app: Box<dyn Endpoint>) -> NodeId {
         let id = self.next_node_id();
-        self.net.add_node(Node::Host(Host::new(
-            id,
-            crate::ids::LinkId(u32::MAX),
-            app,
-        )))
+        self.net
+            .add_node(Node::Host(Host::new(id, crate::ids::LinkId(u32::MAX), app)))
     }
 
     /// Add a custom node with `n_ports` unconnected ports.

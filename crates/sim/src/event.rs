@@ -110,7 +110,11 @@ impl EventQueue {
     /// `now` to avoid time travel.
     #[inline]
     pub fn schedule(&mut self, at: Tick, ev: Event) {
-        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         let at = at.max(self.now);
         self.heap.push(Reverse(Scheduled {
             at,
@@ -178,7 +182,9 @@ mod tests {
         q.schedule(Tick::from_nanos(30), timer(3));
         q.schedule(Tick::from_nanos(10), timer(1));
         q.schedule(Tick::from_nanos(20), timer(2));
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(_, e)| key_of(&e)).collect();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| key_of(&e))
+            .collect();
         assert_eq!(order, vec![1, 2, 3]);
     }
 
@@ -189,7 +195,9 @@ mod tests {
         for k in 0..100 {
             q.schedule(t, timer(k));
         }
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(_, e)| key_of(&e)).collect();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| key_of(&e))
+            .collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
     }
 

@@ -53,16 +53,16 @@ pub use event::{Event, EventQueue};
 pub use ids::{mix64, FlowId, LinkId, NodeId, PortId};
 pub use link::{Link, Links};
 pub use node::{
-    CustomAction, CustomCtx, CustomNode, CustomSwitch, Endpoint, EndpointAction, EndpointCtx,
-    Host, Node, NullEndpoint, PortView, RawPort,
+    CustomAction, CustomCtx, CustomNode, CustomSwitch, Endpoint, EndpointAction, EndpointCtx, Host,
+    Node, NullEndpoint, PortView, RawPort,
 };
 pub use packet::{
     AckPayload, GrantPayload, Packet, PacketKind, CTRL_PKT_BYTES, DEFAULT_MTU, NUM_PRIORITIES,
 };
 pub use switch::{PfcConfig, Switch, SwitchConfig, SwitchPort};
 pub use topology::{
-    build_dumbbell, build_fat_tree, build_star, AppFactory, Dumbbell, DumbbellConfig, FatTree,
-    FatTreeConfig, Star,
+    build_dumbbell, build_fat_tree, build_star, star_base_rtt, AppFactory, Dumbbell,
+    DumbbellConfig, FatTree, FatTreeConfig, Star,
 };
 pub use trace::{
     buffer_tracer, host_throughput_tracer, queue_tracer, series, throughput_tracer, Series,

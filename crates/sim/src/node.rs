@@ -320,10 +320,7 @@ mod tests {
             ctx.now,
         ));
         assert_eq!(actions.len(), 2);
-        assert!(matches!(
-            actions[0],
-            EndpointAction::Timer { key: 42, .. }
-        ));
+        assert!(matches!(actions[0], EndpointAction::Timer { key: 42, .. }));
         assert!(matches!(actions[1], EndpointAction::Send(_)));
     }
 

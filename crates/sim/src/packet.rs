@@ -48,6 +48,10 @@ pub struct GrantPayload {
 }
 
 /// What kind of packet this is.
+// Variant sizes differ (Data carries inline INT); packets always travel
+// as `Box<Packet>`, so the skew stays on the heap and boxing the large
+// variant would only add a second indirection on the hot path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
 pub enum PacketKind {
     /// Transport data segment carrying `[seq, seq+len)` of the flow.

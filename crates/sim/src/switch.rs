@@ -372,7 +372,12 @@ impl Switch {
 
     /// Queue length *excluding* the packet currently being serialized —
     /// the value INT reports for this port right after a dequeue.
-    pub(crate) fn int_record(&self, port_id: PortId, now: Tick, bw: powertcp_core::Bandwidth) -> IntHopMetadata {
+    pub(crate) fn int_record(
+        &self,
+        port_id: PortId,
+        now: Tick,
+        bw: powertcp_core::Bandwidth,
+    ) -> IntHopMetadata {
         let port = &self.ports[port_id.index()];
         IntHopMetadata {
             node: self.id.0,

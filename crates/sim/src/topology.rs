@@ -106,12 +106,10 @@ impl FatTreeConfig {
         let mtu = DEFAULT_MTU as u64;
         let ctl = CTRL_PKT_BYTES as u64;
         // Data path: host NIC (host_bw) + 4 fabric hops + ToR downlink.
-        let data_ser = self.host_bw.tx_time(mtu)
-            + self.fabric_bw.tx_time(mtu) * 4
-            + self.host_bw.tx_time(mtu);
-        let ack_ser = self.host_bw.tx_time(ctl)
-            + self.fabric_bw.tx_time(ctl) * 4
-            + self.host_bw.tx_time(ctl);
+        let data_ser =
+            self.host_bw.tx_time(mtu) + self.fabric_bw.tx_time(mtu) * 4 + self.host_bw.tx_time(mtu);
+        let ack_ser =
+            self.host_bw.tx_time(ctl) + self.fabric_bw.tx_time(ctl) * 4 + self.host_bw.tx_time(ctl);
         prop_one_way * 2 + data_ser + ack_ser
     }
 }
@@ -162,10 +160,8 @@ pub fn build_fat_tree(cfg: FatTreeConfig, apps: &mut AppFactory<'_>) -> FatTree 
     const BYTES_PER_GBPS: f64 = 6_875.0;
     let tor_capacity_gbps = cfg.hosts_per_tor as f64 * cfg.host_bw.as_gbps_f64()
         + cfg.aggs_per_pod as f64 * cfg.fabric_bw.as_gbps_f64();
-    let agg_capacity_gbps =
-        (cfg.tors_per_pod + cfg.cores) as f64 * cfg.fabric_bw.as_gbps_f64();
-    let core_capacity_gbps =
-        (cfg.pods * cfg.aggs_per_pod) as f64 * cfg.fabric_bw.as_gbps_f64();
+    let agg_capacity_gbps = (cfg.tors_per_pod + cfg.cores) as f64 * cfg.fabric_bw.as_gbps_f64();
+    let core_capacity_gbps = (cfg.pods * cfg.aggs_per_pod) as f64 * cfg.fabric_bw.as_gbps_f64();
     let scaled = |gbps: f64| SwitchConfig {
         buffer_bytes: (gbps * BYTES_PER_GBPS) as u64,
         ..cfg.switch
@@ -327,6 +323,20 @@ pub struct DumbbellConfig {
     pub switch: SwitchConfig,
 }
 
+impl DumbbellConfig {
+    /// Base RTT through the bottleneck for MTU data + control ACK — the
+    /// value `build_dumbbell` stores in [`Dumbbell::base_rtt`],
+    /// computable before the network (and its endpoints) exist.
+    pub fn base_rtt(&self) -> Tick {
+        self.host_delay * 4
+            + self.bottleneck_delay * 2
+            + self.host_bw.tx_time(DEFAULT_MTU as u64) * 2
+            + self.bottleneck_bw.tx_time(DEFAULT_MTU as u64)
+            + self.host_bw.tx_time(CTRL_PKT_BYTES as u64) * 2
+            + self.bottleneck_bw.tx_time(CTRL_PKT_BYTES as u64)
+    }
+}
+
 impl Default for DumbbellConfig {
     fn default() -> Self {
         DumbbellConfig {
@@ -380,12 +390,7 @@ pub fn build_dumbbell(cfg: DumbbellConfig, apps: &mut AppFactory<'_>) -> Dumbbel
         }
     }
 
-    let base_rtt = cfg.host_delay * 4
-        + cfg.bottleneck_delay * 2
-        + cfg.host_bw.tx_time(DEFAULT_MTU as u64) * 2
-        + cfg.bottleneck_bw.tx_time(DEFAULT_MTU as u64)
-        + cfg.host_bw.tx_time(CTRL_PKT_BYTES as u64) * 2
-        + cfg.bottleneck_bw.tx_time(CTRL_PKT_BYTES as u64);
+    let base_rtt = cfg.base_rtt();
 
     Dumbbell {
         net,
@@ -411,6 +416,15 @@ pub struct Star {
     pub base_rtt: Tick,
 }
 
+/// Base RTT host-to-host on a star (MTU data out, control ACK back) —
+/// the value `build_star` stores in [`Star::base_rtt`], computable
+/// before the network (and its endpoints) exist.
+pub fn star_base_rtt(host_bw: Bandwidth, host_delay: Tick) -> Tick {
+    host_delay * 4
+        + host_bw.tx_time(DEFAULT_MTU as u64) * 2
+        + host_bw.tx_time(CTRL_PKT_BYTES as u64) * 2
+}
+
 /// Build a star of `n` hosts on one switch.
 pub fn build_star(
     n: usize,
@@ -434,9 +448,7 @@ pub fn build_star(
             s.set_route(h, vec![PortId(i as u16)]);
         }
     }
-    let base_rtt = host_delay * 4
-        + host_bw.tx_time(DEFAULT_MTU as u64) * 2
-        + host_bw.tx_time(CTRL_PKT_BYTES as u64) * 2;
+    let base_rtt = star_base_rtt(host_bw, host_delay);
     Star {
         net,
         hosts,

@@ -62,10 +62,7 @@ pub fn throughput_tracer(
 
 /// Tracer sampling a host's cumulative transmitted bytes as throughput
 /// (Gbps) — per-sender rate series for fairness plots.
-pub fn host_throughput_tracer(
-    host: NodeId,
-    out: Series,
-) -> impl FnMut(&Network, Tick) + 'static {
+pub fn host_throughput_tracer(host: NodeId, out: Series) -> impl FnMut(&Network, Tick) + 'static {
     let mut last: Option<(Tick, u64)> = None;
     move |net, now| {
         let tx = net.host(host).tx_bytes;
@@ -91,9 +88,8 @@ mod tests {
 
     #[test]
     fn tracers_sample_on_schedule() {
-        let mut mk = |_: NodeId, _: usize| -> Box<dyn crate::node::Endpoint> {
-            Box::new(NullEndpoint)
-        };
+        let mut mk =
+            |_: NodeId, _: usize| -> Box<dyn crate::node::Endpoint> { Box::new(NullEndpoint) };
         let star = build_star(
             2,
             Bandwidth::gbps(25),
@@ -104,7 +100,10 @@ mod tests {
         let sw = star.switch;
         let mut sim = Simulator::new(star.net);
         let qs = series();
-        sim.add_tracer(Tick::from_micros(10), queue_tracer(sw, PortId(0), qs.clone()));
+        sim.add_tracer(
+            Tick::from_micros(10),
+            queue_tracer(sw, PortId(0), qs.clone()),
+        );
         let bs = series();
         sim.add_tracer(Tick::from_micros(10), buffer_tracer(sw, bs.clone()));
         sim.run_until(Tick::from_micros(100));

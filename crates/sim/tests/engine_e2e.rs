@@ -2,9 +2,9 @@
 //! with exact timing, INT accumulation, ECN marking, and PFC behaviour.
 
 use dcn_sim::{
-    build_dumbbell, build_star, queue_tracer, series, Dumbbell, DumbbellConfig, Endpoint,
-    EndpointCtx, EcnConfig, FlowId, NodeId, Packet, PacketKind, PfcConfig, PortId, Simulator,
-    Star, SwitchConfig, DEFAULT_MTU,
+    build_dumbbell, build_star, queue_tracer, series, Dumbbell, DumbbellConfig, EcnConfig,
+    Endpoint, EndpointCtx, FlowId, NodeId, Packet, PacketKind, PfcConfig, PortId, Simulator, Star,
+    SwitchConfig, DEFAULT_MTU,
 };
 use powertcp_core::{Bandwidth, Tick};
 use std::cell::RefCell;
@@ -125,14 +125,13 @@ fn incast_queue_builds_and_drains() {
     let sw = star.switch;
     let mut sim = Simulator::new(star.net);
     let qs = series();
-    sim.add_tracer(Tick::from_micros(2), queue_tracer(sw, PortId(0), qs.clone()));
+    sim.add_tracer(
+        Tick::from_micros(2),
+        queue_tracer(sw, PortId(0), qs.clone()),
+    );
     sim.run_until(Tick::from_millis(1));
     assert_eq!(log.arrivals.borrow().len(), 200, "all packets delivered");
-    let peak = qs
-        .borrow()
-        .iter()
-        .map(|&(_, v)| v)
-        .fold(0.0f64, f64::max);
+    let peak = qs.borrow().iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
     // 4 senders × 25G into one 25G downlink: 3/4 of arriving bytes queue.
     assert!(peak > 50_000.0, "peak queue {peak} too small");
     let last = qs.borrow().last().unwrap().1;
@@ -182,13 +181,7 @@ fn ecn_marks_are_carried_to_receiver() {
             })
         }
     };
-    let star = build_star(
-        4,
-        Bandwidth::gbps(25),
-        Tick::from_micros(1),
-        cfg,
-        &mut mk,
-    );
+    let star = build_star(4, Bandwidth::gbps(25), Tick::from_micros(1), cfg, &mut mk);
     let mut sim = Simulator::new(star.net);
     sim.run_until_idle();
     assert!(*marked.borrow() > 50, "CE marks must reach the receiver");

@@ -2,8 +2,7 @@
 //! buffer accounting, and deterministic replay under randomized traffic.
 
 use dcn_sim::{
-    build_star, Endpoint, EndpointCtx, FlowId, NodeId, Packet, PfcConfig, Simulator,
-    SwitchConfig,
+    build_star, Endpoint, EndpointCtx, FlowId, NodeId, Packet, PfcConfig, Simulator, SwitchConfig,
 };
 use powertcp_core::{Bandwidth, Tick};
 use proptest::prelude::*;
@@ -95,12 +94,10 @@ fn run_star(
 
 /// Strategy: 3-6 hosts, each with 0-4 bursts of 1-80 packets to a random
 /// other host within 200 us.
+#[allow(clippy::type_complexity)]
 fn bursts_strategy() -> impl Strategy<Value = (usize, Vec<Vec<(u64, u32, u32)>>)> {
     (3usize..=6).prop_flat_map(|n| {
-        let host_bursts = prop::collection::vec(
-            (0u64..200_000, 1u32..n as u32, 1u32..80),
-            0..4,
-        );
+        let host_bursts = prop::collection::vec((0u64..200_000, 1u32..n as u32, 1u32..80), 0..4);
         (
             Just(n),
             prop::collection::vec(host_bursts, n..=n).prop_map(move |mut v| {

@@ -25,8 +25,9 @@
 use crate::config::TransportConfig;
 use crate::flow::FlowSpec;
 use crate::metrics::SharedMetrics;
-use dcn_sim::{Endpoint, EndpointCtx, FlowId, GrantPayload, NodeId, Packet, PacketKind,
-    CTRL_PKT_BYTES};
+use dcn_sim::{
+    Endpoint, EndpointCtx, FlowId, GrantPayload, NodeId, Packet, PacketKind, CTRL_PKT_BYTES,
+};
 use powertcp_core::{Bandwidth, IntHeader, Tick};
 use std::collections::HashMap;
 
@@ -180,7 +181,11 @@ impl HomaHost {
             let len = mtu.min(s.spec.size_bytes - s.sent).min(limit - s.sent) as u32;
             let offset = s.sent;
             let unscheduled = offset < self.cfg.rtt_bytes;
-            let prio = if unscheduled { unsched_prio } else { s.sched_prio };
+            let prio = if unscheduled {
+                unsched_prio
+            } else {
+                s.sched_prio
+            };
             let pkt = Packet {
                 flow: s.spec.id,
                 src: s.spec.src,

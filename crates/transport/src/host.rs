@@ -169,7 +169,9 @@ impl TransportHost {
             let len = mtu.min(f.remaining()) as u32;
             let seq = f.snd_nxt;
             let is_last = seq + len as u64 == f.spec.size_bytes;
-            let pkt = Packet::data(f.spec.id, f.spec.src, f.spec.dst, seq, len, is_last, ctx.now);
+            let pkt = Packet::data(
+                f.spec.id, f.spec.src, f.spec.dst, seq, len, is_last, ctx.now,
+            );
             f.snd_nxt += len as u64;
             let rate = f.cc.pacing_rate();
             // Floor the pacing rate: a zero rate would wedge the flow.
@@ -350,7 +352,7 @@ impl Endpoint for TransportHost {
             K_FLOW_START => self.start_flow(idx, ctx),
             K_PACE => {
                 let f = &mut self.senders[idx];
-                if f.pace_armed_for == Some(ctx.now) || f.pace_armed_for.is_some_and(|t| t <= ctx.now) {
+                if f.pace_armed_for.is_some_and(|t| t <= ctx.now) {
                     f.pace_armed_for = None;
                 }
                 self.try_send(idx, ctx);

@@ -8,7 +8,7 @@ use crate::flow::FlowSpec;
 use dcn_sim::FlowId;
 use powertcp_core::Tick;
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// Lifecycle record of one flow.
@@ -32,9 +32,13 @@ impl FlowRecord {
 }
 
 /// Registry of all flows in an experiment.
+///
+/// Keyed by a `BTreeMap` so [`MetricsHub::records`] iterates in flow-id
+/// order: experiment reductions built on it (e.g. the `dcn-scenarios`
+/// sweep results) are byte-identical across runs and thread counts.
 #[derive(Default, Debug)]
 pub struct MetricsHub {
-    flows: HashMap<FlowId, FlowRecord>,
+    flows: BTreeMap<FlowId, FlowRecord>,
 }
 
 impl MetricsHub {
@@ -85,14 +89,18 @@ impl MetricsHub {
         self.flows.get(&id)
     }
 
-    /// All records (unordered).
+    /// All records, in flow-id order.
     pub fn records(&self) -> impl Iterator<Item = &FlowRecord> {
         self.flows.values()
     }
 
     /// Completed flow count / total.
     pub fn completion_ratio(&self) -> (usize, usize) {
-        let done = self.flows.values().filter(|r| r.completed.is_some()).count();
+        let done = self
+            .flows
+            .values()
+            .filter(|r| r.completed.is_some())
+            .count();
         (done, self.flows.len())
     }
 }

@@ -83,11 +83,7 @@ fn powertcp_two_flows_complete_and_share() {
     assert_eq!(m.completion_ratio(), (2, 2), "both flows must finish");
     // Aggregate goodput must be near the bottleneck line rate: 4 MB at
     // 25 Gbps is ~1.28 ms; allow 2x for startup/sharing losses.
-    let last_done = m
-        .records()
-        .map(|r| r.completed.unwrap())
-        .max()
-        .unwrap();
+    let last_done = m.records().map(|r| r.completed.unwrap()).max().unwrap();
     assert!(
         last_done < Tick::from_micros(2600),
         "finished too slowly: {last_done}"
@@ -101,10 +97,8 @@ fn powertcp_two_flows_complete_and_share() {
 
 #[test]
 fn theta_powertcp_two_flows_complete() {
-    let (mut sim, metrics, _qs) = dumbbell_long_flows(
-        |cfg| Box::new(theta_factory(cfg)),
-        1_000_000,
-    );
+    let (mut sim, metrics, _qs) =
+        dumbbell_long_flows(|cfg| Box::new(theta_factory(cfg)), 1_000_000);
     sim.run_until(Tick::from_millis(10));
     let m = metrics.borrow();
     assert_eq!(m.completion_ratio(), (2, 2));
@@ -145,7 +139,10 @@ fn powertcp_controls_incast_queue() {
     let sw = star.switch;
     let mut sim = Simulator::new(star.net);
     let qs = series();
-    sim.add_tracer(Tick::from_micros(5), queue_tracer(sw, PortId(0), qs.clone()));
+    sim.add_tracer(
+        Tick::from_micros(5),
+        queue_tracer(sw, PortId(0), qs.clone()),
+    );
     sim.run_until(Tick::from_millis(5));
     let m = metrics.borrow();
     assert_eq!(m.completion_ratio(), (8, 8), "all incast flows finish");
@@ -315,17 +312,12 @@ fn homa_short_message_single_rtt() {
 #[test]
 fn deterministic_replay_full_stack() {
     let run = || {
-        let (mut sim, metrics, qs) = dumbbell_long_flows(
-            |cfg| Box::new(powertcp_factory(cfg)),
-            500_000,
-        );
+        let (mut sim, metrics, qs) =
+            dumbbell_long_flows(|cfg| Box::new(powertcp_factory(cfg)), 500_000);
         sim.run_until(Tick::from_millis(5));
         let m = metrics.borrow();
         let fcts: Vec<_> = {
-            let mut v: Vec<_> = m
-                .records()
-                .map(|r| (r.spec.id, r.completed))
-                .collect();
+            let mut v: Vec<_> = m.records().map(|r| (r.spec.id, r.completed)).collect();
             v.sort_by_key(|(id, _)| *id);
             v
         };

@@ -3,23 +3,22 @@
 //! buffer starvation, and asymmetric (ACK-path) congestion.
 
 use dcn_sim::{
-    build_star, Endpoint, EndpointCtx, FlowId, NodeId, Packet, PacketKind, Simulator,
-    SwitchConfig,
+    build_star, Endpoint, EndpointCtx, FlowId, NodeId, Packet, PacketKind, Simulator, SwitchConfig,
 };
 use dcn_transport::{FlowSpec, MetricsHub, TransportConfig, TransportHost};
 use powertcp_core::{Bandwidth, CongestionControl, PowerTcp, PowerTcpConfig, Tick};
 use std::cell::RefCell;
 use std::rc::Rc;
 
-fn powertcp_host(
-    tcfg: TransportConfig,
-    metrics: dcn_transport::SharedMetrics,
-) -> TransportHost {
+fn powertcp_host(tcfg: TransportConfig, metrics: dcn_transport::SharedMetrics) -> TransportHost {
     TransportHost::new(
         tcfg,
         metrics,
         Box::new(move |_f, nic| -> Box<dyn CongestionControl> {
-            Box::new(PowerTcp::new(PowerTcpConfig::default(), tcfg.cc_context(nic)))
+            Box::new(PowerTcp::new(
+                PowerTcpConfig::default(),
+                tcfg.cc_context(nic),
+            ))
         }),
     )
 }
@@ -68,7 +67,11 @@ fn black_hole_receiver_triggers_rtos_not_hangs() {
     let m = metrics.borrow();
     let rec = m.get(FlowId(1)).unwrap();
     assert!(rec.completed.is_none(), "black hole: flow cannot finish");
-    assert!(rec.timeouts >= 3, "RTO clock must keep firing: {}", rec.timeouts);
+    assert!(
+        rec.timeouts >= 3,
+        "RTO clock must keep firing: {}",
+        rec.timeouts
+    );
     // The sender keeps retrying at a bounded rate (window collapsed), not
     // blasting: retransmitted bytes stay well under line-rate × horizon.
     assert!(rec.retransmitted_bytes < 10_000_000);
@@ -182,7 +185,10 @@ fn starved_buffer_quarter_bdp_still_completes() {
     let sw = star.switch;
     let mut sim = Simulator::new(star.net);
     sim.run_until(Tick::from_millis(60));
-    assert!(sim.net.switch(sw).total_drops() > 50, "starvation must drop");
+    assert!(
+        sim.net.switch(sw).total_drops() > 50,
+        "starvation must drop"
+    );
     let m = metrics.borrow();
     assert_eq!(m.completion_ratio(), (4, 4), "all flows must still finish");
 }

@@ -25,7 +25,9 @@ impl SizeCdf {
     pub fn new(points: Vec<CdfPoint>) -> Self {
         assert!(points.len() >= 2, "need at least two CDF points");
         assert!(
-            points.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1),
+            points
+                .windows(2)
+                .all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1),
             "CDF points must be strictly increasing in size, non-decreasing in probability"
         );
         let last = points.last().unwrap();
@@ -62,7 +64,10 @@ impl SizeCdf {
 
     /// Fixed-size "distribution" (useful for controlled experiments).
     pub fn fixed(size: u64) -> Self {
-        SizeCdf::new(vec![(size.saturating_sub(1).max(1), 0.0), (size.max(2), 1.0)])
+        SizeCdf::new(vec![
+            (size.saturating_sub(1).max(1), 0.0),
+            (size.max(2), 1.0),
+        ])
     }
 
     /// Inverse-transform sample.

@@ -57,7 +57,11 @@ pub struct PoissonConfig {
 
 /// Generate Poisson flow arrivals hitting the target load.
 pub fn poisson_flows(cfg: &PoissonConfig, map: &HostMap) -> Vec<FlowSpec> {
-    assert!(cfg.load > 0.0 && cfg.load < 1.5, "implausible load {}", cfg.load);
+    assert!(
+        cfg.load > 0.0 && cfg.load < 1.5,
+        "implausible load {}",
+        cfg.load
+    );
     assert!(map.hosts.len() >= 2);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mean_size = cfg.sizes.mean();

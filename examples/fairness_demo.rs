@@ -47,7 +47,10 @@ fn main() {
     let mut sim = Simulator::new(star.net);
     let handles: Vec<_> = senders.iter().map(|_| series()).collect();
     for (s, h) in senders.iter().zip(&handles) {
-        sim.add_tracer(Tick::from_micros(100), host_throughput_tracer(*s, h.clone()));
+        sim.add_tracer(
+            Tick::from_micros(100),
+            host_throughput_tracer(*s, h.clone()),
+        );
     }
     sim.run_until(Tick::from_millis(6));
 

@@ -5,9 +5,7 @@
 //! cargo run --release --example fluid_phase
 //! ```
 
-use powertcp::fluid::{
-    analytic_equilibrium, inflight, phase_trajectory, FluidParams, Law, State,
-};
+use powertcp::fluid::{analytic_equilibrium, inflight, phase_trajectory, FluidParams, Law, State};
 
 /// Render trajectories on a log-log grid of (window, inflight).
 fn render(law: Law, p: &FluidParams) {
@@ -33,10 +31,22 @@ fn render(law: Law, p: &FluidParams) {
         }
     }
     let starts = [
-        State { w: 12_500.0, q: 0.0 },
-        State { w: 75_000.0, q: 250_000.0 },
-        State { w: 500_000.0, q: 0.0 },
-        State { w: 1_000_000.0, q: 500_000.0 },
+        State {
+            w: 12_500.0,
+            q: 0.0,
+        },
+        State {
+            w: 75_000.0,
+            q: 250_000.0,
+        },
+        State {
+            w: 500_000.0,
+            q: 0.0,
+        },
+        State {
+            w: 1_000_000.0,
+            q: 500_000.0,
+        },
     ];
     for s0 in starts {
         let t = phase_trajectory(law, p, s0);

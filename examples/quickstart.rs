@@ -29,7 +29,10 @@ fn main() {
         let make_cc = {
             let tcfg = tcfg;
             move |_flow: FlowId, nic_bw: Bandwidth| -> Box<dyn CongestionControl> {
-                Box::new(PowerTcp::new(PowerTcpConfig::default(), tcfg.cc_context(nic_bw)))
+                Box::new(PowerTcp::new(
+                    PowerTcpConfig::default(),
+                    tcfg.cc_context(nic_bw),
+                ))
             }
         };
         let mut host = TransportHost::new(tcfg, m2.clone(), Box::new(make_cc));
@@ -74,6 +77,10 @@ fn main() {
     let q = queue.borrow();
     let avg = q.iter().map(|&(_, v)| v).sum::<f64>() / q.len() as f64;
     let peak = q.iter().map(|&(_, v)| v).fold(0.0, f64::max);
-    println!("\nbottleneck queue: avg {:.1} KB, peak {:.1} KB", avg / 1e3, peak / 1e3);
+    println!(
+        "\nbottleneck queue: avg {:.1} KB, peak {:.1} KB",
+        avg / 1e3,
+        peak / 1e3
+    );
     println!("(PowerTCP's equilibrium queue is the aggregate additive increase β̂ — near zero)");
 }

@@ -38,7 +38,10 @@ fn main() {
             ..TransportConfig::default()
         };
         let make_cc = move |_f: FlowId, nic: Bandwidth| -> Box<dyn CongestionControl> {
-            Box::new(PowerTcp::new(PowerTcpConfig::default(), tcfg.cc_context(nic)))
+            Box::new(PowerTcp::new(
+                PowerTcpConfig::default(),
+                tcfg.cc_context(nic),
+            ))
         };
         let mut host = TransportHost::new(tcfg, m2.clone(), Box::new(make_cc));
         let rack = idx / h;
@@ -94,7 +97,10 @@ fn main() {
     sim.run_until(horizon);
 
     println!("rack-0 → rack-1 egress over two rotor weeks (day = circuit up):\n");
-    println!("{:>10} {:>12} {:>10} phase", "time (us)", "Gbps", "VOQ (KB)");
+    println!(
+        "{:>10} {:>12} {:>10} phase",
+        "time (us)", "Gbps", "VOQ (KB)"
+    );
     for (i, &(t, g)) in thr.borrow().iter().enumerate() {
         if i % 8 != 0 {
             continue;

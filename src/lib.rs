@@ -42,9 +42,8 @@ pub mod prelude {
     };
     pub use dcn_sim::{
         build_dumbbell, build_fat_tree, build_star, queue_tracer, series, throughput_tracer,
-        Dumbbell, DumbbellConfig, EcnConfig, Endpoint, EndpointCtx, FatTree, FatTreeConfig,
-        FlowId, Network, NodeId, Packet, PacketKind, PfcConfig, PortId, Simulator, Star,
-        SwitchConfig,
+        Dumbbell, DumbbellConfig, EcnConfig, Endpoint, EndpointCtx, FatTree, FatTreeConfig, FlowId,
+        Network, NodeId, Packet, PacketKind, PfcConfig, PortId, Simulator, Star, SwitchConfig,
     };
     pub use dcn_stats::{ideal_fct, jain_index, percentile, slowdown, Cdf, Summary};
     pub use dcn_transport::{

@@ -20,11 +20,7 @@ fn star_incast_queue(
     let make_cc = std::rc::Rc::new(make_cc);
     let mut mk = move |id: NodeId, idx: usize| -> Box<dyn Endpoint> {
         let mc = make_cc.clone();
-        let mut host = TransportHost::new(
-            tcfg,
-            m2.clone(),
-            Box::new(move |_f, nic| mc(tcfg, nic)),
-        );
+        let mut host = TransportHost::new(tcfg, m2.clone(), Box::new(move |_f, nic| mc(tcfg, nic)));
         if idx >= 1 {
             host.add_flow(FlowSpec {
                 id: FlowId(idx as u64),
@@ -46,7 +42,10 @@ fn star_incast_queue(
     let sw = star.switch;
     let mut sim = Simulator::new(star.net);
     let qs = series();
-    sim.add_tracer(Tick::from_micros(10), queue_tracer(sw, PortId(0), qs.clone()));
+    sim.add_tracer(
+        Tick::from_micros(10),
+        queue_tracer(sw, PortId(0), qs.clone()),
+    );
     sim.run_until(Tick::from_millis(8));
     let peak = qs.borrow().iter().map(|&(_, v)| v).fold(0.0, f64::max);
     // Steady-state window: [2ms, 3.5ms] — past the start-up transient,
@@ -66,7 +65,12 @@ fn powertcp_beats_timely_on_steady_state_queue() {
     // §2's thesis end-to-end: power-based CC controls the absolute queue;
     // gradient-based CC does not.
     let (_, p_steady, pm) = star_incast_queue(
-        |tcfg, nic| Box::new(PowerTcp::new(PowerTcpConfig::default(), tcfg.cc_context(nic))),
+        |tcfg, nic| {
+            Box::new(PowerTcp::new(
+                PowerTcpConfig::default(),
+                tcfg.cc_context(nic),
+            ))
+        },
         8,
         1_500_000,
     );
@@ -153,7 +157,10 @@ fn powertcp_requires_int_and_holds_without_it() {
             tcfg,
             m2.clone(),
             Box::new(move |_f, nic| -> Box<dyn CongestionControl> {
-                Box::new(PowerTcp::new(PowerTcpConfig::default(), tcfg.cc_context(nic)))
+                Box::new(PowerTcp::new(
+                    PowerTcpConfig::default(),
+                    tcfg.cc_context(nic),
+                ))
             }),
         );
         if idx == 1 {
@@ -200,7 +207,10 @@ fn fluid_and_packet_models_agree_on_equilibrium() {
             tcfg,
             m2.clone(),
             Box::new(move |_f, nic| -> Box<dyn CongestionControl> {
-                Box::new(PowerTcp::new(PowerTcpConfig::default(), tcfg.cc_context(nic)))
+                Box::new(PowerTcp::new(
+                    PowerTcpConfig::default(),
+                    tcfg.cc_context(nic),
+                ))
             }),
         );
         if idx == 0 {
@@ -284,7 +294,10 @@ fn workload_generator_drives_fat_tree_experiment() {
             tcfg,
             m2.clone(),
             Box::new(move |_f, nic| -> Box<dyn CongestionControl> {
-                Box::new(PowerTcp::new(PowerTcpConfig::default(), tcfg.cc_context(nic)))
+                Box::new(PowerTcp::new(
+                    PowerTcpConfig::default(),
+                    tcfg.cc_context(nic),
+                ))
             }),
         );
         for f in &per_host[idx] {
@@ -318,7 +331,10 @@ fn deterministic_across_full_public_api() {
     let run = || {
         let (peak, tail, m) = star_incast_queue(
             |tcfg, nic| {
-                Box::new(PowerTcp::new(PowerTcpConfig::default(), tcfg.cc_context(nic)))
+                Box::new(PowerTcp::new(
+                    PowerTcpConfig::default(),
+                    tcfg.cc_context(nic),
+                ))
             },
             6,
             700_000,
