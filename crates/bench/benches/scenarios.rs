@@ -1,13 +1,28 @@
 //! Criterion benchmarks of scaled-down paper scenarios — one per figure
 //! family, so regressions in any experiment path are caught by
-//! `cargo bench`. (Full-size regeneration lives in the `fig*` binaries.)
+//! `cargo bench`. (Full-size regeneration lives in the `fig*` binaries
+//! and the built-in `xp` scenario specs.)
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use dcn_scenarios::{run_trace_entry, trace_entries, ScenarioSpec, TraceScenario, TraceSpec};
 use fluid_model::{phase_portrait, FluidParams, Law};
-use powertcp_bench::timeseries::{run_fairness_series, run_incast_series, run_rdcn_series};
 use powertcp_bench::{run_fct_experiment, Algo, Scale};
-use powertcp_core::{Bandwidth, Tick};
 use std::hint::black_box;
+
+/// A small timeseries spec for benchmarking one trace entry.
+fn trace_spec(scenario: TraceScenario, horizon_ms: f64) -> ScenarioSpec {
+    ScenarioSpec::timeseries(
+        "bench",
+        TraceSpec {
+            scenario,
+            tick_us: 20.0,
+            max_samples: 4096,
+            max_rows: 60,
+        },
+    )
+    .algos([Algo::PowerTcp])
+    .horizon_ms(horizon_ms)
+}
 
 fn bench_scenarios(c: &mut Criterion) {
     let mut group = c.benchmark_group("scenarios");
@@ -19,16 +34,33 @@ fn bench_scenarios(c: &mut Criterion) {
     });
 
     group.bench_function("fig4_incast_10to1_powertcp", |b| {
+        let spec = trace_spec(
+            TraceScenario::Incast {
+                fan_in: 10,
+                burst_bytes: 50_000,
+                at_ms: 1.0,
+            },
+            2.0,
+        );
+        let entries = trace_entries(&spec);
         b.iter(|| {
-            let r = run_incast_series(Algo::PowerTcp, 10, 50_000, Tick::from_millis(2));
-            black_box(r.peak_queue)
+            let e = run_trace_entry(&spec, &entries[0]);
+            black_box(e.stat("peak_queue_bytes"))
         })
     });
 
     group.bench_function("fig5_fairness_powertcp", |b| {
+        let spec = trace_spec(
+            TraceScenario::Fairness {
+                flows: 4,
+                stagger_ms: 1.0,
+            },
+            4.0,
+        );
+        let entries = trace_entries(&spec);
         b.iter(|| {
-            let r = run_fairness_series(Algo::PowerTcp, Tick::from_millis(4));
-            black_box(r.jain_all_active)
+            let e = run_trace_entry(&spec, &entries[0]);
+            black_box(e.stat("jain_all_active"))
         })
     });
 
@@ -40,9 +72,18 @@ fn bench_scenarios(c: &mut Criterion) {
     });
 
     group.bench_function("fig8_rdcn_one_week_powertcp", |b| {
+        let spec = trace_spec(
+            TraceScenario::Rdcn {
+                weeks: 1,
+                packet_gbps: 25.0,
+                retcp_prebuffer_us: vec![],
+            },
+            4.0,
+        );
+        let entries = trace_entries(&spec);
         b.iter(|| {
-            let r = run_rdcn_series(Algo::PowerTcp, Tick::ZERO, Bandwidth::gbps(25), 1);
-            black_box(r.day_utilization)
+            let e = run_trace_entry(&spec, &entries[0]);
+            black_box(e.stat("day_utilization"))
         })
     });
 

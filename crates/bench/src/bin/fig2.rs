@@ -1,85 +1,26 @@
 //! Figure 2: orthogonal responses of voltage- and current-based CC.
 //!
-//! Regenerates the three panels analytically (the paper derives them from
-//! the simplified control-law model, §2.2):
-//!   2a — multiplicative decrease vs queue buildup rate,
-//!   2b — multiplicative decrease vs queue length,
-//!   2c — the three-case blind-spot table (voltage 3.24/2.12/2.12,
-//!        current 9/1/9).
+//! Thin front-end over the built-in `fig2` timeseries spec
+//! (`xp run fig2` is equivalent): the analytic MD response curves and the
+//! three-case blind-spot table from the fluid model (§2.2).
 
-use fluid_model::{current_md, fig2c_cases, voltage_md};
+use dcn_scenarios::{builtin, run_trace};
 use powertcp_bench::table;
 
 fn main() {
-    table::header(
-        "Figure 2a",
-        "multiplicative decrease vs queue buildup rate (x bandwidth)",
-    );
-    let rows: Vec<Vec<String>> = (0..=8)
-        .map(|r| {
-            let r = r as f64;
-            vec![
-                table::f(r),
-                table::f(voltage_md(1.0)),
-                table::f(current_md(r)),
-            ]
-        })
-        .collect();
-    table::table(
-        &["qdot (x bandwidth)", "voltage-based MD", "current-based MD"],
-        &rows,
-    );
-    table::paper_note(
-        "voltage-based CC is flat (oblivious to buildup rate); \
-         current-based CC rises linearly 1→9 over rates 0→8x",
-    );
-
-    table::header(
-        "Figure 2b",
-        "multiplicative decrease vs queue length (packets of 1KB, BDP = 20 pkts)",
-    );
-    let bdp_pkts = 20.0;
-    let rows: Vec<Vec<String>> = (0..=6)
-        .map(|i| {
-            let q_pkts = i as f64 * 10.0;
-            vec![
-                table::f(q_pkts),
-                table::f(voltage_md(q_pkts / bdp_pkts)),
-                table::f(current_md(0.0)),
-            ]
-        })
-        .collect();
-    table::table(
-        &["queue (packets)", "voltage-based MD", "current-based MD"],
-        &rows,
-    );
-    table::paper_note(
-        "current-based CC is flat at 1 (oblivious to queue length); \
-         voltage-based CC rises linearly ~1→4 over 0→60 pkts",
-    );
-
-    table::header(
-        "Figure 2c",
-        "three scenarios the classes cannot distinguish",
-    );
-    let rows: Vec<Vec<String>> = fig2c_cases()
-        .iter()
-        .map(|c| {
-            vec![
-                c.label.to_string(),
-                table::f(c.voltage()),
-                table::f(c.current()),
-                table::f(c.power()),
-            ]
-        })
-        .collect();
-    table::table(
-        &["case", "voltage MD", "current MD", "power MD (PowerTCP)"],
-        &rows,
-    );
+    let spec = builtin("fig2").expect("builtin fig2");
+    let report = run_trace(&spec, 1).expect("fig2 trace");
+    println!("{}", report.table());
     table::paper_note(
         "paper annotates voltage 3.24 / 2.12 / 2.12 and current 9 / 1 / 9: \
          voltage cannot tell case-2 from case-3, current cannot tell case-1 \
          from case-3; only power separates all three",
+    );
+    // The response curves themselves (2a/2b), as long-format CSV.
+    print!("{}", report.to_csv());
+    table::paper_note(
+        "voltage-based CC is flat vs buildup rate but linear in queue \
+         length; current-based CC is the transpose — each is blind to the \
+         other's axis",
     );
 }

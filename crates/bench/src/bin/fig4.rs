@@ -1,73 +1,41 @@
-//! Figure 4: reaction to 10:1 and 255:1 incast — throughput and
-//! bottleneck queue time series for each protocol.
+//! Figure 4: reaction to 10:1 and large incast — throughput, bottleneck
+//! queue, long-flow cwnd, and PowerTCP Γ traces for each protocol.
 //!
-//! Usage: `fig4 [--full]` — `--full` runs the 255:1 fan-in at full size
-//! (the default uses 63:1 to keep the run short; pass --full for 255).
+//! Thin front-end over the built-in `fig4` timeseries spec (`xp run fig4`
+//! regenerates the top row): the bottom row reruns the same spec with the
+//! large fan-in. Usage: `fig4 [--full]` — `--full` runs the 255:1 fan-in
+//! at full size (the default uses 63:1 to keep the run short).
 
-use powertcp_bench::timeseries::run_incast_series;
-use powertcp_bench::{table, Algo};
-use powertcp_core::Tick;
+use dcn_scenarios::{builtin, run_trace, TraceScenario};
+use powertcp_bench::table;
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
-    let large_fan_in = if full { 255 } else { 63 };
-    let horizon = Tick::from_millis(5);
-    let algos = [
-        Algo::PowerTcp,
-        Algo::ThetaPowerTcp,
-        Algo::Timely,
-        Algo::Hpcc,
-        Algo::Homa(1),
-        Algo::Dcqcn,
-    ];
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
-    for (label, fan_in, burst) in [
-        ("Figure 4 top row — 10:1 incast", 10, 150_000u64),
-        (
-            "Figure 4 bottom row — large incast",
-            large_fan_in,
-            60_000u64,
-        ),
-    ] {
-        table::header(label, &format!("{fan_in}:1 incast onto a 25G downlink"));
-        let mut rows = Vec::new();
-        for algo in algos {
-            let r = run_incast_series(algo, fan_in, burst, horizon);
-            rows.push(vec![
-                r.algo.clone(),
-                table::f(r.peak_queue / 1000.0),
-                table::f(r.tail_queue_mean / 1000.0),
-                table::f(r.post_min_throughput),
-                table::f(r.tail_throughput_mean),
-                r.drops.to_string(),
-            ]);
-            table::series_csv(
-                &format!("{label} / {} queue", r.algo),
-                "KB",
-                &r.queue
-                    .iter()
-                    .map(|&(t, v)| (t, v / 1000.0))
-                    .collect::<Vec<_>>(),
-                40,
-            );
-        }
-        table::table(
-            &[
-                "protocol",
-                "peak queue (KB)",
-                "tail queue mean (KB)",
-                "recovery min thr (Gbps)",
-                "tail throughput (Gbps)",
-                "drops",
-            ],
-            &rows,
-        );
-        table::paper_note(
-            "PowerTCP and theta-PowerTCP mitigate the incast and converge to \
-             near-zero queue without losing throughput; HPCC reaches ~2x \
-             PowerTCP's buffer peak and loses throughput after the incast; \
-             TIMELY does not control queue length; HOMA sustains throughput \
-             but holds ~500KB more queue and converges slowly",
-        );
+    let top = builtin("fig4").expect("builtin fig4");
+    let large_fan_in = if full { 255 } else { 63 };
+    let mut bottom = top
+        .clone()
+        .describe("large incast onto a 25G downlink (paper Figure 4 bottom row)")
+        .trace_scenario(TraceScenario::Incast {
+            fan_in: large_fan_in,
+            burst_bytes: 60_000,
+            at_ms: 1.0,
+        });
+    bottom.name = "fig4-large".into();
+
+    for spec in [top, bottom] {
+        let report = run_trace(&spec, threads).expect("fig4 trace");
+        println!("{}", report.table());
     }
+    table::paper_note(
+        "PowerTCP and theta-PowerTCP mitigate the incast and converge to \
+         near-zero queue without losing throughput; HPCC loses throughput \
+         after the incast (low recovery minimum); TIMELY does not control \
+         queue length; HOMA sustains throughput but holds more queue and \
+         converges slowly",
+    );
 }

@@ -1,56 +1,19 @@
 //! Figure 5: fairness and stability — four flows joining a shared 25G
 //! bottleneck at 1 ms intervals.
+//!
+//! Thin front-end over the built-in `fig5` timeseries spec (`xp run fig5`
+//! is equivalent; add `--csv trace.csv` there for the per-flow series).
 
-use powertcp_bench::timeseries::run_fairness_series;
-use powertcp_bench::{table, Algo};
-use powertcp_core::Tick;
+use dcn_scenarios::{builtin, run_trace};
+use powertcp_bench::table;
 
 fn main() {
-    let horizon = Tick::from_millis(6);
-    let algos = [
-        Algo::PowerTcp,
-        Algo::Homa(1),
-        Algo::ThetaPowerTcp,
-        Algo::Timely,
-    ];
-    table::header(
-        "Figure 5",
-        "fairness & stability: 4 staggered flows on one 25G bottleneck",
-    );
-    let mut rows = Vec::new();
-    for algo in algos {
-        let r = run_fairness_series(algo, horizon);
-        // Mean per-flow share in the all-active window.
-        let shares: Vec<String> = r
-            .flows
-            .iter()
-            .map(|f| {
-                let tail: Vec<f64> = f
-                    .iter()
-                    .filter(|(t, _)| *t >= Tick::from_micros(3_200))
-                    .map(|&(_, v)| v)
-                    .collect();
-                let m = if tail.is_empty() {
-                    0.0
-                } else {
-                    tail.iter().sum::<f64>() / tail.len() as f64
-                };
-                table::f(m)
-            })
-            .collect();
-        rows.push(vec![
-            r.algo.clone(),
-            shares.join(" / "),
-            table::f(r.jain_all_active),
-        ]);
-        for (i, f) in r.flows.iter().enumerate() {
-            table::series_csv(&format!("{} flow-{}", r.algo, i + 1), "Gbps", f, 30);
-        }
-    }
-    table::table(
-        &["protocol", "per-flow mean Gbps (all active)", "Jain index"],
-        &rows,
-    );
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let spec = builtin("fig5").expect("builtin fig5");
+    let report = run_trace(&spec, threads).expect("fig5 trace");
+    println!("{}", report.table());
     table::paper_note(
         "PowerTCP stabilizes to a fair share quickly on flow arrival and \
          departure (Jain ≈ 1); TIMELY shares poorly (no unique equilibrium); \

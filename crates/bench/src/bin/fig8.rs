@@ -1,15 +1,34 @@
 //! Figure 8: the reconfigurable-datacenter case study.
 //!
-//! 8a — time series of rack-pair throughput and VOQ occupancy for
-//!      PowerTCP, reTCP (with prebuffering), and HPCC over the rotor
-//!      schedule (225 µs days / 20 µs nights);
-//! 8b — tail VOQ queueing latency vs packet-network bandwidth.
+//! Thin front-end over the built-in `fig8` timeseries spec (`xp run fig8`
+//! regenerates panel 8a):
+//!
+//! 8a — rack-pair throughput and VOQ occupancy over the rotor schedule
+//!      for PowerTCP, reTCP (600/1800 µs prebuffering), and HPCC;
+//! 8b — tail VOQ queueing latency vs packet-network bandwidth (reruns the
+//!      spec at 25G and 50G).
 //!
 //! Usage: `fig8 [--panel series|tail|all] [--weeks N]`
 
-use powertcp_bench::timeseries::{run_rdcn_series, tail_latency_us};
-use powertcp_bench::{table, Algo};
-use powertcp_core::{Bandwidth, Tick};
+use dcn_scenarios::{builtin, run_trace, ScenarioKind, ScenarioSpec, TraceScenario};
+use powertcp_bench::table;
+
+/// The built-in spec with `weeks` / `packet_gbps` overridden.
+fn spec_with(weeks_override: u64, packet_gbps_override: f64) -> ScenarioSpec {
+    let mut spec = builtin("fig8").expect("builtin fig8");
+    let ScenarioKind::Timeseries(trace) = &mut spec.kind else {
+        unreachable!("fig8 is a timeseries spec");
+    };
+    let TraceScenario::Rdcn {
+        weeks, packet_gbps, ..
+    } = &mut trace.scenario
+    else {
+        unreachable!("fig8 is the rdcn trace");
+    };
+    *weeks = weeks_override;
+    *packet_gbps = packet_gbps_override;
+    spec
+}
 
 fn main() {
     let argv: Vec<String> = std::env::args().collect();
@@ -30,56 +49,13 @@ fn main() {
         }
         i += 1;
     }
-
-    // The paper's lineup: PowerTCP, reTCP (600us and 1800us prebuffering),
-    // HPCC. reTCP-1800us follows the reTCP paper's suggestion; 600us is
-    // the PowerTCP authors' sweep-derived minimum for their topology.
-    let lineup = [
-        (Algo::PowerTcp, Tick::ZERO),
-        (Algo::ReTcp, Tick::from_micros(600)),
-        (Algo::ReTcp, Tick::from_micros(1800)),
-        (Algo::Hpcc, Tick::ZERO),
-    ];
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
     if panel == "series" || panel == "all" {
-        table::header(
-            "Figure 8a",
-            "rack-pair throughput and VOQ occupancy over the rotor schedule",
-        );
-        let mut rows = Vec::new();
-        for (algo, prebuffer) in lineup {
-            let r = run_rdcn_series(algo, prebuffer, Bandwidth::gbps(25), weeks);
-            rows.push(vec![
-                r.label.clone(),
-                format!("{:.0}%", r.day_utilization * 100.0),
-                table::f(r.mean_throughput),
-                table::f(tail_latency_us(&r.latency, 99.0)),
-            ]);
-            table::series_csv(
-                &format!("{} throughput", r.label),
-                "Gbps",
-                &r.throughput,
-                50,
-            );
-            table::series_csv(
-                &format!("{} VOQ", r.label),
-                "KB",
-                &r.voq
-                    .iter()
-                    .map(|&(t, v)| (t, v / 1000.0))
-                    .collect::<Vec<_>>(),
-                50,
-            );
-        }
-        table::table(
-            &[
-                "protocol",
-                "circuit-day utilization",
-                "mean goodput (Gbps)",
-                "p99 VOQ wait (us)",
-            ],
-            &rows,
-        );
+        let report = run_trace(&spec_with(weeks, 25.0), threads).expect("fig8a trace");
+        println!("{}", report.table());
         table::paper_note(
             "reTCP fills the circuit instantly but pays prebuffered queueing \
              (high latency); HPCC keeps the VOQ short but underuses the \
@@ -94,14 +70,14 @@ fn main() {
             "tail VOQ queueing latency vs packet-network bandwidth",
         );
         let mut rows = Vec::new();
-        for pkt_gbps in [25u64, 50] {
-            for (algo, prebuffer) in lineup {
-                let r = run_rdcn_series(algo, prebuffer, Bandwidth::gbps(pkt_gbps), weeks);
+        for pkt_gbps in [25.0, 50.0] {
+            let report = run_trace(&spec_with(weeks, pkt_gbps), threads).expect("fig8b trace");
+            for e in &report.entries {
                 rows.push(vec![
-                    format!("{pkt_gbps}G"),
-                    r.label.clone(),
-                    table::f(tail_latency_us(&r.latency, 99.0)),
-                    table::f(tail_latency_us(&r.latency, 99.9)),
+                    format!("{pkt_gbps:.0}G"),
+                    e.label.clone(),
+                    table::f(e.stat("p99_voq_wait_us").unwrap_or(0.0)),
+                    table::f(e.stat("p999_voq_wait_us").unwrap_or(0.0)),
                 ]);
             }
         }

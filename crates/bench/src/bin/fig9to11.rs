@@ -1,11 +1,28 @@
 //! Figures 9–11 (Appendix D): HOMA at overcommitment levels 1–6 —
 //! fairness (Fig. 9), 255:1 incast (Fig. 10), and 10:1 incast (Fig. 11).
 //!
+//! Thin front-end over `timeseries` scenario specs (the FCT-statistics
+//! view of the same sweep is the built-in `fig9to11` spec).
+//!
 //! Usage: `fig9to11 [--panel fairness|incast255|incast10|all] [--full]`
 
-use powertcp_bench::timeseries::{run_fairness_series, run_incast_series};
-use powertcp_bench::{table, Algo};
-use powertcp_core::Tick;
+use dcn_scenarios::{run_trace, Algo, ScenarioSpec, TraceScenario, TraceSpec};
+use powertcp_bench::table;
+
+fn homa_trace(name: &str, scenario: TraceScenario, horizon_ms: f64) -> ScenarioSpec {
+    ScenarioSpec::timeseries(
+        name,
+        TraceSpec {
+            scenario,
+            tick_us: 20.0,
+            max_samples: 4096,
+            max_rows: 120,
+        },
+    )
+    .describe("HOMA at overcommitment 1-6")
+    .algos((1..=6).map(Algo::Homa))
+    .horizon_ms(horizon_ms)
+}
 
 fn main() {
     let argv: Vec<String> = std::env::args().collect();
@@ -19,16 +36,21 @@ fn main() {
         }
         i += 1;
     }
-    let ocs = 1..=6usize;
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
     if panel == "fairness" || panel == "all" {
-        table::header("Figure 9", "HOMA fairness at overcommitment 1-6");
-        let mut rows = Vec::new();
-        for oc in ocs.clone() {
-            let r = run_fairness_series(Algo::Homa(oc), Tick::from_millis(6));
-            rows.push(vec![oc.to_string(), table::f(r.jain_all_active)]);
-        }
-        table::table(&["overcommitment", "Jain index (all active)"], &rows);
+        let spec = homa_trace(
+            "fig9",
+            TraceScenario::Fairness {
+                flows: 4,
+                stagger_ms: 1.0,
+            },
+            6.0,
+        );
+        let report = run_trace(&spec, threads).expect("fig9 trace");
+        println!("{}", report.table());
         table::paper_note(
             "overcommitment 1 serializes messages (SRPT — poor instantaneous \
              fairness); higher levels share the receiver downlink across \
@@ -37,45 +59,24 @@ fn main() {
     }
 
     let big = if full { 255 } else { 63 };
-    for (name, fan_in, burst) in [
-        ("Figure 10", big, 60_000u64),
-        ("Figure 11", 10usize, 150_000u64),
+    for (name, want, fan_in, burst) in [
+        ("fig10", "incast255", big, 60_000u64),
+        ("fig11", "incast10", 10usize, 150_000u64),
     ] {
-        if panel != "all" {
-            let want = if name == "Figure 10" {
-                "incast255"
-            } else {
-                "incast10"
-            };
-            if panel != want {
-                continue;
-            }
+        if panel != "all" && panel != want {
+            continue;
         }
-        table::header(
+        let spec = homa_trace(
             name,
-            &format!("HOMA {fan_in}:1 incast at overcommitment 1-6"),
+            TraceScenario::Incast {
+                fan_in,
+                burst_bytes: burst,
+                at_ms: 1.0,
+            },
+            5.0,
         );
-        let mut rows = Vec::new();
-        for oc in ocs.clone() {
-            let r = run_incast_series(Algo::Homa(oc), fan_in, burst, Tick::from_millis(5));
-            rows.push(vec![
-                oc.to_string(),
-                table::f(r.peak_queue / 1000.0),
-                table::f(r.tail_queue_mean / 1000.0),
-                table::f(r.tail_throughput_mean),
-                r.drops.to_string(),
-            ]);
-        }
-        table::table(
-            &[
-                "overcommitment",
-                "peak queue (KB)",
-                "tail queue mean (KB)",
-                "tail throughput (Gbps)",
-                "drops",
-            ],
-            &rows,
-        );
+        let report = run_trace(&spec, threads).expect("incast trace");
+        println!("{}", report.table());
         table::paper_note(
             "queue occupancy grows with the overcommitment level (more \
              concurrently granted senders); throughput is sustained at all \

@@ -1,17 +1,17 @@
 //! # powertcp-bench
 //!
-//! The evaluation harness: experiment runners (fat-tree FCT sweeps, incast
-//! and fairness time series, RDCN case study) shared by the per-figure
-//! regeneration binaries (`fig2` … `fig9to11`, `theorems`) and the
-//! Criterion benches. See `EXPERIMENTS.md` for the experiment ↔ figure
-//! mapping and recorded results.
+//! The evaluation harness: per-figure regeneration binaries
+//! (`fig2` … `fig9to11`, `theorems`) and the Criterion benches. See
+//! `EXPERIMENTS.md` for the experiment ↔ figure mapping and recorded
+//! results.
 //!
-//! The algorithm registry and the FCT experiment engine live in
-//! `dcn-scenarios` (the declarative spec + sweep subsystem; see
-//! `DESIGN.md`); this crate re-exports them under their original paths
-//! and keeps the time-series and fluid-model experiments the figures
-//! also need. Prefer expressing new experiments as scenario specs run
-//! via `xp run` over adding binaries here.
+//! The experiment engines live in `dcn-scenarios` (the declarative spec +
+//! sweep/trace subsystem; see `DESIGN.md`): the algorithm registry and
+//! FCT engine are re-exported here under their original paths, and the
+//! time-series experiments (fig2/fig4/fig5/fig8) run through built-in
+//! `timeseries` scenario specs — their binaries are thin front-ends over
+//! `dcn_scenarios::run_trace`. Prefer expressing new experiments as
+//! scenario specs run via `xp run` over adding binaries here.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,7 +19,6 @@
 pub mod algo;
 pub mod runner;
 pub mod table;
-pub mod timeseries;
 
 pub use algo::Algo;
 pub use runner::{run_fct_experiment, FctResult, IncastOverlay, Scale, SIZE_BUCKETS};

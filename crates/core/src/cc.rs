@@ -129,6 +129,13 @@ pub trait CongestionControl {
     /// Current pacing rate.
     fn pacing_rate(&self) -> Bandwidth;
 
+    /// The smoothed normalized power estimate Γ this algorithm currently
+    /// holds, if it is power-based (PowerTCP / θ-PowerTCP). Telemetry
+    /// probes sample this; `None` for every other algorithm.
+    fn norm_power(&self) -> Option<f64> {
+        None
+    }
+
     /// Short algorithm name for reports ("powertcp", "hpcc", ...).
     fn name(&self) -> &'static str;
 }

@@ -66,11 +66,6 @@ impl PowerTcp {
             .unwrap_or_else(|| self.ctx.beta_bytes())
     }
 
-    /// Smoothed normalized power currently held (diagnostics).
-    pub fn norm_power(&self) -> f64 {
-        self.estimator.smoothed()
-    }
-
     fn update_window(&mut self, norm_power: f64, ack: &AckInfo<'_>) {
         let gamma = self.cfg.gamma;
         let new = gamma * (self.cwnd_old / norm_power + self.beta()) + (1.0 - gamma) * self.cwnd;
@@ -122,6 +117,10 @@ impl CongestionControl for PowerTcp {
 
     fn pacing_rate(&self) -> Bandwidth {
         rate_from_cwnd(self.cwnd, self.ctx.base_rtt, self.ctx.host_bw)
+    }
+
+    fn norm_power(&self) -> Option<f64> {
+        Some(self.estimator.smoothed())
     }
 
     fn name(&self) -> &'static str {

@@ -70,11 +70,6 @@ impl ThetaPowerTcp {
             .unwrap_or_else(|| self.ctx.beta_bytes())
     }
 
-    /// Smoothed normalized power (diagnostics).
-    pub fn norm_power(&self) -> f64 {
-        self.smoothed_power
-    }
-
     /// NORMPOWER of Algorithm 2: `Γ_norm = (θ̇ + 1) · θ / τ`, smoothed over
     /// one base RTT.
     fn measure_power(&mut self, now: Tick, rtt: Tick) -> Option<f64> {
@@ -137,6 +132,10 @@ impl CongestionControl for ThetaPowerTcp {
 
     fn pacing_rate(&self) -> Bandwidth {
         rate_from_cwnd(self.cwnd, self.ctx.base_rtt, self.ctx.host_bw)
+    }
+
+    fn norm_power(&self) -> Option<f64> {
+        Some(self.smoothed_power)
     }
 
     fn name(&self) -> &'static str {

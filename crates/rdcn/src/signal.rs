@@ -105,6 +105,10 @@ impl Endpoint for CircuitAwareHost {
             self.inner.on_timer(key, ctx);
         }
     }
+
+    fn cc_samples(&self, out: &mut Vec<dcn_sim::CcFlowSample>) {
+        self.inner.cc_samples(out);
+    }
 }
 
 #[cfg(test)]

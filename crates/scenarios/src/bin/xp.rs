@@ -3,23 +3,28 @@
 //! ```text
 //! xp list                         # built-in scenarios
 //! xp show <name>                  # print a built-in spec as TOML
-//! xp run <spec.toml | name>       # execute a sweep
+//! xp run <spec.toml | name>       # execute a sweep or trace scenario
 //!        [--threads N]            # worker threads (default: all cores)
 //!        [--json FILE | -]        # write JSON results (- = stdout)
-//!        [--csv FILE | -]         # write CSV aggregates (- = stdout)
+//!        [--csv FILE | -]         # write CSV results (- = stdout)
 //!        [--seeds a,b,c]          # override the spec's seed grid
+//! xp diff <a.json> <b.json>       # compare two JSON reports
+//!        [--tol X]                # relative drift tolerance (default 0)
 //! ```
 //!
 //! Results are deterministic: the same spec produces byte-identical JSON
-//! at any `--threads` value.
+//! at any `--threads` value. `xp diff` exits 0 when the reports match
+//! within tolerance and 1 on drift — regression comparison across PRs is
+//! `xp run fig8 --json new.json && xp diff baseline.json new.json`.
 
-use dcn_scenarios::{builtin, builtin_specs, run_sweep, ScenarioSpec};
+use dcn_scenarios::{builtin, builtin_specs, diff_reports, run_scenario, ScenarioSpec};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  xp list\n  xp show <name>\n  xp run <spec.toml | name> \
-         [--threads N] [--json FILE|-] [--csv FILE|-] [--seeds a,b,c]"
+         [--threads N] [--json FILE|-] [--csv FILE|-] [--seeds a,b,c]\n  \
+         xp diff <a.json> <b.json> [--tol X]"
     );
     ExitCode::from(2)
 }
@@ -33,6 +38,7 @@ fn main() -> ExitCode {
             None => usage(),
         },
         Some("run") => run(&args[1..]),
+        Some("diff") => diff(&args[1..]),
         _ => usage(),
     }
 }
@@ -165,13 +171,23 @@ fn run(args: &[String]) -> ExitCode {
         spec = spec.seeds(seeds);
     }
     eprintln!(
-        "running scenario {:?}: {} points on {} thread(s)...",
+        "running {} scenario {:?}: {} {} on {} thread(s)...",
+        if spec.trace().is_some() {
+            "trace"
+        } else {
+            "sweep"
+        },
         spec.name,
         spec.num_points(),
+        if spec.trace().is_some() {
+            "entries"
+        } else {
+            "points"
+        },
         parsed.threads
     );
     let t0 = std::time::Instant::now();
-    let result = match run_sweep(&spec, parsed.threads) {
+    let result = match run_scenario(&spec, parsed.threads) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
@@ -193,4 +209,75 @@ fn run(args: &[String]) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// `xp diff a.json b.json [--tol X]`: exit 0 when the reports match
+/// within the relative tolerance, 1 on drift, 2 on usage/IO errors.
+fn diff(args: &[String]) -> ExitCode {
+    let mut files: Vec<&String> = Vec::new();
+    let mut tol = 0.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tol" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    eprintln!("error: --tol needs a value");
+                    return usage();
+                };
+                tol = match v.parse::<f64>() {
+                    Ok(t) if t >= 0.0 && t.is_finite() => t,
+                    _ => {
+                        eprintln!("error: --tol expects a non-negative number");
+                        return usage();
+                    }
+                };
+            }
+            other if !other.starts_with("--") => files.push(&args[i]),
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                return usage();
+            }
+        }
+        i += 1;
+    }
+    let [a, b] = files.as_slice() else {
+        eprintln!("error: diff takes exactly two report files");
+        return usage();
+    };
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"));
+    let (sa, sb) = match (read(a), read(b)) {
+        (Ok(x), Ok(y)) => (x, y),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match diff_reports(&sa, &sb, tol) {
+        Ok(d) if d.is_match() => {
+            eprintln!(
+                "reports match: {} values compared (tol {tol:e})",
+                d.compared
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(d) => {
+            for line in &d.differences {
+                println!("{line}");
+            }
+            if d.truncated {
+                println!("... (more differences suppressed)");
+            }
+            eprintln!(
+                "reports DIFFER: {} difference(s) shown, {} values compared (tol {tol:e})",
+                d.differences.len(),
+                d.compared
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
 }

@@ -1,0 +1,376 @@
+//! Report diffing for cross-PR regression comparison.
+//!
+//! `xp diff a.json b.json [--tol 1e-6]` compares two sweep or trace
+//! reports structurally: strings/booleans exactly, numbers within a
+//! relative tolerance, arrays and objects element-by-element. The
+//! hand-rolled JSON parser below covers exactly what the deterministic
+//! report renderers emit (and standard JSON generally); keeping it local
+//! avoids a serde dependency the offline build cannot take.
+
+/// A parsed JSON value. Object member order is preserved — the report
+/// renderers emit fixed field order, so order differences are real
+/// differences.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (f64 — report values are f64 or small integers).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Parse a JSON document.
+pub fn parse_json(src: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: src.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bump() == Some(b) {
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}",
+                b as char,
+                self.pos.saturating_sub(1)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number {text:?} at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.bump().ok_or("truncated \\u escape")?;
+                            code = code * 16
+                                + (d as char)
+                                    .to_digit(16)
+                                    .ok_or_else(|| "bad \\u escape".to_string())?;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(c) if c < 0x80 => out.push(c as char),
+                Some(c) => {
+                    // Multi-byte UTF-8: copy the remaining continuation
+                    // bytes verbatim.
+                    let len = if c >= 0xF0 {
+                        4
+                    } else if c >= 0xE0 {
+                        3
+                    } else {
+                        2
+                    };
+                    let start = self.pos - 1;
+                    self.pos = (start + len).min(self.bytes.len());
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| "bad UTF-8".to_string())?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => {}
+                Some(b']') => return Ok(Json::Arr(items)),
+                other => return Err(format!("expected , or ] but got {other:?}")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            members.push((key, val));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => {}
+                Some(b'}') => return Ok(Json::Obj(members)),
+                other => return Err(format!("expected , or }} but got {other:?}")),
+            }
+        }
+    }
+}
+
+/// Outcome of a report comparison.
+#[derive(Clone, Debug)]
+pub struct DiffOutcome {
+    /// Human-readable difference descriptions (empty = reports match
+    /// within tolerance). Capped at [`MAX_DIFFERENCES`]; `truncated` says
+    /// whether more existed.
+    pub differences: Vec<String>,
+    /// More differences existed beyond the cap.
+    pub truncated: bool,
+    /// Leaf values compared.
+    pub compared: usize,
+}
+
+impl DiffOutcome {
+    /// Did the reports match within tolerance?
+    pub fn is_match(&self) -> bool {
+        self.differences.is_empty() && !self.truncated
+    }
+}
+
+/// Differences reported before the walk stops collecting.
+pub const MAX_DIFFERENCES: usize = 20;
+
+/// Compare two report documents. Numbers drift-match within relative
+/// tolerance `tol` (`|a−b| ≤ tol · max(1, |a|, |b|)`; `tol = 0` demands
+/// exact equality); everything else compares exactly.
+pub fn diff_reports(a: &str, b: &str, tol: f64) -> Result<DiffOutcome, String> {
+    let a = parse_json(a).map_err(|e| format!("first report: {e}"))?;
+    let b = parse_json(b).map_err(|e| format!("second report: {e}"))?;
+    let mut out = DiffOutcome {
+        differences: Vec::new(),
+        truncated: false,
+        compared: 0,
+    };
+    walk(&a, &b, tol, "$", &mut out);
+    Ok(out)
+}
+
+fn note(out: &mut DiffOutcome, msg: String) {
+    if out.differences.len() < MAX_DIFFERENCES {
+        out.differences.push(msg);
+    } else {
+        out.truncated = true;
+    }
+}
+
+fn walk(a: &Json, b: &Json, tol: f64, path: &str, out: &mut DiffOutcome) {
+    match (a, b) {
+        (Json::Null, Json::Null) => out.compared += 1,
+        (Json::Bool(x), Json::Bool(y)) => {
+            out.compared += 1;
+            if x != y {
+                note(out, format!("{path}: {x} != {y}"));
+            }
+        }
+        (Json::Num(x), Json::Num(y)) => {
+            out.compared += 1;
+            let drift = (x - y).abs();
+            let scale = 1.0f64.max(x.abs()).max(y.abs());
+            if !(drift <= tol * scale || (tol == 0.0 && x == y)) {
+                note(
+                    out,
+                    format!(
+                        "{path}: {x} vs {y} (drift {:.3e} > tol {tol:.3e})",
+                        drift / scale
+                    ),
+                );
+            }
+        }
+        (Json::Str(x), Json::Str(y)) => {
+            out.compared += 1;
+            if x != y {
+                note(out, format!("{path}: {x:?} != {y:?}"));
+            }
+        }
+        (Json::Arr(xs), Json::Arr(ys)) => {
+            if xs.len() != ys.len() {
+                note(
+                    out,
+                    format!("{path}: array length {} != {}", xs.len(), ys.len()),
+                );
+            }
+            for (i, (x, y)) in xs.iter().zip(ys).enumerate() {
+                walk(x, y, tol, &format!("{path}[{i}]"), out);
+            }
+        }
+        (Json::Obj(xs), Json::Obj(ys)) => {
+            let keys_a: Vec<&str> = xs.iter().map(|(k, _)| k.as_str()).collect();
+            let keys_b: Vec<&str> = ys.iter().map(|(k, _)| k.as_str()).collect();
+            if keys_a != keys_b {
+                note(out, format!("{path}: object keys {keys_a:?} != {keys_b:?}"));
+                return;
+            }
+            for ((k, x), (_, y)) in xs.iter().zip(ys) {
+                walk(x, y, tol, &format!("{path}.{k}"), out);
+            }
+        }
+        _ => note(out, format!("{path}: type mismatch")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_report_shaped_json() {
+        let j = parse_json(
+            r#"{"scenario": "x", "points": [{"load": 0.5, "tail": null, "ok": true}], "n": -3e2}"#,
+        )
+        .unwrap();
+        let Json::Obj(members) = &j else { panic!() };
+        assert_eq!(members[0].0, "scenario");
+        assert_eq!(members[2], ("n".into(), Json::Num(-300.0)));
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("[1] garbage").is_err());
+        assert_eq!(parse_json(r#""a\"bA""#).unwrap(), Json::Str("a\"bA".into()));
+    }
+
+    #[test]
+    fn identical_reports_match_at_zero_tolerance() {
+        let a = r#"{"x": [1, 2.5, "s"], "y": null}"#;
+        let d = diff_reports(a, a, 0.0).unwrap();
+        assert!(d.is_match());
+        assert_eq!(d.compared, 4);
+    }
+
+    #[test]
+    fn drift_detected_and_tolerated() {
+        let a = r#"{"v": 100.0}"#;
+        let b = r#"{"v": 100.4}"#;
+        assert!(!diff_reports(a, b, 0.0).unwrap().is_match());
+        assert!(!diff_reports(a, b, 1e-6).unwrap().is_match());
+        assert!(diff_reports(a, b, 0.01).unwrap().is_match());
+    }
+
+    #[test]
+    fn structural_changes_are_always_drift() {
+        let a = r#"{"points": [1, 2]}"#;
+        assert!(!diff_reports(a, r#"{"points": [1]}"#, 1.0)
+            .unwrap()
+            .is_match());
+        assert!(!diff_reports(a, r#"{"pts": [1, 2]}"#, 1.0)
+            .unwrap()
+            .is_match());
+        assert!(!diff_reports(a, r#"{"points": [1, "2"]}"#, 1.0)
+            .unwrap()
+            .is_match());
+    }
+
+    #[test]
+    fn difference_listing_is_capped_not_lost() {
+        let a = format!(
+            "[{}]",
+            (0..50).map(|i| i.to_string()).collect::<Vec<_>>().join(",")
+        );
+        let b = format!(
+            "[{}]",
+            (1..51).map(|i| i.to_string()).collect::<Vec<_>>().join(",")
+        );
+        let d = diff_reports(&a, &b, 0.0).unwrap();
+        assert_eq!(d.differences.len(), MAX_DIFFERENCES);
+        assert!(d.truncated);
+        assert!(!d.is_match());
+    }
+}

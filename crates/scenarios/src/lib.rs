@@ -57,20 +57,25 @@
 #![warn(missing_docs)]
 
 pub mod algo;
+pub mod diff;
 pub mod engine;
 pub mod library;
 pub mod report;
 pub mod spec;
 pub mod sweep;
 pub mod toml;
+pub mod trace_engine;
 
 pub use algo::Algo;
+pub use diff::{diff_reports, DiffOutcome};
 pub use engine::{
     run_fct_experiment, run_point, FctResult, IncastOverlay, PointOutcome, Scale, SIZE_BUCKETS,
 };
 pub use library::{builtin, builtin_specs};
-pub use report::{AggregateReport, PointReport, SweepResult};
+pub use report::{AggregateReport, BucketReport, PointReport, SweepResult};
 pub use spec::{
-    IncastSpec, PoissonSpec, ScenarioSpec, SizeSpec, SweepSpec, TopologySpec, WorkloadSpec,
+    IncastSpec, PoissonSpec, ScenarioKind, ScenarioSpec, SizeSpec, SweepSpec, TopologySpec,
+    TraceScenario, TraceSpec, WorkloadSpec,
 };
-pub use sweep::{run_sweep, sweep_points, SweepPoint};
+pub use sweep::{run_scenario, run_sweep, sweep_points, ScenarioOutput, SweepPoint};
+pub use trace_engine::{run_trace, run_trace_entry, trace_entries, TraceEntrySpec};

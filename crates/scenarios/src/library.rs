@@ -8,7 +8,19 @@
 //! the paper's 256-host fabric).
 
 use crate::algo::Algo;
-use crate::spec::{IncastSpec, ScenarioSpec, SizeSpec, TopologySpec};
+use crate::spec::{IncastSpec, ScenarioSpec, SizeSpec, TopologySpec, TraceScenario, TraceSpec};
+
+/// Default probe configuration of the built-in trace scenarios: sample
+/// every `tick_us`, ring-buffer up to 4096 samples per channel, export at
+/// most 120 rows per channel.
+fn trace_spec(scenario: TraceScenario, tick_us: f64) -> TraceSpec {
+    TraceSpec {
+        scenario,
+        tick_us,
+        max_samples: 4096,
+        max_rows: 120,
+    }
+}
 
 /// The `tiny`-scale fat-tree (16 hosts, 2:1 oversubscription) used by
 /// the built-in specs.
@@ -18,6 +30,88 @@ fn tiny_fat_tree() -> TopologySpec {
         host_gbps: 25.0,
         fabric_gbps: 12.5,
     }
+}
+
+/// Figure 2: the analytic voltage/current/power response curves of the
+/// fluid model (§2.2) — multiplicative decrease vs queue buildup rate,
+/// vs queue length, and the three blind-spot cases.
+pub fn fig2() -> ScenarioSpec {
+    ScenarioSpec::timeseries("fig2", trace_spec(TraceScenario::Response, 1.0)).describe(
+        "orthogonal responses of voltage- and current-based CC: analytic MD \
+         curves and the three-case blind-spot table, paper Figure 2",
+    )
+}
+
+/// Figure 4: reaction to a 10:1 incast onto a 25G downlink — throughput,
+/// bottleneck queue, long-flow cwnd, and PowerTCP Γ over time.
+pub fn fig4() -> ScenarioSpec {
+    ScenarioSpec::timeseries(
+        "fig4",
+        trace_spec(
+            TraceScenario::Incast {
+                fan_in: 10,
+                burst_bytes: 150_000,
+                at_ms: 1.0,
+            },
+            20.0,
+        ),
+    )
+    .describe(
+        "10:1 incast onto a 25G downlink: queue/throughput/cwnd/power \
+         traces per protocol, paper Figure 4 (top row; scale fan_in for \
+         the bottom row)",
+    )
+    .algos(Algo::paper_set())
+    .horizon_ms(5.0)
+}
+
+/// Figure 5: fairness and stability — four flows joining a shared 25G
+/// bottleneck at 1 ms intervals.
+pub fn fig5() -> ScenarioSpec {
+    ScenarioSpec::timeseries(
+        "fig5",
+        trace_spec(
+            TraceScenario::Fairness {
+                flows: 4,
+                stagger_ms: 1.0,
+            },
+            50.0,
+        ),
+    )
+    .describe(
+        "fairness & stability: 4 staggered flows on one 25G bottleneck, \
+         per-flow throughput/cwnd traces and Jain index, paper Figure 5",
+    )
+    .algos([
+        Algo::PowerTcp,
+        Algo::Homa(1),
+        Algo::ThetaPowerTcp,
+        Algo::Timely,
+    ])
+    .horizon_ms(6.0)
+}
+
+/// Figure 8: the reconfigurable-datacenter case study — rack-pair
+/// throughput and VOQ occupancy over two rotor weeks for PowerTCP, reTCP
+/// (600/1800 µs prebuffering), and HPCC.
+pub fn fig8() -> ScenarioSpec {
+    ScenarioSpec::timeseries(
+        "fig8",
+        trace_spec(
+            TraceScenario::Rdcn {
+                weeks: 2,
+                packet_gbps: 25.0,
+                retcp_prebuffer_us: vec![600.0, 1800.0],
+            },
+            10.0,
+        ),
+    )
+    .describe(
+        "RDCN case study: rack-pair throughput and VOQ occupancy over the \
+         rotor schedule, PowerTCP vs reTCP (600/1800us prebuffer) vs HPCC, \
+         paper Figure 8",
+    )
+    .algos([Algo::PowerTcp, Algo::ReTcp, Algo::Hpcc])
 }
 
 /// Figure 6: tail FCT slowdown vs flow size, websearch at 20% / 60%
@@ -114,7 +208,16 @@ pub fn incast_battle() -> ScenarioSpec {
 
 /// All built-in scenarios.
 pub fn builtin_specs() -> Vec<ScenarioSpec> {
-    vec![fig6(), fig7(), fig9to11(), incast_battle()]
+    vec![
+        fig2(),
+        fig4(),
+        fig5(),
+        fig6(),
+        fig7(),
+        fig8(),
+        fig9to11(),
+        incast_battle(),
+    ]
 }
 
 /// Look up a built-in scenario by name.
@@ -129,7 +232,7 @@ mod tests {
     #[test]
     fn builtins_validate_and_round_trip() {
         let specs = builtin_specs();
-        assert!(specs.len() >= 4);
+        assert!(specs.len() >= 8);
         for spec in specs {
             spec.validate()
                 .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
@@ -139,6 +242,18 @@ mod tests {
             assert!(builtin(&spec.name).is_some());
         }
         assert!(builtin("nope").is_none());
+    }
+
+    #[test]
+    fn trace_builtins_are_timeseries_with_expected_lineups() {
+        for name in ["fig2", "fig4", "fig5", "fig8"] {
+            let spec = builtin(name).unwrap();
+            assert!(spec.trace().is_some(), "{name} must be a trace scenario");
+        }
+        assert_eq!(fig2().num_points(), 1);
+        assert_eq!(fig4().num_points(), 6); // the paper's Figure 4/6 set
+        assert_eq!(fig5().num_points(), 4);
+        assert_eq!(fig8().num_points(), 4); // powertcp + 2x retcp + hpcc
     }
 
     #[test]

@@ -7,9 +7,19 @@
 //! thread counts (the determinism contract tested in
 //! `tests/determinism.rs`).
 
-use crate::engine::PointOutcome;
+use crate::engine::{PointOutcome, SIZE_BUCKETS};
 use crate::spec::ScenarioSpec;
 use dcn_stats::{percentile, Summary};
+
+/// Slowdown summary of one Figure-6 size bucket (flows with size ≤
+/// `le_bytes` and above the previous boundary), pooled across seeds.
+#[derive(Clone, Copy, Debug)]
+pub struct BucketReport {
+    /// Upper size boundary of the bucket (bytes).
+    pub le_bytes: u64,
+    /// Pooled slowdown summary (`None` when the bucket saw no flows).
+    pub summary: Option<Summary>,
+}
 
 /// Summaries of one sweep point.
 #[derive(Clone, Debug)]
@@ -82,6 +92,9 @@ pub struct AggregateReport {
     pub buffer_p99: Option<f64>,
     /// Peak edge-buffer occupancy (bytes).
     pub buffer_max: Option<f64>,
+    /// Per-size-bucket slowdown summaries (the Figure 6 x-axis), pooled
+    /// across seeds; one entry per [`SIZE_BUCKETS`] boundary.
+    pub buckets: Vec<BucketReport>,
 }
 
 /// The full, structured result of a sweep.
@@ -139,6 +152,21 @@ impl SweepResult {
             let long = pool(|o| &o.long);
             let all = pool(|o| &o.all);
             let buffer = pool(|o| &o.buffer);
+            // Pool each Figure-6 size bucket across the cell's seeds.
+            let buckets: Vec<BucketReport> = SIZE_BUCKETS
+                .iter()
+                .enumerate()
+                .map(|(b, &le_bytes)| {
+                    let pooled: Vec<f64> = cell
+                        .iter()
+                        .flat_map(|o| o.buckets.get(b).into_iter().flatten().copied())
+                        .collect();
+                    BucketReport {
+                        le_bytes,
+                        summary: Summary::of(&pooled),
+                    }
+                })
+                .collect();
             aggregates.push(AggregateReport {
                 algo_key: first.algo.key(),
                 algo_name: first.algo.name(),
@@ -156,6 +184,7 @@ impl SweepResult {
                 buffer_p50: percentile(&buffer, 50.0),
                 buffer_p99: percentile(&buffer, 99.0),
                 buffer_max: percentile(&buffer, 100.0),
+                buckets,
             });
         }
 
@@ -221,6 +250,18 @@ impl SweepResult {
             ));
             push_classes(&mut out, &a.short, &a.medium, &a.long, &a.all);
             push_buffer(&mut out, a.buffer_p50, a.buffer_p99, a.buffer_max);
+            out.push_str(", \"buckets\": [");
+            for (j, b) in a.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "{{\"le_bytes\": {}, \"summary\": {}}}",
+                    b.le_bytes,
+                    jsummary(&b.summary)
+                ));
+            }
+            out.push(']');
             out.push('}');
             out.push_str(if i + 1 < self.aggregates.len() {
                 ",\n"
@@ -270,6 +311,41 @@ impl SweepResult {
                 buf(a.buffer_p99),
                 buf(a.buffer_max),
             ));
+        }
+        // Second table: one row per (algo, load, size bucket) — the
+        // Figure 6 x-axis, pooled across seeds.
+        out.push('\n');
+        out.push_str("scenario,algo,load,bucket_le_bytes,n,mean,p50,p95,p99,p999,max\n");
+        for a in &self.aggregates {
+            for b in &a.buckets {
+                let (n, mean, p50, p95, p99, p999, max) = match b.summary {
+                    Some(s) => (
+                        s.count.to_string(),
+                        jf(s.mean),
+                        jf(s.p50),
+                        jf(s.p95),
+                        jf(s.p99),
+                        jf(s.p999),
+                        jf(s.max),
+                    ),
+                    None => (
+                        "0".into(),
+                        String::new(),
+                        String::new(),
+                        String::new(),
+                        String::new(),
+                        String::new(),
+                        String::new(),
+                    ),
+                };
+                out.push_str(&format!(
+                    "{},{},{},{},{n},{mean},{p50},{p95},{p99},{p999},{max}\n",
+                    csv_escape(&self.name),
+                    a.algo_key,
+                    jf(a.load),
+                    b.le_bytes,
+                ));
+            }
         }
         out
     }
@@ -418,11 +494,14 @@ mod tests {
     use crate::spec::{ScenarioSpec, SizeSpec, TopologySpec};
 
     fn fake_outcome(algo: Algo, load: f64, seed: u64, base: f64) -> PointOutcome {
+        let mut buckets = vec![Vec::new(); crate::engine::SIZE_BUCKETS.len()];
+        buckets[0] = vec![base, base * 2.0]; // <= 5 KB bucket
+        buckets[4] = vec![base * 3.0]; // <= 400 KB bucket
         PointOutcome {
             algo,
             load,
             seed,
-            buckets: vec![Vec::new(); crate::engine::SIZE_BUCKETS.len()],
+            buckets,
             short: vec![base, base * 2.0],
             medium: vec![base * 3.0],
             long: Vec::new(),
@@ -468,6 +547,12 @@ mod tests {
         // Pooled short samples: [1, 2] + [2, 4] -> count 4.
         assert_eq!(a.short.unwrap().count, 4);
         assert!(a.long.is_none());
+        // Buckets pool across seeds too: [1, 2] + [2, 4] in bucket 0.
+        assert_eq!(a.buckets.len(), crate::engine::SIZE_BUCKETS.len());
+        assert_eq!(a.buckets[0].le_bytes, 5_000);
+        assert_eq!(a.buckets[0].summary.unwrap().count, 4);
+        assert_eq!(a.buckets[4].summary.unwrap().count, 2);
+        assert!(a.buckets[1].summary.is_none());
     }
 
     #[test]
@@ -501,13 +586,34 @@ mod tests {
         ];
         let r = SweepResult::build(&spec, outcomes);
         let csv = r.to_csv();
-        assert_eq!(csv.lines().count(), 3);
+        // Header + 2 aggregate rows, a blank separator, then the bucket
+        // table: header + 8 buckets x 2 aggregates.
+        assert_eq!(csv.lines().count(), 3 + 1 + 1 + 16);
         assert!(csv
             .lines()
             .next()
             .unwrap()
             .starts_with("scenario,algo,load"));
         assert!(csv.contains("r,hpcc,0.5,2,6,6,2"));
+        assert!(csv.contains("scenario,algo,load,bucket_le_bytes,n,mean"));
+        // Bucket 0 of powertcp pooled [1,2,2,4]: n=4, mean 2.25.
+        assert!(csv.contains("r,powertcp,0.5,5000,4,2.25"));
+        // Empty bucket rows keep the schema with n=0.
+        assert!(csv.contains("r,powertcp,0.5,20000,0,,"));
+    }
+
+    #[test]
+    fn json_emits_per_bucket_summaries() {
+        let spec = spec2x2();
+        let outcomes = vec![
+            fake_outcome(Algo::PowerTcp, 0.5, 1, 1.0),
+            fake_outcome(Algo::PowerTcp, 0.5, 2, 2.0),
+            fake_outcome(Algo::Hpcc, 0.5, 1, 4.0),
+            fake_outcome(Algo::Hpcc, 0.5, 2, 8.0),
+        ];
+        let j = SweepResult::build(&spec, outcomes).to_json();
+        assert!(j.contains("\"buckets\": [{\"le_bytes\": 5000, \"summary\": {\"count\": 4"));
+        assert!(j.contains("{\"le_bytes\": 30000000, \"summary\": null}"));
     }
 
     #[test]

@@ -140,6 +140,101 @@ pub struct WorkloadSpec {
     pub incast: Option<IncastSpec>,
 }
 
+/// What a scenario produces when run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScenarioKind {
+    /// The default: an FCT sweep over (algorithm × load × seed), reduced
+    /// to slowdown/buffer statistics ([`crate::sweep::run_sweep`]).
+    Sweep,
+    /// Time-series traces: one instrumented run per algorithm (or lineup
+    /// entry), producing sampled channels — queue depth, throughput,
+    /// per-flow cwnd, PowerTCP Γ — instead of FCT statistics
+    /// ([`crate::trace_engine::run_trace`]).
+    Timeseries(TraceSpec),
+}
+
+/// Probe configuration plus the traced experiment of a `timeseries`
+/// scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceSpec {
+    /// The traced experiment.
+    pub scenario: TraceScenario,
+    /// Sampling tick of all probes, microseconds.
+    pub tick_us: f64,
+    /// Ring capacity per channel (oldest samples evicted beyond this).
+    pub max_samples: usize,
+    /// Maximum exported rows per channel (stride decimation).
+    pub max_rows: usize,
+}
+
+/// The traced experiments: the paper's temporal figures as declarative
+/// data. Each defines its own fixture (the star / rotor topology is
+/// derived, not configured — see [`TraceScenario::implied_topology`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceScenario {
+    /// Figure 2: the analytic voltage/current/power multiplicative-decrease
+    /// response curves of the fluid model (no simulation).
+    Response,
+    /// Figure 4: a long flow to one receiver; at `at_ms`, `fan_in` other
+    /// hosts burst `burst_bytes` each into the same 25G downlink.
+    Incast {
+        /// Incast fan-in (number of burst senders).
+        fan_in: usize,
+        /// Bytes each burst sender transmits.
+        burst_bytes: u64,
+        /// When the incast fires, milliseconds into the run.
+        at_ms: f64,
+    },
+    /// Figure 5: `flows` long flows joining one shared bottleneck at
+    /// `stagger_ms` intervals — fairness and convergence.
+    Fairness {
+        /// Number of staggered senders.
+        flows: usize,
+        /// Join interval, milliseconds.
+        stagger_ms: f64,
+    },
+    /// Figure 8: the reconfigurable-DCN case study — rack-pair throughput
+    /// and VOQ occupancy over the rotor schedule.
+    Rdcn {
+        /// Rotor weeks to simulate (the run horizon; `horizon_ms` is
+        /// ignored for this scenario).
+        weeks: u64,
+        /// Packet-network (non-circuit) bandwidth in Gbps.
+        packet_gbps: f64,
+        /// reTCP prebuffering values to trace (µs); each expands to one
+        /// lineup entry per `retcp` in the algorithm grid.
+        retcp_prebuffer_us: Vec<f64>,
+    },
+}
+
+impl TraceScenario {
+    /// The fixture topology this trace scenario runs on. Timeseries
+    /// topologies are derived, not configured: the incast/fairness star is
+    /// sized by the scenario itself (the RDCN fixture is built by the
+    /// `rdcn` crate and the placeholder topology is unused).
+    pub fn implied_topology(&self) -> TopologySpec {
+        let hosts = match self {
+            TraceScenario::Incast { fan_in, .. } => fan_in + 2,
+            TraceScenario::Fairness { flows, .. } => flows + 1,
+            TraceScenario::Response | TraceScenario::Rdcn { .. } => 2,
+        };
+        TopologySpec::Star {
+            hosts,
+            host_gbps: 25.0,
+        }
+    }
+
+    /// Stable TOML identifier.
+    pub fn key(&self) -> &'static str {
+        match self {
+            TraceScenario::Response => "response",
+            TraceScenario::Incast { .. } => "incast",
+            TraceScenario::Fairness { .. } => "fairness",
+            TraceScenario::Rdcn { .. } => "rdcn",
+        }
+    }
+}
+
 /// The sweep axes: every (algo, load, seed) combination runs as one
 /// independent, deterministic simulation.
 #[derive(Clone, Debug, PartialEq)]
@@ -163,6 +258,9 @@ pub struct ScenarioSpec {
     pub description: String,
     /// Network under test.
     pub topology: TopologySpec,
+    /// What the scenario produces: an FCT sweep (default) or time-series
+    /// traces.
+    pub kind: ScenarioKind,
     /// Offered traffic.
     pub workload: WorkloadSpec,
     /// Workload generation horizon, milliseconds.
@@ -181,6 +279,7 @@ impl ScenarioSpec {
             name: name.into(),
             description: String::new(),
             topology,
+            kind: ScenarioKind::Sweep,
             workload: WorkloadSpec::default(),
             horizon_ms: 4.0,
             drain_ms: 6.0,
@@ -190,6 +289,47 @@ impl ScenarioSpec {
                 seeds: vec![42],
             },
         }
+    }
+
+    /// A new time-series scenario: the topology is derived from the trace
+    /// scenario, the workload is the trace scenario itself, and the
+    /// algorithm grid is the lineup. Defaults: PowerTCP only, seed 42,
+    /// 4 ms horizon, no drain.
+    pub fn timeseries(name: impl Into<String>, trace: TraceSpec) -> Self {
+        ScenarioSpec {
+            name: name.into(),
+            description: String::new(),
+            topology: trace.scenario.implied_topology(),
+            kind: ScenarioKind::Timeseries(trace),
+            workload: WorkloadSpec::default(),
+            horizon_ms: 4.0,
+            drain_ms: 0.0,
+            sweep: SweepSpec {
+                algos: vec![Algo::PowerTcp],
+                loads: Vec::new(),
+                seeds: vec![42],
+            },
+        }
+    }
+
+    /// The trace spec of a timeseries scenario (`None` for sweeps).
+    pub fn trace(&self) -> Option<&TraceSpec> {
+        match &self.kind {
+            ScenarioKind::Timeseries(t) => Some(t),
+            ScenarioKind::Sweep => None,
+        }
+    }
+
+    /// Replace the trace scenario of a timeseries spec, re-deriving the
+    /// fixture topology (which validation requires to stay consistent).
+    /// Panics on a sweep spec.
+    pub fn trace_scenario(mut self, scenario: TraceScenario) -> Self {
+        let ScenarioKind::Timeseries(trace) = &mut self.kind else {
+            panic!("trace_scenario on a sweep spec");
+        };
+        trace.scenario = scenario;
+        self.topology = trace.scenario.implied_topology();
+        self
     }
 
     /// Set the description.
@@ -274,6 +414,9 @@ impl ScenarioSpec {
         if self.drain_ms < 0.0 {
             return Err(format!("drain_ms must be >= 0, got {}", self.drain_ms));
         }
+        if let ScenarioKind::Timeseries(trace) = &self.kind {
+            return self.validate_timeseries(trace);
+        }
         match self.topology {
             TopologySpec::FatTree {
                 hosts_per_tor,
@@ -356,9 +499,117 @@ impl ScenarioSpec {
         Ok(())
     }
 
-    /// Total number of sweep points (algos × loads × seeds).
+    /// Timeseries-kind validation: the probe config, the trace scenario's
+    /// own parameters, and the constraints the trace engine relies on
+    /// (derived topology, no FCT workload, no load axis, one seed).
+    fn validate_timeseries(&self, trace: &TraceSpec) -> Result<(), String> {
+        if self.workload != WorkloadSpec::default() {
+            return Err("timeseries scenarios define traffic via [trace], not [workload]".into());
+        }
+        if !self.sweep.loads.is_empty() {
+            return Err("timeseries scenarios have no load axis".into());
+        }
+        if self.sweep.algos.is_empty() {
+            return Err("timeseries lineup needs at least one algorithm".into());
+        }
+        if self.sweep.seeds.len() != 1 {
+            return Err("timeseries scenarios take exactly one seed".into());
+        }
+        if self.topology != trace.scenario.implied_topology() {
+            return Err(
+                "timeseries topology is derived from the trace scenario; do not set it".into(),
+            );
+        }
+        if !(trace.tick_us > 0.0 && trace.tick_us.is_finite()) {
+            return Err(format!(
+                "trace tick_us must be positive, got {}",
+                trace.tick_us
+            ));
+        }
+        if trace.max_samples < 16 {
+            return Err("trace max_samples must be >= 16".into());
+        }
+        if trace.max_rows < 2 {
+            return Err("trace max_rows must be >= 2".into());
+        }
+        match &trace.scenario {
+            TraceScenario::Response => {
+                if self.sweep.algos.len() != 1 {
+                    return Err("the response trace is analytic (no algorithm runs); \
+                         its lineup must be a single placeholder algorithm"
+                        .into());
+                }
+            }
+            TraceScenario::Incast {
+                fan_in,
+                burst_bytes,
+                at_ms,
+            } => {
+                if *fan_in == 0 {
+                    return Err("incast trace needs fan_in >= 1".into());
+                }
+                if *burst_bytes == 0 {
+                    return Err("incast trace needs burst_bytes >= 1".into());
+                }
+                if !(0.0..self.horizon_ms).contains(at_ms) {
+                    return Err(format!(
+                        "incast at_ms {} must lie within [0, horizon_ms {})",
+                        at_ms, self.horizon_ms
+                    ));
+                }
+            }
+            TraceScenario::Fairness { flows, stagger_ms } => {
+                if *flows < 2 {
+                    return Err("fairness trace needs flows >= 2".into());
+                }
+                if !(stagger_ms.is_finite() && *stagger_ms > 0.0) {
+                    return Err("fairness stagger_ms must be positive".into());
+                }
+                if (*flows as f64 - 1.0) * stagger_ms >= self.horizon_ms {
+                    return Err("fairness: last flow would join after the horizon".into());
+                }
+            }
+            TraceScenario::Rdcn {
+                weeks,
+                packet_gbps,
+                retcp_prebuffer_us,
+            } => {
+                if *weeks == 0 {
+                    return Err("rdcn trace needs weeks >= 1".into());
+                }
+                if !(packet_gbps.is_finite() && *packet_gbps > 0.0) {
+                    return Err("rdcn packet_gbps must be positive".into());
+                }
+                if retcp_prebuffer_us
+                    .iter()
+                    .any(|p| !p.is_finite() || *p < 0.0)
+                {
+                    return Err("rdcn retcp_prebuffer_us entries must be >= 0".into());
+                }
+                if self.sweep.algos.contains(&Algo::ReTcp) && retcp_prebuffer_us.is_empty() {
+                    return Err("rdcn lineup includes retcp but retcp_prebuffer_us is empty".into());
+                }
+                if self.sweep.algos.iter().any(|a| a.is_homa()) {
+                    return Err(
+                        "the rdcn trace runs the windowed transport; HOMA is unsupported".into(),
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total number of sweep points (algos × loads × seeds) for sweeps, or
+    /// lineup entries for timeseries scenarios.
     pub fn num_points(&self) -> usize {
-        self.sweep.algos.len() * self.effective_loads().len() * self.sweep.seeds.len()
+        match &self.kind {
+            // Single source of truth for the lineup expansion: the count
+            // is the length of the trace engine's actual entry list.
+            ScenarioKind::Timeseries(_) => crate::trace_engine::trace_entries(self).len(),
+            ScenarioKind::Sweep => {
+                self.sweep.algos.len() * self.effective_loads().len() * self.sweep.seeds.len()
+            }
+        }
     }
 
     // ---- TOML ----
@@ -379,6 +630,84 @@ impl ScenarioSpec {
             "description",
             Value::Str(self.description.clone()),
         );
+        if let ScenarioKind::Timeseries(trace) = &self.kind {
+            kv(&mut out, "kind", Value::Str("timeseries".into()));
+            kv(&mut out, "horizon_ms", Value::Float(self.horizon_ms));
+            kv(&mut out, "drain_ms", Value::Float(self.drain_ms));
+
+            out.push_str("\n[trace]\n");
+            kv(
+                &mut out,
+                "scenario",
+                Value::Str(trace.scenario.key().into()),
+            );
+            kv(&mut out, "tick_us", Value::Float(trace.tick_us));
+            kv(
+                &mut out,
+                "max_samples",
+                Value::Int(trace.max_samples as i64),
+            );
+            kv(&mut out, "max_rows", Value::Int(trace.max_rows as i64));
+            match &trace.scenario {
+                TraceScenario::Response => {}
+                TraceScenario::Incast {
+                    fan_in,
+                    burst_bytes,
+                    at_ms,
+                } => {
+                    kv(&mut out, "fan_in", Value::Int(*fan_in as i64));
+                    kv(&mut out, "burst_bytes", Value::Int(*burst_bytes as i64));
+                    kv(&mut out, "at_ms", Value::Float(*at_ms));
+                }
+                TraceScenario::Fairness { flows, stagger_ms } => {
+                    kv(&mut out, "flows", Value::Int(*flows as i64));
+                    kv(&mut out, "stagger_ms", Value::Float(*stagger_ms));
+                }
+                TraceScenario::Rdcn {
+                    weeks,
+                    packet_gbps,
+                    retcp_prebuffer_us,
+                } => {
+                    kv(&mut out, "weeks", Value::Int(*weeks as i64));
+                    kv(&mut out, "packet_gbps", Value::Float(*packet_gbps));
+                    kv(
+                        &mut out,
+                        "retcp_prebuffer_us",
+                        Value::Array(
+                            retcp_prebuffer_us
+                                .iter()
+                                .map(|&p| Value::Float(p))
+                                .collect(),
+                        ),
+                    );
+                }
+            }
+
+            out.push_str("\n[sweep]\n");
+            kv(
+                &mut out,
+                "algos",
+                Value::Array(
+                    self.sweep
+                        .algos
+                        .iter()
+                        .map(|a| Value::Str(a.key()))
+                        .collect(),
+                ),
+            );
+            kv(
+                &mut out,
+                "seeds",
+                Value::Array(
+                    self.sweep
+                        .seeds
+                        .iter()
+                        .map(|&s| Value::Int(s as i64))
+                        .collect(),
+                ),
+            );
+            return out;
+        }
         kv(&mut out, "horizon_ms", Value::Float(self.horizon_ms));
         kv(&mut out, "drain_ms", Value::Float(self.drain_ms));
 
@@ -478,10 +807,12 @@ impl ScenarioSpec {
                 key.as_str(),
                 "name"
                     | "description"
+                    | "kind"
                     | "horizon_ms"
                     | "drain_ms"
                     | "topology"
                     | "workload"
+                    | "trace"
                     | "sweep"
             ) {
                 return Err(format!("unknown top-level key {key:?}"));
@@ -495,6 +826,22 @@ impl ScenarioSpec {
                 .to_string(),
             None => String::new(),
         };
+        let kind = match root.get("kind") {
+            Some(v) => v.as_str().ok_or("kind must be a string")?.to_string(),
+            None => "sweep".to_string(),
+        };
+        match kind.as_str() {
+            "sweep" => {}
+            "timeseries" => return Self::timeseries_from_table(root, name, description),
+            other => {
+                return Err(format!(
+                    "unknown scenario kind {other:?} (expected sweep or timeseries)"
+                ))
+            }
+        }
+        if root.contains_key("trace") {
+            return Err("[trace] is only valid with kind = \"timeseries\"".into());
+        }
         let horizon_ms = get_f64_or(root, "horizon_ms", 4.0)?;
         let drain_ms = get_f64_or(root, "drain_ms", 6.0)?;
 
@@ -587,12 +934,137 @@ impl ScenarioSpec {
             name,
             description,
             topology,
+            kind: ScenarioKind::Sweep,
             workload,
             horizon_ms,
             drain_ms,
             sweep: SweepSpec {
                 algos,
                 loads,
+                seeds,
+            },
+        })
+    }
+
+    /// The `kind = "timeseries"` parse path: a `[trace]` table instead of
+    /// `[topology]`/`[workload]` (the fixture is derived from the trace
+    /// scenario), and a `[sweep]` carrying only the lineup and seed.
+    fn timeseries_from_table(
+        root: &BTreeMap<String, Value>,
+        name: String,
+        description: String,
+    ) -> Result<ScenarioSpec, String> {
+        if root.contains_key("topology") {
+            return Err("timeseries scenarios derive their topology; remove [topology]".into());
+        }
+        if root.contains_key("workload") {
+            return Err(
+                "timeseries scenarios define traffic via [trace]; remove [workload]".into(),
+            );
+        }
+        let horizon_ms = get_f64_or(root, "horizon_ms", 4.0)?;
+        let drain_ms = get_f64_or(root, "drain_ms", 0.0)?;
+
+        let trace_t = get_table(root, "trace")?;
+        for key in trace_t.keys() {
+            if !matches!(
+                key.as_str(),
+                "scenario"
+                    | "tick_us"
+                    | "max_samples"
+                    | "max_rows"
+                    | "fan_in"
+                    | "burst_bytes"
+                    | "at_ms"
+                    | "flows"
+                    | "stagger_ms"
+                    | "weeks"
+                    | "packet_gbps"
+                    | "retcp_prebuffer_us"
+            ) {
+                return Err(format!("unknown [trace] key {key:?}"));
+            }
+        }
+        let scenario = match get_str(trace_t, "scenario")?.as_str() {
+            "response" => TraceScenario::Response,
+            "incast" => TraceScenario::Incast {
+                fan_in: get_usize(trace_t, "fan_in")?,
+                burst_bytes: get_u64(trace_t, "burst_bytes")?,
+                at_ms: get_f64_or(trace_t, "at_ms", 1.0)?,
+            },
+            "fairness" => TraceScenario::Fairness {
+                flows: get_usize(trace_t, "flows")?,
+                stagger_ms: get_f64_or(trace_t, "stagger_ms", 1.0)?,
+            },
+            "rdcn" => TraceScenario::Rdcn {
+                weeks: get_u64(trace_t, "weeks")?,
+                packet_gbps: get_f64_or(trace_t, "packet_gbps", 25.0)?,
+                retcp_prebuffer_us: match trace_t.get("retcp_prebuffer_us") {
+                    Some(v) => v
+                        .as_array()
+                        .ok_or("retcp_prebuffer_us must be an array")?
+                        .iter()
+                        .map(|v| {
+                            v.as_f64()
+                                .ok_or("retcp_prebuffer_us entries must be numbers".to_string())
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                    None => Vec::new(),
+                },
+            },
+            other => {
+                return Err(format!(
+                    "unknown trace scenario {other:?} (expected response, incast, \
+                     fairness, or rdcn)"
+                ))
+            }
+        };
+        let trace = TraceSpec {
+            scenario,
+            tick_us: get_f64_or(trace_t, "tick_us", 20.0)?,
+            max_samples: match trace_t.get("max_samples") {
+                Some(_) => get_usize(trace_t, "max_samples")?,
+                None => 4096,
+            },
+            max_rows: match trace_t.get("max_rows") {
+                Some(_) => get_usize(trace_t, "max_rows")?,
+                None => 120,
+            },
+        };
+
+        let sweep_t = get_table(root, "sweep")?;
+        if sweep_t.contains_key("loads") {
+            return Err("timeseries scenarios have no load axis; remove sweep.loads".into());
+        }
+        let algos = get_array(sweep_t, "algos")?
+            .iter()
+            .map(|v| {
+                v.as_str()
+                    .ok_or_else(|| "sweep.algos entries must be strings".to_string())
+                    .and_then(Algo::parse)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let seeds = get_array(sweep_t, "seeds")?
+            .iter()
+            .map(|v| {
+                v.as_i64()
+                    .filter(|&s| s >= 0)
+                    .map(|s| s as u64)
+                    .ok_or_else(|| "sweep.seeds entries must be non-negative integers".to_string())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        Ok(ScenarioSpec {
+            name,
+            description,
+            topology: trace.scenario.implied_topology(),
+            kind: ScenarioKind::Timeseries(trace),
+            workload: WorkloadSpec::default(),
+            horizon_ms,
+            drain_ms,
+            sweep: SweepSpec {
+                algos,
+                loads: Vec::new(),
                 seeds,
             },
         })
@@ -759,6 +1231,145 @@ mod tests {
         assert!(spec.validate().is_ok());
         assert_eq!(spec.effective_loads(), vec![0.0]);
         assert_eq!(spec.num_points(), 6); // 2 algos x 1 pseudo-load x 3 seeds
+    }
+
+    fn ts_spec(scenario: TraceScenario) -> ScenarioSpec {
+        ScenarioSpec::timeseries(
+            "ts",
+            TraceSpec {
+                scenario,
+                tick_us: 20.0,
+                max_samples: 1024,
+                max_rows: 50,
+            },
+        )
+        .describe("a timeseries scenario")
+        .algos([Algo::PowerTcp, Algo::Hpcc])
+        .horizon_ms(5.0)
+    }
+
+    #[test]
+    fn timeseries_round_trips_all_scenarios() {
+        for scenario in [
+            TraceScenario::Response,
+            TraceScenario::Incast {
+                fan_in: 10,
+                burst_bytes: 150_000,
+                at_ms: 1.0,
+            },
+            TraceScenario::Fairness {
+                flows: 4,
+                stagger_ms: 1.0,
+            },
+            TraceScenario::Rdcn {
+                weeks: 2,
+                packet_gbps: 25.0,
+                retcp_prebuffer_us: vec![600.0, 1800.0],
+            },
+        ] {
+            let analytic = matches!(scenario, TraceScenario::Response);
+            let mut spec = ts_spec(scenario);
+            if analytic {
+                spec = spec.algos([Algo::PowerTcp]);
+            }
+            spec.validate().unwrap_or_else(|e| panic!("{e}"));
+            let text = spec.to_toml();
+            assert!(text.contains("kind = \"timeseries\""), "{text}");
+            assert!(!text.contains("[topology]"), "derived, not written");
+            let back = ScenarioSpec::from_toml(&text).expect("reparse");
+            assert_eq!(back, spec);
+        }
+    }
+
+    #[test]
+    fn timeseries_validation_catches_mistakes() {
+        // Incast burst after the horizon.
+        let s = ts_spec(TraceScenario::Incast {
+            fan_in: 4,
+            burst_bytes: 1000,
+            at_ms: 9.0,
+        });
+        assert!(s.validate().unwrap_err().contains("at_ms"));
+
+        // Load axis is meaningless for traces.
+        let mut s = ts_spec(TraceScenario::Response);
+        s.sweep.loads = vec![0.5];
+        assert!(s.validate().unwrap_err().contains("load"));
+
+        // Exactly one seed.
+        let s = ts_spec(TraceScenario::Response).seeds([1, 2]);
+        assert!(s.validate().unwrap_err().contains("seed"));
+
+        // The analytic response scenario takes no algorithm lineup.
+        let s = ts_spec(TraceScenario::Response).seeds([1]);
+        assert!(s.validate().unwrap_err().contains("analytic"));
+
+        // HOMA cannot run the RDCN trace.
+        let s = ts_spec(TraceScenario::Rdcn {
+            weeks: 1,
+            packet_gbps: 25.0,
+            retcp_prebuffer_us: vec![],
+        })
+        .algos([Algo::Homa(1)]);
+        assert!(s.validate().unwrap_err().contains("HOMA"));
+
+        // Hand-set topology contradicting the derivation.
+        let mut s = ts_spec(TraceScenario::Fairness {
+            flows: 4,
+            stagger_ms: 1.0,
+        });
+        s.topology = TopologySpec::Star {
+            hosts: 99,
+            host_gbps: 25.0,
+        };
+        assert!(s.validate().unwrap_err().contains("derived"));
+    }
+
+    #[test]
+    fn timeseries_entry_counts_expand_retcp_prebuffers() {
+        let s = ts_spec(TraceScenario::Rdcn {
+            weeks: 2,
+            packet_gbps: 25.0,
+            retcp_prebuffer_us: vec![600.0, 1800.0],
+        })
+        .algos([Algo::PowerTcp, Algo::ReTcp, Algo::Hpcc]);
+        assert_eq!(s.num_points(), 4); // powertcp + 2x retcp + hpcc
+        assert_eq!(ts_spec(TraceScenario::Response).num_points(), 1);
+    }
+
+    #[test]
+    fn sweep_toml_rejects_trace_table_and_vice_versa() {
+        let sweep_with_trace = r#"
+name = "x"
+[topology]
+kind = "star"
+hosts = 4
+[trace]
+scenario = "response"
+[workload.poisson]
+sizes = "websearch"
+[sweep]
+algos = ["powertcp"]
+loads = [0.5]
+seeds = [1]
+"#;
+        assert!(ScenarioSpec::from_toml(sweep_with_trace)
+            .unwrap_err()
+            .contains("timeseries"));
+        let ts_with_workload = r#"
+name = "x"
+kind = "timeseries"
+[trace]
+scenario = "response"
+[workload.poisson]
+sizes = "websearch"
+[sweep]
+algos = ["powertcp"]
+seeds = [1]
+"#;
+        assert!(ScenarioSpec::from_toml(ts_with_workload)
+            .unwrap_err()
+            .contains("remove [workload]"));
     }
 
     #[test]

@@ -52,37 +52,103 @@ pub fn sweep_points(spec: &ScenarioSpec) -> Vec<SweepPoint> {
 
 /// Run a whole sweep on `threads` worker threads (clamped to
 /// `[1, num_points]`). Returns the aggregated result; the spec is
-/// validated first.
+/// validated first. Rejects `timeseries` scenarios — those run through
+/// [`crate::trace_engine::run_trace`] (or [`run_scenario`], which
+/// dispatches on the spec kind).
 pub fn run_sweep(spec: &ScenarioSpec, threads: usize) -> Result<SweepResult, String> {
     spec.validate()?;
+    if spec.trace().is_some() {
+        return Err(format!(
+            "scenario {:?} is a timeseries scenario; run it with run_scenario/run_trace",
+            spec.name
+        ));
+    }
     let points = sweep_points(spec);
     let outcomes = run_points(spec, &points, threads);
     Ok(SweepResult::build(spec, outcomes))
 }
 
+/// The result of running a scenario of either kind.
+#[derive(Clone, Debug)]
+pub enum ScenarioOutput {
+    /// An FCT sweep result.
+    Sweep(SweepResult),
+    /// A time-series trace report.
+    Trace(dcn_telemetry::TraceReport),
+}
+
+impl ScenarioOutput {
+    /// Render as a human-readable markdown table.
+    pub fn table(&self) -> String {
+        match self {
+            ScenarioOutput::Sweep(r) => r.table(),
+            ScenarioOutput::Trace(r) => r.table(),
+        }
+    }
+
+    /// Render as deterministic JSON.
+    pub fn to_json(&self) -> String {
+        match self {
+            ScenarioOutput::Sweep(r) => r.to_json(),
+            ScenarioOutput::Trace(r) => r.to_json(),
+        }
+    }
+
+    /// Render as deterministic CSV.
+    pub fn to_csv(&self) -> String {
+        match self {
+            ScenarioOutput::Sweep(r) => r.to_csv(),
+            ScenarioOutput::Trace(r) => r.to_csv(),
+        }
+    }
+}
+
+/// Run any scenario, dispatching on its kind: sweeps through
+/// [`run_sweep`], timeseries scenarios through
+/// [`crate::trace_engine::run_trace`]. Both paths share the determinism
+/// contract: byte-identical output at any `threads` value.
+pub fn run_scenario(spec: &ScenarioSpec, threads: usize) -> Result<ScenarioOutput, String> {
+    if spec.trace().is_some() {
+        crate::trace_engine::run_trace(spec, threads).map(ScenarioOutput::Trace)
+    } else {
+        run_sweep(spec, threads).map(ScenarioOutput::Sweep)
+    }
+}
+
 fn run_points(spec: &ScenarioSpec, points: &[SweepPoint], threads: usize) -> Vec<PointOutcome> {
-    let n = points.len();
+    run_indexed(points.len(), threads, |i| {
+        let p = &points[i];
+        run_point(spec, p.algo, p.load, p.seed)
+    })
+}
+
+/// Run `f(0..n)` on `threads` worker threads (clamped to `[1, n]`) with a
+/// work-stealing counter, collecting results in index order. Because each
+/// call must be a pure function of its index and results land in their
+/// own slot — never in completion order — output is identical at any
+/// thread count. Shared by the sweep executor and the trace engine.
+pub(crate) fn run_indexed<T: Send>(
+    n: usize,
+    threads: usize,
+    f: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
     let threads = threads.clamp(1, n.max(1));
     if threads == 1 {
-        return points
-            .iter()
-            .map(|p| run_point(spec, p.algo, p.load, p.seed))
-            .collect();
+        return (0..n).map(f).collect();
     }
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<PointOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| loop {
                 // Work stealing: whichever worker is free takes the next
-                // point; the outcome lands in the point's own slot, so
+                // index; the outcome lands in the index's own slot, so
                 // scheduling order cannot leak into results.
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
-                let p = &points[i];
-                let out = run_point(spec, p.algo, p.load, p.seed);
+                let out = f(i);
                 *slots[i].lock().expect("slot poisoned") = Some(out);
             });
         }

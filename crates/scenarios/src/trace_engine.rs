@@ -1,0 +1,770 @@
+//! The trace engine: run one `timeseries` scenario entry as an
+//! instrumented simulation, sampling probes into ring-buffered telemetry
+//! channels.
+//!
+//! This is the declarative replacement for the bespoke time-series
+//! binaries of `powertcp-bench` (fig2/fig4/fig5/fig8): each
+//! [`TraceScenario`] builds its fixture, registers `dcn-sim` probes
+//! (switch queues, link TX counters, per-flow cwnd / pacing / PowerTCP Γ
+//! via `Endpoint::cc_samples`) on the spec's tick grid, records into a
+//! `dcn-telemetry` [`Recorder`], and reduces to scalar stats. One call to
+//! [`run_trace_entry`] is a pure function of `(spec, entry)` — the same
+//! property the FCT sweep executor relies on — so entries run in parallel
+//! and [`run_trace`] output is byte-identical at any thread count.
+
+use crate::algo::Algo;
+use crate::spec::{ScenarioSpec, TraceScenario};
+use dcn_sim::{
+    build_star, cc_probe, host_throughput_probe, queue_probe, throughput_probe, Endpoint, FlowId,
+    NodeId, PortId, Simulator, SwitchConfig,
+};
+use dcn_telemetry::{ChannelId, ChannelTrace, Recorder, SharedRecorder, TraceEntry, TraceReport};
+use dcn_transport::{
+    FlowSpec, HomaConfig, HomaHost, MetricsHub, SharedMetrics, TransportConfig, TransportHost,
+};
+use fluid_model::{current_md, fig2c_cases, voltage_md};
+use powertcp_core::{Bandwidth, Tick};
+use rdcn::{build_rdcn, CircuitAwareHost, RdcnConfig, RotorSchedule};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One entry of a trace lineup: an algorithm (plus, for the RDCN
+/// scenario, a reTCP prebuffer) and its display label.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEntrySpec {
+    /// Position in the lineup (stable expansion order).
+    pub index: usize,
+    /// Display label ("PowerTCP-INT", "reTCP-600us", …).
+    pub label: String,
+    /// Algorithm under trace (placeholder for the analytic `response`
+    /// scenario, which has no algorithm).
+    pub algo: Algo,
+    /// reTCP prebuffering (RDCN scenario only; zero elsewhere).
+    pub prebuffer: Tick,
+}
+
+/// Expand a timeseries spec's lineup into trace entries, in stable order:
+/// algo-major, with reTCP expanding to one entry per configured prebuffer.
+pub fn trace_entries(spec: &ScenarioSpec) -> Vec<TraceEntrySpec> {
+    let Some(trace) = spec.trace() else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut push = |label: String, algo: Algo, prebuffer: Tick| {
+        out.push(TraceEntrySpec {
+            index: out.len(),
+            label,
+            algo,
+            prebuffer,
+        });
+    };
+    match &trace.scenario {
+        TraceScenario::Response => {
+            push("analytic".into(), Algo::PowerTcp, Tick::ZERO);
+        }
+        TraceScenario::Rdcn {
+            retcp_prebuffer_us, ..
+        } => {
+            for &algo in &spec.sweep.algos {
+                if algo == Algo::ReTcp {
+                    for &us in retcp_prebuffer_us {
+                        let prebuffer = Tick::from_secs_f64(us / 1e6);
+                        push(format!("{}-{us}us", algo.name()), algo, prebuffer);
+                    }
+                } else {
+                    push(algo.name(), algo, Tick::ZERO);
+                }
+            }
+        }
+        _ => {
+            for &algo in &spec.sweep.algos {
+                push(algo.name(), algo, Tick::ZERO);
+            }
+        }
+    }
+    out
+}
+
+/// Run a whole timeseries scenario on `threads` worker threads. The spec
+/// is validated first; entries shard across threads like sweep points and
+/// the report is byte-identical at any thread count.
+pub fn run_trace(spec: &ScenarioSpec, threads: usize) -> Result<TraceReport, String> {
+    spec.validate()?;
+    if spec.trace().is_none() {
+        return Err(format!(
+            "scenario {:?} is a sweep; run it with run_sweep",
+            spec.name
+        ));
+    }
+    let entries = trace_entries(spec);
+    let outcomes = crate::sweep::run_indexed(entries.len(), threads, |i| {
+        run_trace_entry(spec, &entries[i])
+    });
+    Ok(TraceReport {
+        name: spec.name.clone(),
+        description: spec.description.clone(),
+        entries: outcomes,
+    })
+}
+
+/// Run one trace entry. Deterministic: identical arguments replay
+/// bit-for-bit, on any thread.
+pub fn run_trace_entry(spec: &ScenarioSpec, entry: &TraceEntrySpec) -> TraceEntry {
+    let trace = spec.trace().expect("trace entry of a timeseries spec");
+    match &trace.scenario {
+        TraceScenario::Response => response_trace(spec, entry),
+        TraceScenario::Incast {
+            fan_in,
+            burst_bytes,
+            at_ms,
+        } => incast_trace(spec, entry, *fan_in, *burst_bytes, *at_ms),
+        TraceScenario::Fairness { flows, stagger_ms } => {
+            fairness_trace(spec, entry, *flows, *stagger_ms)
+        }
+        TraceScenario::Rdcn {
+            weeks, packet_gbps, ..
+        } => rdcn_trace(spec, entry, *weeks, *packet_gbps),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared plumbing
+// ---------------------------------------------------------------------
+
+/// Streaming `[from, to)`-windowed accumulator: stats stay correct even
+/// when the ring has evicted early samples.
+#[derive(Clone, Copy, Debug)]
+struct Window {
+    from: f64,
+    to: f64,
+    sum: f64,
+    n: u64,
+    max: f64,
+    min: f64,
+}
+
+impl Window {
+    fn new(from: f64, to: f64) -> Rc<RefCell<Window>> {
+        Rc::new(RefCell::new(Window {
+            from,
+            to,
+            sum: 0.0,
+            n: 0,
+            max: f64::NEG_INFINITY,
+            min: f64::INFINITY,
+        }))
+    }
+
+    fn push(&mut self, x: f64, y: f64) {
+        if x >= self.from && x < self.to {
+            self.sum += y;
+            self.n += 1;
+            self.max = self.max.max(y);
+            self.min = self.min.min(y);
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    fn max0(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    fn min0(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+}
+
+/// A recorder sink that also feeds streaming window accumulators.
+fn record_and(
+    rec: SharedRecorder,
+    ch: ChannelId,
+    windows: Vec<Rc<RefCell<Window>>>,
+) -> impl FnMut(Tick, f64) + 'static {
+    move |t, v| {
+        rec.borrow_mut().record_at(ch, t, v);
+        let x = t.as_micros_f64();
+        for w in &windows {
+            w.borrow_mut().push(x, v);
+        }
+    }
+}
+
+/// Build the per-host endpoint for `algo` with the given sender flows
+/// (windowed transport, or the HOMA transport for `Algo::Homa`).
+fn make_endpoint(
+    algo: Algo,
+    tcfg: TransportConfig,
+    host_bw: Bandwidth,
+    metrics: &SharedMetrics,
+    flows: Vec<FlowSpec>,
+) -> Box<dyn Endpoint> {
+    if let Algo::Homa(oc) = algo {
+        let mut hcfg = HomaConfig::paper_defaults(host_bw, tcfg.base_rtt);
+        hcfg.overcommit = oc;
+        let mut h = HomaHost::new(hcfg, metrics.clone());
+        for f in flows {
+            h.add_flow(f);
+        }
+        Box::new(h)
+    } else {
+        let mut h = TransportHost::new(tcfg, metrics.clone(), algo.cc_factory(tcfg));
+        for f in flows {
+            h.add_flow(f);
+        }
+        Box::new(h)
+    }
+}
+
+/// Sample one host's first active flow into cwnd / power channels.
+fn cc_sink(
+    rec: SharedRecorder,
+    cwnd_ch: ChannelId,
+    power_ch: ChannelId,
+) -> impl FnMut(Tick, &[dcn_sim::CcFlowSample]) + 'static {
+    move |t, flows| {
+        let Some(f) = flows.first() else {
+            return;
+        };
+        let mut r = rec.borrow_mut();
+        r.record_at(cwnd_ch, t, f.cwnd_bytes);
+        if let Some(p) = f.norm_power {
+            r.record_at(power_ch, t, p);
+        }
+    }
+}
+
+fn export(rec: &Recorder, max_rows: usize) -> Vec<ChannelTrace> {
+    rec.channels()
+        .iter()
+        .map(|c| ChannelTrace::from_channel(c, max_rows))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// fig2 — analytic response curves (fluid model)
+// ---------------------------------------------------------------------
+
+/// Figure 2: the orthogonal multiplicative-decrease responses of voltage-
+/// and current-based CC, plus the three blind-spot cases. Analytic (no
+/// simulation); channels use the swept quantity as their x-axis.
+fn response_trace(spec: &ScenarioSpec, entry: &TraceEntrySpec) -> TraceEntry {
+    let trace = spec.trace().expect("timeseries");
+    let mut rec = Recorder::new(Tick::from_micros(1), trace.max_samples);
+    let v_rate = rec.channel_with_x("voltage-md-vs-rate", "factor", "qdot_over_bw");
+    let c_rate = rec.channel_with_x("current-md-vs-rate", "factor", "qdot_over_bw");
+    let v_queue = rec.channel_with_x("voltage-md-vs-queue", "factor", "queue_pkts");
+    let c_queue = rec.channel_with_x("current-md-vs-queue", "factor", "queue_pkts");
+
+    // 2a: MD vs queue buildup rate (queue fixed at one BDP).
+    for r in 0..=8 {
+        let r = r as f64;
+        rec.record(v_rate, r, voltage_md(1.0));
+        rec.record(c_rate, r, current_md(r));
+    }
+    // 2b: MD vs queue length in 1KB packets (BDP = 20 pkts, no buildup).
+    let bdp_pkts = 20.0;
+    for i in 0..=6 {
+        let q_pkts = i as f64 * 10.0;
+        rec.record(v_queue, q_pkts, voltage_md(q_pkts / bdp_pkts));
+        rec.record(c_queue, q_pkts, current_md(0.0));
+    }
+    // 2c: the three blind-spot cases as stats.
+    let mut stats = Vec::new();
+    for (i, case) in fig2c_cases().iter().enumerate() {
+        let n = i + 1;
+        stats.push((format!("case{n}_voltage_md"), case.voltage()));
+        stats.push((format!("case{n}_current_md"), case.current()));
+        stats.push((format!("case{n}_power_md"), case.power()));
+    }
+    TraceEntry {
+        label: entry.label.clone(),
+        stats,
+        channels: export(&rec, trace.max_rows),
+    }
+}
+
+// ---------------------------------------------------------------------
+// fig4 — incast reaction on a star
+// ---------------------------------------------------------------------
+
+/// Figure 4: a long flow to one receiver; at `at_ms`, `fan_in` other
+/// hosts send `burst_bytes` each to the same receiver. A single-switch
+/// star preserves the paper's bottleneck (the receiver's ToR downlink)
+/// without the unrelated fat-tree machinery.
+fn incast_trace(
+    spec: &ScenarioSpec,
+    entry: &TraceEntrySpec,
+    fan_in: usize,
+    burst_bytes: u64,
+    at_ms: f64,
+) -> TraceEntry {
+    let trace = spec.trace().expect("timeseries");
+    let algo = entry.algo;
+    let host_bw = spec.topology.host_bw();
+    let n = fan_in + 2; // receiver + long-flow sender + burst senders
+    let horizon = spec.horizon();
+    let incast_at = Tick::from_secs_f64(at_ms / 1e3);
+    let tick = Tick::from_secs_f64(trace.tick_us / 1e6);
+    let sw_cfg = algo.switch_config(SwitchConfig::default(), host_bw);
+
+    // Node-id plan for the star: switch = 0, host i = 1 + i.
+    let receiver = NodeId(1);
+    let long_sender = NodeId(2);
+    let metrics: SharedMetrics = MetricsHub::new_shared();
+    // Base RTT for the star (~6 us); configure τ generously like the
+    // paper (max RTT in topology).
+    let base_rtt = Tick::from_micros(8);
+    let tcfg = TransportConfig {
+        base_rtt,
+        rto: base_rtt * 20,
+        nack_guard: base_rtt,
+        expected_flows: 8,
+        mtu: 1000,
+    };
+
+    let m2 = metrics.clone();
+    let mut mk = move |id: NodeId, idx: usize| -> Box<dyn Endpoint> {
+        let mut flows = Vec::new();
+        if idx == 1 {
+            // Long flow for the whole run.
+            flows.push(FlowSpec {
+                id: FlowId(1),
+                src: id,
+                dst: receiver,
+                size_bytes: 3 * host_bw.bytes_per_sec() as u64 / 100, // ~30 ms worth /10
+                start: Tick::ZERO,
+            });
+        } else if idx >= 2 {
+            flows.push(FlowSpec {
+                id: FlowId(idx as u64),
+                src: id,
+                dst: receiver,
+                size_bytes: burst_bytes,
+                start: incast_at,
+            });
+        }
+        make_endpoint(algo, tcfg, host_bw, &m2, flows)
+    };
+    let star = build_star(n, host_bw, Tick::from_micros(1), sw_cfg, &mut mk);
+    let sw = star.switch;
+    let mut sim = Simulator::new(star.net);
+
+    let rec = Recorder::new_shared(tick, trace.max_samples);
+    let (thr_ch, q_ch, cwnd_ch, pw_ch) = {
+        let mut r = rec.borrow_mut();
+        (
+            r.channel("throughput", "Gbps"),
+            r.channel("queue", "bytes"),
+            r.channel("cwnd", "bytes"),
+            r.channel("power", "gamma"),
+        )
+    };
+    // Reduction windows (in µs of trace time).
+    let at_us = incast_at.as_micros_f64();
+    let hor_us = horizon.as_micros_f64();
+    // Post-incast tail: last quarter of the run.
+    let tail_from = hor_us - (hor_us - at_us) / 4.0;
+    // Recovery window: after the burst has been absorbed, before the
+    // tail — reveals the "lose throughput after reacting" failure of
+    // voltage- and current-based CC (Figure 4c/4d).
+    let (rec_lo, rec_hi) = (at_us + 500.0, at_us + 2000.0);
+    let peak_q = Window::new(at_us, f64::INFINITY);
+    let tail_q = Window::new(tail_from, f64::INFINITY);
+    let tail_t = Window::new(tail_from, f64::INFINITY);
+    let recovery_t = Window::new(rec_lo, rec_hi);
+
+    sim.add_tracer(
+        tick,
+        throughput_probe(
+            sw,
+            PortId(0),
+            record_and(
+                rec.clone(),
+                thr_ch,
+                vec![tail_t.clone(), recovery_t.clone()],
+            ),
+        ),
+    );
+    sim.add_tracer(
+        tick,
+        queue_probe(
+            sw,
+            PortId(0),
+            record_and(rec.clone(), q_ch, vec![peak_q.clone(), tail_q.clone()]),
+        ),
+    );
+    sim.add_tracer(
+        tick,
+        cc_probe(long_sender, cc_sink(rec.clone(), cwnd_ch, pw_ch)),
+    );
+    sim.run_until(horizon);
+
+    let drops = sim.net.switch(sw).total_drops();
+    let stats = vec![
+        ("peak_queue_bytes".into(), peak_q.borrow().max0()),
+        ("tail_queue_mean_bytes".into(), tail_q.borrow().mean()),
+        (
+            "recovery_min_throughput_gbps".into(),
+            recovery_t.borrow().min0(),
+        ),
+        ("tail_throughput_mean_gbps".into(), tail_t.borrow().mean()),
+        ("drops".into(), drops as f64),
+    ];
+    let channels = export(&rec.borrow(), trace.max_rows);
+    TraceEntry {
+        label: entry.label.clone(),
+        stats,
+        channels,
+    }
+}
+
+// ---------------------------------------------------------------------
+// fig5 — fairness on a shared bottleneck
+// ---------------------------------------------------------------------
+
+/// Figure 5: `flows` senders to one receiver joining at `stagger_ms`
+/// intervals; Jain index over the window where all are active.
+fn fairness_trace(
+    spec: &ScenarioSpec,
+    entry: &TraceEntrySpec,
+    flows: usize,
+    stagger_ms: f64,
+) -> TraceEntry {
+    let trace = spec.trace().expect("timeseries");
+    let algo = entry.algo;
+    let host_bw = spec.topology.host_bw();
+    let horizon = spec.horizon();
+    let tick = Tick::from_secs_f64(trace.tick_us / 1e6);
+    let receiver = NodeId(1);
+    let metrics: SharedMetrics = MetricsHub::new_shared();
+    let base_rtt = Tick::from_micros(8);
+    let tcfg = TransportConfig {
+        base_rtt,
+        rto: base_rtt * 20,
+        nack_guard: base_rtt,
+        expected_flows: flows as u32,
+        mtu: 1000,
+    };
+    let stagger = Tick::from_secs_f64(stagger_ms / 1e3);
+    let m2 = metrics.clone();
+    let mut mk = move |id: NodeId, idx: usize| -> Box<dyn Endpoint> {
+        let mut specs = Vec::new();
+        if idx >= 1 {
+            specs.push(FlowSpec {
+                id: FlowId(idx as u64),
+                src: id,
+                dst: receiver,
+                // Big enough to outlive the run at full line rate.
+                size_bytes: host_bw.bytes_per_sec() as u64 / 10,
+                start: Tick::from_ps(stagger.as_ps() * (idx as u64 - 1)),
+            });
+        }
+        make_endpoint(algo, tcfg, host_bw, &m2, specs)
+    };
+    let star = build_star(
+        flows + 1,
+        host_bw,
+        Tick::from_micros(1),
+        algo.switch_config(SwitchConfig::default(), host_bw),
+        &mut mk,
+    );
+    let senders: Vec<NodeId> = (0..flows).map(|i| NodeId(2 + i as u32)).collect();
+    let mut sim = Simulator::new(star.net);
+
+    let rec = Recorder::new_shared(tick, trace.max_samples);
+    // Jain window: all flows active, allowing 0.2 ms of join transient.
+    let all_active_from = stagger_ms * (flows as f64 - 1.0) * 1e3 + 200.0;
+    let mut means = Vec::new();
+    for (i, &s) in senders.iter().enumerate() {
+        let (thr_ch, cwnd_ch, pw_ch) = {
+            let mut r = rec.borrow_mut();
+            (
+                r.channel(format!("flow-{}", i + 1), "Gbps"),
+                r.channel(format!("cwnd-{}", i + 1), "bytes"),
+                r.channel(format!("power-{}", i + 1), "gamma"),
+            )
+        };
+        let w = Window::new(all_active_from, f64::INFINITY);
+        means.push(w.clone());
+        sim.add_tracer(
+            tick,
+            host_throughput_probe(s, record_and(rec.clone(), thr_ch, vec![w])),
+        );
+        sim.add_tracer(tick, cc_probe(s, cc_sink(rec.clone(), cwnd_ch, pw_ch)));
+    }
+    sim.run_until(horizon);
+
+    let shares: Vec<f64> = means.iter().map(|w| w.borrow().mean()).collect();
+    let mut stats = vec![(
+        "jain_all_active".into(),
+        dcn_stats::jain_index(&shares).unwrap_or(0.0),
+    )];
+    for (i, share) in shares.iter().enumerate() {
+        stats.push((format!("flow-{}_mean_gbps", i + 1), *share));
+    }
+    let channels = export(&rec.borrow(), trace.max_rows);
+    TraceEntry {
+        label: entry.label.clone(),
+        stats,
+        channels,
+    }
+}
+
+// ---------------------------------------------------------------------
+// fig8 — the reconfigurable-datacenter case study
+// ---------------------------------------------------------------------
+
+/// Figure 8: every host of rack 0 sends a long flow to its counterpart in
+/// rack 1 for `weeks` of the rotor schedule; traces rack-pair throughput
+/// and VOQ occupancy (`horizon_ms` is ignored — the rotor week defines
+/// the run length).
+fn rdcn_trace(
+    spec: &ScenarioSpec,
+    entry: &TraceEntrySpec,
+    weeks: u64,
+    packet_gbps: f64,
+) -> TraceEntry {
+    let trace = spec.trace().expect("timeseries");
+    let algo = entry.algo;
+    let prebuffer = entry.prebuffer;
+    let packet_bw = crate::spec::gbps(packet_gbps);
+    let cfg = RdcnConfig {
+        // Paper schedule (25 ToRs: 24 matchings, week = 5.88 ms) with one
+        // full-rate rack pair (4 hosts saturate the 100 G circuit). The
+        // long inter-day gap is what separates reTCP-600us from
+        // reTCP-1800us — a shorter rotor would hold VOQs permanently.
+        schedule: RotorSchedule::paper_defaults(),
+        hosts_per_tor: 4,
+        packet_bw,
+        prebuffer,
+        ..RdcnConfig::default()
+    };
+    let schedule = cfg.schedule;
+    let base_rtt = cfg.base_rtt();
+    let circuit_bw = cfg.circuit_bw;
+    let h = cfg.hosts_per_tor;
+    let metrics: SharedMetrics = MetricsHub::new_shared();
+    let horizon = Tick::from_ps(schedule.week().as_ps() * weeks);
+    let tick = Tick::from_secs_f64(trace.tick_us / 1e6);
+
+    let m2 = metrics.clone();
+    let mut mk = move |id: NodeId, idx: usize| -> Box<dyn Endpoint> {
+        let tcfg = TransportConfig {
+            base_rtt,
+            rto: Tick::from_micros(2_000),
+            nack_guard: base_rtt,
+            expected_flows: 1,
+            mtu: 1000,
+        };
+        let rack = idx / h;
+        let slot = idx % h;
+        let mut host = TransportHost::new(tcfg, m2.clone(), algo.cc_factory(tcfg));
+        if rack == 0 {
+            let dst = NodeId((2 + (1 + h) + 1 + slot) as u32);
+            host.add_flow(FlowSpec {
+                id: FlowId(idx as u64 + 1),
+                src: id,
+                dst,
+                // Enough bytes to stay active the whole run at 100 G.
+                size_bytes: circuit_bw.bytes_per_sec() as u64 / 100,
+                start: Tick::ZERO,
+            });
+            Box::new(CircuitAwareHost::new(host, schedule, 0, 1, circuit_bw))
+        } else {
+            Box::new(host)
+        }
+    };
+    let r = build_rdcn(cfg, &mut mk);
+    let gauge = r.voq_gauges[0].clone();
+    let sink = r.latency_sinks[0].clone();
+    let tor0 = r.tors[0];
+    let first_sender = r.hosts[0];
+    let hpt = r.cfg.hosts_per_tor;
+    let mut sim = Simulator::new(r.net);
+
+    let rec = Recorder::new_shared(tick, trace.max_samples);
+    let (thr_ch, voq_ch, cwnd_ch, pw_ch) = {
+        let mut rb = rec.borrow_mut();
+        (
+            rb.channel("throughput", "Gbps"),
+            rb.channel("voq", "bytes"),
+            rb.channel("cwnd", "bytes"),
+            rb.channel("power", "gamma"),
+        )
+    };
+    {
+        // Rack-0 egress throughput towards rack 1 (circuit + packet).
+        let rec2 = rec.clone();
+        let mut last: Option<(Tick, u64)> = None;
+        sim.add_tracer(tick, move |net, now| {
+            let dcn_sim::Node::Custom(c) = net.node(tor0) else {
+                return;
+            };
+            let total = c.ports[hpt].tx_bytes + c.ports[hpt + 1].tx_bytes;
+            if let Some((t0, b0)) = last {
+                let dt = now.saturating_sub(t0).as_secs_f64();
+                if dt > 0.0 {
+                    rec2.borrow_mut()
+                        .record_at(thr_ch, now, (total - b0) as f64 * 8.0 / dt / 1e9);
+                }
+            }
+            last = Some((now, total));
+        });
+        // Rack-0 → rack-1 VOQ occupancy.
+        let rec2 = rec.clone();
+        let g = gauge.clone();
+        sim.add_tracer(tick, move |_net, now| {
+            let v = g.borrow().get(1).copied().unwrap_or(0);
+            rec2.borrow_mut().record_at(voq_ch, now, v as f64);
+        });
+        sim.add_tracer(
+            tick,
+            cc_probe(first_sender, cc_sink(rec.clone(), cwnd_ch, pw_ch)),
+        );
+    }
+    sim.run_until(horizon);
+
+    // Day utilization: circuit bytes transmitted / (circuit capacity ×
+    // total day time for the rack pair).
+    let dcn_sim::Node::Custom(c) = sim.net.node(tor0) else {
+        panic!("ToR is a custom node")
+    };
+    let circuit_bytes = c.ports[hpt + 1].tx_bytes;
+    let uplink_bytes = c.ports[hpt].tx_bytes;
+    let day_seconds = schedule.day.as_secs_f64() * weeks as f64;
+    let day_utilization = circuit_bytes as f64 / (circuit_bw.bytes_per_sec() * day_seconds);
+    let mean_goodput = (circuit_bytes + uplink_bytes) as f64 * 8.0 / horizon.as_secs_f64() / 1e9;
+
+    let latency: Vec<f64> = sink.borrow().clone();
+    let (completed, offered) = metrics.borrow().completion_ratio();
+    let tail = |pct: f64| dcn_stats::percentile(&latency, pct).unwrap_or(0.0) * 1e6;
+    let stats = vec![
+        ("day_utilization".into(), day_utilization),
+        ("mean_goodput_gbps".into(), mean_goodput),
+        ("p99_voq_wait_us".into(), tail(99.0)),
+        ("p999_voq_wait_us".into(), tail(99.9)),
+        ("completed".into(), completed as f64),
+        ("offered".into(), offered as f64),
+    ];
+    let channels = export(&rec.borrow(), trace.max_rows);
+    TraceEntry {
+        label: entry.label.clone(),
+        stats,
+        channels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{TraceScenario, TraceSpec};
+
+    fn ts(scenario: TraceScenario) -> ScenarioSpec {
+        ScenarioSpec::timeseries(
+            "t",
+            TraceSpec {
+                scenario,
+                tick_us: 20.0,
+                max_samples: 4096,
+                max_rows: 60,
+            },
+        )
+        .horizon_ms(3.0)
+    }
+
+    #[test]
+    fn incast_trace_builds_and_drains_a_queue() {
+        let spec = ts(TraceScenario::Incast {
+            fan_in: 4,
+            burst_bytes: 100_000,
+            at_ms: 1.0,
+        });
+        let entries = trace_entries(&spec);
+        assert_eq!(entries.len(), 1);
+        let e = run_trace_entry(&spec, &entries[0]);
+        assert_eq!(e.label, "PowerTCP-INT");
+        let peak = e.stat("peak_queue_bytes").unwrap();
+        assert!(peak > 0.0, "incast must build a queue");
+        // PowerTCP drains it.
+        assert!(e.stat("tail_queue_mean_bytes").unwrap() < peak);
+        // The streaming stat agrees with a post-hoc reduction of the
+        // exported channel (nothing was evicted at this horizon, but the
+        // export is decimated, so the post-hoc peak is a lower bound).
+        let q = e.channel("queue").unwrap();
+        assert_eq!(q.evicted, 0);
+        assert!(dcn_telemetry::max_after(&q.samples, 1_000.0) <= peak);
+        // The cwnd and power probes saw the long flow.
+        assert!(!e.channel("cwnd").unwrap().samples.is_empty());
+        assert!(!e.channel("power").unwrap().samples.is_empty());
+        assert!(e.channel("queue").unwrap().samples.len() <= 60);
+    }
+
+    #[test]
+    fn fairness_trace_shares_fairly_under_powertcp() {
+        let spec = ts(TraceScenario::Fairness {
+            flows: 4,
+            stagger_ms: 0.5,
+        })
+        .horizon_ms(5.0);
+        let e = run_trace_entry(&spec, &trace_entries(&spec)[0]);
+        let jain = e.stat("jain_all_active").unwrap();
+        assert!(jain > 0.9, "PowerTCP should share fairly (jain={jain})");
+        assert_eq!(
+            e.channels
+                .iter()
+                .filter(|c| c.name.starts_with("flow-"))
+                .count(),
+            4
+        );
+    }
+
+    #[test]
+    fn rdcn_trace_fills_the_circuit() {
+        let spec = ts(TraceScenario::Rdcn {
+            weeks: 2,
+            packet_gbps: 25.0,
+            retcp_prebuffer_us: vec![600.0],
+        })
+        .algos([Algo::PowerTcp, Algo::ReTcp]);
+        let entries = trace_entries(&spec);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[1].label, "reTCP-600us");
+        let e = run_trace_entry(&spec, &entries[0]);
+        assert!(!e.channel("throughput").unwrap().samples.is_empty());
+        assert!(
+            e.stat("day_utilization").unwrap() > 0.1,
+            "util={}",
+            e.stat("day_utilization").unwrap()
+        );
+    }
+
+    #[test]
+    fn response_trace_reproduces_the_fig2c_annotations() {
+        let spec = ts(TraceScenario::Response);
+        let e = run_trace_entry(&spec, &trace_entries(&spec)[0]);
+        assert!((e.stat("case1_voltage_md").unwrap() - 3.24).abs() < 1e-9);
+        assert!((e.stat("case1_current_md").unwrap() - 9.0).abs() < 1e-9);
+        assert!((e.stat("case2_current_md").unwrap() - 1.0).abs() < 1e-9);
+        // Power separates all three cases.
+        let p: Vec<f64> = (1..=3)
+            .map(|i| e.stat(&format!("case{i}_power_md")).unwrap())
+            .collect();
+        assert!(p[0] != p[1] && p[1] != p[2] && p[0] != p[2]);
+        assert_eq!(e.channels.len(), 4);
+    }
+}

@@ -53,8 +53,8 @@ pub use event::{Event, EventQueue};
 pub use ids::{mix64, FlowId, LinkId, NodeId, PortId};
 pub use link::{Link, Links};
 pub use node::{
-    CustomAction, CustomCtx, CustomNode, CustomSwitch, Endpoint, EndpointAction, EndpointCtx, Host,
-    Node, NullEndpoint, PortView, RawPort,
+    CcFlowSample, CustomAction, CustomCtx, CustomNode, CustomSwitch, Endpoint, EndpointAction,
+    EndpointCtx, Host, Node, NullEndpoint, PortView, RawPort,
 };
 pub use packet::{
     AckPayload, GrantPayload, Packet, PacketKind, CTRL_PKT_BYTES, DEFAULT_MTU, NUM_PRIORITIES,
@@ -65,5 +65,6 @@ pub use topology::{
     DumbbellConfig, FatTree, FatTreeConfig, Star,
 };
 pub use trace::{
-    buffer_tracer, host_throughput_tracer, queue_tracer, series, throughput_tracer, Series,
+    buffer_probe, buffer_tracer, cc_probe, host_throughput_probe, host_throughput_tracer,
+    queue_probe, queue_tracer, series, throughput_probe, throughput_tracer, tx_bytes_probe, Series,
 };

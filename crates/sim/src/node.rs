@@ -68,6 +68,20 @@ impl<'a> EndpointCtx<'a> {
     }
 }
 
+/// One per-flow congestion-control observation, as exposed by a host
+/// endpoint to telemetry probes (see [`crate::trace::cc_probe`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CcFlowSample {
+    /// The flow.
+    pub flow: crate::ids::FlowId,
+    /// Current congestion window in bytes.
+    pub cwnd_bytes: f64,
+    /// Current pacing rate.
+    pub pacing: Bandwidth,
+    /// Smoothed normalized power Γ, for power-based algorithms.
+    pub norm_power: Option<f64>,
+}
+
 /// Host-resident logic (the transport layer lives behind this trait).
 pub trait Endpoint {
     /// Called once before the simulation starts (schedule initial flows).
@@ -78,6 +92,12 @@ pub trait Endpoint {
 
     /// A previously-set timer fired.
     fn on_timer(&mut self, key: u64, ctx: &mut EndpointCtx<'_>);
+
+    /// Probe hook: append one [`CcFlowSample`] per *active* sender flow
+    /// (started, not yet complete), in flow start order. Default: none —
+    /// transports without per-flow windows (receiver-driven HOMA, test
+    /// sinks) stay silent.
+    fn cc_samples(&self, _out: &mut Vec<CcFlowSample>) {}
 }
 
 /// A no-op endpoint for hosts that only sink traffic in tests.

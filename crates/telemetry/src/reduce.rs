@@ -1,0 +1,171 @@
+//! Downsampling and reduction of sample streams.
+//!
+//! Traces sampled on a fine tick grid are too dense to export or eyeball;
+//! these reducers shrink them deterministically (pure functions of the
+//! input — no clocks, no randomness).
+//!
+//! **Eviction caveat:** everything here operates on the samples you hand
+//! it — for a ring-buffered channel that is the *kept* window, not the
+//! full history. Reductions that must cover the whole run even after the
+//! ring evicts (e.g. a peak across an early event) belong in streaming
+//! accumulators fed by the probe sink itself, as the scenario trace
+//! engine does; use these post-hoc reducers on exported [`ChannelTrace`]
+//! samples or on channels whose ring never filled.
+//!
+//! [`ChannelTrace`]: crate::export::ChannelTrace
+
+use crate::probe::Sample;
+
+/// Decimate to at most `max_rows` samples by stride-picking (always keeps
+/// the first sample of each stride window; order preserved).
+pub fn decimate(samples: &[Sample], max_rows: usize) -> Vec<Sample> {
+    let max_rows = max_rows.max(1);
+    if samples.len() <= max_rows {
+        return samples.to_vec();
+    }
+    let stride = samples.len().div_ceil(max_rows);
+    samples.iter().step_by(stride).copied().collect()
+}
+
+/// Average consecutive windows of `window` samples (partial tail window
+/// included): a low-pass alternative to [`decimate`] when spikes should be
+/// smeared rather than dropped. The x of each output sample is the window's
+/// first x.
+pub fn window_mean(samples: &[Sample], window: usize) -> Vec<Sample> {
+    let window = window.max(1);
+    samples
+        .chunks(window)
+        .map(|w| Sample {
+            x: w[0].x,
+            y: w.iter().map(|s| s.y).sum::<f64>() / w.len() as f64,
+        })
+        .collect()
+}
+
+/// Summary statistics of one channel's values.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SeriesSummary {
+    /// Samples reduced.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Last (newest) value.
+    pub last: f64,
+}
+
+/// Summarize a value stream; `None` when empty.
+pub fn summarize(values: &[f64]) -> Option<SeriesSummary> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut sum = 0.0;
+    for &v in values {
+        min = min.min(v);
+        max = max.max(v);
+        sum += v;
+    }
+    Some(SeriesSummary {
+        count: values.len(),
+        mean: sum / values.len() as f64,
+        min,
+        max,
+        last: *values.last().unwrap(),
+    })
+}
+
+/// Mean of the kept values with `x >= from` (0 when none) — a post-hoc
+/// "post-event tail" reduction (see the module-level eviction caveat).
+pub fn mean_after(samples: &[Sample], from: f64) -> f64 {
+    let tail: Vec<f64> = samples
+        .iter()
+        .filter(|s| s.x >= from)
+        .map(|s| s.y)
+        .collect();
+    if tail.is_empty() {
+        0.0
+    } else {
+        tail.iter().sum::<f64>() / tail.len() as f64
+    }
+}
+
+/// Maximum kept value with `x >= from` (0 when none).
+pub fn max_after(samples: &[Sample], from: f64) -> f64 {
+    samples
+        .iter()
+        .filter(|s| s.x >= from)
+        .map(|s| s.y)
+        .fold(0.0, f64::max)
+}
+
+/// Minimum kept value within `from <= x < to` (0 when none) — e.g. the
+/// post-incast recovery-window throughput dip.
+pub fn min_within(samples: &[Sample], from: f64, to: f64) -> f64 {
+    let m = samples
+        .iter()
+        .filter(|s| s.x >= from && s.x < to)
+        .map(|s| s.y)
+        .fold(f64::INFINITY, f64::min);
+    if m.is_finite() {
+        m
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples(n: usize) -> Vec<Sample> {
+        (0..n)
+            .map(|i| Sample {
+                x: i as f64,
+                y: i as f64 * 10.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn decimate_bounds_rows_and_keeps_order() {
+        let s = samples(100);
+        let d = decimate(&s, 10);
+        assert!(d.len() <= 10);
+        assert_eq!(d[0].x, 0.0);
+        assert!(d.windows(2).all(|w| w[0].x < w[1].x));
+        // No-op when already small.
+        assert_eq!(decimate(&s[..5], 10).len(), 5);
+    }
+
+    #[test]
+    fn window_mean_averages_chunks() {
+        let s = samples(5);
+        let w = window_mean(&s, 2);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0], Sample { x: 0.0, y: 5.0 });
+        assert_eq!(w[2], Sample { x: 4.0, y: 40.0 }); // partial tail
+    }
+
+    #[test]
+    fn summaries_and_tail_reductions() {
+        let s = samples(10);
+        let sum = summarize(&s.iter().map(|p| p.y).collect::<Vec<_>>()).unwrap();
+        assert_eq!(sum.count, 10);
+        assert_eq!(sum.min, 0.0);
+        assert_eq!(sum.max, 90.0);
+        assert_eq!(sum.last, 90.0);
+        assert_eq!(sum.mean, 45.0);
+        assert!(summarize(&[]).is_none());
+
+        assert_eq!(mean_after(&s, 8.0), 85.0);
+        assert_eq!(mean_after(&s, 100.0), 0.0);
+        assert_eq!(max_after(&s, 5.0), 90.0);
+        assert_eq!(min_within(&s, 3.0, 6.0), 30.0);
+        assert_eq!(min_within(&s, 50.0, 60.0), 0.0);
+    }
+}

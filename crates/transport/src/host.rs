@@ -10,7 +10,7 @@
 use crate::config::TransportConfig;
 use crate::flow::FlowSpec;
 use crate::metrics::SharedMetrics;
-use dcn_sim::{Endpoint, EndpointCtx, FlowId, Packet, PacketKind};
+use dcn_sim::{CcFlowSample, Endpoint, EndpointCtx, FlowId, Packet, PacketKind};
 use powertcp_core::{AckInfo, Bandwidth, CongestionControl, LossKind, NetSignal, Tick};
 use std::collections::HashMap;
 
@@ -340,6 +340,22 @@ impl Endpoint for TransportHost {
             PacketKind::Data { .. } => self.on_data(&pkt, ctx),
             PacketKind::Ack(_) => self.on_ack(&pkt, ctx),
             _ => {}
+        }
+    }
+
+    fn cc_samples(&self, out: &mut Vec<CcFlowSample>) {
+        for f in &self.senders {
+            // Skip flows that have finished or not yet started (the CC is
+            // the zero-window `HoldCc` placeholder until flow start).
+            if f.done || f.cc.cwnd() <= 0.0 {
+                continue;
+            }
+            out.push(CcFlowSample {
+                flow: f.spec.id,
+                cwnd_bytes: f.cc.cwnd(),
+                pacing: f.cc.pacing_rate(),
+                norm_power: f.cc.norm_power(),
+            });
         }
     }
 

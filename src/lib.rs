@@ -20,7 +20,9 @@
 //! * [`rdcn`] — reconfigurable-DCN substrate (circuit switch, VOQ ToRs,
 //!   prebuffering);
 //! * [`fluid`] (`fluid-model`) — the §2/Appendix-A fluid-model analysis;
-//! * [`stats`] (`dcn-stats`) — percentiles, CDFs, slowdowns, fairness.
+//! * [`stats`] (`dcn-stats`) — percentiles, CDFs, slowdowns, fairness;
+//! * [`telemetry`] (`dcn-telemetry`) — time-series probe recorder, ring
+//!   buffers, reducers, and deterministic trace export.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +30,7 @@
 pub use cc_baselines as baselines;
 pub use dcn_sim as sim;
 pub use dcn_stats as stats;
+pub use dcn_telemetry as telemetry;
 pub use dcn_transport as transport;
 pub use dcn_workloads as workloads;
 pub use fluid_model as fluid;
