@@ -1,12 +1,18 @@
 //! Criterion benchmarks of the simulator substrate itself: event
-//! throughput of the switching fabric and of the full transport stack.
+//! throughput of the switching fabric, of the full transport stack, and
+//! the before/after story for the event core — the retired
+//! `BinaryHeap<Reverse<Scheduled>>` queue (reconstructed here) against
+//! the calendar queue that replaced it, under simulation-shaped churn.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use dcn_sim::{
-    build_star, Endpoint, EndpointCtx, FlowId, NodeId, Packet, Simulator, SwitchConfig, DEFAULT_MTU,
+    build_star, Endpoint, EndpointCtx, Event, EventQueue, FlowId, NodeId, Packet, Simulator,
+    SwitchConfig, DEFAULT_MTU,
 };
 use dcn_transport::{FlowSpec, MetricsHub, TransportConfig, TransportHost};
 use powertcp_core::{Bandwidth, CongestionControl, PowerTcp, PowerTcpConfig, Tick};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::hint::black_box;
 
 /// Raw fabric: blast N packets through a star switch with null endpoints.
@@ -108,9 +114,146 @@ fn bench_fabric(c: &mut Criterion) {
     group.finish();
 }
 
+// ---------------------------------------------------------------------
+// Event core: old binary heap vs calendar queue
+// ---------------------------------------------------------------------
+
+/// The event core this PR retired: a binary heap ordered by
+/// `(time, insertion-seq)`, carrying the same `Event` payloads the real
+/// queue carries, so the comparison is apples-to-apples.
+struct OldHeapQueue {
+    heap: BinaryHeap<Reverse<(Tick, u64, EventBox)>>,
+    seq: u64,
+    now: Tick,
+}
+
+/// Wrapper giving `Event` the (never-consulted) `Ord` the tuple needs:
+/// `(at, seq)` is unique, so payload comparison is unreachable.
+struct EventBox(Event);
+impl PartialEq for EventBox {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl Eq for EventBox {}
+impl PartialOrd for EventBox {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EventBox {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl OldHeapQueue {
+    fn new() -> Self {
+        OldHeapQueue {
+            heap: BinaryHeap::with_capacity(1024),
+            seq: 0,
+            now: Tick::ZERO,
+        }
+    }
+    #[inline]
+    fn schedule(&mut self, at: Tick, ev: Event) {
+        let at = at.max(self.now);
+        self.heap.push(Reverse((at, self.seq, EventBox(ev))));
+        self.seq += 1;
+    }
+    #[inline]
+    fn pop(&mut self) -> Option<(Tick, Event)> {
+        let Reverse((at, _, ev)) = self.heap.pop()?;
+        self.now = at;
+        Some((at, ev.0))
+    }
+}
+
+/// Simulation-shaped churn: hold `n` pending events (the steady-state
+/// working set — ~16 for a toy star, thousands for the paper's 256-host
+/// fat-tree with per-flow timers), then hot-loop pop-one/push-one with
+/// the delay mix of a fat-tree run: serialization (~320 ns at 25 G),
+/// propagation (~1 µs), occasional pacing gaps and RTO pushes. A cheap
+/// xorshift makes the pattern deterministic.
+fn churn<Q>(
+    n: u64,
+    ops: u64,
+    mut schedule: impl FnMut(&mut Q, Tick, Event),
+    mut pop: impl FnMut(&mut Q) -> Option<(Tick, Event)>,
+    q: &mut Q,
+) -> u64 {
+    let ev = |k: u64| Event::HostTimer {
+        node: NodeId(0),
+        key: k,
+    };
+    let mut rng = 0x9E37_79B9_7F4A_7C15u64;
+    let mut step = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    // Delay mix in picoseconds (weights sim-realistic: mostly wire-level).
+    let delay = |r: u64| match r % 16 {
+        0..=7 => 320_000 + (r % 640_000),       // serialization-ish
+        8..=13 => 1_000_000 + (r % 2_000_000),  // propagation-ish
+        14 => 25_000_000 + (r % 50_000_000),    // pacing gap
+        _ => 100_000_000 + (r % 1_600_000_000), // RTO / flow timer
+    };
+    for k in 0..n {
+        schedule(q, Tick::from_ps(delay(step())), ev(k));
+    }
+    let mut acc = 0u64;
+    for k in 0..ops {
+        let (now, e) = pop(q).expect("held set never drains");
+        if let Event::HostTimer { key, .. } = e {
+            acc ^= key;
+        }
+        schedule(q, Tick::from_ps(now.as_ps() + delay(step())), ev(k));
+    }
+    acc
+}
+
+fn bench_event_core(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_core");
+    let ops = 200_000u64;
+    group.throughput(Throughput::Elements(ops));
+    // n = 16: toy star. n = 256: incast fan-in at burst time. n = 4096:
+    // paper-scale fat-tree (256 hosts × NIC/port events + per-flow
+    // timers) — the regime the ROADMAP's "scale the simulator up" item
+    // targets.
+    for n in [16u64, 256, 4096] {
+        group.bench_function(&format!("old_heap_n{n}"), |b| {
+            b.iter(|| {
+                let mut q = OldHeapQueue::new();
+                black_box(churn(
+                    n,
+                    ops,
+                    |q: &mut OldHeapQueue, t, e| q.schedule(t, e),
+                    |q| q.pop(),
+                    &mut q,
+                ))
+            })
+        });
+        group.bench_function(&format!("calendar_n{n}"), |b| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                black_box(churn(
+                    n,
+                    ops,
+                    |q: &mut EventQueue, t, e| q.schedule(t, e),
+                    |q| q.pop(),
+                    &mut q,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_fabric
+    targets = bench_fabric, bench_event_core
 }
 criterion_main!(benches);

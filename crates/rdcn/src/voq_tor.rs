@@ -16,6 +16,10 @@
 //! Control packets (ACKs, grants, PFC) always use the packet network —
 //! feedback must not wait a week for a circuit.
 //!
+//! Unroutable packets are retired through [`CustomCtx::drop_packet`],
+//! which the engine counts and recycles into the simulator's packet
+//! pool (see `dcn_sim::pool`) — drops cost no allocator round-trip.
+//!
 //! The ToR pushes INT metadata with the *VOQ* occupancy at dequeue, so
 //! INT-based CC observes exactly the queue its packets wait in, with the
 //! bandwidth of whichever egress (circuit or packet uplink) serves them.

@@ -1,0 +1,223 @@
+//! `xp bench` — wall-clock timings of the simulator hot paths, exported
+//! as a JSON report (`BENCH_sim.json` at the repo root is the committed
+//! baseline).
+//!
+//! Unlike the criterion benches (which compare data structures in
+//! isolation), these cases time the *product* paths a sweep actually
+//! exercises: a raw fabric blast, a windowed-transport incast, the
+//! fig6-small fat-tree sweep point, and a timeseries trace entry. Each
+//! case is a pure function of its inputs — identical simulated work every
+//! run — so run-to-run differences are pure wall-clock, and `xp diff`
+//! with a generous tolerance (timings are machine-dependent; try
+//! `--tol 0.5`) can flag order-of-magnitude regressions between the
+//! committed baseline and a fresh `xp bench --json` run.
+
+use crate::algo::Algo;
+use crate::library::fig6_small;
+use crate::spec::{ScenarioSpec, TraceScenario, TraceSpec};
+use dcn_sim::{
+    build_star, Endpoint, EndpointCtx, FlowId, NodeId, Packet, Simulator, SwitchConfig, DEFAULT_MTU,
+};
+use powertcp_core::{Bandwidth, Tick};
+use std::time::Instant;
+
+/// One timed case.
+#[derive(Clone, Debug)]
+pub struct BenchCase {
+    /// Case name (stable across PRs; diffable).
+    pub name: &'static str,
+    /// What the case exercises.
+    pub what: &'static str,
+    /// Wall-clock per run, milliseconds.
+    pub wall_ms: Vec<f64>,
+    /// Events dispatched per run (0 when the case reports no counter).
+    pub events: u64,
+}
+
+impl BenchCase {
+    fn min_ms(&self) -> f64 {
+        self.wall_ms.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+    fn mean_ms(&self) -> f64 {
+        self.wall_ms.iter().sum::<f64>() / self.wall_ms.len() as f64
+    }
+}
+
+/// Sends `n` back-to-back MTU packets at start (the raw-fabric load).
+struct Blaster {
+    dst: NodeId,
+    n: u64,
+}
+
+impl Endpoint for Blaster {
+    fn on_start(&mut self, ctx: &mut EndpointCtx<'_>) {
+        for i in 0..self.n {
+            ctx.send(Packet::data(
+                FlowId(1),
+                ctx.node,
+                self.dst,
+                i * DEFAULT_MTU as u64,
+                DEFAULT_MTU,
+                i + 1 == self.n,
+                ctx.now,
+            ));
+        }
+    }
+    fn on_packet(&mut self, pkt: Box<Packet>, ctx: &mut EndpointCtx<'_>) {
+        ctx.recycle(pkt);
+    }
+    fn on_timer(&mut self, _key: u64, _ctx: &mut EndpointCtx<'_>) {}
+}
+
+fn time<R>(runs: usize, mut f: impl FnMut() -> R) -> (Vec<f64>, R) {
+    let mut wall = Vec::with_capacity(runs);
+    let mut out = None;
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        out = Some(f());
+        wall.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    (wall, out.expect("runs >= 1"))
+}
+
+fn fabric_blast(runs: usize) -> BenchCase {
+    // Sized to finish without admission drops, so the case times the hot
+    // forwarding path and `events` == packets delivered: the bottleneck
+    // queue peaks at ~4x25 G in / 25 G out x 192 µs ≈ 1.8 MB, under the
+    // ~3.5 MB Dynamic-Thresholds cap (α=1: one port may hold at most
+    // half the 7 MB shared buffer).
+    let pkts = 600u64;
+    let (wall_ms, delivered) = time(runs, || {
+        let mut mk = |_id: NodeId, idx: usize| -> Box<dyn Endpoint> {
+            if idx == 0 {
+                Box::new(dcn_sim::NullEndpoint)
+            } else {
+                Box::new(Blaster {
+                    dst: NodeId(1),
+                    n: pkts,
+                })
+            }
+        };
+        let star = build_star(
+            5,
+            Bandwidth::gbps(25),
+            Tick::from_micros(1),
+            SwitchConfig::default(),
+            &mut mk,
+        );
+        let mut sim = Simulator::new(star.net);
+        sim.run_until_idle();
+        sim.delivered
+    });
+    assert_eq!(delivered, 4 * pkts, "blast must not overflow the buffer");
+    BenchCase {
+        name: "fabric_4to1_blast",
+        what: "2400-packet 4:1 blast through one switch (no drops), null transport",
+        wall_ms,
+        events: delivered,
+    }
+}
+
+fn incast_trace(runs: usize) -> BenchCase {
+    let spec = ScenarioSpec::timeseries(
+        "bench-incast",
+        TraceSpec {
+            scenario: TraceScenario::Incast {
+                fan_in: 16,
+                burst_bytes: 100_000,
+                at_ms: 0.5,
+            },
+            tick_us: 20.0,
+            max_samples: 4096,
+            max_rows: 60,
+        },
+    )
+    .algos([Algo::PowerTcp])
+    .horizon_ms(3.0);
+    let entries = crate::trace_engine::trace_entries(&spec);
+    let (wall_ms, _) = time(runs, || {
+        crate::trace_engine::run_trace_entry(&spec, &entries[0])
+    });
+    BenchCase {
+        name: "incast_16to1_powertcp_trace",
+        what: "fig4-style 16:1 incast trace entry, PowerTCP + probes",
+        wall_ms,
+        events: 0,
+    }
+}
+
+fn fat_tree_sweep(runs: usize) -> BenchCase {
+    let spec = fig6_small();
+    let (wall_ms, report) = time(runs, || {
+        crate::sweep::run_sweep(&spec, 1).expect("fig6-small sweep")
+    });
+    BenchCase {
+        name: "fig6_small_sweep",
+        what: "fig6-small fat-tree websearch sweep (2 points, 1 thread)",
+        wall_ms,
+        events: report.points.len() as u64,
+    }
+}
+
+/// Run the bench suite with `runs` timed repetitions per case.
+pub fn run_bench(runs: usize) -> Vec<BenchCase> {
+    vec![fabric_blast(runs), incast_trace(runs), fat_tree_sweep(runs)]
+}
+
+/// Render cases as the `BENCH_sim.json` report.
+pub fn bench_to_json(cases: &[BenchCase], runs: usize) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"bench\": \"sim\",\n");
+    s.push_str(&format!("  \"runs\": {runs},\n"));
+    s.push_str("  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"name\": \"{}\",\n", c.name));
+        s.push_str(&format!("      \"what\": \"{}\",\n", c.what));
+        s.push_str(&format!("      \"wall_ms_min\": {:.3},\n", c.min_ms()));
+        s.push_str(&format!("      \"wall_ms_mean\": {:.3},\n", c.mean_ms()));
+        s.push_str(&format!("      \"events\": {}\n", c.events));
+        s.push_str(if i + 1 == cases.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Human-readable table for stderr.
+pub fn bench_table(cases: &[BenchCase]) -> String {
+    let mut s = String::new();
+    for c in cases {
+        s.push_str(&format!(
+            "{:<28} min {:>9.3} ms  mean {:>9.3} ms   {}\n",
+            c.name,
+            c.min_ms(),
+            c.mean_ms(),
+            c.what
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_suite_runs_and_renders() {
+        let cases = run_bench(1);
+        assert_eq!(cases.len(), 3);
+        let json = bench_to_json(&cases, 1);
+        // The report must parse with our own diff parser and carry one
+        // object per case.
+        let parsed = crate::diff::parse_json(&json).expect("valid JSON");
+        let crate::diff::Json::Obj(members) = parsed else {
+            panic!("top-level object");
+        };
+        assert_eq!(members[0].0, "bench");
+        assert!(bench_table(&cases).contains("fig6_small_sweep"));
+    }
+}

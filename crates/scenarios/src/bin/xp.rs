@@ -10,21 +10,30 @@
 //!        [--seeds a,b,c]          # override the spec's seed grid
 //! xp diff <a.json> <b.json>       # compare two JSON reports
 //!        [--tol X]                # relative drift tolerance (default 0)
+//! xp bench                        # time the simulator hot paths
+//!        [--runs N]               # timed repetitions per case (default 5)
+//!        [--json FILE | -]        # write BENCH_sim.json-style report
 //! ```
 //!
 //! Results are deterministic: the same spec produces byte-identical JSON
 //! at any `--threads` value. `xp diff` exits 0 when the reports match
 //! within tolerance and 1 on drift — regression comparison across PRs is
 //! `xp run fig8 --json new.json && xp diff baseline.json new.json`.
+//! `xp bench --json BENCH_sim.json` refreshes the committed perf
+//! baseline (wall-clock: compare across PRs on the same machine only).
 
-use dcn_scenarios::{builtin, builtin_specs, diff_reports, run_scenario, ScenarioSpec};
+use dcn_scenarios::{
+    bench_table, bench_to_json, builtin, builtin_specs, diff_reports, run_bench, run_scenario,
+    ScenarioSpec,
+};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  xp list\n  xp show <name>\n  xp run <spec.toml | name> \
          [--threads N] [--json FILE|-] [--csv FILE|-] [--seeds a,b,c]\n  \
-         xp diff <a.json> <b.json> [--tol X]"
+         xp diff <a.json> <b.json> [--tol X]\n  \
+         xp bench [--runs N] [--json FILE|-]"
     );
     ExitCode::from(2)
 }
@@ -39,8 +48,56 @@ fn main() -> ExitCode {
         },
         Some("run") => run(&args[1..]),
         Some("diff") => diff(&args[1..]),
+        Some("bench") => bench(&args[1..]),
         _ => usage(),
     }
+}
+
+/// `xp bench [--runs N] [--json FILE|-]`: time the simulator hot paths
+/// and optionally write the JSON perf report (`BENCH_sim.json`).
+fn bench(args: &[String]) -> ExitCode {
+    let mut runs = 5usize;
+    let mut json = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--runs" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => runs = n,
+                    _ => {
+                        eprintln!("error: --runs expects a positive integer");
+                        return usage();
+                    }
+                }
+            }
+            "--json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => json = Some(v.clone()),
+                    None => {
+                        eprintln!("error: --json needs a value");
+                        return usage();
+                    }
+                }
+            }
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                return usage();
+            }
+        }
+        i += 1;
+    }
+    eprintln!("timing simulator hot paths ({runs} run(s) per case)...");
+    let cases = run_bench(runs);
+    eprint!("{}", bench_table(&cases));
+    if let Some(dest) = json {
+        if let Err(e) = emit("JSON", &dest, &bench_to_json(&cases, runs)) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn list() -> ExitCode {

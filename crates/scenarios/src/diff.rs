@@ -16,7 +16,12 @@ pub enum Json {
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// Any number (f64 — report values are f64 or small integers).
+    /// An integer-looking number (no `.`/`e` in the source text), kept in
+    /// full precision: `f64` silently rounds u64 counters above 2^53
+    /// (`tx_bytes`, eviction counts), which let genuinely different
+    /// reports diff clean.
+    Int(i128),
+    /// Any other number (f64).
     Num(f64),
     /// A string.
     Str(String),
@@ -107,6 +112,14 @@ impl<'a> Parser<'a> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // Integer-looking tokens keep exact precision (i128 covers every
+        // u64 counter the renderers emit); anything fractional or in
+        // scientific notation compares as f64.
+        if !text.bytes().any(|b| matches!(b, b'.' | b'e' | b'E')) {
+            if let Ok(i) = text.parse::<i128>() {
+                return Ok(Json::Int(i));
+            }
+        }
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| format!("bad number {text:?} at byte {start}"))
@@ -245,6 +258,22 @@ pub fn diff_reports(a: &str, b: &str, tol: f64) -> Result<DiffOutcome, String> {
     Ok(out)
 }
 
+/// Float drift comparison: `|a−b| ≤ tol · max(1, |a|, |b|)`, exact
+/// equality at `tol = 0`.
+fn note_float_drift(x: f64, y: f64, tol: f64, path: &str, out: &mut DiffOutcome) {
+    let drift = (x - y).abs();
+    let scale = 1.0f64.max(x.abs()).max(y.abs());
+    if !(drift <= tol * scale || (tol == 0.0 && x == y)) {
+        note(
+            out,
+            format!(
+                "{path}: {x} vs {y} (drift {:.3e} > tol {tol:.3e})",
+                drift / scale
+            ),
+        );
+    }
+}
+
 fn note(out: &mut DiffOutcome, msg: String) {
     if out.differences.len() < MAX_DIFFERENCES {
         out.differences.push(msg);
@@ -264,17 +293,36 @@ fn walk(a: &Json, b: &Json, tol: f64, path: &str, out: &mut DiffOutcome) {
         }
         (Json::Num(x), Json::Num(y)) => {
             out.compared += 1;
-            let drift = (x - y).abs();
-            let scale = 1.0f64.max(x.abs()).max(y.abs());
-            if !(drift <= tol * scale || (tol == 0.0 && x == y)) {
-                note(
-                    out,
-                    format!(
-                        "{path}: {x} vs {y} (drift {:.3e} > tol {tol:.3e})",
-                        drift / scale
-                    ),
-                );
+            note_float_drift(*x, *y, tol, path, out);
+        }
+        (Json::Int(x), Json::Int(y)) => {
+            out.compared += 1;
+            if x != y {
+                // Exact integer difference: `(x - y)` stays precise in
+                // i128 even when both values are above 2^53 and one
+                // apart, where f64 subtraction would yield 0.
+                let drift = x.abs_diff(*y) as f64;
+                let scale = 1.0f64.max((*x as f64).abs()).max((*y as f64).abs());
+                if !(tol > 0.0 && drift <= tol * scale) {
+                    note(
+                        out,
+                        format!(
+                            "{path}: {x} vs {y} (drift {:.3e} > tol {tol:.3e})",
+                            drift / scale
+                        ),
+                    );
+                }
             }
+        }
+        // Mixed integer/float tokens (a renderer format change, e.g.
+        // `1` vs `1.0`): compare by numeric value.
+        (Json::Int(x), Json::Num(y)) => {
+            out.compared += 1;
+            note_float_drift(*x as f64, *y, tol, path, out);
+        }
+        (Json::Num(x), Json::Int(y)) => {
+            out.compared += 1;
+            note_float_drift(*x, *y as f64, tol, path, out);
         }
         (Json::Str(x), Json::Str(y)) => {
             out.compared += 1;
@@ -354,6 +402,39 @@ mod tests {
             .unwrap()
             .is_match());
         assert!(!diff_reports(a, r#"{"points": [1, "2"]}"#, 1.0)
+            .unwrap()
+            .is_match());
+    }
+
+    #[test]
+    fn integers_above_2_53_compare_exactly() {
+        // 9007199254740993 = 2^53 + 1 rounds to 2^53 as f64, so the old
+        // f64-only parser saw these two different counters as equal.
+        let a = r#"{"tx_bytes": 9007199254740993}"#;
+        let b = r#"{"tx_bytes": 9007199254740992}"#;
+        let d = diff_reports(a, b, 0.0).unwrap();
+        assert!(!d.is_match(), "one-apart u64 counters must diff");
+        assert!(diff_reports(a, a, 0.0).unwrap().is_match());
+        assert!(diff_reports(b, b, 0.0).unwrap().is_match());
+        // Relative tolerance still applies to integer tokens.
+        assert!(diff_reports(a, b, 1e-9).unwrap().is_match());
+        // Parsed representation keeps full precision.
+        assert_eq!(
+            parse_json("9007199254740993").unwrap(),
+            Json::Int(9_007_199_254_740_993)
+        );
+        assert_eq!(parse_json("-42").unwrap(), Json::Int(-42));
+        assert_eq!(parse_json("4.0").unwrap(), Json::Num(4.0));
+    }
+
+    #[test]
+    fn mixed_integer_float_tokens_compare_by_value() {
+        // A renderer switching `4` to `4.0` is a format change, not a
+        // value change.
+        assert!(diff_reports(r#"{"v": 4}"#, r#"{"v": 4.0}"#, 0.0)
+            .unwrap()
+            .is_match());
+        assert!(!diff_reports(r#"{"v": 4}"#, r#"{"v": 4.5}"#, 0.0)
             .unwrap()
             .is_match());
     }

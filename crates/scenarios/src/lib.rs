@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod algo;
+pub mod bench;
 pub mod diff;
 pub mod engine;
 pub mod library;
@@ -67,6 +68,7 @@ pub mod toml;
 pub mod trace_engine;
 
 pub use algo::Algo;
+pub use bench::{bench_table, bench_to_json, run_bench, BenchCase};
 pub use diff::{diff_reports, DiffOutcome};
 pub use engine::{
     run_fct_experiment, run_point, FctResult, IncastOverlay, PointOutcome, Scale, SIZE_BUCKETS,

@@ -128,6 +128,24 @@ pub fn fig6() -> ScenarioSpec {
         .seeds([42])
 }
 
+/// `fig6-small`: a single fig6 point (websearch fat-tree, PowerTCP vs
+/// HPCC at 60% load, one seed) kept fast enough for CI. Its report is
+/// pinned byte-for-byte in `tests/fig6_small_baseline.json` — the
+/// cross-PR regression guard for the simulator hot path (`xp run
+/// fig6-small --json new.json && xp diff tests/fig6_small_baseline.json
+/// new.json`).
+pub fn fig6_small() -> ScenarioSpec {
+    ScenarioSpec::new("fig6-small", tiny_fat_tree())
+        .describe(
+            "one fig6 point (websearch fat-tree at 60% load, PowerTCP vs \
+             HPCC): the byte-pinned CI regression guard for engine changes",
+        )
+        .poisson(SizeSpec::Websearch)
+        .algos([Algo::PowerTcp, Algo::Hpcc])
+        .loads([0.6])
+        .seeds([42])
+}
+
 /// Figure 7: the detailed comparison — websearch plus a 2 MB / 8-way
 /// incast overlay, PowerTCP vs θ-PowerTCP vs HPCC.
 ///
@@ -213,6 +231,7 @@ pub fn builtin_specs() -> Vec<ScenarioSpec> {
         fig4(),
         fig5(),
         fig6(),
+        fig6_small(),
         fig7(),
         fig8(),
         fig9to11(),

@@ -707,7 +707,9 @@ mod tests {
         // export is decimated, so the post-hoc peak is a lower bound).
         let q = e.channel("queue").unwrap();
         assert_eq!(q.evicted, 0);
-        assert!(dcn_telemetry::max_after(&q.samples, 1_000.0) <= peak);
+        let post_hoc_peak =
+            dcn_telemetry::max_after(&q.samples, 1_000.0).expect("post-incast queue samples");
+        assert!(post_hoc_peak <= peak);
         // The cwnd and power probes saw the long flow.
         assert!(!e.channel("cwnd").unwrap().samples.is_empty());
         assert!(!e.channel("power").unwrap().samples.is_empty());

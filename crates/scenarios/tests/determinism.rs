@@ -3,7 +3,8 @@
 //! count, and across repeated runs in the same process.
 
 use dcn_scenarios::{
-    run_sweep, sweep_points, Algo, IncastSpec, ScenarioSpec, SizeSpec, TopologySpec,
+    builtin, diff_reports, run_sweep, sweep_points, Algo, IncastSpec, ScenarioSpec, SizeSpec,
+    TopologySpec,
 };
 
 fn multi_point_spec() -> ScenarioSpec {
@@ -54,6 +55,30 @@ fn repeated_runs_replay_bit_for_bit() {
     let a = run_sweep(&spec, 4).expect("first");
     let b = run_sweep(&spec, 4).expect("second");
     assert_eq!(a.to_json(), b.to_json());
+}
+
+/// Cross-PR pin of the simulator hot path: the `fig6-small` fat-tree
+/// sweep must reproduce its committed baseline byte-for-byte. Engine
+/// refactors (packet pooling, event-queue replacement, …) must not move a
+/// single output byte; regenerate deliberately with
+/// `xp run fig6-small --json crates/scenarios/tests/fig6_small_baseline.json`
+/// only when an intentional behavior change lands.
+#[test]
+fn fig6_small_sweep_matches_pinned_baseline() {
+    let spec = builtin("fig6-small").expect("builtin fig6-small");
+    let json = run_sweep(&spec, 4).expect("fig6-small sweep").to_json();
+    let want = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fig6_small_baseline.json"
+    ))
+    .expect("baseline missing; regenerate with xp run fig6-small --json");
+    assert_eq!(
+        json, want,
+        "fig6-small sweep drifted from the pinned baseline; if intentional, \
+         regenerate the artifact and note why in EXPERIMENTS.md"
+    );
+    let d = diff_reports(&json, &want, 0.0).expect("diffable");
+    assert!(d.is_match(), "{:?}", d.differences);
 }
 
 #[test]

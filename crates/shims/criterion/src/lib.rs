@@ -20,33 +20,51 @@ use std::time::{Duration, Instant};
 #[derive(Clone, Debug)]
 pub struct Criterion {
     sample_size: usize,
+    smoke: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 10 }
+        // `cargo bench -- --test` smoke mode (mirroring real criterion):
+        // run every benchmark exactly once so CI exercises the bench code
+        // paths without paying for timing-quality iteration counts.
+        let smoke = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 10,
+            smoke,
+        }
     }
 }
 
 impl Criterion {
-    /// Set the number of timed iterations per benchmark.
+    /// Set the number of timed iterations per benchmark (ignored in
+    /// `--test` smoke mode, which always runs one iteration).
     pub fn sample_size(mut self, n: usize) -> Self {
         self.sample_size = n.max(1);
         self
+    }
+
+    fn effective_samples(&self) -> usize {
+        if self.smoke {
+            1
+        } else {
+            self.sample_size
+        }
     }
 
     /// Open a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
         println!("\n== bench group: {name}");
         BenchmarkGroup {
-            sample_size: self.sample_size,
+            sample_size: self.effective_samples(),
+            smoke: self.smoke,
             throughput: None,
         }
     }
 
     /// Run a standalone benchmark.
     pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
-        run_one(name, self.sample_size, None, &mut f);
+        run_one(name, self.effective_samples(), None, &mut f);
         self
     }
 }
@@ -63,13 +81,17 @@ pub enum Throughput {
 /// A named group sharing sample size and throughput settings.
 pub struct BenchmarkGroup {
     sample_size: usize,
+    smoke: bool,
     throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup {
-    /// Set the number of timed iterations for benches in this group.
+    /// Set the number of timed iterations for benches in this group
+    /// (ignored in `--test` smoke mode).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(1);
+        if !self.smoke {
+            self.sample_size = n.max(1);
+        }
         self
     }
 
@@ -205,7 +227,14 @@ mod tests {
 
     #[test]
     fn bench_api_runs() {
-        let mut c = Criterion::default().sample_size(3);
+        // Struct literal rather than `default()`: the test harness itself
+        // may be invoked with `--test` in argv (cargo bench -- --test),
+        // which would flip default() into 1-iteration smoke mode.
+        let mut c = Criterion {
+            sample_size: 1,
+            smoke: false,
+        }
+        .sample_size(3);
         let mut group = c.benchmark_group("shim");
         group.throughput(Throughput::Elements(100));
         let mut runs = 0;

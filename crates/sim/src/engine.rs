@@ -13,6 +13,7 @@ use crate::node::{
     PortView,
 };
 use crate::packet::{Packet, PacketKind, CTRL_PKT_BYTES};
+use crate::pool::{PacketPool, PoolStats};
 use crate::switch::{Switch, SwitchEmit};
 use powertcp_core::Tick;
 
@@ -89,6 +90,10 @@ pub struct Simulator {
     scratch_endpoint: Vec<EndpointAction>,
     scratch_switch: Vec<SwitchEmit>,
     scratch_custom: Vec<CustomAction>,
+    /// Recycled packet boxes (see [`crate::pool`]): endpoint sends draw
+    /// from here, and every packet-consuming site returns boxes instead
+    /// of freeing them, so the steady-state hot loop allocates nothing.
+    pool: PacketPool,
     /// Total packets delivered to hosts.
     pub delivered: u64,
 }
@@ -105,6 +110,7 @@ impl Simulator {
             scratch_endpoint: Vec::new(),
             scratch_switch: Vec::new(),
             scratch_custom: Vec::new(),
+            pool: PacketPool::new(),
             delivered: 0,
         }
     }
@@ -112,6 +118,12 @@ impl Simulator {
     /// Current simulation time.
     pub fn now(&self) -> Tick {
         self.queue.now()
+    }
+
+    /// Packet-pool counters (fresh allocations vs reuses) — the
+    /// steady-state contract is that reuses dominate.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 
     /// Register a periodic tracer sampling every `every`.
@@ -133,11 +145,25 @@ impl Simulator {
     }
 
     /// Call every endpoint's / custom switch's `on_start` exactly once.
+    ///
+    /// Every registered tracer also takes a baseline sample at prime time
+    /// (before any `on_start` action runs), so gauge traces include a t=0
+    /// initial-state row instead of starting one interval late. Tracers
+    /// registered after priming miss the baseline. Note that per-flow
+    /// probes ([`crate::trace::cc_probe`]) report nothing at the baseline
+    /// by construction: transports start flows from t=0 *timers*, which
+    /// dispatch after priming, so no flow is active yet — sampling after
+    /// `on_start` would not change that, but would let first-packet
+    /// transmissions leak into the "initial" gauge readings.
     pub fn prime(&mut self) {
         if self.started {
             return;
         }
         self.started = true;
+        let now = self.queue.now();
+        for t in &mut self.tracers {
+            (t.f)(&self.net, now);
+        }
         for i in 0..self.net.nodes.len() {
             let id = NodeId(i as u32);
             match self.node_kind(id) {
@@ -146,7 +172,8 @@ impl Simulator {
                     let now = self.queue.now();
                     if let Node::Host(h) = &mut self.net.nodes[i] {
                         let nic_bw = self.net.links.get(h.link).bandwidth;
-                        let mut ctx = EndpointCtx::new(now, id, nic_bw, &mut actions);
+                        let mut ctx =
+                            EndpointCtx::with_pool(now, id, nic_bw, &mut actions, &mut self.pool);
                         h.app.on_start(&mut ctx);
                     }
                     self.apply_endpoint_actions(id, &mut actions);
@@ -205,7 +232,8 @@ impl Simulator {
                 let now = self.queue.now();
                 if let Node::Host(h) = &mut self.net.nodes[node.index()] {
                     let nic_bw = self.net.links.get(h.link).bandwidth;
-                    let mut ctx = EndpointCtx::new(now, node, nic_bw, &mut actions);
+                    let mut ctx =
+                        EndpointCtx::with_pool(now, node, nic_bw, &mut actions, &mut self.pool);
                     h.app.on_timer(key, &mut ctx);
                 }
                 self.apply_endpoint_actions(node, &mut actions);
@@ -247,7 +275,7 @@ impl Simulator {
                 let mut emits = std::mem::take(&mut self.scratch_switch);
                 let now = self.queue.now();
                 if let Node::Switch(sw) = &mut self.net.nodes[node.index()] {
-                    sw.receive(port, pkt, now, &mut emits);
+                    sw.receive(port, pkt, now, &mut emits, &mut self.pool);
                 }
                 self.apply_switch_emits(node, &mut emits);
                 self.scratch_switch = emits;
@@ -255,6 +283,7 @@ impl Simulator {
             NodeKind::Host => {
                 if pkt.is_pfc() {
                     let pause = matches!(pkt.kind, PacketKind::Pfc { pause: true });
+                    self.pool.recycle(pkt);
                     if let Node::Host(h) = &mut self.net.nodes[node.index()] {
                         h.paused = pause;
                     }
@@ -273,7 +302,8 @@ impl Simulator {
                 let now = self.queue.now();
                 if let Node::Host(h) = &mut self.net.nodes[node.index()] {
                     let nic_bw = self.net.links.get(h.link).bandwidth;
-                    let mut ctx = EndpointCtx::new(now, node, nic_bw, &mut actions);
+                    let mut ctx =
+                        EndpointCtx::with_pool(now, node, nic_bw, &mut actions, &mut self.pool);
                     h.app.on_packet(pkt, &mut ctx);
                 }
                 self.apply_endpoint_actions(node, &mut actions);
@@ -359,7 +389,7 @@ impl Simulator {
                     let link = *self.net.links.get(link_id);
                     // PFC frames preempt data on real hardware: model as
                     // propagation-only delivery, no serialization queueing.
-                    let pkt = Box::new(Packet {
+                    let pkt = self.pool.boxed(Packet {
                         flow: crate::ids::FlowId(0),
                         src: node,
                         dst: link.dst,
@@ -452,7 +482,7 @@ impl Simulator {
                     if let Node::Custom(c) = &mut self.net.nodes[node.index()] {
                         c.drops += 1;
                     }
-                    drop(pkt);
+                    self.pool.recycle(pkt);
                 }
             }
         }

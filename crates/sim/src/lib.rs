@@ -42,6 +42,7 @@ pub mod ids;
 pub mod link;
 pub mod node;
 pub mod packet;
+pub mod pool;
 pub mod switch;
 pub mod topology;
 pub mod trace;
@@ -59,6 +60,7 @@ pub use node::{
 pub use packet::{
     AckPayload, GrantPayload, Packet, PacketKind, CTRL_PKT_BYTES, DEFAULT_MTU, NUM_PRIORITIES,
 };
+pub use pool::{PacketPool, PoolStats};
 pub use switch::{PfcConfig, Switch, SwitchConfig, SwitchPort};
 pub use topology::{
     build_dumbbell, build_fat_tree, build_star, star_base_rtt, AppFactory, Dumbbell,

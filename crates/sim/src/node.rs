@@ -8,6 +8,7 @@
 
 use crate::ids::{LinkId, NodeId, PortId};
 use crate::packet::Packet;
+use crate::pool::PacketPool;
 use crate::switch::Switch;
 use powertcp_core::{Bandwidth, Tick};
 use std::collections::VecDeque;
@@ -35,12 +36,15 @@ pub struct EndpointCtx<'a> {
     /// Bandwidth of the host NIC link.
     pub nic_bw: Bandwidth,
     actions: &'a mut Vec<EndpointAction>,
+    /// Recycled-box pool (engine-provided; `None` in standalone unit
+    /// tests, where boxes fall back to plain allocate/free).
+    pool: Option<&'a mut PacketPool>,
 }
 
 impl<'a> EndpointCtx<'a> {
-    /// Construct a context over an action buffer. Public so endpoint and
-    /// custom-switch implementations in other crates can unit-test their
-    /// logic without spinning up a simulator.
+    /// Construct a pool-less context over an action buffer. Public so
+    /// endpoint and custom-switch implementations in other crates can
+    /// unit-test their logic without spinning up a simulator.
     pub fn new(
         now: Tick,
         node: NodeId,
@@ -52,12 +56,44 @@ impl<'a> EndpointCtx<'a> {
             node,
             nic_bw,
             actions,
+            pool: None,
+        }
+    }
+
+    /// Construct a context whose sends draw boxes from (and whose
+    /// [`EndpointCtx::recycle`] returns them to) the simulator's pool.
+    pub fn with_pool(
+        now: Tick,
+        node: NodeId,
+        nic_bw: Bandwidth,
+        actions: &'a mut Vec<EndpointAction>,
+        pool: &'a mut PacketPool,
+    ) -> Self {
+        EndpointCtx {
+            now,
+            node,
+            nic_bw,
+            actions,
+            pool: Some(pool),
         }
     }
 
     /// Queue a packet for transmission on the host NIC.
     pub fn send(&mut self, pkt: Packet) {
-        self.actions.push(EndpointAction::Send(Box::new(pkt)));
+        let boxed = match &mut self.pool {
+            Some(pool) => pool.boxed(pkt),
+            None => Box::new(pkt),
+        };
+        self.actions.push(EndpointAction::Send(boxed));
+    }
+
+    /// Return a consumed packet's box to the simulator's pool. Endpoints
+    /// call this for every delivered packet they are done with; without a
+    /// pool (standalone tests) the box is simply freed.
+    pub fn recycle(&mut self, pkt: Box<Packet>) {
+        if let Some(pool) = &mut self.pool {
+            pool.recycle(pkt);
+        }
     }
 
     /// Schedule a timer callback at absolute time `at` with an opaque key.
@@ -87,7 +123,10 @@ pub trait Endpoint {
     /// Called once before the simulation starts (schedule initial flows).
     fn on_start(&mut self, _ctx: &mut EndpointCtx<'_>) {}
 
-    /// A packet arrived at this host.
+    /// A packet arrived at this host. Implementations should hand the box
+    /// back via [`EndpointCtx::recycle`] once they are done with it so the
+    /// simulator's packet pool can reuse it (dropping it instead is
+    /// correct but costs an allocator round-trip per packet).
     fn on_packet(&mut self, pkt: Box<Packet>, ctx: &mut EndpointCtx<'_>);
 
     /// A previously-set timer fired.
@@ -105,7 +144,9 @@ pub trait Endpoint {
 pub struct NullEndpoint;
 
 impl Endpoint for NullEndpoint {
-    fn on_packet(&mut self, _pkt: Box<Packet>, _ctx: &mut EndpointCtx<'_>) {}
+    fn on_packet(&mut self, pkt: Box<Packet>, ctx: &mut EndpointCtx<'_>) {
+        ctx.recycle(pkt);
+    }
     fn on_timer(&mut self, _key: u64, _ctx: &mut EndpointCtx<'_>) {}
 }
 
@@ -168,7 +209,8 @@ pub enum CustomAction {
         /// Opaque key.
         key: u64,
     },
-    /// Count a packet as dropped (for statistics).
+    /// Count a packet as dropped (for statistics). The engine recycles
+    /// the box into the simulator's packet pool.
     Drop {
         /// The dropped packet (consumed).
         pkt: Box<Packet>,

@@ -12,6 +12,7 @@ use crate::buffer::SharedBuffer;
 use crate::ecn::{EcnConfig, MarkRng};
 use crate::ids::{mix64, LinkId, NodeId, PortId};
 use crate::packet::{Packet, NUM_PRIORITIES};
+use crate::pool::PacketPool;
 use powertcp_core::{IntHopMetadata, Tick};
 use std::collections::VecDeque;
 
@@ -271,18 +272,21 @@ impl Switch {
     }
 
     /// Handle a packet arriving on `ingress`; emits transmissions and PFC
-    /// frames into `out`.
+    /// frames into `out`. Consumed packets (PFC frames, admission and
+    /// routing drops) are returned to `pool` instead of freed.
     pub(crate) fn receive(
         &mut self,
         ingress: PortId,
         mut pkt: Box<Packet>,
         now: Tick,
         out: &mut Vec<SwitchEmit>,
+        pool: &mut PacketPool,
     ) {
         let _ = now;
         if pkt.is_pfc() {
             // Pause/resume our egress port facing the sender.
             let pause = matches!(pkt.kind, crate::packet::PacketKind::Pfc { pause: true });
+            pool.recycle(pkt);
             let port = &mut self.ports[ingress.index()];
             port.paused = pause;
             if !pause && !port.busy {
@@ -293,6 +297,7 @@ impl Switch {
 
         let Some(egress) = self.route_for(&pkt) else {
             self.no_route_drops += 1;
+            pool.recycle(pkt);
             return;
         };
 
@@ -318,6 +323,7 @@ impl Switch {
         };
         if !admitted {
             self.ports[egress.index()].drops += 1;
+            pool.recycle(pkt);
             return;
         }
 
@@ -430,6 +436,17 @@ mod tests {
         sw
     }
 
+    /// Test shim: receive with a throwaway pool.
+    fn recv(
+        sw: &mut Switch,
+        ingress: PortId,
+        pkt: Box<Packet>,
+        now: Tick,
+        out: &mut Vec<SwitchEmit>,
+    ) {
+        sw.receive(ingress, pkt, now, out, &mut PacketPool::new());
+    }
+
     fn data_to(dst: NodeId, size: u32) -> Box<Packet> {
         let mut p = Packet::data(FlowId(1), NodeId(9), dst, 0, size, false, Tick::ZERO);
         p.size = size;
@@ -440,7 +457,13 @@ mod tests {
     fn forwards_to_routed_port() {
         let mut sw = mk_switch(None, None);
         let mut out = Vec::new();
-        sw.receive(PortId(0), data_to(NodeId(10), 1000), Tick::ZERO, &mut out);
+        recv(
+            &mut sw,
+            PortId(0),
+            data_to(NodeId(10), 1000),
+            Tick::ZERO,
+            &mut out,
+        );
         assert_eq!(out.len(), 1);
         match &out[0] {
             SwitchEmit::Transmit { port, .. } => assert_eq!(*port, PortId(1)),
@@ -456,7 +479,13 @@ mod tests {
     fn unrouted_packet_is_counted_and_dropped() {
         let mut sw = mk_switch(None, None);
         let mut out = Vec::new();
-        sw.receive(PortId(0), data_to(NodeId(77), 1000), Tick::ZERO, &mut out);
+        recv(
+            &mut sw,
+            PortId(0),
+            data_to(NodeId(77), 1000),
+            Tick::ZERO,
+            &mut out,
+        );
         assert!(out.is_empty());
         assert_eq!(sw.no_route_drops, 1);
         assert_eq!(sw.total_drops(), 1);
@@ -467,7 +496,13 @@ mod tests {
         let mut sw = mk_switch(None, None);
         let mut out = Vec::new();
         for _ in 0..3 {
-            sw.receive(PortId(0), data_to(NodeId(10), 1000), Tick::ZERO, &mut out);
+            recv(
+                &mut sw,
+                PortId(0),
+                data_to(NodeId(10), 1000),
+                Tick::ZERO,
+                &mut out,
+            );
         }
         // First packet transmits immediately, two queued.
         assert_eq!(out.len(), 1);
@@ -486,15 +521,21 @@ mod tests {
         let mut out = Vec::new();
         // Fill the port with a low-priority packet (starts transmitting),
         // then queue low and high; high must come out first on tx_done.
-        sw.receive(PortId(0), data_to(NodeId(10), 1000), Tick::ZERO, &mut out);
+        recv(
+            &mut sw,
+            PortId(0),
+            data_to(NodeId(10), 1000),
+            Tick::ZERO,
+            &mut out,
+        );
         let mut low = data_to(NodeId(10), 1000);
         low.priority = 7;
         low.flow = FlowId(100);
-        sw.receive(PortId(0), low, Tick::ZERO, &mut out);
+        recv(&mut sw, PortId(0), low, Tick::ZERO, &mut out);
         let mut high = data_to(NodeId(10), 1000);
         high.priority = 0;
         high.flow = FlowId(200);
-        sw.receive(PortId(0), high, Tick::ZERO, &mut out);
+        recv(&mut sw, PortId(0), high, Tick::ZERO, &mut out);
         out.clear();
         sw.tx_done(PortId(1), &mut out);
         match &out[0] {
@@ -512,7 +553,13 @@ mod tests {
         // the pool fully; #102 must be refused by DT before that.
         let mut drops = 0;
         for _ in 0..130 {
-            sw.receive(PortId(0), data_to(NodeId(10), 1000), Tick::ZERO, &mut out);
+            recv(
+                &mut sw,
+                PortId(0),
+                data_to(NodeId(10), 1000),
+                Tick::ZERO,
+                &mut out,
+            );
         }
         drops += sw.port(PortId(1)).drops();
         assert!(drops > 0, "expected DT to refuse some packets");
@@ -527,7 +574,13 @@ mod tests {
         // 20 packets: first transmits, next 5 fill to threshold unmarked,
         // the rest (queued at >= 5KB occupancy) must be marked.
         for _ in 0..20 {
-            sw.receive(PortId(0), data_to(NodeId(10), 1000), Tick::ZERO, &mut out);
+            recv(
+                &mut sw,
+                PortId(0),
+                data_to(NodeId(10), 1000),
+                Tick::ZERO,
+                &mut out,
+            );
         }
         let port = &sw.ports[1];
         let marked: usize = port.queues[7].iter().filter(|q| q.pkt.ecn_ce).count();
@@ -545,7 +598,13 @@ mod tests {
         let mut sw = mk_switch(None, Some(pfc));
         let mut out = Vec::new();
         for _ in 0..5 {
-            sw.receive(PortId(0), data_to(NodeId(10), 1000), Tick::ZERO, &mut out);
+            recv(
+                &mut sw,
+                PortId(0),
+                data_to(NodeId(10), 1000),
+                Tick::ZERO,
+                &mut out,
+            );
         }
         // 1 in flight + 4 queued = 4000 ingress bytes > xoff.
         let xoffs: Vec<_> = out
@@ -575,10 +634,16 @@ mod tests {
             ..*data_to(NodeId(10), 64)
         });
         // Pause arrives on port 1 (the egress toward NodeId(10)).
-        sw.receive(PortId(1), pause, Tick::ZERO, &mut out);
+        recv(&mut sw, PortId(1), pause, Tick::ZERO, &mut out);
         assert!(sw.port(PortId(1)).is_paused());
         // Data for that port queues but does not transmit.
-        sw.receive(PortId(0), data_to(NodeId(10), 1000), Tick::ZERO, &mut out);
+        recv(
+            &mut sw,
+            PortId(0),
+            data_to(NodeId(10), 1000),
+            Tick::ZERO,
+            &mut out,
+        );
         assert!(out.is_empty());
         assert_eq!(sw.port(PortId(1)).queued_bytes(), 1000);
         // Resume: transmission starts.
@@ -586,7 +651,7 @@ mod tests {
             kind: crate::packet::PacketKind::Pfc { pause: false },
             ..*data_to(NodeId(10), 64)
         });
-        sw.receive(PortId(1), resume, Tick::ZERO, &mut out);
+        recv(&mut sw, PortId(1), resume, Tick::ZERO, &mut out);
         assert_eq!(out.len(), 1);
         assert!(!sw.port(PortId(1)).is_paused());
     }

@@ -190,9 +190,11 @@ mod tests {
         let bs = series();
         sim.add_tracer(Tick::from_micros(10), buffer_tracer(sw, bs.clone()));
         sim.run_until(Tick::from_micros(100));
-        // No live events, so run_until pops only tracer samples up to 100us.
-        assert_eq!(qs.borrow().len(), 10);
-        assert_eq!(bs.borrow().len(), 10);
+        // No live events, so run_until pops only tracer samples up to
+        // 100us — plus the t=0 baseline row taken at prime time.
+        assert_eq!(qs.borrow().len(), 11);
+        assert_eq!(bs.borrow().len(), 11);
+        assert_eq!(qs.borrow()[0].0, Tick::ZERO, "baseline sample at t=0");
         assert!(qs.borrow().iter().all(|&(_, v)| v == 0.0));
     }
 
@@ -230,7 +232,8 @@ mod tests {
             }),
         );
         sim.run_until(Tick::from_micros(50));
-        assert_eq!(*count.borrow(), 5);
-        assert_eq!(*cc_seen.borrow(), 5);
+        // 5 scheduled samples + the t=0 baseline.
+        assert_eq!(*count.borrow(), 6);
+        assert_eq!(*cc_seen.borrow(), 6);
     }
 }

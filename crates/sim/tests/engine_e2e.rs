@@ -297,3 +297,55 @@ fn deterministic_replay() {
     };
     assert_eq!(run(), run());
 }
+
+#[test]
+fn packet_pool_goes_allocation_free_in_steady_state() {
+    // Ping-pong: each side recycles the delivered box and sends a fresh
+    // packet, so after the first exchange every send reuses a pooled box.
+    struct Ponger {
+        peer: NodeId,
+        remaining: u64,
+        serve: bool,
+    }
+    impl Endpoint for Ponger {
+        fn on_start(&mut self, ctx: &mut EndpointCtx<'_>) {
+            if self.serve {
+                let pkt = Packet::data(FlowId(1), ctx.node, self.peer, 0, 1000, false, ctx.now);
+                ctx.send(pkt);
+            }
+        }
+        fn on_packet(&mut self, pkt: Box<Packet>, ctx: &mut EndpointCtx<'_>) {
+            ctx.recycle(pkt);
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                let pkt = Packet::data(FlowId(1), ctx.node, self.peer, 0, 1000, false, ctx.now);
+                ctx.send(pkt);
+            }
+        }
+        fn on_timer(&mut self, _key: u64, _ctx: &mut EndpointCtx<'_>) {}
+    }
+    let mut mk = move |_id: NodeId, idx: usize| -> Box<dyn Endpoint> {
+        Box::new(Ponger {
+            peer: if idx == 0 { NodeId(2) } else { NodeId(1) },
+            remaining: 500,
+            serve: idx == 0,
+        })
+    };
+    let star = build_star(
+        2,
+        Bandwidth::gbps(25),
+        Tick::from_micros(1),
+        SwitchConfig::default(),
+        &mut mk,
+    );
+    let mut sim = Simulator::new(star.net);
+    sim.run_until_idle();
+    assert_eq!(sim.delivered, 1001);
+    let stats = sim.pool_stats();
+    assert_eq!(
+        stats.fresh, 1,
+        "only the opening packet may allocate: {stats:?}"
+    );
+    assert_eq!(stats.reused, 1000, "every pong must reuse: {stats:?}");
+    assert_eq!(stats.free, 1, "the last box parks on the free list");
+}

@@ -1,12 +1,17 @@
 //! Property-based tests of the simulator substrate: packet conservation,
-//! buffer accounting, and deterministic replay under randomized traffic.
+//! buffer accounting, deterministic replay under randomized traffic, the
+//! calendar event queue's order contract against a binary-heap model, and
+//! packet-pool hygiene.
 
 use dcn_sim::{
-    build_star, Endpoint, EndpointCtx, FlowId, NodeId, Packet, PfcConfig, Simulator, SwitchConfig,
+    build_star, Endpoint, EndpointCtx, Event, EventQueue, FlowId, NodeId, Packet, PacketPool,
+    PfcConfig, Simulator, SwitchConfig,
 };
 use powertcp_core::{Bandwidth, Tick};
 use proptest::prelude::*;
 use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::rc::Rc;
 
 /// Sends a scripted schedule of (start_offset_ns, dst_index, packets).
@@ -152,5 +157,172 @@ proptest! {
         let a = run_star(n, bursts.clone(), cfg);
         let b = run_star(n, bursts, cfg);
         prop_assert_eq!(a, b);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Calendar event queue vs the old binary-heap semantics
+// ---------------------------------------------------------------------
+
+/// The previous event core, reduced to its ordering contract: a binary
+/// heap popping `(time, insertion-seq)` minimums. The calendar queue must
+/// be observationally identical against arbitrary schedule/pop
+/// interleavings — that is what makes the swap byte-invisible.
+#[derive(Default)]
+struct HeapModel {
+    heap: BinaryHeap<Reverse<(Tick, u64)>>,
+    keys: std::collections::HashMap<u64, u64>,
+    seq: u64,
+    now: Tick,
+}
+
+impl HeapModel {
+    fn schedule(&mut self, at: Tick, key: u64) {
+        let at = at.max(self.now);
+        self.heap.push(Reverse((at, self.seq)));
+        self.keys.insert(self.seq, key);
+        self.seq += 1;
+    }
+    fn pop(&mut self) -> Option<(Tick, u64)> {
+        let Reverse((at, seq)) = self.heap.pop()?;
+        self.now = at;
+        Some((at, self.keys.remove(&seq).expect("scheduled")))
+    }
+}
+
+fn timer_ev(key: u64) -> Event {
+    Event::HostTimer {
+        node: NodeId(0),
+        key,
+    }
+}
+
+fn key_of(ev: &Event) -> u64 {
+    match ev {
+        Event::HostTimer { key, .. } => *key,
+        _ => panic!("only timers are scheduled here"),
+    }
+}
+
+/// Workload: a stream of (op, delta) pairs. `op` selects schedule vs pop
+/// and the delay magnitude: small deltas stay inside one calendar bucket
+/// (same-tick FIFO pressure), medium deltas cross buckets, large deltas
+/// cross the ~537 µs ring horizon into the overflow heap and back.
+fn queue_ops() -> impl Strategy<Value = Vec<(u8, u64)>> {
+    prop::collection::vec((0u8..=255, 0u64..6_000_000_000), 1..400)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Same-tick FIFO and total time order: the calendar queue pops the
+    /// exact stream the old heap popped, for arbitrary interleavings.
+    #[test]
+    fn event_queue_matches_heap_model(ops in queue_ops()) {
+        let mut q = EventQueue::new();
+        let mut model = HeapModel::default();
+        let mut next_key = 0u64;
+        for (op, delta) in ops {
+            if op % 4 < 3 {
+                // Schedule. op chooses the delay scale; delta 0 and the
+                // small scale generate plenty of same-tick collisions.
+                let delay = match op % 3 {
+                    0 => delta % 2_000,            // within one bucket (ps)
+                    1 => delta % 2_000_000,        // a few buckets
+                    _ => delta,                    // up to 6 ms: overflow
+                };
+                let at = Tick::from_ps(q.now().as_ps() + delay);
+                q.schedule(at, timer_ev(next_key));
+                model.schedule(at, next_key);
+                next_key += 1;
+            } else {
+                let got = q.pop().map(|(t, e)| (t, key_of(&e)));
+                prop_assert_eq!(got, model.pop());
+                prop_assert_eq!(q.now(), model.now);
+            }
+            prop_assert_eq!(q.len(), model.heap.len());
+        }
+        // Drain both completely; order must agree to the last event.
+        loop {
+            let got = q.pop().map(|(t, e)| (t, key_of(&e)));
+            let want = model.pop();
+            prop_assert_eq!(&got, &want);
+            if got.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Interleaving peeks must not disturb the pop order (peeking advances
+    /// the internal cursor; a later schedule at `now` must still pop
+    /// first).
+    #[test]
+    fn event_queue_peek_is_transparent(ops in queue_ops()) {
+        let mut q = EventQueue::new();
+        let mut model = HeapModel::default();
+        let mut next_key = 0u64;
+        for (op, delta) in ops {
+            match op % 5 {
+                0 | 1 => {
+                    let at = Tick::from_ps(q.now().as_ps() + delta);
+                    q.schedule(at, timer_ev(next_key));
+                    model.schedule(at, next_key);
+                    next_key += 1;
+                }
+                2 => {
+                    let want = model.heap.peek().map(|Reverse((t, _))| *t);
+                    prop_assert_eq!(q.peek_time(), want);
+                }
+                _ => {
+                    let got = q.pop().map(|(t, e)| (t, key_of(&e)));
+                    prop_assert_eq!(got, model.pop());
+                }
+            }
+        }
+    }
+
+    /// Pool-recycled packet boxes never leak state from a previous life:
+    /// every allocation is exactly the packet the caller constructed,
+    /// INT stack included.
+    #[test]
+    fn pool_allocations_are_always_fresh(ops in prop::collection::vec((0u8..=255, 0u64..1_000_000), 1..200)) {
+        let mut pool = PacketPool::new();
+        let mut live: Vec<Box<Packet>> = Vec::new();
+        for (op, stamp) in ops {
+            if op % 3 == 0 && !live.is_empty() {
+                // Dirty a live packet heavily, then retire it.
+                let mut pkt = live.swap_remove(op as usize % live.len());
+                pkt.ecn_ce = true;
+                pkt.priority = 3;
+                for hop in 0..(op % 8) {
+                    pkt.int.push(powertcp_core::IntHopMetadata {
+                        node: hop as u32,
+                        port: hop as u16,
+                        qlen_bytes: 1_000_000,
+                        ts: Tick::from_nanos(stamp),
+                        tx_bytes: stamp,
+                        bandwidth: Bandwidth::gbps(100),
+                    });
+                }
+                pool.recycle(pkt);
+            } else {
+                let sent_at = Tick::from_nanos(stamp);
+                let pkt = pool.boxed(Packet::data(
+                    FlowId(stamp),
+                    NodeId(1),
+                    NodeId(2),
+                    stamp,
+                    1000,
+                    false,
+                    sent_at,
+                ));
+                prop_assert!(pkt.int.is_empty(), "stale INT hops leaked");
+                prop_assert!(!pkt.ecn_ce, "stale ECN mark leaked");
+                prop_assert_eq!(pkt.sent_at, sent_at);
+                prop_assert_eq!(pkt.flow, FlowId(stamp));
+                prop_assert_eq!(pkt.priority, 7, "Packet::data default class");
+                live.push(pkt);
+            }
+        }
     }
 }

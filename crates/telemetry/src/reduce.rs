@@ -16,15 +16,27 @@
 
 use crate::probe::Sample;
 
-/// Decimate to at most `max_rows` samples by stride-picking (always keeps
-/// the first sample of each stride window; order preserved).
+/// Decimate to exactly `min(len, max_rows)` samples by fractional-index
+/// picking (order preserved; the first and last samples are always kept,
+/// so a trace's endpoint never disappears from a plot).
+///
+/// Row `i` takes the sample at `⌊i·(len−1)/(max_rows−1)⌋`, which spreads
+/// the row budget evenly instead of the integer-stride rule that could
+/// return barely half of `max_rows` (e.g. `len=11, max_rows=10` kept only
+/// 6 samples and dropped the final one). With `max_rows = 1` the last
+/// sample wins (the always-keep-the-last rule takes precedence).
 pub fn decimate(samples: &[Sample], max_rows: usize) -> Vec<Sample> {
     let max_rows = max_rows.max(1);
-    if samples.len() <= max_rows {
+    let len = samples.len();
+    if len <= max_rows {
         return samples.to_vec();
     }
-    let stride = samples.len().div_ceil(max_rows);
-    samples.iter().step_by(stride).copied().collect()
+    if max_rows == 1 {
+        return vec![*samples.last().expect("len > max_rows >= 1")];
+    }
+    (0..max_rows)
+        .map(|i| samples[i * (len - 1) / (max_rows - 1)])
+        .collect()
 }
 
 /// Average consecutive windows of `window` samples (partial tail window
@@ -79,43 +91,39 @@ pub fn summarize(values: &[f64]) -> Option<SeriesSummary> {
     })
 }
 
-/// Mean of the kept values with `x >= from` (0 when none) — a post-hoc
-/// "post-event tail" reduction (see the module-level eviction caveat).
-pub fn mean_after(samples: &[Sample], from: f64) -> f64 {
-    let tail: Vec<f64> = samples
-        .iter()
-        .filter(|s| s.x >= from)
-        .map(|s| s.y)
-        .collect();
-    if tail.is_empty() {
-        0.0
-    } else {
-        tail.iter().sum::<f64>() / tail.len() as f64
+/// Mean of the kept values with `x >= from`, `None` when the window holds
+/// no samples — a post-hoc "post-event tail" reduction (see the
+/// module-level eviction caveat).
+pub fn mean_after(samples: &[Sample], from: f64) -> Option<f64> {
+    let (mut sum, mut n) = (0.0, 0u64);
+    for s in samples.iter().filter(|s| s.x >= from) {
+        sum += s.y;
+        n += 1;
     }
+    (n > 0).then(|| sum / n as f64)
 }
 
-/// Maximum kept value with `x >= from` (0 when none).
-pub fn max_after(samples: &[Sample], from: f64) -> f64 {
+/// Maximum kept value with `x >= from`, `None` when the window holds no
+/// samples. (An earlier version folded from a `0.0` seed, which reported
+/// 0 for an all-negative series and conflated "no samples" with a genuine
+/// zero.)
+pub fn max_after(samples: &[Sample], from: f64) -> Option<f64> {
     samples
         .iter()
         .filter(|s| s.x >= from)
         .map(|s| s.y)
-        .fold(0.0, f64::max)
+        .reduce(f64::max)
 }
 
-/// Minimum kept value within `from <= x < to` (0 when none) — e.g. the
-/// post-incast recovery-window throughput dip.
-pub fn min_within(samples: &[Sample], from: f64, to: f64) -> f64 {
-    let m = samples
+/// Minimum kept value within `from <= x < to` — e.g. the post-incast
+/// recovery-window throughput dip — `None` when the window holds no
+/// samples.
+pub fn min_within(samples: &[Sample], from: f64, to: f64) -> Option<f64> {
+    samples
         .iter()
         .filter(|s| s.x >= from && s.x < to)
         .map(|s| s.y)
-        .fold(f64::INFINITY, f64::min);
-    if m.is_finite() {
-        m
-    } else {
-        0.0
-    }
+        .reduce(f64::min)
 }
 
 #[cfg(test)]
@@ -135,11 +143,38 @@ mod tests {
     fn decimate_bounds_rows_and_keeps_order() {
         let s = samples(100);
         let d = decimate(&s, 10);
-        assert!(d.len() <= 10);
+        assert_eq!(d.len(), 10);
         assert_eq!(d[0].x, 0.0);
+        assert_eq!(d.last().unwrap().x, 99.0);
         assert!(d.windows(2).all(|w| w[0].x < w[1].x));
         // No-op when already small.
         assert_eq!(decimate(&s[..5], 10).len(), 5);
+    }
+
+    #[test]
+    fn decimate_fills_the_row_budget_and_keeps_the_last_sample() {
+        // Regression: the old integer-stride rule kept only 6 of 10
+        // requested rows for len=11 and dropped the final sample.
+        let s = samples(11);
+        let d = decimate(&s, 10);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d[0].x, 0.0);
+        assert_eq!(d.last().unwrap().x, 10.0);
+        assert!(d.windows(2).all(|w| w[0].x < w[1].x));
+        // Exactly min(len, max_rows) across a spread of shapes.
+        for len in [1usize, 2, 7, 11, 12, 99, 100, 101, 1000] {
+            for rows in [1usize, 2, 3, 10, 50, 120] {
+                let s = samples(len);
+                let d = decimate(&s, rows);
+                assert_eq!(d.len(), len.min(rows), "len={len} rows={rows}");
+                assert_eq!(
+                    d.last().unwrap().x,
+                    s.last().unwrap().x,
+                    "len={len} rows={rows} must keep the last sample"
+                );
+                assert!(d.windows(2).all(|w| w[0].x < w[1].x));
+            }
+        }
     }
 
     #[test]
@@ -162,10 +197,34 @@ mod tests {
         assert_eq!(sum.mean, 45.0);
         assert!(summarize(&[]).is_none());
 
-        assert_eq!(mean_after(&s, 8.0), 85.0);
-        assert_eq!(mean_after(&s, 100.0), 0.0);
-        assert_eq!(max_after(&s, 5.0), 90.0);
-        assert_eq!(min_within(&s, 3.0, 6.0), 30.0);
-        assert_eq!(min_within(&s, 50.0, 60.0), 0.0);
+        assert_eq!(mean_after(&s, 8.0), Some(85.0));
+        assert_eq!(mean_after(&s, 100.0), None);
+        assert_eq!(max_after(&s, 5.0), Some(90.0));
+        assert_eq!(min_within(&s, 3.0, 6.0), Some(30.0));
+        assert_eq!(min_within(&s, 50.0, 60.0), None);
+    }
+
+    #[test]
+    fn window_reductions_survive_negative_series_and_genuine_zeros() {
+        // Regression: folding from a 0.0 seed reported 0 for an
+        // all-negative series and made "empty window" look like a real 0.
+        let neg: Vec<Sample> = (0..4)
+            .map(|i| Sample {
+                x: i as f64,
+                y: -10.0 * (i + 1) as f64,
+            })
+            .collect();
+        assert_eq!(max_after(&neg, 0.0), Some(-10.0));
+        assert_eq!(max_after(&neg, 2.0), Some(-30.0));
+        assert_eq!(min_within(&neg, 0.0, 4.0), Some(-40.0));
+        assert_eq!(mean_after(&neg, 2.0), Some(-35.0));
+        // Empty windows are None, not zero.
+        assert_eq!(max_after(&neg, 99.0), None);
+        assert_eq!(min_within(&neg, 99.0, 100.0), None);
+        assert_eq!(max_after(&[], 0.0), None);
+        // A window holding a genuine zero reports it.
+        let z = [Sample { x: 1.0, y: 0.0 }];
+        assert_eq!(max_after(&z, 0.0), Some(0.0));
+        assert_eq!(min_within(&z, 0.0, 2.0), Some(0.0));
     }
 }

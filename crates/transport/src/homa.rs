@@ -388,6 +388,7 @@ impl Endpoint for HomaHost {
             PacketKind::HomaGrant(_) => self.on_grant(&pkt, ctx),
             _ => {}
         }
+        ctx.recycle(pkt);
     }
 
     fn on_timer(&mut self, k: u64, ctx: &mut EndpointCtx<'_>) {

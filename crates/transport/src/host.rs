@@ -341,6 +341,7 @@ impl Endpoint for TransportHost {
             PacketKind::Ack(_) => self.on_ack(&pkt, ctx),
             _ => {}
         }
+        ctx.recycle(pkt);
     }
 
     fn cc_samples(&self, out: &mut Vec<CcFlowSample>) {
