@@ -5,34 +5,47 @@
 //! xp show <name>                  # print a built-in spec as TOML
 //! xp run <spec.toml | name>       # execute a sweep or trace scenario
 //!        [--threads N]            # worker threads (default: all cores)
+//!        [--procs N]              # worker processes (default 1 = in-process)
+//!        [--cache]                # content-addressed result cache (.xp-cache)
+//!        [--cache-dir DIR]        # cache somewhere else (implies --cache)
 //!        [--json FILE | -]        # write JSON results (- = stdout)
 //!        [--csv FILE | -]         # write CSV results (- = stdout)
+//!        [--meta FILE | -]        # write JSON run metadata (cache hits, procs)
 //!        [--seeds a,b,c]          # override the spec's seed grid
 //! xp diff <a.json> <b.json>       # compare two JSON reports
-//!        [--tol X]                # relative drift tolerance (default 0)
+//! xp diff <dirA> <dirB>           # ... or two report directories, paired
+//!        [--tol X]                #     by file name; one aggregate exit code
+//! xp cache stat [--cache-dir DIR] # entry count and size of the result cache
+//! xp cache clear [--cache-dir DIR]# delete every cache entry
 //! xp bench                        # time the simulator hot paths
 //!        [--runs N]               # timed repetitions per case (default 5)
 //!        [--json FILE | -]        # write BENCH_sim.json-style report
+//! xp worker                       # internal: one shard of an `xp run --procs`
 //! ```
 //!
 //! Results are deterministic: the same spec produces byte-identical JSON
-//! at any `--threads` value. `xp diff` exits 0 when the reports match
-//! within tolerance and 1 on drift — regression comparison across PRs is
-//! `xp run fig8 --json new.json && xp diff baseline.json new.json`.
-//! `xp bench --json BENCH_sim.json` refreshes the committed perf
-//! baseline (wall-clock: compare across PRs on the same machine only).
+//! at any `--threads` / `--procs` value and any cache state — run
+//! metadata (cache hits/misses, process count) is surfaced on stderr and
+//! through `--meta`, never embedded in the byte-pinned reports.
+//! Regression comparison across PRs is `xp run fig8 --json new.json &&
+//! xp diff baseline.json new.json`; a directory of baselines compares in
+//! one shot with `xp diff baselines/ fresh/ --tol 0`.
 
+use dcn_runner::{diff_dirs, worker_main, ResultCache, RunConfig, RunStats};
 use dcn_scenarios::{
-    bench_table, bench_to_json, builtin, builtin_specs, diff_reports, run_bench, run_scenario,
+    bench_table, bench_to_json, builtin, builtin_specs, diff_reports, run_bench, ScenarioOutput,
     ScenarioSpec,
 };
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  xp list\n  xp show <name>\n  xp run <spec.toml | name> \
-         [--threads N] [--json FILE|-] [--csv FILE|-] [--seeds a,b,c]\n  \
-         xp diff <a.json> <b.json> [--tol X]\n  \
+         [--threads N] [--procs N] [--cache] [--cache-dir DIR]\n           \
+         [--json FILE|-] [--csv FILE|-] [--meta FILE|-] [--seeds a,b,c]\n  \
+         xp diff <a.json|dirA> <b.json|dirB> [--tol X]\n  \
+         xp cache <stat|clear> [--cache-dir DIR]\n  \
          xp bench [--runs N] [--json FILE|-]"
     );
     ExitCode::from(2)
@@ -48,8 +61,22 @@ fn main() -> ExitCode {
         },
         Some("run") => run(&args[1..]),
         Some("diff") => diff(&args[1..]),
+        Some("cache") => cache_cmd(&args[1..]),
         Some("bench") => bench(&args[1..]),
+        Some("worker") => worker(),
         _ => usage(),
+    }
+}
+
+/// `xp worker`: internal mode spawned by `xp run --procs N`. Reads a
+/// shard manifest on stdin, writes outcome lines on stdout.
+fn worker() -> ExitCode {
+    match worker_main(&mut std::io::stdin().lock(), &mut std::io::stdout().lock()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("worker error: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -129,19 +156,26 @@ fn show(name: &str) -> ExitCode {
 
 struct RunArgs {
     target: String,
-    threads: usize,
+    cfg: RunConfig,
     json: Option<String>,
     csv: Option<String>,
+    meta: Option<String>,
     seeds: Option<Vec<u64>>,
 }
 
 fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     let mut target = None;
-    let mut threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let mut cfg = RunConfig {
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        ..RunConfig::default()
+    };
+    let mut cache = false;
+    let mut cache_dir: Option<PathBuf> = None;
     let mut json = None;
     let mut csv = None;
+    let mut meta = None;
     let mut seeds = None;
     let mut i = 0;
     while i < args.len() {
@@ -153,15 +187,29 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         };
         match args[i].as_str() {
             "--threads" => {
-                threads = take(&mut i)?
+                cfg.threads = take(&mut i)?
                     .parse()
                     .map_err(|_| "--threads expects a positive integer".to_string())?;
-                if threads == 0 {
+                if cfg.threads == 0 {
                     return Err("--threads expects a positive integer".into());
                 }
             }
+            "--procs" => {
+                cfg.procs = take(&mut i)?
+                    .parse()
+                    .map_err(|_| "--procs expects a positive integer".to_string())?;
+                if cfg.procs == 0 {
+                    return Err("--procs expects a positive integer".into());
+                }
+            }
+            "--cache" => cache = true,
+            "--cache-dir" => {
+                cache = true;
+                cache_dir = Some(PathBuf::from(take(&mut i)?));
+            }
             "--json" => json = Some(take(&mut i)?),
             "--csv" => csv = Some(take(&mut i)?),
+            "--meta" => meta = Some(take(&mut i)?),
             "--seeds" => {
                 let list = take(&mut i)?;
                 let parsed: Result<Vec<u64>, _> =
@@ -177,17 +225,21 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         }
         i += 1;
     }
+    if cache {
+        cfg.cache_dir = Some(cache_dir.unwrap_or_else(|| PathBuf::from(ResultCache::DEFAULT_DIR)));
+    }
     Ok(RunArgs {
         target: target.ok_or("missing spec file or scenario name")?,
-        threads,
+        cfg,
         json,
         csv,
+        meta,
         seeds,
     })
 }
 
 fn load_spec(target: &str) -> Result<ScenarioSpec, String> {
-    if std::path::Path::new(target).exists() {
+    if Path::new(target).exists() {
         let src =
             std::fs::read_to_string(target).map_err(|e| format!("cannot read {target}: {e}"))?;
         ScenarioSpec::from_toml(&src).map_err(|e| format!("{target}: {e}"))
@@ -209,6 +261,40 @@ fn emit(kind: &str, dest: &str, content: &str) -> Result<(), String> {
     }
 }
 
+/// The `--meta` sidecar: run metadata as JSON. Kept *outside* the result
+/// reports so a cold and a warm cache run (or 1 vs 8 procs) still write
+/// byte-identical report files.
+fn meta_json(
+    spec: &ScenarioSpec,
+    output: &ScenarioOutput,
+    args: &RunArgs,
+    stats: &RunStats,
+) -> String {
+    format!(
+        "{{\n  \"scenario\": {},\n  \"kind\": \"{}\",\n  \"points\": {},\n  \
+         \"threads\": {},\n  \"procs\": {},\n  \"cache_enabled\": {},\n  \
+         \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"fallback\": {},\n  \
+         \"engine_version\": {},\n  \"key_format\": {}\n}}\n",
+        dcn_runner::codec::jstr(&spec.name),
+        match output {
+            ScenarioOutput::Sweep(_) => "sweep",
+            ScenarioOutput::Trace(_) => "timeseries",
+        },
+        stats.points,
+        args.cfg.threads,
+        stats.procs,
+        args.cfg.cache_dir.is_some(),
+        stats.cache_hits,
+        stats.cache_misses,
+        match &stats.fallback {
+            Some(why) => dcn_runner::codec::jstr(why),
+            None => "null".into(),
+        },
+        dcn_sim::ENGINE_VERSION,
+        dcn_runner::KEY_FORMAT,
+    )
+}
+
 fn run(args: &[String]) -> ExitCode {
     let parsed = match parse_run_args(args) {
         Ok(p) => p,
@@ -224,11 +310,11 @@ fn run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if let Some(seeds) = parsed.seeds {
-        spec = spec.seeds(seeds);
+    if let Some(seeds) = &parsed.seeds {
+        spec = spec.seeds(seeds.iter().copied());
     }
     eprintln!(
-        "running {} scenario {:?}: {} {} on {} thread(s)...",
+        "running {} scenario {:?}: {} {} on {}...",
         if spec.trace().is_some() {
             "trace"
         } else {
@@ -241,10 +327,14 @@ fn run(args: &[String]) -> ExitCode {
         } else {
             "points"
         },
-        parsed.threads
+        if parsed.cfg.procs > 1 {
+            format!("{} process(es)", parsed.cfg.procs)
+        } else {
+            format!("{} thread(s)", parsed.cfg.threads)
+        }
     );
     let t0 = std::time::Instant::now();
-    let result = match run_scenario(&spec, parsed.threads) {
+    let (result, stats) = match dcn_runner::run(&spec, &parsed.cfg) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
@@ -252,11 +342,27 @@ fn run(args: &[String]) -> ExitCode {
         }
     };
     eprintln!("done in {:.2?}", t0.elapsed());
+    if let Some(why) = &stats.fallback {
+        eprintln!("note: fell back to in-process threads ({why})");
+    }
+    if let Some(dir) = &parsed.cfg.cache_dir {
+        eprintln!(
+            "cache: {} hit(s), {} miss(es) in {}",
+            stats.cache_hits,
+            stats.cache_misses,
+            dir.display()
+        );
+    }
 
     println!("{}", result.table());
     for (kind, dest, content) in [
         ("JSON", &parsed.json, result.to_json()),
         ("CSV", &parsed.csv, result.to_csv()),
+        (
+            "meta",
+            &parsed.meta,
+            meta_json(&spec, &result, &parsed, &stats),
+        ),
     ] {
         if let Some(dest) = dest {
             if let Err(e) = emit(kind, dest, &content) {
@@ -268,8 +374,61 @@ fn run(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// `xp diff a.json b.json [--tol X]`: exit 0 when the reports match
-/// within the relative tolerance, 1 on drift, 2 on usage/IO errors.
+/// `xp cache stat|clear [--cache-dir DIR]`.
+fn cache_cmd(args: &[String]) -> ExitCode {
+    let mut dir = PathBuf::from(ResultCache::DEFAULT_DIR);
+    let mut action = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--cache-dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => dir = PathBuf::from(v),
+                    None => {
+                        eprintln!("error: --cache-dir needs a value");
+                        return usage();
+                    }
+                }
+            }
+            a @ ("stat" | "clear") if action.is_none() => action = Some(a.to_string()),
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                return usage();
+            }
+        }
+        i += 1;
+    }
+    let cache = ResultCache::new(&dir);
+    match action.as_deref() {
+        Some("stat") => {
+            let s = cache.stat();
+            println!(
+                "{}: {} entr{}, {} bytes",
+                dir.display(),
+                s.entries,
+                if s.entries == 1 { "y" } else { "ies" },
+                s.bytes
+            );
+            ExitCode::SUCCESS
+        }
+        Some("clear") => match cache.clear() {
+            Ok(n) => {
+                eprintln!("removed {n} cache entr{}", if n == 1 { "y" } else { "ies" });
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => usage(),
+    }
+}
+
+/// `xp diff a b [--tol X]`: two report files, or two directories of
+/// reports paired by file name. Exit 0 when everything matches within
+/// the relative tolerance, 1 on drift, 2 on usage/IO errors.
 fn diff(args: &[String]) -> ExitCode {
     let mut files: Vec<&String> = Vec::new();
     let mut tol = 0.0f64;
@@ -299,9 +458,55 @@ fn diff(args: &[String]) -> ExitCode {
         i += 1;
     }
     let [a, b] = files.as_slice() else {
-        eprintln!("error: diff takes exactly two report files");
+        eprintln!("error: diff takes exactly two report files or directories");
         return usage();
     };
+    let (pa, pb) = (Path::new(a.as_str()), Path::new(b.as_str()));
+    match (pa.is_dir(), pb.is_dir()) {
+        (true, true) => diff_dir_pair(pa, pb, tol),
+        (false, false) => diff_file_pair(a, b, tol),
+        _ => {
+            eprintln!("error: cannot diff a directory against a file");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn diff_dir_pair(a: &Path, b: &Path, tol: f64) -> ExitCode {
+    let outcome = match diff_dirs(a, b, tol) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for file in &outcome.files {
+        if file.differences.is_empty() {
+            eprintln!("  {}: ok ({} values)", file.name, file.compared);
+        } else {
+            for line in &file.differences {
+                println!("{}: {line}", file.name);
+            }
+        }
+    }
+    if outcome.is_match() {
+        eprintln!(
+            "directories match: {} file(s), {} values compared (tol {tol:e})",
+            outcome.files.len(),
+            outcome.compared()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "directories DIFFER: {}/{} file(s) drifted (tol {tol:e})",
+            outcome.mismatched(),
+            outcome.files.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn diff_file_pair(a: &str, b: &str, tol: f64) -> ExitCode {
     let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"));
     let (sa, sb) = match (read(a), read(b)) {
         (Ok(x), Ok(y)) => (x, y),

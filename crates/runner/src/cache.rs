@@ -1,0 +1,215 @@
+//! The on-disk content-addressed result cache.
+//!
+//! One point outcome is one file, `.xp-cache/<fnv64-hash>.json`:
+//!
+//! ```json
+//! {"format": 1, "canon": "<canonical key encoding>", "payload": {...}}
+//! ```
+//!
+//! The stored `canon` string is compared **byte-for-byte** against the
+//! recomputed canonical encoding on every load; anything that fails to
+//! read, parse, validate, or decode is a miss (the point recomputes and
+//! the entry is overwritten). Writes go through a per-process temp file
+//! plus atomic rename, so concurrently-running workers (or sweeps) never
+//! observe half-written entries.
+
+use crate::codec::{self, Outcome};
+use crate::key::CacheKey;
+use dcn_scenarios::diff::{parse_json, Json};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Version of the cache-entry envelope (the payload encoding is pinned
+/// separately through the canonical key's `key-format`).
+pub const CACHE_FORMAT: u32 = 1;
+
+/// Aggregate statistics of a cache directory (`xp cache stat`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStat {
+    /// Cache entry files.
+    pub entries: usize,
+    /// Total bytes across entries.
+    pub bytes: u64,
+}
+
+/// A content-addressed result cache rooted at one directory.
+#[derive(Clone, Debug)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// The conventional cache location, relative to the working
+    /// directory.
+    pub const DEFAULT_DIR: &'static str = ".xp-cache";
+
+    /// A cache rooted at `dir` (created lazily on first store).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ResultCache { dir: dir.into() }
+    }
+
+    /// The cache root.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Load and validate the outcome stored under `key`. Any failure —
+    /// missing file, unparseable JSON, format or canonical-key mismatch,
+    /// undecodable payload — is `None` (a miss), never an error.
+    pub fn load(&self, key: &CacheKey) -> Option<Outcome> {
+        let text = fs::read_to_string(self.dir.join(key.file_name())).ok()?;
+        let parsed = parse_json(&text).ok()?;
+        let Json::Obj(members) = &parsed else {
+            return None;
+        };
+        let field = |k: &str| members.iter().find(|(m, _)| m == k).map(|(_, v)| v);
+        match field("format") {
+            Some(Json::Int(v)) if *v == CACHE_FORMAT as i128 => {}
+            _ => return None,
+        }
+        match field("canon") {
+            // Byte-for-byte key validation: a colliding or stale entry
+            // must not be served.
+            Some(Json::Str(canon)) if *canon == key.canon => {}
+            _ => return None,
+        }
+        codec::decode(field("payload")?).ok()
+    }
+
+    /// Persist `outcome` under `key` (atomic rename; concurrent writers
+    /// of the same key race benignly — both write identical bytes).
+    pub fn store(&self, key: &CacheKey, outcome: &Outcome) -> io::Result<()> {
+        fs::create_dir_all(&self.dir)?;
+        let body = format!(
+            "{{\"format\": {CACHE_FORMAT}, \"canon\": {}, \"payload\": {}}}\n",
+            codec::jstr(&key.canon),
+            codec::encode(outcome)
+        );
+        let tmp = self
+            .dir
+            .join(format!("{}.tmp.{}", key.file_name(), std::process::id()));
+        fs::write(&tmp, body)?;
+        fs::rename(tmp, self.dir.join(key.file_name()))
+    }
+
+    /// Entry count and total size.
+    pub fn stat(&self) -> CacheStat {
+        let mut stat = CacheStat::default();
+        for path in self.entry_paths() {
+            stat.entries += 1;
+            stat.bytes += fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        }
+        stat
+    }
+
+    /// Delete every cache entry (plus any `*.json.tmp.*` files orphaned
+    /// by a writer that crashed before its atomic rename); returns how
+    /// many entries were removed.
+    pub fn clear(&self) -> io::Result<usize> {
+        let mut removed = 0;
+        for path in self.entry_paths() {
+            fs::remove_file(path)?;
+            removed += 1;
+        }
+        if let Ok(dir) = fs::read_dir(&self.dir) {
+            for entry in dir.filter_map(|e| e.ok()) {
+                let path = entry.path();
+                if path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.contains(".json.tmp."))
+                {
+                    fs::remove_file(path)?;
+                }
+            }
+        }
+        Ok(removed)
+    }
+
+    /// All `<16-hex>.json` entry files, sorted for deterministic output.
+    fn entry_paths(&self) -> Vec<PathBuf> {
+        let Ok(dir) = fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut paths: Vec<PathBuf> = dir
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name().and_then(|n| n.to_str()).is_some_and(|n| {
+                    n.len() == 16 + 5
+                        && n.ends_with(".json")
+                        && n[..16].bytes().all(|b| b.is_ascii_hexdigit())
+                })
+            })
+            .collect();
+        paths.sort();
+        paths
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::point_key;
+    use dcn_scenarios::{builtin, run_point, sweep_points};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("xp-cache-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample() -> (CacheKey, Outcome) {
+        let spec = builtin("fig6-small").unwrap();
+        let p = sweep_points(&spec)[0];
+        let out = run_point(&spec, p.algo, p.load, p.seed);
+        (point_key(&spec, &p), Outcome::Sweep(Box::new(out)))
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let dir = tmp_dir("roundtrip");
+        let cache = ResultCache::new(&dir);
+        let (key, out) = sample();
+        assert!(cache.load(&key).is_none(), "cold cache must miss");
+        cache.store(&key, &out).unwrap();
+        assert_eq!(cache.load(&key), Some(out));
+        let stat = cache.stat();
+        assert_eq!(stat.entries, 1);
+        assert!(stat.bytes > 0);
+        // An orphaned temp file (crashed writer) is swept by clear().
+        let orphan = dir.join(format!("{}.tmp.999", key.file_name()));
+        fs::write(&orphan, "half-written").unwrap();
+        assert_eq!(cache.clear().unwrap(), 1);
+        assert!(!orphan.exists(), "clear must sweep orphaned temp files");
+        assert!(cache.load(&key).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_and_mismatched_entries_miss() {
+        let dir = tmp_dir("corrupt");
+        let cache = ResultCache::new(&dir);
+        let (key, out) = sample();
+        cache.store(&key, &out).unwrap();
+        let path = dir.join(key.file_name());
+
+        // Truncated file: unparseable, must miss.
+        let full = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(cache.load(&key).is_none());
+
+        // Valid JSON with the wrong canonical key (a simulated hash
+        // collision / stale-format entry): must miss.
+        let foreign = full.replace("kind=sweep", "kind=sweep-other");
+        assert_ne!(foreign, full);
+        fs::write(&path, foreign).unwrap();
+        assert!(cache.load(&key).is_none());
+
+        // Restoring the real bytes hits again.
+        fs::write(&path, full).unwrap();
+        assert_eq!(cache.load(&key), Some(out));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

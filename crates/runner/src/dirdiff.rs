@@ -1,0 +1,152 @@
+//! `xp diff` over directories of reports.
+//!
+//! Two report directories are paired by file name (every `.json` file in
+//! either side), each pair is compared with the report differ of
+//! `dcn-scenarios`, and the drift aggregates into a single outcome — one
+//! exit code for a whole baseline directory, e.g. comparing a committed
+//! `baselines/` tree against a fresh `xp run`-produced one.
+
+use dcn_scenarios::diff_reports;
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::Path;
+
+/// One compared (or unpairable) report file.
+#[derive(Clone, Debug)]
+pub struct FileDiff {
+    /// File name (relative to both roots).
+    pub name: String,
+    /// Human-readable differences (empty = matched). Unpairable or
+    /// unreadable files carry a single pseudo-difference.
+    pub differences: Vec<String>,
+    /// Leaf values compared.
+    pub compared: usize,
+}
+
+/// Aggregate outcome of a directory comparison.
+#[derive(Clone, Debug, Default)]
+pub struct DirDiffOutcome {
+    /// Per-file outcomes, in file-name order.
+    pub files: Vec<FileDiff>,
+}
+
+impl DirDiffOutcome {
+    /// Did every paired file match (and every file pair up)?
+    pub fn is_match(&self) -> bool {
+        self.files.iter().all(|f| f.differences.is_empty())
+    }
+
+    /// Total leaf values compared.
+    pub fn compared(&self) -> usize {
+        self.files.iter().map(|f| f.compared).sum()
+    }
+
+    /// Files with differences.
+    pub fn mismatched(&self) -> usize {
+        self.files
+            .iter()
+            .filter(|f| !f.differences.is_empty())
+            .count()
+    }
+}
+
+/// Compare every `.json` report under `a` against its same-named
+/// counterpart under `b` (non-recursive; reports are flat files). Files
+/// present on only one side are mismatches, not errors.
+pub fn diff_dirs(a: &Path, b: &Path, tol: f64) -> Result<DirDiffOutcome, String> {
+    let names_a = json_names(a)?;
+    let names_b = json_names(b)?;
+    let mut out = DirDiffOutcome::default();
+    for name in names_a.union(&names_b) {
+        let mut file = FileDiff {
+            name: name.clone(),
+            differences: Vec::new(),
+            compared: 0,
+        };
+        match (names_a.contains(name), names_b.contains(name)) {
+            (true, false) => file.differences.push(format!("only in {}", a.display())),
+            (false, true) => file.differences.push(format!("only in {}", b.display())),
+            _ => {
+                let read = |root: &Path| {
+                    fs::read_to_string(root.join(name))
+                        .map_err(|e| format!("cannot read {}/{name}: {e}", root.display()))
+                };
+                // Unreadable or unparseable files degrade to a per-file
+                // difference — the rest of the directory still compares.
+                match (read(a), read(b)) {
+                    (Ok(x), Ok(y)) => match diff_reports(&x, &y, tol) {
+                        Ok(d) => {
+                            file.compared = d.compared;
+                            file.differences = d.differences;
+                            if d.truncated {
+                                file.differences
+                                    .push("... (more differences suppressed)".into());
+                            }
+                        }
+                        Err(e) => file.differences.push(e),
+                    },
+                    (Err(e), _) | (_, Err(e)) => file.differences.push(e),
+                }
+            }
+        }
+        out.files.push(file);
+    }
+    Ok(out)
+}
+
+fn json_names(dir: &Path) -> Result<BTreeSet<String>, String> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| format!("cannot read directory {}: {e}", dir.display()))?;
+    Ok(entries
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().is_file())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.ends_with(".json"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scratch(tag: &str) -> (PathBuf, PathBuf) {
+        let root = std::env::temp_dir().join(format!("xp-dirdiff-{tag}-{}", std::process::id()));
+        let (a, b) = (root.join("a"), root.join("b"));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&a).unwrap();
+        fs::create_dir_all(&b).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn pairs_by_name_and_aggregates() {
+        let (a, b) = scratch("agg");
+        fs::write(a.join("x.json"), r#"{"v": 1.0}"#).unwrap();
+        fs::write(b.join("x.json"), r#"{"v": 1.0}"#).unwrap();
+        fs::write(a.join("y.json"), r#"{"v": 2.0}"#).unwrap();
+        fs::write(b.join("y.json"), r#"{"v": 2.5}"#).unwrap();
+        fs::write(a.join("only-a.json"), "{}").unwrap();
+        fs::write(b.join("ignored.txt"), "not a report").unwrap();
+
+        let d = diff_dirs(&a, &b, 0.0).unwrap();
+        assert!(!d.is_match());
+        assert_eq!(d.files.len(), 3);
+        assert_eq!(d.mismatched(), 2); // y drifts, only-a unpaired
+        assert!(d.compared() >= 2);
+
+        // Within tolerance (and ignoring the unpaired file's removal),
+        // everything matches.
+        fs::remove_file(a.join("only-a.json")).unwrap();
+        let d = diff_dirs(&a, &b, 0.5).unwrap();
+        assert!(d.is_match(), "{:?}", d.files);
+        let _ = fs::remove_dir_all(a.parent().unwrap());
+    }
+
+    #[test]
+    fn missing_directory_is_an_error() {
+        let (a, _) = scratch("missing");
+        assert!(diff_dirs(&a, Path::new("/nonexistent-dir-xp"), 0.0).is_err());
+        let _ = fs::remove_dir_all(a.parent().unwrap());
+    }
+}

@@ -1,0 +1,407 @@
+//! The runner execution layer: cache-aware in-process execution and
+//! multi-process sharded execution.
+//!
+//! Both paths preserve the determinism contract end to end: outcomes
+//! are keyed and merged by point index (never completion order), cached
+//! payloads are bit-exact, and the reduction to reports is the same
+//! [`SweepResult::build`] / [`TraceReport`] assembly the in-process
+//! executor uses — so the report bytes are identical at any
+//! `--threads` / `--procs` value and any cache state.
+
+use crate::cache::ResultCache;
+use crate::codec::Outcome;
+use crate::key::{entry_key, point_key};
+use crate::worker;
+use dcn_scenarios::{
+    run_scenario_with, sweep_points, trace_entries, Compute, PointOutcome, PointSource,
+    ScenarioOutput, ScenarioSpec, SweepPoint, SweepResult, TraceEntrySpec,
+};
+use dcn_telemetry::{TraceEntry, TraceReport};
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How to execute a scenario.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// In-process worker threads (used when `procs <= 1`, and by the
+    /// fallback path when worker processes cannot be spawned).
+    pub threads: usize,
+    /// Worker processes; `<= 1` means in-process execution.
+    pub procs: usize,
+    /// Result-cache directory (`None` disables caching).
+    pub cache_dir: Option<PathBuf>,
+    /// Binary to spawn in worker mode (defaults to the current
+    /// executable, which is correct when the caller *is* `xp`).
+    pub worker_exe: Option<PathBuf>,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            threads: 1,
+            procs: 1,
+            cache_dir: None,
+            worker_exe: None,
+        }
+    }
+}
+
+/// What a run did, beyond its report: the run metadata surfaced by
+/// `xp run` (stderr summary and the `--meta` sidecar) — deliberately
+/// *not* embedded in the result report, whose bytes are pinned across
+/// cache states and process counts.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Points / lineup entries executed.
+    pub points: usize,
+    /// Points served from the cache.
+    pub cache_hits: u64,
+    /// Points computed (and stored, when caching is on).
+    pub cache_misses: u64,
+    /// Worker processes actually used (1 = in-process).
+    pub procs: usize,
+    /// Why multi-process execution fell back to in-process threads, if
+    /// it did.
+    pub fallback: Option<String>,
+}
+
+/// A [`PointSource`] that consults a [`ResultCache`] before computing,
+/// and stores every computed outcome back. Hit/miss counters are atomic
+/// so the source can be shared across executor threads.
+pub struct CachingSource {
+    cache: Option<ResultCache>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CachingSource {
+    /// A source backed by `cache` (`None` = always compute).
+    pub fn new(cache: Option<ResultCache>) -> Self {
+        CachingSource {
+            cache,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// (hits, misses) so far.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// One sweep point through the cache; the bool is "was a hit".
+    pub fn sweep_point_tracked(
+        &self,
+        spec: &ScenarioSpec,
+        point: &SweepPoint,
+    ) -> (PointOutcome, bool) {
+        let Some(cache) = &self.cache else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return (Compute.sweep_point(spec, point), false);
+        };
+        let key = point_key(spec, point);
+        if let Some(Outcome::Sweep(out)) = cache.load(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (*out, true);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let out = Compute.sweep_point(spec, point);
+        // Best-effort store: an unwritable cache degrades to recompute,
+        // it does not fail the run.
+        let _ = cache.store(&key, &Outcome::Sweep(Box::new(out.clone())));
+        (out, false)
+    }
+
+    /// One trace entry through the cache; the bool is "was a hit".
+    pub fn trace_entry_tracked(
+        &self,
+        spec: &ScenarioSpec,
+        entry: &TraceEntrySpec,
+    ) -> (TraceEntry, bool) {
+        let Some(cache) = &self.cache else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return (Compute.trace_entry(spec, entry), false);
+        };
+        let key = entry_key(spec, entry);
+        if let Some(Outcome::Trace(out)) = cache.load(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (*out, true);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let out = Compute.trace_entry(spec, entry);
+        let _ = cache.store(&key, &Outcome::Trace(Box::new(out.clone())));
+        (out, false)
+    }
+}
+
+impl PointSource for CachingSource {
+    fn sweep_point(&self, spec: &ScenarioSpec, point: &SweepPoint) -> PointOutcome {
+        self.sweep_point_tracked(spec, point).0
+    }
+
+    fn trace_entry(&self, spec: &ScenarioSpec, entry: &TraceEntrySpec) -> TraceEntry {
+        self.trace_entry_tracked(spec, entry).0
+    }
+}
+
+/// Execute `spec` per `cfg`: multi-process when `procs > 1` (falling
+/// back cleanly to in-process threads if workers cannot run), in-process
+/// threads otherwise, with the result cache consulted either way.
+pub fn run(spec: &ScenarioSpec, cfg: &RunConfig) -> Result<(ScenarioOutput, RunStats), String> {
+    spec.validate()?;
+    if cfg.procs > 1 {
+        match run_procs(spec, cfg) {
+            Ok(done) => return Ok(done),
+            Err(why) => {
+                // Clean fallback: same points, same merge, in-process.
+                // With the cache on, any outcome a worker managed to
+                // store is reused rather than recomputed.
+                let (out, mut stats) = run_inproc(spec, cfg, cfg.threads.max(cfg.procs))?;
+                stats.fallback = Some(why);
+                return Ok((out, stats));
+            }
+        }
+    }
+    run_inproc(spec, cfg, cfg.threads)
+}
+
+fn run_inproc(
+    spec: &ScenarioSpec,
+    cfg: &RunConfig,
+    threads: usize,
+) -> Result<(ScenarioOutput, RunStats), String> {
+    let source = CachingSource::new(cfg.cache_dir.as_ref().map(ResultCache::new));
+    let output = run_scenario_with(spec, threads.max(1), &source)?;
+    let (cache_hits, cache_misses) = source.counters();
+    Ok((
+        output,
+        RunStats {
+            points: spec.num_points(),
+            cache_hits,
+            cache_misses,
+            procs: 1,
+            fallback: None,
+        },
+    ))
+}
+
+/// Multi-process execution: shard point indices round-robin over `xp
+/// worker` children, stream their outcome lines back, and merge by
+/// index. Any worker failure aborts to the caller, which falls back to
+/// in-process execution.
+fn run_procs(spec: &ScenarioSpec, cfg: &RunConfig) -> Result<(ScenarioOutput, RunStats), String> {
+    let exe = match &cfg.worker_exe {
+        Some(path) => path.clone(),
+        None => std::env::current_exe().map_err(|e| format!("cannot locate worker binary: {e}"))?,
+    };
+    let is_trace = spec.trace().is_some();
+    let n = if is_trace {
+        trace_entries(spec).len()
+    } else {
+        sweep_points(spec).len()
+    };
+    let procs = cfg.procs.clamp(1, n.max(1));
+    let spec_toml = spec.to_toml();
+
+    // Round-robin sharding keeps shards balanced when point cost varies
+    // monotonically along the expansion (e.g. rising loads).
+    let shards: Vec<Vec<usize>> = (0..procs)
+        .map(|w| (w..n).step_by(procs).collect())
+        .collect();
+
+    let mut children: Vec<Child> = Vec::new();
+    let reap = |children: &mut Vec<Child>| {
+        for c in children.iter_mut() {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+    };
+    for shard in shards.iter().filter(|s| !s.is_empty()) {
+        let mut child = match Command::new(&exe)
+            .arg("worker")
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+        {
+            Ok(child) => child,
+            Err(e) => {
+                // Reap anything that did start before falling back.
+                reap(&mut children);
+                return Err(format!("cannot spawn {}: {e}", exe.display()));
+            }
+        };
+        let manifest = worker::manifest_json(&spec_toml, shard, cfg.cache_dir.as_deref());
+        if let Err(e) = child
+            .stdin
+            .take()
+            .expect("piped stdin")
+            .write_all(manifest.as_bytes())
+        {
+            let _ = child.kill();
+            let _ = child.wait();
+            reap(&mut children);
+            return Err(format!("cannot write worker manifest: {e}"));
+        }
+        // Dropping stdin closes the pipe; the worker sees EOF.
+        children.push(child);
+    }
+
+    let mut slots: Vec<Option<Outcome>> = (0..n).map(|_| None).collect();
+    let (mut hits, mut misses) = (0u64, 0u64);
+    // Consume children one at a time; on any error, reap the rest before
+    // returning so the fallback path does not race still-running workers
+    // (and nothing is left a zombie).
+    while let Some(child) = children.pop() {
+        let bail = |children: &mut Vec<Child>, why: String| {
+            reap(children);
+            why
+        };
+        let out = match child.wait_with_output() {
+            Ok(out) => out,
+            Err(e) => return Err(bail(&mut children, format!("worker I/O failed: {e}"))),
+        };
+        if !out.status.success() {
+            return Err(bail(
+                &mut children,
+                format!("worker exited with {}", out.status),
+            ));
+        }
+        let Ok(text) = String::from_utf8(out.stdout) else {
+            return Err(bail(
+                &mut children,
+                "worker emitted non-UTF-8 output".into(),
+            ));
+        };
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            let (index, cached, outcome) = match worker::parse_result_line(line) {
+                Ok(parsed) => parsed,
+                Err(e) => return Err(bail(&mut children, e)),
+            };
+            if index >= n {
+                return Err(bail(
+                    &mut children,
+                    format!("worker returned out-of-range index {index}"),
+                ));
+            }
+            if cached {
+                hits += 1;
+            } else {
+                misses += 1;
+            }
+            slots[index] = Some(outcome);
+        }
+    }
+    if let Some(missing) = slots.iter().position(|s| s.is_none()) {
+        return Err(format!("worker dropped point {missing}"));
+    }
+
+    // Order-stable merge: slots are already in expansion order.
+    let output = if is_trace {
+        let entries = slots
+            .into_iter()
+            .map(|s| match s {
+                Some(Outcome::Trace(e)) => Ok(*e),
+                _ => Err("worker returned a sweep outcome for a trace entry".to_string()),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        ScenarioOutput::Trace(TraceReport {
+            name: spec.name.clone(),
+            description: spec.description.clone(),
+            entries,
+        })
+    } else {
+        let outcomes = slots
+            .into_iter()
+            .map(|s| match s {
+                Some(Outcome::Sweep(o)) => Ok(*o),
+                _ => Err("worker returned a trace outcome for a sweep point".to_string()),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        ScenarioOutput::Sweep(SweepResult::build(spec, outcomes))
+    };
+    Ok((
+        output,
+        RunStats {
+            points: n,
+            cache_hits: hits,
+            cache_misses: misses,
+            procs,
+            fallback: None,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_scenarios::builtin;
+    use std::path::Path;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("xp-exec-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn json_of(out: &ScenarioOutput) -> String {
+        out.to_json()
+    }
+
+    #[test]
+    fn cold_then_warm_cache_is_byte_identical_with_full_hits() {
+        let dir = tmp_dir("warm");
+        let spec = builtin("fig6-small").unwrap();
+        let cfg = RunConfig {
+            threads: 2,
+            cache_dir: Some(dir.clone()),
+            ..RunConfig::default()
+        };
+        let (cold, cold_stats) = run(&spec, &cfg).unwrap();
+        assert_eq!(cold_stats.cache_hits, 0);
+        assert_eq!(cold_stats.cache_misses, cold_stats.points as u64);
+        let (warm, warm_stats) = run(&spec, &cfg).unwrap();
+        assert_eq!(warm_stats.cache_hits, warm_stats.points as u64);
+        assert_eq!(warm_stats.cache_misses, 0);
+        assert_eq!(json_of(&cold), json_of(&warm));
+        assert_eq!(cold.to_csv(), warm.to_csv());
+        // And identical to an uncached run.
+        let (plain, _) = run(&spec, &RunConfig::default()).unwrap();
+        assert_eq!(json_of(&plain), json_of(&cold));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unspawnable_worker_falls_back_to_threads() {
+        let spec = builtin("fig6-small").unwrap();
+        let cfg = RunConfig {
+            procs: 3,
+            worker_exe: Some(Path::new("/nonexistent/xp-worker-binary").to_path_buf()),
+            ..RunConfig::default()
+        };
+        let (out, stats) = run(&spec, &cfg).unwrap();
+        assert!(stats.fallback.is_some(), "must report the fallback");
+        let (plain, _) = run(&spec, &RunConfig::default()).unwrap();
+        assert_eq!(json_of(&out), json_of(&plain));
+    }
+
+    #[test]
+    fn trace_scenarios_cache_too() {
+        let dir = tmp_dir("trace");
+        let spec = builtin("fig2").unwrap();
+        let cfg = RunConfig {
+            cache_dir: Some(dir.clone()),
+            ..RunConfig::default()
+        };
+        let (cold, s1) = run(&spec, &cfg).unwrap();
+        let (warm, s2) = run(&spec, &cfg).unwrap();
+        assert_eq!(s1.cache_misses, 1);
+        assert_eq!(s2.cache_hits, 1);
+        assert_eq!(json_of(&cold), json_of(&warm));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

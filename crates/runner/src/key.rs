@@ -1,0 +1,163 @@
+//! Content-addressed cache keys for point outcomes.
+//!
+//! A key is derived from a *canonical byte encoding* of everything that
+//! determines a point result: the spec's result-affecting fragment
+//! ([`ScenarioSpec::cache_fragment`] — topology, workload, horizon,
+//! trace config; never the name, description, or sweep axes), the point
+//! coordinates (`algo`, `load`, `seed` — or lineup entry for traces),
+//! the behavioral engine version ([`dcn_sim::ENGINE_VERSION`]), and the
+//! key-format version. The canonical string is hashed with a small
+//! vendored FNV-1a (64-bit) to name the cache file; the full canonical
+//! string is stored *inside* the entry and compared byte-for-byte on
+//! every load, so a hash collision (or a stale file from an older
+//! format) is detected and treated as a miss, never served.
+
+use dcn_scenarios::{ScenarioSpec, SweepPoint, TraceEntrySpec};
+
+/// Version of the canonical key encoding itself. Bump when the encoding
+/// below changes shape, so old entries miss instead of mis-validating.
+pub const KEY_FORMAT: u32 = 1;
+
+/// A derived cache key: the content hash (file name) plus the canonical
+/// encoding it was derived from (stored in the entry for validation).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheKey {
+    /// FNV-1a 64-bit hash of `canon`.
+    pub hash: u64,
+    /// The canonical byte encoding of the point's identity.
+    pub canon: String,
+}
+
+impl CacheKey {
+    fn from_canon(canon: String) -> CacheKey {
+        CacheKey {
+            hash: fnv1a64(canon.as_bytes()),
+            canon,
+        }
+    }
+
+    /// The cache file name this key addresses (`<hash>.json`).
+    pub fn file_name(&self) -> String {
+        format!("{:016x}.json", self.hash)
+    }
+}
+
+/// Vendored FNV-1a, 64-bit: the canonical offset-basis/prime constants,
+/// one multiply and xor per byte. Collisions are tolerable because every
+/// hit is validated against the stored canonical encoding.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The shared key preamble: format + engine salt + spec fragment.
+fn preamble(spec: &ScenarioSpec) -> String {
+    format!(
+        "key-format={}\nengine-version={}\n--- spec ---\n{}",
+        KEY_FORMAT,
+        dcn_sim::ENGINE_VERSION,
+        spec.cache_fragment()
+    )
+}
+
+/// Key of one FCT sweep point. The load is encoded as its exact IEEE-754
+/// bit pattern — two loads that differ in the last ulp are different
+/// points.
+pub fn point_key(spec: &ScenarioSpec, point: &SweepPoint) -> CacheKey {
+    CacheKey::from_canon(format!(
+        "{}--- point ---\nkind=sweep\nalgo={}\nload-bits={:016x}\nseed={}\n",
+        preamble(spec),
+        point.algo.key(),
+        point.load.to_bits(),
+        point.seed
+    ))
+}
+
+/// Key of one timeseries lineup entry (timeseries specs carry exactly
+/// one seed; the reTCP prebuffer distinguishes expanded entries).
+pub fn entry_key(spec: &ScenarioSpec, entry: &TraceEntrySpec) -> CacheKey {
+    let seed = spec.sweep.seeds.first().copied().unwrap_or(0);
+    CacheKey::from_canon(format!(
+        "{}--- point ---\nkind=trace\nlabel={}\nalgo={}\nprebuffer-ps={}\nseed={}\n",
+        preamble(spec),
+        entry.label,
+        entry.algo.key(),
+        entry.prebuffer.as_ps(),
+        seed
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_scenarios::{builtin, sweep_points, trace_entries, Algo};
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Canonical FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn keys_separate_points_and_ignore_identity_fields() {
+        let spec = builtin("fig6").unwrap();
+        let pts = sweep_points(&spec);
+        let keys: Vec<CacheKey> = pts.iter().map(|p| point_key(&spec, p)).collect();
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a.canon, b.canon);
+                assert_ne!(a.hash, b.hash);
+            }
+        }
+        // Renaming the scenario or trimming the sweep grid does not move
+        // point keys: the fragment excludes identity and axes.
+        let renamed = spec.clone().describe("something else");
+        let mut renamed = renamed;
+        renamed.name = "other-name".into();
+        renamed.sweep.loads.truncate(1);
+        assert_eq!(point_key(&renamed, &pts[0]), keys[0]);
+    }
+
+    #[test]
+    fn keys_depend_on_physics_and_salt_inputs() {
+        let spec = builtin("fig6").unwrap();
+        let p = sweep_points(&spec)[0];
+        let base = point_key(&spec, &p);
+        let mut hotter = spec.clone();
+        hotter.horizon_ms += 1.0;
+        assert_ne!(point_key(&hotter, &p), base);
+        let mut other_seed = p;
+        other_seed.seed ^= 1;
+        assert_ne!(point_key(&spec, &other_seed), base);
+        assert!(base.canon.contains("engine-version="));
+        assert_eq!(base.file_name(), format!("{:016x}.json", base.hash));
+    }
+
+    #[test]
+    fn trace_entry_keys_separate_lineup_entries() {
+        let spec = builtin("fig8").unwrap();
+        let entries = trace_entries(&spec);
+        assert!(entries.len() >= 3);
+        let keys: Vec<CacheKey> = entries.iter().map(|e| entry_key(&spec, e)).collect();
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a.canon, b.canon, "reTCP prebuffers must separate");
+            }
+        }
+        // Same algo at different prebuffers differs only by the point
+        // section.
+        let retcp: Vec<&TraceEntrySpec> =
+            entries.iter().filter(|e| e.algo == Algo::ReTcp).collect();
+        assert_eq!(retcp.len(), 2);
+        assert_ne!(
+            entry_key(&spec, retcp[0]).hash,
+            entry_key(&spec, retcp[1]).hash
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! # dcn-runner
+//!
+//! The execution layer above the `dcn-scenarios` experiment subsystem:
+//! incremental re-runs and process-level scale-out for the ever-growing
+//! sweep surface, without giving up one byte of the determinism
+//! contract.
+//!
+//! ## The pieces
+//!
+//! * [`key`] — content-addressed cache keys: a canonical byte encoding
+//!   of `(spec fragment, algo, load, seed)` salted with
+//!   [`dcn_sim::ENGINE_VERSION`] and hashed with a vendored FNV-1a;
+//!   validated byte-for-byte on every hit.
+//! * [`codec`] — bit-exact outcome serialization (`f64` as IEEE-754 bit
+//!   patterns): cached and worker-transported results are
+//!   indistinguishable from freshly computed ones.
+//! * [`cache`] — the `.xp-cache/<hash>.json` store: atomic writes,
+//!   corruption-tolerant reads (anything invalid is a miss).
+//! * [`exec`] — [`exec::run`]: cache-aware in-process execution
+//!   (a [`exec::CachingSource`] plugged into the `PointSource`-generic
+//!   executors of `dcn-scenarios`) and multi-process sharded execution
+//!   (`--procs N`), with clean fallback to threads.
+//! * [`worker`] — the `xp worker` protocol: shard manifest on stdin,
+//!   bit-exact outcome lines on stdout, order-stable merge by index.
+//! * [`dirdiff`] — `xp diff` over directories of reports.
+//!
+//! The `xp` CLI binary lives here (it needs the cache and the process
+//! runner); `dcn-scenarios` stays a pure library.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod codec;
+pub mod dirdiff;
+pub mod exec;
+pub mod key;
+pub mod worker;
+
+pub use cache::{CacheStat, ResultCache, CACHE_FORMAT};
+pub use codec::Outcome;
+pub use dirdiff::{diff_dirs, DirDiffOutcome, FileDiff};
+pub use exec::{run, CachingSource, RunConfig, RunStats};
+pub use key::{entry_key, fnv1a64, point_key, CacheKey, KEY_FORMAT};
+pub use worker::worker_main;

@@ -1,0 +1,209 @@
+//! The `xp worker` protocol.
+//!
+//! A worker is the `xp` binary re-exec'd with the single argument
+//! `worker`. The parent writes one JSON *shard manifest* to the
+//! worker's stdin and closes it:
+//!
+//! ```json
+//! {"spec_toml": "<scenario TOML>", "indices": [0, 2, 4], "cache_dir": ".xp-cache"}
+//! ```
+//!
+//! (`cache_dir` is `null` when caching is off.) The worker computes its
+//! indices **sequentially in manifest order** — process-level sharding
+//! is the parallelism — consulting and filling the shared result cache
+//! exactly like an in-process run, and emits one line per point on
+//! stdout:
+//!
+//! ```json
+//! {"index": 2, "cached": false, "outcome": {...}}
+//! ```
+//!
+//! Outcome payloads are the bit-exact encoding of [`crate::codec`], so
+//! a parent merging worker lines by index reproduces the in-process
+//! report byte for byte. Anything written to stderr is diagnostic only;
+//! a non-zero exit tells the parent to fall back.
+
+use crate::cache::ResultCache;
+use crate::codec::{self, jstr, Outcome};
+use crate::exec::CachingSource;
+use dcn_scenarios::diff::{parse_json, Json};
+use dcn_scenarios::{sweep_points, trace_entries, ScenarioSpec};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Render a shard manifest.
+pub fn manifest_json(spec_toml: &str, indices: &[usize], cache_dir: Option<&Path>) -> String {
+    let list = indices
+        .iter()
+        .map(|i| i.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let cache = match cache_dir {
+        Some(dir) => jstr(&dir.display().to_string()),
+        None => "null".into(),
+    };
+    format!(
+        "{{\"spec_toml\": {}, \"indices\": [{list}], \"cache_dir\": {cache}}}\n",
+        jstr(spec_toml)
+    )
+}
+
+/// Parse a shard manifest into (spec, indices, cache dir).
+pub fn parse_manifest(text: &str) -> Result<(ScenarioSpec, Vec<usize>, Option<PathBuf>), String> {
+    let Json::Obj(members) = parse_json(text.trim())? else {
+        return Err("manifest must be a JSON object".into());
+    };
+    let field = |k: &str| {
+        members
+            .iter()
+            .find(|(m, _)| m == k)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("manifest missing {k:?}"))
+    };
+    let Json::Str(toml) = field("spec_toml")? else {
+        return Err("spec_toml must be a string".into());
+    };
+    let spec = ScenarioSpec::from_toml(toml)?;
+    let Json::Arr(raw) = field("indices")? else {
+        return Err("indices must be an array".into());
+    };
+    let indices = raw
+        .iter()
+        .map(|v| match v {
+            Json::Int(i) if *i >= 0 => Ok(*i as usize),
+            _ => Err("indices must be non-negative integers".to_string()),
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let cache_dir = match field("cache_dir")? {
+        Json::Null => None,
+        Json::Str(dir) => Some(PathBuf::from(dir)),
+        _ => return Err("cache_dir must be a string or null".into()),
+    };
+    Ok((spec, indices, cache_dir))
+}
+
+/// Render one worker result line.
+pub fn result_line(index: usize, cached: bool, outcome: &Outcome) -> String {
+    format!(
+        "{{\"index\": {index}, \"cached\": {cached}, \"outcome\": {}}}\n",
+        codec::encode(outcome)
+    )
+}
+
+/// Parse one worker result line into (index, cached, outcome).
+pub fn parse_result_line(line: &str) -> Result<(usize, bool, Outcome), String> {
+    let Json::Obj(members) = parse_json(line.trim())? else {
+        return Err("worker line must be a JSON object".into());
+    };
+    let field = |k: &str| {
+        members
+            .iter()
+            .find(|(m, _)| m == k)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("worker line missing {k:?}"))
+    };
+    let Json::Int(index) = field("index")? else {
+        return Err("index must be an integer".into());
+    };
+    if *index < 0 {
+        return Err("index must be non-negative".into());
+    }
+    let Json::Bool(cached) = field("cached")? else {
+        return Err("cached must be a boolean".into());
+    };
+    let outcome = codec::decode(field("outcome")?)?;
+    Ok((*index as usize, *cached, outcome))
+}
+
+/// The `xp worker` entry point: read one manifest from `input`, write
+/// result lines to `output`. Factored over generic streams so tests can
+/// drive the protocol without spawning processes.
+pub fn worker_main(input: &mut dyn Read, output: &mut dyn Write) -> Result<(), String> {
+    let mut text = String::new();
+    input
+        .read_to_string(&mut text)
+        .map_err(|e| format!("cannot read manifest: {e}"))?;
+    let (spec, indices, cache_dir) = parse_manifest(&text)?;
+    spec.validate()?;
+    let source = CachingSource::new(cache_dir.map(ResultCache::new));
+    let emit = |output: &mut dyn Write, line: String| {
+        output
+            .write_all(line.as_bytes())
+            .map_err(|e| format!("cannot write result: {e}"))
+    };
+    if spec.trace().is_some() {
+        let entries = trace_entries(&spec);
+        for i in indices {
+            let entry = entries
+                .get(i)
+                .ok_or_else(|| format!("entry index {i} out of range ({})", entries.len()))?;
+            let (outcome, cached) = source.trace_entry_tracked(&spec, entry);
+            emit(
+                output,
+                result_line(i, cached, &Outcome::Trace(Box::new(outcome))),
+            )?;
+        }
+    } else {
+        let points = sweep_points(&spec);
+        for i in indices {
+            let point = points
+                .get(i)
+                .ok_or_else(|| format!("point index {i} out of range ({})", points.len()))?;
+            let (outcome, cached) = source.sweep_point_tracked(&spec, point);
+            emit(
+                output,
+                result_line(i, cached, &Outcome::Sweep(Box::new(outcome))),
+            )?;
+        }
+    }
+    output.flush().map_err(|e| format!("cannot flush: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_scenarios::{builtin, run_sweep};
+
+    #[test]
+    fn manifest_round_trips() {
+        let spec = builtin("fig6-small").unwrap();
+        let toml = spec.to_toml();
+        let m = manifest_json(&toml, &[0, 1], Some(Path::new(".xp-cache")));
+        let (back, indices, cache) = parse_manifest(&m).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(indices, vec![0, 1]);
+        assert_eq!(cache, Some(PathBuf::from(".xp-cache")));
+        let (_, _, none) = parse_manifest(&manifest_json(&toml, &[1], None)).unwrap();
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn worker_reproduces_the_in_process_sweep() {
+        let spec = builtin("fig6-small").unwrap();
+        let manifest = manifest_json(&spec.to_toml(), &[1, 0], None);
+        let mut out = Vec::new();
+        worker_main(&mut manifest.as_bytes(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // Lines come back in manifest order and merge by index.
+        let (i1, c1, o1) = parse_result_line(lines[0]).unwrap();
+        let (i0, _, o0) = parse_result_line(lines[1]).unwrap();
+        assert_eq!((i1, i0), (1, 0));
+        assert!(!c1, "no cache configured");
+        let (Outcome::Sweep(o0), Outcome::Sweep(o1)) = (o0, o1) else {
+            panic!("sweep outcomes expected");
+        };
+        let direct = run_sweep(&spec, 1).unwrap();
+        let merged = dcn_scenarios::SweepResult::build(&spec, vec![*o0, *o1]);
+        assert_eq!(merged.to_json(), direct.to_json());
+    }
+
+    #[test]
+    fn bad_manifests_are_rejected() {
+        assert!(worker_main(&mut "not json".as_bytes(), &mut Vec::new()).is_err());
+        let spec = builtin("fig6-small").unwrap();
+        let oob = manifest_json(&spec.to_toml(), &[99], None);
+        assert!(worker_main(&mut oob.as_bytes(), &mut Vec::new()).is_err());
+    }
+}

@@ -1,0 +1,137 @@
+//! Cache round-trip property: for a grid of scenarios, a cold run
+//! followed by a warm run is byte-identical in JSON and CSV with 100%
+//! hits, and corrupting any cache entry is detected (the point silently
+//! recomputes, output still byte-identical).
+
+use dcn_runner::{run, RunConfig};
+use dcn_scenarios::{builtin, ScenarioOutput};
+use std::fs;
+use std::path::PathBuf;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xp-cachert-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn render(out: &ScenarioOutput) -> (String, String) {
+    (out.to_json(), out.to_csv())
+}
+
+/// The property, checked per scenario: cold == warm == uncached, with
+/// exact hit/miss accounting.
+fn check_cold_warm(name: &str) {
+    let spec = builtin(name).unwrap();
+    let dir = scratch(name);
+    let cached = RunConfig {
+        threads: 2,
+        cache_dir: Some(dir.clone()),
+        ..RunConfig::default()
+    };
+    let (plain, _) = run(
+        &spec,
+        &RunConfig {
+            threads: 2,
+            ..RunConfig::default()
+        },
+    )
+    .unwrap();
+    let (cold, cold_stats) = run(&spec, &cached).unwrap();
+    let (warm, warm_stats) = run(&spec, &cached).unwrap();
+    let n = spec.num_points() as u64;
+    assert_eq!(
+        (cold_stats.cache_hits, cold_stats.cache_misses),
+        (0, n),
+        "{name} cold"
+    );
+    assert_eq!(
+        (warm_stats.cache_hits, warm_stats.cache_misses),
+        (n, 0),
+        "{name} warm"
+    );
+    assert_eq!(
+        render(&plain),
+        render(&cold),
+        "{name}: caching changed bytes"
+    );
+    assert_eq!(
+        render(&cold),
+        render(&warm),
+        "{name}: warm run changed bytes"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cold_then_warm_is_byte_identical_across_scenario_kinds() {
+    // One fat-tree sweep, one star incast sweep, one analytic trace, one
+    // simulated trace: every executor path.
+    for name in ["fig6-small", "fig9to11", "fig2", "fig5"] {
+        check_cold_warm(name);
+    }
+}
+
+#[test]
+fn corrupted_entries_are_detected_and_recomputed() {
+    let spec = builtin("fig6-small").unwrap();
+    let dir = scratch("corrupt");
+    let cfg = RunConfig {
+        threads: 2,
+        cache_dir: Some(dir.clone()),
+        ..RunConfig::default()
+    };
+    let (cold, _) = run(&spec, &cfg).unwrap();
+
+    // Corrupt every entry a different way: truncation, bit flips in the
+    // payload, full garbage.
+    let mut entries: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    entries.sort();
+    assert_eq!(entries.len(), spec.num_points());
+    let text = fs::read_to_string(&entries[0]).unwrap();
+    fs::write(&entries[0], &text[..text.len() / 3]).unwrap();
+    fs::write(
+        &entries[1],
+        "{\"format\": 1, \"canon\": \"junk\", \"payload\": {}}",
+    )
+    .unwrap();
+
+    let (redone, stats) = run(&spec, &cfg).unwrap();
+    assert_eq!(stats.cache_hits, 0, "all entries were corrupted");
+    assert_eq!(stats.cache_misses, spec.num_points() as u64);
+    assert_eq!(cold.to_json(), redone.to_json());
+    assert_eq!(cold.to_csv(), redone.to_csv());
+
+    // The recompute healed the cache.
+    let (healed, stats) = run(&spec, &cfg).unwrap();
+    assert_eq!(stats.cache_hits, spec.num_points() as u64);
+    assert_eq!(cold.to_json(), healed.to_json());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn editing_the_spec_physics_invalidates_while_identity_does_not() {
+    let dir = scratch("invalidate");
+    let cfg = RunConfig {
+        threads: 2,
+        cache_dir: Some(dir.clone()),
+        ..RunConfig::default()
+    };
+    let spec = builtin("fig6-small").unwrap();
+    let (_, s1) = run(&spec, &cfg).unwrap();
+    assert_eq!(s1.cache_misses, 2);
+
+    // Renaming/redescribing is identity, not physics: still 100% hits.
+    let mut renamed = spec.clone().describe("renamed");
+    renamed.name = "fig6-small-renamed".into();
+    let (_, s2) = run(&renamed, &cfg).unwrap();
+    assert_eq!((s2.cache_hits, s2.cache_misses), (2, 0));
+
+    // Changing the horizon is physics: full miss.
+    let hotter = spec.clone().horizon_ms(spec.horizon_ms + 1.0);
+    let (_, s3) = run(&hotter, &cfg).unwrap();
+    assert_eq!(s3.cache_hits, 0);
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,116 @@
+//! Determinism contract of the multi-process runner, driven through the
+//! real `xp` binary: `--procs N` output is byte-identical for N ∈
+//! {1, 2, 4}, with and without a (cold or warm) result cache, for both
+//! scenario kinds.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const XP: &str = env!("CARGO_BIN_EXE_xp");
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xp-procs-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// `xp run` with the given extra args; returns (json, csv) bytes.
+fn run(scenario: &str, dir: &Path, tag: &str, extra: &[&str]) -> (String, String) {
+    let json = dir.join(format!("{tag}.json"));
+    let csv = dir.join(format!("{tag}.csv"));
+    let status = Command::new(XP)
+        .arg("run")
+        .arg(scenario)
+        .args([
+            "--json",
+            json.to_str().unwrap(),
+            "--csv",
+            csv.to_str().unwrap(),
+        ])
+        .args(extra)
+        .output()
+        .expect("spawn xp");
+    assert!(
+        status.status.success(),
+        "xp run {scenario} {extra:?} failed:\n{}",
+        String::from_utf8_lossy(&status.stderr)
+    );
+    (
+        std::fs::read_to_string(json).unwrap(),
+        std::fs::read_to_string(csv).unwrap(),
+    )
+}
+
+#[test]
+fn sweep_is_byte_identical_across_process_counts() {
+    let dir = scratch("sweep");
+    let (j1, c1) = run("fig6-small", &dir, "p1", &["--procs", "1"]);
+    let (j2, c2) = run("fig6-small", &dir, "p2", &["--procs", "2"]);
+    let (j4, c4) = run("fig6-small", &dir, "p4", &["--procs", "4"]);
+    let (jt, ct) = run("fig6-small", &dir, "threads", &["--threads", "4"]);
+    assert_eq!(j1, j2, "JSON differs between --procs 1 and 2");
+    assert_eq!(j1, j4, "JSON differs between --procs 1 and 4");
+    assert_eq!(j1, jt, "JSON differs between processes and threads");
+    assert_eq!(c1, c2);
+    assert_eq!(c1, c4);
+    assert_eq!(c1, ct);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trace_is_byte_identical_across_process_counts_and_cache_states() {
+    let dir = scratch("trace");
+    let cache = dir.join("cache");
+    let cache_arg = cache.to_str().unwrap();
+    let (base, _) = run("fig5", &dir, "base", &["--threads", "4"]);
+    // Cold cache, sharded across processes.
+    let (cold, _) = run(
+        "fig5",
+        &dir,
+        "cold",
+        &["--procs", "2", "--cache-dir", cache_arg],
+    );
+    // Warm cache, different process count.
+    let (warm, _) = run(
+        "fig5",
+        &dir,
+        "warm",
+        &["--procs", "4", "--cache-dir", cache_arg],
+    );
+    // Warm cache, in-process.
+    let (warm_inproc, _) = run("fig5", &dir, "warm2", &["--cache-dir", cache_arg]);
+    assert_eq!(base, cold, "procs+cold-cache must not move a byte");
+    assert_eq!(base, warm, "warm cache must not move a byte");
+    assert_eq!(base, warm_inproc);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn warm_cache_reports_full_hits_through_the_cli() {
+    let dir = scratch("meta");
+    let cache = dir.join("cache");
+    let meta = dir.join("meta.json");
+    let run_meta = || {
+        let out = Command::new(XP)
+            .args([
+                "run",
+                "fig6-small",
+                "--cache-dir",
+                cache.to_str().unwrap(),
+                "--meta",
+                meta.to_str().unwrap(),
+            ])
+            .output()
+            .expect("spawn xp");
+        assert!(out.status.success());
+        std::fs::read_to_string(&meta).unwrap()
+    };
+    let cold = run_meta();
+    assert!(cold.contains("\"cache_hits\": 0"), "{cold}");
+    assert!(cold.contains("\"cache_misses\": 2"), "{cold}");
+    let warm = run_meta();
+    assert!(warm.contains("\"cache_hits\": 2"), "{warm}");
+    assert!(warm.contains("\"cache_misses\": 0"), "{warm}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -27,8 +27,11 @@
 //!   per-(algo, load) summaries as JSON, CSV, or a markdown table.
 //! * [`library`] — fig6 / fig7 / fig9to11 / incast-battle as specs.
 //!
-//! The `xp` binary is the CLI: `xp list`, `xp show <name>`,
-//! `xp run <spec.toml | name> [--threads N] [--json F] [--csv F]`.
+//! The executors are generic over a [`PointSource`] ("where does the
+//! outcome of point *i* come from?"); the default [`Compute`] source
+//! runs everything in-process, and the `dcn-runner` crate layers a
+//! content-addressed result cache and multi-process sharding on the
+//! same machinery. The `xp` CLI binary lives in `dcn-runner`.
 //!
 //! ## Example
 //!
@@ -79,5 +82,8 @@ pub use spec::{
     IncastSpec, PoissonSpec, ScenarioKind, ScenarioSpec, SizeSpec, SweepSpec, TopologySpec,
     TraceScenario, TraceSpec, WorkloadSpec,
 };
-pub use sweep::{run_scenario, run_sweep, sweep_points, ScenarioOutput, SweepPoint};
-pub use trace_engine::{run_trace, run_trace_entry, trace_entries, TraceEntrySpec};
+pub use sweep::{
+    run_scenario, run_scenario_with, run_sweep, run_sweep_with, sweep_points, Compute, PointSource,
+    ScenarioOutput, SweepPoint,
+};
+pub use trace_engine::{run_trace, run_trace_entry, run_trace_with, trace_entries, TraceEntrySpec};

@@ -19,6 +19,7 @@ fn trace_spec(scenario: TraceScenario, tick_us: f64) -> TraceSpec {
         tick_us,
         max_samples: 4096,
         max_rows: 120,
+        channels: Vec::new(),
     }
 }
 

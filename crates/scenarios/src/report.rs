@@ -116,8 +116,11 @@ fn credible_tail(xs: &[f64]) -> Option<(f64, f64)> {
 }
 
 impl SweepResult {
-    /// Reduce raw outcomes (in sweep-point order) to reports.
-    pub(crate) fn build(spec: &ScenarioSpec, outcomes: Vec<PointOutcome>) -> SweepResult {
+    /// Reduce raw outcomes (in sweep-point order) to reports. Public so
+    /// alternative executors (the `dcn-runner` multi-process layer) can
+    /// merge worker-computed outcomes through the exact same reduction;
+    /// `outcomes` must be in [`crate::sweep::sweep_points`] order.
+    pub fn build(spec: &ScenarioSpec, outcomes: Vec<PointOutcome>) -> SweepResult {
         let points: Vec<PointReport> = outcomes
             .iter()
             .map(|o| PointReport {

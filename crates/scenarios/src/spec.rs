@@ -165,6 +165,11 @@ pub struct TraceSpec {
     pub max_samples: usize,
     /// Maximum exported rows per channel (stride decimation).
     pub max_rows: usize,
+    /// Probe selection: record only these channels (empty = all). Names
+    /// must come from [`TraceScenario::channel_names`]; filtered-out
+    /// probes are not registered at all, but scalar stats are unaffected
+    /// (their windowed accumulators run regardless).
+    pub channels: Vec<String>,
 }
 
 /// The traced experiments: the paper's temporal figures as declarative
@@ -231,6 +236,38 @@ impl TraceScenario {
             TraceScenario::Incast { .. } => "incast",
             TraceScenario::Fairness { .. } => "fairness",
             TraceScenario::Rdcn { .. } => "rdcn",
+        }
+    }
+
+    /// Every channel name this trace scenario can record, in recording
+    /// order — the vocabulary a `[trace] channels` filter may select
+    /// from (fairness channels are per-flow, so the list depends on the
+    /// configured flow count).
+    pub fn channel_names(&self) -> Vec<String> {
+        match self {
+            TraceScenario::Response => [
+                "voltage-md-vs-rate",
+                "current-md-vs-rate",
+                "voltage-md-vs-queue",
+                "current-md-vs-queue",
+            ]
+            .map(String::from)
+            .to_vec(),
+            TraceScenario::Incast { .. } => ["throughput", "queue", "cwnd", "power"]
+                .map(String::from)
+                .to_vec(),
+            TraceScenario::Fairness { flows, .. } => (1..=*flows)
+                .flat_map(|i| {
+                    [
+                        format!("flow-{i}"),
+                        format!("cwnd-{i}"),
+                        format!("power-{i}"),
+                    ]
+                })
+                .collect(),
+            TraceScenario::Rdcn { .. } => ["throughput", "voq", "cwnd", "power"]
+                .map(String::from)
+                .to_vec(),
         }
     }
 }
@@ -378,6 +415,37 @@ impl ScenarioSpec {
     pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
         self.sweep.seeds = seeds.into_iter().collect();
         self
+    }
+
+    /// Restrict a timeseries spec to recording only the named channels
+    /// (validated against [`TraceScenario::channel_names`]). Panics on a
+    /// sweep spec.
+    pub fn channels(mut self, channels: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        let ScenarioKind::Timeseries(trace) = &mut self.kind else {
+            panic!("channels on a sweep spec");
+        };
+        trace.channels = channels.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// The canonical result-affecting fragment of this spec: everything
+    /// that determines a point outcome **except** the identity fields
+    /// (name, description) and the sweep axes — those are either
+    /// irrelevant to point results or part of the per-point cache key.
+    /// `dcn-runner` combines this fragment with `(algo, load, seed)` and
+    /// the engine-version salt to derive content-addressed cache keys,
+    /// so two differently-named specs with identical physics share
+    /// cached outcomes.
+    pub fn cache_fragment(&self) -> String {
+        let mut stripped = self.clone();
+        stripped.name = String::new();
+        stripped.description = String::new();
+        stripped.sweep = SweepSpec {
+            algos: Vec::new(),
+            loads: Vec::new(),
+            seeds: Vec::new(),
+        };
+        stripped.to_toml()
     }
 
     /// The generation horizon as simulator time.
@@ -532,6 +600,16 @@ impl ScenarioSpec {
         if trace.max_rows < 2 {
             return Err("trace max_rows must be >= 2".into());
         }
+        let known = trace.scenario.channel_names();
+        for ch in &trace.channels {
+            if !known.contains(ch) {
+                return Err(format!(
+                    "unknown trace channel {ch:?} for the {} scenario (known: {})",
+                    trace.scenario.key(),
+                    known.join(", ")
+                ));
+            }
+        }
         match &trace.scenario {
             TraceScenario::Response => {
                 if self.sweep.algos.len() != 1 {
@@ -648,6 +726,19 @@ impl ScenarioSpec {
                 Value::Int(trace.max_samples as i64),
             );
             kv(&mut out, "max_rows", Value::Int(trace.max_rows as i64));
+            if !trace.channels.is_empty() {
+                kv(
+                    &mut out,
+                    "channels",
+                    Value::Array(
+                        trace
+                            .channels
+                            .iter()
+                            .map(|c| Value::Str(c.clone()))
+                            .collect(),
+                    ),
+                );
+            }
             match &trace.scenario {
                 TraceScenario::Response => {}
                 TraceScenario::Incast {
@@ -973,6 +1064,7 @@ impl ScenarioSpec {
                     | "tick_us"
                     | "max_samples"
                     | "max_rows"
+                    | "channels"
                     | "fan_in"
                     | "burst_bytes"
                     | "at_ms"
@@ -1029,6 +1121,19 @@ impl ScenarioSpec {
             max_rows: match trace_t.get("max_rows") {
                 Some(_) => get_usize(trace_t, "max_rows")?,
                 None => 120,
+            },
+            channels: match trace_t.get("channels") {
+                Some(v) => v
+                    .as_array()
+                    .ok_or("trace channels must be an array")?
+                    .iter()
+                    .map(|v| {
+                        v.as_str()
+                            .map(str::to_string)
+                            .ok_or("trace channels entries must be strings".to_string())
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+                None => Vec::new(),
             },
         };
 
@@ -1241,6 +1346,7 @@ mod tests {
                 tick_us: 20.0,
                 max_samples: 1024,
                 max_rows: 50,
+                channels: Vec::new(),
             },
         )
         .describe("a timeseries scenario")
@@ -1323,6 +1429,67 @@ mod tests {
             host_gbps: 25.0,
         };
         assert!(s.validate().unwrap_err().contains("derived"));
+    }
+
+    #[test]
+    fn trace_channel_filter_round_trips_and_validates() {
+        let spec = ts_spec(TraceScenario::Incast {
+            fan_in: 4,
+            burst_bytes: 1000,
+            at_ms: 1.0,
+        })
+        .channels(["queue", "cwnd"]);
+        spec.validate().unwrap();
+        let text = spec.to_toml();
+        assert!(text.contains("channels = [\"queue\", \"cwnd\"]"), "{text}");
+        assert_eq!(ScenarioSpec::from_toml(&text).unwrap(), spec);
+
+        // An empty filter (record everything) is the default and is not
+        // written out.
+        let all = ts_spec(TraceScenario::Response).algos([Algo::PowerTcp]);
+        assert!(!all.to_toml().contains("channels"));
+
+        // Unknown names are a validation error naming the vocabulary.
+        let bad = ts_spec(TraceScenario::Incast {
+            fan_in: 4,
+            burst_bytes: 1000,
+            at_ms: 1.0,
+        })
+        .channels(["voq"]);
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("unknown trace channel"), "{err}");
+        assert!(err.contains("throughput, queue, cwnd, power"), "{err}");
+
+        // Fairness names are per-flow, so validity depends on the flow
+        // count.
+        let fair = ts_spec(TraceScenario::Fairness {
+            flows: 2,
+            stagger_ms: 1.0,
+        });
+        assert!(fair.clone().channels(["flow-2"]).validate().is_ok());
+        assert!(fair.channels(["flow-3"]).validate().is_err());
+    }
+
+    #[test]
+    fn cache_fragment_tracks_physics_not_identity() {
+        let a = sample_spec();
+        let mut renamed = a.clone().describe("other words");
+        renamed.name = "renamed".into();
+        renamed.sweep.seeds = vec![1, 2, 3];
+        assert_eq!(a.cache_fragment(), renamed.cache_fragment());
+        let hotter = a.clone().horizon_ms(a.horizon_ms * 2.0);
+        assert_ne!(a.cache_fragment(), hotter.cache_fragment());
+        let other_workload = a.clone().poisson(SizeSpec::Fixed(10));
+        assert_ne!(a.cache_fragment(), other_workload.cache_fragment());
+        // Trace config (including the channel filter) is physics for
+        // timeseries specs: it changes the recorded output.
+        let t = ts_spec(TraceScenario::Incast {
+            fan_in: 4,
+            burst_bytes: 1000,
+            at_ms: 1.0,
+        });
+        let filtered = t.clone().channels(["queue"]);
+        assert_ne!(t.cache_fragment(), filtered.cache_fragment());
     }
 
     #[test]

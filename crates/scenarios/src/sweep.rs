@@ -14,6 +14,8 @@ use crate::algo::Algo;
 use crate::engine::{run_point, PointOutcome};
 use crate::report::SweepResult;
 use crate::spec::ScenarioSpec;
+use crate::trace_engine::{run_trace_entry, TraceEntrySpec};
+use dcn_telemetry::TraceEntry;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -50,12 +52,55 @@ pub fn sweep_points(spec: &ScenarioSpec) -> Vec<SweepPoint> {
     out
 }
 
+/// Where per-point results come from. The executors
+/// ([`run_sweep_with`] / [`crate::trace_engine::run_trace_with`]) are
+/// generic over this so alternative execution layers — the
+/// content-addressed result cache and the multi-process sharded runner
+/// in `dcn-runner` — can substitute cached or remotely-computed
+/// outcomes without reimplementing sharding, ordering, or reduction.
+///
+/// Implementations must uphold the determinism contract: the returned
+/// outcome must be **identical** (bit-for-bit, for every float) to what
+/// [`Compute`] would produce for the same `(spec, point)` — the
+/// byte-identical-reports guarantee rests on it.
+pub trait PointSource: Sync {
+    /// Produce the outcome of one FCT sweep point.
+    fn sweep_point(&self, spec: &ScenarioSpec, point: &SweepPoint) -> PointOutcome;
+
+    /// Produce the outcome of one timeseries lineup entry.
+    fn trace_entry(&self, spec: &ScenarioSpec, entry: &TraceEntrySpec) -> TraceEntry;
+}
+
+/// The default [`PointSource`]: compute every point in-process with a
+/// fresh deterministic simulator.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Compute;
+
+impl PointSource for Compute {
+    fn sweep_point(&self, spec: &ScenarioSpec, point: &SweepPoint) -> PointOutcome {
+        run_point(spec, point.algo, point.load, point.seed)
+    }
+
+    fn trace_entry(&self, spec: &ScenarioSpec, entry: &TraceEntrySpec) -> TraceEntry {
+        run_trace_entry(spec, entry)
+    }
+}
+
 /// Run a whole sweep on `threads` worker threads (clamped to
 /// `[1, num_points]`). Returns the aggregated result; the spec is
 /// validated first. Rejects `timeseries` scenarios — those run through
 /// [`crate::trace_engine::run_trace`] (or [`run_scenario`], which
 /// dispatches on the spec kind).
 pub fn run_sweep(spec: &ScenarioSpec, threads: usize) -> Result<SweepResult, String> {
+    run_sweep_with(spec, threads, &Compute)
+}
+
+/// [`run_sweep`] with an explicit [`PointSource`].
+pub fn run_sweep_with(
+    spec: &ScenarioSpec,
+    threads: usize,
+    source: &dyn PointSource,
+) -> Result<SweepResult, String> {
     spec.validate()?;
     if spec.trace().is_some() {
         return Err(format!(
@@ -64,7 +109,9 @@ pub fn run_sweep(spec: &ScenarioSpec, threads: usize) -> Result<SweepResult, Str
         ));
     }
     let points = sweep_points(spec);
-    let outcomes = run_points(spec, &points, threads);
+    let outcomes = run_indexed(points.len(), threads, |i| {
+        source.sweep_point(spec, &points[i])
+    });
     Ok(SweepResult::build(spec, outcomes))
 }
 
@@ -108,18 +155,20 @@ impl ScenarioOutput {
 /// [`crate::trace_engine::run_trace`]. Both paths share the determinism
 /// contract: byte-identical output at any `threads` value.
 pub fn run_scenario(spec: &ScenarioSpec, threads: usize) -> Result<ScenarioOutput, String> {
-    if spec.trace().is_some() {
-        crate::trace_engine::run_trace(spec, threads).map(ScenarioOutput::Trace)
-    } else {
-        run_sweep(spec, threads).map(ScenarioOutput::Sweep)
-    }
+    run_scenario_with(spec, threads, &Compute)
 }
 
-fn run_points(spec: &ScenarioSpec, points: &[SweepPoint], threads: usize) -> Vec<PointOutcome> {
-    run_indexed(points.len(), threads, |i| {
-        let p = &points[i];
-        run_point(spec, p.algo, p.load, p.seed)
-    })
+/// [`run_scenario`] with an explicit [`PointSource`].
+pub fn run_scenario_with(
+    spec: &ScenarioSpec,
+    threads: usize,
+    source: &dyn PointSource,
+) -> Result<ScenarioOutput, String> {
+    if spec.trace().is_some() {
+        crate::trace_engine::run_trace_with(spec, threads, source).map(ScenarioOutput::Trace)
+    } else {
+        run_sweep_with(spec, threads, source).map(ScenarioOutput::Sweep)
+    }
 }
 
 /// Run `f(0..n)` on `threads` worker threads (clamped to `[1, n]`) with a

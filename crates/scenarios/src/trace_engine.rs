@@ -89,6 +89,15 @@ pub fn trace_entries(spec: &ScenarioSpec) -> Vec<TraceEntrySpec> {
 /// is validated first; entries shard across threads like sweep points and
 /// the report is byte-identical at any thread count.
 pub fn run_trace(spec: &ScenarioSpec, threads: usize) -> Result<TraceReport, String> {
+    run_trace_with(spec, threads, &crate::sweep::Compute)
+}
+
+/// [`run_trace`] with an explicit [`crate::sweep::PointSource`].
+pub fn run_trace_with(
+    spec: &ScenarioSpec,
+    threads: usize,
+    source: &dyn crate::sweep::PointSource,
+) -> Result<TraceReport, String> {
     spec.validate()?;
     if spec.trace().is_none() {
         return Err(format!(
@@ -98,7 +107,7 @@ pub fn run_trace(spec: &ScenarioSpec, threads: usize) -> Result<TraceReport, Str
     }
     let entries = trace_entries(spec);
     let outcomes = crate::sweep::run_indexed(entries.len(), threads, |i| {
-        run_trace_entry(spec, &entries[i])
+        source.trace_entry(spec, &entries[i])
     });
     Ok(TraceReport {
         name: spec.name.clone(),
@@ -189,14 +198,31 @@ impl Window {
     }
 }
 
-/// A recorder sink that also feeds streaming window accumulators.
+/// The spec-level probe selection (`[trace] channels`): empty selects
+/// everything. Filtered-out probes are never registered (or record into
+/// no channel when they also feed stat windows), so a filtered run does
+/// strictly less work — and, because tracers are read-only observers,
+/// the channels that *are* recorded stay byte-identical to a full run.
+struct Sel<'a>(&'a [String]);
+
+impl Sel<'_> {
+    fn on(&self, name: &str) -> bool {
+        self.0.is_empty() || self.0.iter().any(|c| c == name)
+    }
+}
+
+/// A recorder sink that also feeds streaming window accumulators. The
+/// channel is optional so a probe whose channel is filtered out can keep
+/// feeding the windows that scalar stats are reduced from.
 fn record_and(
     rec: SharedRecorder,
-    ch: ChannelId,
+    ch: Option<ChannelId>,
     windows: Vec<Rc<RefCell<Window>>>,
 ) -> impl FnMut(Tick, f64) + 'static {
     move |t, v| {
-        rec.borrow_mut().record_at(ch, t, v);
+        if let Some(ch) = ch {
+            rec.borrow_mut().record_at(ch, t, v);
+        }
         let x = t.as_micros_f64();
         for w in &windows {
             w.borrow_mut().push(x, v);
@@ -230,20 +256,24 @@ fn make_endpoint(
     }
 }
 
-/// Sample one host's first active flow into cwnd / power channels.
+/// Sample one host's first active flow into cwnd / power channels
+/// (either may be filtered out; callers skip the probe entirely when
+/// both are).
 fn cc_sink(
     rec: SharedRecorder,
-    cwnd_ch: ChannelId,
-    power_ch: ChannelId,
+    cwnd_ch: Option<ChannelId>,
+    power_ch: Option<ChannelId>,
 ) -> impl FnMut(Tick, &[dcn_sim::CcFlowSample]) + 'static {
     move |t, flows| {
         let Some(f) = flows.first() else {
             return;
         };
         let mut r = rec.borrow_mut();
-        r.record_at(cwnd_ch, t, f.cwnd_bytes);
-        if let Some(p) = f.norm_power {
-            r.record_at(power_ch, t, p);
+        if let Some(ch) = cwnd_ch {
+            r.record_at(ch, t, f.cwnd_bytes);
+        }
+        if let (Some(ch), Some(p)) = (power_ch, f.norm_power) {
+            r.record_at(ch, t, p);
         }
     }
 }
@@ -264,24 +294,41 @@ fn export(rec: &Recorder, max_rows: usize) -> Vec<ChannelTrace> {
 /// simulation); channels use the swept quantity as their x-axis.
 fn response_trace(spec: &ScenarioSpec, entry: &TraceEntrySpec) -> TraceEntry {
     let trace = spec.trace().expect("timeseries");
+    let sel = Sel(&trace.channels);
     let mut rec = Recorder::new(Tick::from_micros(1), trace.max_samples);
-    let v_rate = rec.channel_with_x("voltage-md-vs-rate", "factor", "qdot_over_bw");
-    let c_rate = rec.channel_with_x("current-md-vs-rate", "factor", "qdot_over_bw");
-    let v_queue = rec.channel_with_x("voltage-md-vs-queue", "factor", "queue_pkts");
-    let c_queue = rec.channel_with_x("current-md-vs-queue", "factor", "queue_pkts");
+    let v_rate = sel
+        .on("voltage-md-vs-rate")
+        .then(|| rec.channel_with_x("voltage-md-vs-rate", "factor", "qdot_over_bw"));
+    let c_rate = sel
+        .on("current-md-vs-rate")
+        .then(|| rec.channel_with_x("current-md-vs-rate", "factor", "qdot_over_bw"));
+    let v_queue = sel
+        .on("voltage-md-vs-queue")
+        .then(|| rec.channel_with_x("voltage-md-vs-queue", "factor", "queue_pkts"));
+    let c_queue = sel
+        .on("current-md-vs-queue")
+        .then(|| rec.channel_with_x("current-md-vs-queue", "factor", "queue_pkts"));
 
     // 2a: MD vs queue buildup rate (queue fixed at one BDP).
     for r in 0..=8 {
         let r = r as f64;
-        rec.record(v_rate, r, voltage_md(1.0));
-        rec.record(c_rate, r, current_md(r));
+        if let Some(ch) = v_rate {
+            rec.record(ch, r, voltage_md(1.0));
+        }
+        if let Some(ch) = c_rate {
+            rec.record(ch, r, current_md(r));
+        }
     }
     // 2b: MD vs queue length in 1KB packets (BDP = 20 pkts, no buildup).
     let bdp_pkts = 20.0;
     for i in 0..=6 {
         let q_pkts = i as f64 * 10.0;
-        rec.record(v_queue, q_pkts, voltage_md(q_pkts / bdp_pkts));
-        rec.record(c_queue, q_pkts, current_md(0.0));
+        if let Some(ch) = v_queue {
+            rec.record(ch, q_pkts, voltage_md(q_pkts / bdp_pkts));
+        }
+        if let Some(ch) = c_queue {
+            rec.record(ch, q_pkts, current_md(0.0));
+        }
     }
     // 2c: the three blind-spot cases as stats.
     let mut stats = Vec::new();
@@ -364,15 +411,17 @@ fn incast_trace(
     let sw = star.switch;
     let mut sim = Simulator::new(star.net);
 
+    let sel = Sel(&trace.channels);
     let rec = Recorder::new_shared(tick, trace.max_samples);
     let (thr_ch, q_ch, cwnd_ch, pw_ch) = {
         let mut r = rec.borrow_mut();
-        (
-            r.channel("throughput", "Gbps"),
-            r.channel("queue", "bytes"),
-            r.channel("cwnd", "bytes"),
-            r.channel("power", "gamma"),
-        )
+        let thr = sel
+            .on("throughput")
+            .then(|| r.channel("throughput", "Gbps"));
+        let q = sel.on("queue").then(|| r.channel("queue", "bytes"));
+        let cwnd = sel.on("cwnd").then(|| r.channel("cwnd", "bytes"));
+        let pw = sel.on("power").then(|| r.channel("power", "gamma"));
+        (thr, q, cwnd, pw)
     };
     // Reduction windows (in µs of trace time).
     let at_us = incast_at.as_micros_f64();
@@ -408,10 +457,12 @@ fn incast_trace(
             record_and(rec.clone(), q_ch, vec![peak_q.clone(), tail_q.clone()]),
         ),
     );
-    sim.add_tracer(
-        tick,
-        cc_probe(long_sender, cc_sink(rec.clone(), cwnd_ch, pw_ch)),
-    );
+    if cwnd_ch.is_some() || pw_ch.is_some() {
+        sim.add_tracer(
+            tick,
+            cc_probe(long_sender, cc_sink(rec.clone(), cwnd_ch, pw_ch)),
+        );
+    }
     sim.run_until(horizon);
 
     let drops = sim.net.switch(sw).total_drops();
@@ -486,6 +537,7 @@ fn fairness_trace(
     let senders: Vec<NodeId> = (0..flows).map(|i| NodeId(2 + i as u32)).collect();
     let mut sim = Simulator::new(star.net);
 
+    let sel = Sel(&trace.channels);
     let rec = Recorder::new_shared(tick, trace.max_samples);
     // Jain window: all flows active, allowing 0.2 ms of join transient.
     let all_active_from = stagger_ms * (flows as f64 - 1.0) * 1e3 + 200.0;
@@ -493,11 +545,16 @@ fn fairness_trace(
     for (i, &s) in senders.iter().enumerate() {
         let (thr_ch, cwnd_ch, pw_ch) = {
             let mut r = rec.borrow_mut();
-            (
-                r.channel(format!("flow-{}", i + 1), "Gbps"),
-                r.channel(format!("cwnd-{}", i + 1), "bytes"),
-                r.channel(format!("power-{}", i + 1), "gamma"),
-            )
+            let thr = sel
+                .on(&format!("flow-{}", i + 1))
+                .then(|| r.channel(format!("flow-{}", i + 1), "Gbps"));
+            let cwnd = sel
+                .on(&format!("cwnd-{}", i + 1))
+                .then(|| r.channel(format!("cwnd-{}", i + 1), "bytes"));
+            let pw = sel
+                .on(&format!("power-{}", i + 1))
+                .then(|| r.channel(format!("power-{}", i + 1), "gamma"));
+            (thr, cwnd, pw)
         };
         let w = Window::new(all_active_from, f64::INFINITY);
         means.push(w.clone());
@@ -505,7 +562,9 @@ fn fairness_trace(
             tick,
             host_throughput_probe(s, record_and(rec.clone(), thr_ch, vec![w])),
         );
-        sim.add_tracer(tick, cc_probe(s, cc_sink(rec.clone(), cwnd_ch, pw_ch)));
+        if cwnd_ch.is_some() || pw_ch.is_some() {
+            sim.add_tracer(tick, cc_probe(s, cc_sink(rec.clone(), cwnd_ch, pw_ch)));
+        }
     }
     sim.run_until(horizon);
 
@@ -597,45 +656,56 @@ fn rdcn_trace(
     let hpt = r.cfg.hosts_per_tor;
     let mut sim = Simulator::new(r.net);
 
+    let sel = Sel(&trace.channels);
     let rec = Recorder::new_shared(tick, trace.max_samples);
     let (thr_ch, voq_ch, cwnd_ch, pw_ch) = {
         let mut rb = rec.borrow_mut();
-        (
-            rb.channel("throughput", "Gbps"),
-            rb.channel("voq", "bytes"),
-            rb.channel("cwnd", "bytes"),
-            rb.channel("power", "gamma"),
-        )
+        let thr = sel
+            .on("throughput")
+            .then(|| rb.channel("throughput", "Gbps"));
+        let voq = sel.on("voq").then(|| rb.channel("voq", "bytes"));
+        let cwnd = sel.on("cwnd").then(|| rb.channel("cwnd", "bytes"));
+        let pw = sel.on("power").then(|| rb.channel("power", "gamma"));
+        (thr, voq, cwnd, pw)
     };
     {
         // Rack-0 egress throughput towards rack 1 (circuit + packet).
-        let rec2 = rec.clone();
-        let mut last: Option<(Tick, u64)> = None;
-        sim.add_tracer(tick, move |net, now| {
-            let dcn_sim::Node::Custom(c) = net.node(tor0) else {
-                return;
-            };
-            let total = c.ports[hpt].tx_bytes + c.ports[hpt + 1].tx_bytes;
-            if let Some((t0, b0)) = last {
-                let dt = now.saturating_sub(t0).as_secs_f64();
-                if dt > 0.0 {
-                    rec2.borrow_mut()
-                        .record_at(thr_ch, now, (total - b0) as f64 * 8.0 / dt / 1e9);
+        if let Some(thr_ch) = thr_ch {
+            let rec2 = rec.clone();
+            let mut last: Option<(Tick, u64)> = None;
+            sim.add_tracer(tick, move |net, now| {
+                let dcn_sim::Node::Custom(c) = net.node(tor0) else {
+                    return;
+                };
+                let total = c.ports[hpt].tx_bytes + c.ports[hpt + 1].tx_bytes;
+                if let Some((t0, b0)) = last {
+                    let dt = now.saturating_sub(t0).as_secs_f64();
+                    if dt > 0.0 {
+                        rec2.borrow_mut().record_at(
+                            thr_ch,
+                            now,
+                            (total - b0) as f64 * 8.0 / dt / 1e9,
+                        );
+                    }
                 }
-            }
-            last = Some((now, total));
-        });
+                last = Some((now, total));
+            });
+        }
         // Rack-0 → rack-1 VOQ occupancy.
-        let rec2 = rec.clone();
-        let g = gauge.clone();
-        sim.add_tracer(tick, move |_net, now| {
-            let v = g.borrow().get(1).copied().unwrap_or(0);
-            rec2.borrow_mut().record_at(voq_ch, now, v as f64);
-        });
-        sim.add_tracer(
-            tick,
-            cc_probe(first_sender, cc_sink(rec.clone(), cwnd_ch, pw_ch)),
-        );
+        if let Some(voq_ch) = voq_ch {
+            let rec2 = rec.clone();
+            let g = gauge.clone();
+            sim.add_tracer(tick, move |_net, now| {
+                let v = g.borrow().get(1).copied().unwrap_or(0);
+                rec2.borrow_mut().record_at(voq_ch, now, v as f64);
+            });
+        }
+        if cwnd_ch.is_some() || pw_ch.is_some() {
+            sim.add_tracer(
+                tick,
+                cc_probe(first_sender, cc_sink(rec.clone(), cwnd_ch, pw_ch)),
+            );
+        }
     }
     sim.run_until(horizon);
 
@@ -682,6 +752,7 @@ mod tests {
                 tick_us: 20.0,
                 max_samples: 4096,
                 max_rows: 60,
+                channels: Vec::new(),
             },
         )
         .horizon_ms(3.0)
@@ -753,6 +824,43 @@ mod tests {
             "util={}",
             e.stat("day_utilization").unwrap()
         );
+    }
+
+    #[test]
+    fn channel_filter_records_only_selected_probes_without_moving_bytes() {
+        let full_spec = ts(TraceScenario::Incast {
+            fan_in: 4,
+            burst_bytes: 100_000,
+            at_ms: 1.0,
+        });
+        let filtered_spec = full_spec.clone().channels(["queue", "power"]);
+        filtered_spec.validate().unwrap();
+        let full = run_trace_entry(&full_spec, &trace_entries(&full_spec)[0]);
+        let filtered = run_trace_entry(&filtered_spec, &trace_entries(&filtered_spec)[0]);
+        // Only the requested channels exist, in recording order.
+        let names: Vec<&str> = filtered.channels.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["queue", "power"]);
+        // The recorded channels and the scalar stats are identical to the
+        // unfiltered run: skipping read-only probes must not move a byte.
+        assert_eq!(filtered.channel("queue"), full.channel("queue"));
+        assert_eq!(filtered.channel("power"), full.channel("power"));
+        assert_eq!(filtered.stats, full.stats);
+    }
+
+    #[test]
+    fn channel_filter_applies_per_flow_in_fairness_traces() {
+        let spec = ts(TraceScenario::Fairness {
+            flows: 3,
+            stagger_ms: 0.5,
+        })
+        .channels(["flow-1", "flow-3"]);
+        spec.validate().unwrap();
+        let e = run_trace_entry(&spec, &trace_entries(&spec)[0]);
+        let names: Vec<&str> = e.channels.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["flow-1", "flow-3"]);
+        // The Jain stat still reduces over every flow.
+        assert!(e.stat("jain_all_active").is_some());
+        assert!(e.stat("flow-2_mean_gbps").is_some());
     }
 
     #[test]

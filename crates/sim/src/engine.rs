@@ -90,6 +90,10 @@ pub struct Simulator {
     scratch_endpoint: Vec<EndpointAction>,
     scratch_switch: Vec<SwitchEmit>,
     scratch_custom: Vec<CustomAction>,
+    /// Reused per-custom-event port-view buffer: rebuilding the views is
+    /// cheap, but a fresh `Vec` per event was the last per-event
+    /// allocation on the rdcn hot path.
+    scratch_views: Vec<PortView>,
     /// Recycled packet boxes (see [`crate::pool`]): endpoint sends draw
     /// from here, and every packet-consuming site returns boxes instead
     /// of freeing them, so the steady-state hot loop allocates nothing.
@@ -110,6 +114,7 @@ impl Simulator {
             scratch_endpoint: Vec::new(),
             scratch_switch: Vec::new(),
             scratch_custom: Vec::new(),
+            scratch_views: Vec::new(),
             pool: PacketPool::new(),
             delivered: 0,
         }
@@ -181,14 +186,16 @@ impl Simulator {
                 }
                 NodeKind::Custom => {
                     let mut actions = std::mem::take(&mut self.scratch_custom);
+                    let mut views = std::mem::take(&mut self.scratch_views);
                     let now = self.queue.now();
                     if let Node::Custom(c) = &mut self.net.nodes[i] {
-                        let views = Self::port_views(&self.net.links, c);
+                        Self::fill_port_views(&self.net.links, c, &mut views);
                         let mut ctx = CustomCtx::new(now, id, &views, &mut actions);
                         c.logic.on_start(&mut ctx);
                     }
                     self.apply_custom_actions(id, &mut actions);
                     self.scratch_custom = actions;
+                    self.scratch_views = views;
                 }
                 NodeKind::Switch => {}
             }
@@ -242,14 +249,16 @@ impl Simulator {
             Event::NodeTimer { node, key } => {
                 self.live_events -= 1;
                 let mut actions = std::mem::take(&mut self.scratch_custom);
+                let mut views = std::mem::take(&mut self.scratch_views);
                 let now = self.queue.now();
                 if let Node::Custom(c) = &mut self.net.nodes[node.index()] {
-                    let views = Self::port_views(&self.net.links, c);
+                    Self::fill_port_views(&self.net.links, c, &mut views);
                     let mut ctx = CustomCtx::new(now, node, &views, &mut actions);
                     c.logic.on_timer(key, &mut ctx);
                 }
                 self.apply_custom_actions(node, &mut actions);
                 self.scratch_custom = actions;
+                self.scratch_views = views;
             }
             Event::Sample { tracer } => {
                 let now = self.queue.now();
@@ -311,14 +320,16 @@ impl Simulator {
             }
             NodeKind::Custom => {
                 let mut actions = std::mem::take(&mut self.scratch_custom);
+                let mut views = std::mem::take(&mut self.scratch_views);
                 let now = self.queue.now();
                 if let Node::Custom(c) = &mut self.net.nodes[node.index()] {
-                    let views = Self::port_views(&self.net.links, c);
+                    Self::fill_port_views(&self.net.links, c, &mut views);
                     let mut ctx = CustomCtx::new(now, node, &views, &mut actions);
                     c.logic.on_packet(port, pkt, &mut ctx);
                 }
                 self.apply_custom_actions(node, &mut actions);
                 self.scratch_custom = actions;
+                self.scratch_views = views;
             }
         }
     }
@@ -344,14 +355,16 @@ impl Simulator {
                     c.ports[port.index()].busy = false;
                 }
                 let mut actions = std::mem::take(&mut self.scratch_custom);
+                let mut views = std::mem::take(&mut self.scratch_views);
                 let now = self.queue.now();
                 if let Node::Custom(c) = &mut self.net.nodes[node.index()] {
-                    let views = Self::port_views(&self.net.links, c);
+                    Self::fill_port_views(&self.net.links, c, &mut views);
                     let mut ctx = CustomCtx::new(now, node, &views, &mut actions);
                     c.logic.on_tx_done(port, &mut ctx);
                 }
                 self.apply_custom_actions(node, &mut actions);
                 self.scratch_custom = actions;
+                self.scratch_views = views;
             }
         }
     }
@@ -540,19 +553,17 @@ impl Simulator {
         );
     }
 
-    fn port_views(links: &Links, c: &CustomNode) -> Vec<PortView> {
-        c.ports
-            .iter()
-            .map(|p| {
-                let l = links.get(p.link);
-                PortView {
-                    bandwidth: l.bandwidth,
-                    delay: l.delay,
-                    busy: p.busy,
-                    peer: l.dst,
-                }
-            })
-            .collect()
+    fn fill_port_views(links: &Links, c: &CustomNode, out: &mut Vec<PortView>) {
+        out.clear();
+        out.extend(c.ports.iter().map(|p| {
+            let l = links.get(p.link);
+            PortView {
+                bandwidth: l.bandwidth,
+                delay: l.delay,
+                busy: p.busy,
+                peer: l.dst,
+            }
+        }));
     }
 }
 

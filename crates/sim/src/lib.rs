@@ -34,6 +34,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Behavioral version of the simulation stack, salted into
+/// content-addressed result-cache keys (`dcn-runner`) so cached point
+/// outcomes are invalidated when simulation behavior changes.
+///
+/// Bump this on **any** change that can move an output byte of a
+/// deterministic run — event ordering, switch/transport/CC semantics,
+/// workload generation, float reduction order — anywhere in the sim
+/// stack (`dcn-sim`, `dcn-transport`, `cc-baselines`, `dcn-workloads`,
+/// `rdcn`, `dcn-scenarios` engines). Pure-performance refactors that
+/// are byte-identical (packet pooling, queue swaps, scratch-buffer
+/// reuse) must NOT bump it: the byte-pinned golden tests decide which
+/// kind a change is.
+pub const ENGINE_VERSION: u32 = 1;
+
 pub mod buffer;
 pub mod ecn;
 pub mod engine;
