@@ -18,6 +18,7 @@ fn trace_spec(scenario: TraceScenario, horizon_ms: f64) -> ScenarioSpec {
             tick_us: 20.0,
             max_samples: 4096,
             max_rows: 60,
+            window: 1,
             channels: Vec::new(),
         },
     )

@@ -1,202 +1,42 @@
-//! Ablations of the design choices DESIGN.md calls out:
+//! Ablations of the design choices DESIGN.md calls out.
 //!
-//! * **γ sweep** — the EWMA gain trading reaction speed vs noise (§3.3
-//!   recommends 0.9 from a parameter sweep; here is ours);
-//! * **β (N) sweep** — the additive-increase share `HostBw·τ/N`: the
-//!   equilibrium queue is β̂, so N directly buys latency at the cost of
-//!   per-flow ramp speed;
-//! * **INT vs delay feedback** — PowerTCP vs θ-PowerTCP on identical
-//!   workloads (the paper's central fidelity trade-off);
-//! * **DT α sweep** — how much shared buffer a hot port may take.
+//! Thin front-end over two built-in specs (`xp run <name>` is
+//! equivalent, and adds caching / multi-process sharding):
 //!
-//! Usage: `ablations [--scale tiny|bench]`
+//! * `ablations` — the *fluid-model* parameter sweeps: γ (the EWMA gain
+//!   trading reaction speed vs noise; the convergence constant is δt/γ),
+//!   β̂ (the equilibrium queue is exactly β̂), and HPCC's η target;
+//! * `gamma-sweep` — the *simulated* γ ablation: the websearch fat-tree
+//!   point swept over PowerTCP's gain through the `[sweep] params` axis.
+//!
+//! The fourth historical ablation, Dynamic-Thresholds α, is the params
+//! axis too: `params = ["alpha=0.25", "alpha=8"]` on any sweep spec
+//! (it only bites on lossy fabrics — HOMA lineups — since PFC-lossless
+//! admission bypasses the per-port threshold).
+//!
+//! Usage: `ablations [--sim]` (`--sim` also runs the simulated sweep).
 
-use dcn_sim::{build_fat_tree, Endpoint, NodeId, Simulator};
-use dcn_stats::percentile;
-use dcn_transport::{FlowSpec, MetricsHub, TransportConfig, TransportHost};
-use dcn_workloads::{poisson_flows, HostMap, PoissonConfig, SizeCdf};
-use powertcp_bench::{table, Algo, Scale};
-use powertcp_core::{Bandwidth, CongestionControl, PowerTcp, PowerTcpConfig, ThetaPowerTcp};
-
-struct Outcome {
-    short_p95: f64,
-    short_p99: f64,
-    long_p95: f64,
-    completed: usize,
-    offered: usize,
-}
-
-/// Run websearch @60% on the fat-tree with a parameterized PowerTCP.
-fn run_with(scale: Scale, gamma: f64, expected_flows: u32, dt_alpha: f64, theta: bool) -> Outcome {
-    let algo = if theta {
-        Algo::ThetaPowerTcp
-    } else {
-        Algo::PowerTcp
-    };
-    let mut ft_cfg = scale.fat_tree_config(algo);
-    ft_cfg.switch.dt_alpha = dt_alpha;
-    let base_rtt = ft_cfg.max_base_rtt();
-    let map = HostMap {
-        hosts: (0..ft_cfg.num_hosts())
-            .map(|i| ft_cfg.host_node_id(i))
-            .collect(),
-        rack_of: (0..ft_cfg.num_hosts())
-            .map(|i| i / ft_cfg.hosts_per_tor)
-            .collect(),
-    };
-    let flows = poisson_flows(
-        &PoissonConfig {
-            load: 0.6,
-            fabric_uplink_capacity: scale.fabric_uplink_capacity(&ft_cfg),
-            sizes: SizeCdf::websearch(),
-            horizon: scale.horizon,
-            inter_rack_only: true,
-            seed: 42,
-            first_flow_id: 1,
-        },
-        &map,
-    );
-    let offered = flows.len();
-    let mut per_host: Vec<Vec<FlowSpec>> = vec![Vec::new(); ft_cfg.num_hosts()];
-    let ns = ft_cfg.num_switches();
-    for f in &flows {
-        per_host[f.src.index() - ns].push(*f);
-    }
-    let metrics = MetricsHub::new_shared();
-    let tcfg = TransportConfig {
-        base_rtt,
-        rto: base_rtt * 10,
-        nack_guard: base_rtt,
-        expected_flows,
-        mtu: 1000,
-    };
-    let m2 = metrics.clone();
-    let mut mk = move |_id: NodeId, idx: usize| -> Box<dyn Endpoint> {
-        let mut h = TransportHost::new(
-            tcfg,
-            m2.clone(),
-            Box::new(move |_f, nic| -> Box<dyn CongestionControl> {
-                let cfg = PowerTcpConfig {
-                    gamma,
-                    ..PowerTcpConfig::default()
-                };
-                if theta {
-                    Box::new(ThetaPowerTcp::new(cfg, tcfg.cc_context(nic)))
-                } else {
-                    Box::new(PowerTcp::new(cfg, tcfg.cc_context(nic)))
-                }
-            }),
-        );
-        for f in &per_host[idx] {
-            h.add_flow(*f);
-        }
-        Box::new(h)
-    };
-    let ft = build_fat_tree(ft_cfg, &mut mk);
-    let mut sim = Simulator::new(ft.net);
-    sim.run_until(scale.horizon + scale.drain);
-    let run_end = scale.horizon + scale.drain;
-    let m = metrics.borrow();
-    let (mut short, mut long) = (Vec::new(), Vec::new());
-    let mut completed = 0;
-    for rec in m.records() {
-        let fct = match rec.fct() {
-            Some(f) => {
-                completed += 1;
-                f
-            }
-            None => run_end.saturating_sub(rec.spec.start),
-        };
-        let s = dcn_stats::slowdown(fct, rec.spec.size_bytes, base_rtt, Bandwidth::gbps(25));
-        if rec.spec.size_bytes < 10_000 {
-            short.push(s);
-        } else if rec.spec.size_bytes >= 1_000_000 {
-            long.push(s);
-        }
-    }
-    Outcome {
-        short_p95: percentile(&short, 95.0).unwrap_or(0.0),
-        short_p99: percentile(&short, 99.0).unwrap_or(0.0),
-        long_p95: percentile(&long, 95.0).unwrap_or(0.0),
-        completed,
-        offered,
-    }
-}
+use dcn_scenarios::{builtin, run_scenario};
+use powertcp_bench::table;
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--scale") && std::env::args().any(|a| a == "tiny")
-    {
-        Scale::tiny()
-    } else {
-        Scale::bench()
-    };
-
-    table::header("Ablation A", "γ sweep (websearch @60%, PowerTCP-INT)");
-    let mut rows = Vec::new();
-    for gamma in [0.3, 0.5, 0.7, 0.9, 1.0] {
-        let o = run_with(scale, gamma, 64, 1.0, false);
-        rows.push(vec![
-            format!("{gamma}"),
-            table::f(o.short_p95),
-            table::f(o.short_p99),
-            table::f(o.long_p95),
-            format!("{}/{}", o.completed, o.offered),
-        ]);
-    }
-    table::table(&["γ", "short p95", "short p99", "long p95", "done"], &rows);
-    table::paper_note("the paper recommends γ = 0.9; the law is insensitive across a broad range");
-
-    table::header(
-        "Ablation B",
-        "β = HostBw·τ/N sweep (equilibrium queue is β̂)",
-    );
-    let mut rows = Vec::new();
-    for n in [8u32, 16, 32, 64, 128] {
-        let o = run_with(scale, 0.9, n, 1.0, false);
-        rows.push(vec![
-            format!("N={n}"),
-            table::f(o.short_p95),
-            table::f(o.short_p99),
-            table::f(o.long_p95),
-        ]);
-    }
-    table::table(&["N", "short p95", "short p99", "long p95"], &rows);
+    let spec = builtin("ablations").expect("builtin ablations");
+    let report = run_scenario(&spec, 0).expect("ablations analytic run");
+    println!("{}", report.table());
     table::paper_note(
-        "larger N (smaller β) shrinks the standing queue and short-flow \
-         tails; too large starves per-flow additive recovery",
+        "gamma trades reaction speed for noise (the paper recommends 0.9; \
+         fitted tau tracks delta-t/gamma); beta-hat buys latency: the \
+         settled queue fraction equals the swept fraction; eta < 1 leaves \
+         utilization headroom under the queue-length law",
     );
 
-    table::header("Ablation C", "feedback fidelity: INT vs delay (θ)");
-    let mut rows = Vec::new();
-    for (label, theta) in [("PowerTCP-INT", false), ("theta-PowerTCP", true)] {
-        let o = run_with(scale, 0.9, 64, 1.0, theta);
-        rows.push(vec![
-            label.into(),
-            table::f(o.short_p95),
-            table::f(o.short_p99),
-            table::f(o.long_p95),
-        ]);
+    if std::env::args().any(|a| a == "--sim") {
+        let sim = builtin("gamma-sweep").expect("builtin gamma-sweep");
+        let report = run_scenario(&sim, 0).expect("gamma-sweep run");
+        println!("{}", report.table());
+        table::paper_note(
+            "the simulated law is insensitive across a broad gamma range, \
+             matching the fluid-model sweep above",
+        );
     }
-    table::table(&["feedback", "short p95", "short p99", "long p95"], &rows);
-    table::paper_note(
-        "delay feedback cannot see under-utilization: short flows stay \
-         competitive, long flows pay (paper: ~35% worse)",
-    );
-
-    table::header("Ablation D", "Dynamic Thresholds α sweep");
-    let mut rows = Vec::new();
-    for alpha in [0.25, 0.5, 1.0, 2.0, 8.0] {
-        let o = run_with(scale, 0.9, 64, alpha, false);
-        rows.push(vec![
-            format!("{alpha}"),
-            table::f(o.short_p95),
-            table::f(o.short_p99),
-            table::f(o.long_p95),
-        ]);
-    }
-    table::table(&["DT α", "short p95", "short p99", "long p95"], &rows);
-    table::paper_note(
-        "with PowerTCP's near-zero queues the fabric barely touches the DT \
-         thresholds; α matters under drop-heavy protocols instead",
-    );
 }

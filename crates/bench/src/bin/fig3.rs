@@ -1,71 +1,43 @@
 //! Figure 3: phase plots (window × inflight) for voltage-, current-, and
 //! power-based control laws at 100 Gbps / 20 µs base RTT.
 //!
-//! Prints each trajectory's start → end plus the two summary properties
-//! the paper reads off the plots: endpoint uniqueness and throughput loss
-//! (inflight dipping below BDP).
+//! Thin front-end over the built-in `fig3` analytic spec (`xp run fig3`
+//! is equivalent, and adds caching / multi-process sharding): one lineup
+//! entry per control law, each carrying per-trajectory channels and the
+//! two summary properties the paper reads off the plots — endpoint
+//! uniqueness (spread) and throughput loss (inflight dipping below BDP).
 
-use fluid_model::{
-    analytic_equilibrium, endpoint_spread, inflight, phase_portrait, FluidParams, Law,
-};
+use dcn_scenarios::{builtin, run_trace};
 use powertcp_bench::table;
 
 fn main() {
-    let p = FluidParams::paper_example();
-    let eq = analytic_equilibrium(&p);
-    println!(
-        "# bottleneck 100 Gbps, base RTT 20 us, BDP = {:.0} B; analytic equilibrium: w = {:.0} B, q = {:.0} B",
-        p.bdp(),
-        eq.w,
-        eq.q
-    );
-
-    for (fig, law) in [
-        ("Figure 3a", Law::QueueLength),
-        ("Figure 3b", Law::RttGradient),
-        ("Figure 3c", Law::Power),
-    ] {
-        table::header(fig, law.name());
-        let trajs = phase_portrait(law, &p);
-        let rows: Vec<Vec<String>> = trajs
-            .iter()
-            .map(|t| {
-                vec![
-                    format!("({:.0}, {:.0})", t.start.w, t.start.q),
-                    format!("({:.0}, {:.0})", t.end.w, inflight(&p, t.end)),
-                    if t.throughput_loss { "YES" } else { "no" }.into(),
-                ]
-            })
-            .collect();
-        table::table(
-            &[
-                "start (w, q) bytes",
-                "end (w, inflight) bytes",
-                "throughput loss",
-            ],
-            &rows,
-        );
-        let spread = endpoint_spread(&trajs, &p);
-        let losses = trajs.iter().filter(|t| t.throughput_loss).count();
+    let spec = builtin("fig3").expect("builtin fig3");
+    let report = run_trace(&spec, 1).expect("fig3 analytic run");
+    for entry in &report.entries {
+        table::header("Figure 3", &entry.label);
+        let spread = entry.stat("endpoint_spread_bytes").unwrap_or(0.0);
+        let bdp = entry.stat("bdp_bytes").unwrap_or(1.0);
+        let losses = entry.stat("throughput_loss_count").unwrap_or(0.0);
+        let n = entry.stat("trajectories").unwrap_or(0.0);
         println!(
-            "endpoint spread: {:.0} B ({:.1}% of BDP); trajectories with throughput loss: {}/{}",
-            spread,
-            100.0 * spread / p.bdp(),
-            losses,
-            trajs.len()
+            "endpoint spread: {spread:.0} B ({:.1}% of BDP); trajectories with \
+             throughput loss: {losses}/{n}",
+            100.0 * spread / bdp,
         );
-        match law {
-            Law::QueueLength | Law::Delay => table::paper_note(
+        match entry.label.as_str() {
+            "queue-length" | "delay" => table::paper_note(
                 "unique equilibrium but overreaction: trajectories dip below \
                  the BDP line (throughput loss) for almost every initial point",
             ),
-            Law::RttGradient => {
+            "rtt-gradient" => {
                 table::paper_note("no unique equilibrium: endpoints depend on the initial state")
             }
-            Law::Power => table::paper_note(
+            _ => table::paper_note(
                 "unique equilibrium, accurate control: no trajectory loses \
                  throughput",
             ),
         }
     }
+    // The trajectories themselves (one channel per start), as CSV.
+    print!("{}", report.to_csv());
 }

@@ -17,6 +17,7 @@ fn homa_trace(name: &str, scenario: TraceScenario, horizon_ms: f64) -> ScenarioS
             tick_us: 20.0,
             max_samples: 4096,
             max_rows: 120,
+            window: 1,
             channels: Vec::new(),
         },
     )

@@ -1,85 +1,36 @@
-//! Theorems 1–3 (Appendix A), verified numerically:
+//! Theorems 1–3 (Appendix A), verified numerically.
 //!
-//! * Theorem 1 — stability: eigenvalues of the linearized system are
-//!   −1/τ and −γr, both negative;
-//! * Theorem 2 — exponential convergence with time constant δt/γ,
-//!   reaching 99.3% decay within five constants;
-//! * Theorem 3 — β-weighted proportional fairness of the per-flow
-//!   equilibrium windows.
+//! Thin front-end over the built-in `theorems` analytic spec (`xp run
+//! theorems` is equivalent): eigenvalues of the linearized system
+//! (Theorem 1), the fitted exponential convergence constant δt/γ
+//! (Theorem 2), and β-weighted proportional fairness of the per-flow
+//! equilibrium windows (Theorem 3), each with a pass/fail stat under the
+//! spec's tolerance.
 
-use fluid_model::{
-    analytic_windows, eigenvalues_2x2, equilibrium_windows, measure_power_convergence,
-    powertcp_jacobian, FluidParams,
-};
+use dcn_scenarios::{builtin, run_trace};
 use powertcp_bench::table;
 
 fn main() {
-    let p = FluidParams::paper_example();
-
-    table::header("Theorem 1", "Lyapunov & asymptotic stability");
-    let j = powertcp_jacobian(&p);
-    let ((r1, r2), im) = eigenvalues_2x2(j[0][0], j[0][1], j[1][0], j[1][1]);
-    let (e1, e2) = (-1.0 / p.base_rtt, -p.gamma_r);
-    table::table(
-        &["eigenvalue", "value (1/s)", "expected"],
-        &[
-            vec![
-                "λ_min".into(),
-                table::f(r1.min(r2)),
-                format!("min(−1/τ, −γr) = {}", table::f(e1.min(e2))),
-            ],
-            vec![
-                "λ_max".into(),
-                table::f(r1.max(r2)),
-                format!("max(−1/τ, −γr) = {}", table::f(e1.max(e2))),
-            ],
-            vec!["imaginary part".into(), table::f(im), "0".into()],
-        ],
-    );
-    table::paper_note(
-        "both eigenvalues strictly negative → asymptotically stable unique equilibrium",
-    );
-
-    table::header("Theorem 2", "exponential convergence, time constant δt/γ");
-    let mut rows = Vec::new();
-    for (label, w0, q0) in [
-        ("small perturbation (0.2 BDP)", p.bdp() * 1.2, 0.0),
-        ("large perturbation (4 BDP)", p.bdp() * 4.0, 400_000.0),
-        ("undershoot (0.1 BDP)", p.bdp() * 0.1, 0.0),
-    ] {
-        let fit = measure_power_convergence(&p, w0, q0);
-        rows.push(vec![
-            label.into(),
-            format!("{:.3} us", fit.fitted_tau_s * 1e6),
-            format!("{:.3} us", fit.theoretical_tau_s * 1e6),
-            format!("{:.4}", fit.residual_after_5_tau),
-        ]);
+    let spec = builtin("theorems").expect("builtin theorems");
+    let report = run_trace(&spec, 1).expect("theorems analytic run");
+    for entry in &report.entries {
+        table::header("Theorems", &entry.label);
+        for (name, value) in &entry.stats {
+            println!("  {name:<28} {}", table::f(*value));
+        }
     }
-    table::table(
-        &[
-            "perturbation",
-            "fitted τ",
-            "theoretical δt/γ",
-            "residual after 5τ",
-        ],
-        &rows,
-    );
-    table::paper_note(
-        "error decays exponentially with constant δt/γ; ≤0.7% remains after five update intervals",
-    );
-
-    table::header("Theorem 3", "β-weighted proportional fairness");
-    let betas = vec![1_000.0, 2_000.0, 4_000.0, 8_000.0];
-    let sim = equilibrium_windows(&p, &betas, 0.9, 50_000);
-    let ana = analytic_windows(&p, &betas);
-    let rows: Vec<Vec<String>> = betas
+    let passed = report
+        .entries
         .iter()
-        .zip(sim.iter().zip(&ana))
-        .map(|(b, (s, a))| vec![table::f(*b), table::f(*s), table::f(*a), table::f(s / b)])
-        .collect();
-    table::table(
-        &["β_i (bytes)", "simulated w_i", "analytic w_i", "w_i / β_i"],
-        &rows,
+        .filter(|e| e.stat("pass") == Some(1.0))
+        .count();
+    println!("\n{passed}/{} theorems pass", report.entries.len());
+    table::paper_note(
+        "Theorem 1: eigenvalues exactly -1/tau and -gamma_r, both negative; \
+         Theorem 2: error decays with constant delta-t/gamma, <=0.7% after \
+         five constants; Theorem 3: equilibrium windows proportional to beta_i",
     );
-    table::paper_note("equilibrium windows are proportional to β_i: (w_i)e = (β̂ + bτ)/β̂ · β_i");
+    if passed != report.entries.len() {
+        std::process::exit(1);
+    }
 }

@@ -29,6 +29,11 @@ pub struct FluidParams {
     pub beta_hat: f64,
     /// Control gain γr = γ/δt in 1/s.
     pub gamma_r: f64,
+    /// Target utilization η of the queue-length (HPCC-class) law: its
+    /// equilibrium term becomes `e = η·b·τ`, so η < 1 trades a standing
+    /// headroom for shorter queues. 1.0 reproduces the paper's simplified
+    /// analysis; HPCC itself ships 0.95.
+    pub hpcc_eta: f64,
 }
 
 impl FluidParams {
@@ -44,6 +49,7 @@ impl FluidParams {
             beta_hat: bandwidth * base_rtt / 10.0,
             // γ = 0.9 per update interval of ~τ/10 (per-ACK updates).
             gamma_r: 0.9 / (20e-6 / 10.0),
+            hpcc_eta: 1.0,
         }
     }
 
@@ -78,6 +84,36 @@ impl Law {
         }
     }
 
+    /// Stable spec identifier (used by analytic `ScenarioSpec`s in TOML).
+    /// Round-trips through [`Law::parse`].
+    pub fn key(self) -> &'static str {
+        match self {
+            Law::QueueLength => "queue-length",
+            Law::Delay => "delay",
+            Law::RttGradient => "rtt-gradient",
+            Law::Power => "power",
+        }
+    }
+
+    /// Parse a spec identifier (any [`Law::key`]).
+    pub fn parse(s: &str) -> Result<Law, String> {
+        match s.trim() {
+            "queue-length" => Ok(Law::QueueLength),
+            "delay" => Ok(Law::Delay),
+            "rtt-gradient" => Ok(Law::RttGradient),
+            "power" => Ok(Law::Power),
+            other => Err(format!(
+                "unknown control law {other:?} (expected one of: queue-length, \
+                 delay, rtt-gradient, power)"
+            )),
+        }
+    }
+
+    /// Every law family, in the paper's presentation order.
+    pub fn all() -> [Law; 4] {
+        [Law::QueueLength, Law::Delay, Law::RttGradient, Law::Power]
+    }
+
     /// Is this a voltage-class law (unique equilibrium expected)?
     pub fn is_voltage(self) -> bool {
         matches!(self, Law::QueueLength | Law::Delay)
@@ -109,7 +145,7 @@ pub fn w_dot(law: Law, p: &FluidParams, s: State) -> f64 {
     let b = p.bandwidth;
     let tau = p.base_rtt;
     let ratio = match law {
-        Law::QueueLength => (b * tau) / (s.q + b * tau),
+        Law::QueueLength => (p.hpcc_eta * b * tau) / (s.q + b * tau),
         Law::Delay => tau / (s.q / b + tau),
         Law::RttGradient => {
             let g = q_dot(p, s) / b + 1.0;
@@ -215,6 +251,32 @@ mod tests {
             let a = w_dot(Law::QueueLength, &params, s);
             let b = w_dot(Law::Delay, &params, s);
             assert!((a - b).abs() < 1e-6 * a.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn law_keys_round_trip_through_parse() {
+        for law in Law::all() {
+            assert_eq!(Law::parse(law.key()), Ok(law), "{}", law.key());
+        }
+        assert!(Law::parse("voltage").is_err());
+    }
+
+    #[test]
+    fn hpcc_eta_scales_the_queue_law_equilibrium() {
+        // η = 1 is the paper's simplified law; η < 1 makes the decrease
+        // stronger at the same queue, shifting the settled queue down.
+        let base = p();
+        let mut tight = p();
+        tight.hpcc_eta = 0.9;
+        let s = State {
+            w: base.bdp(),
+            q: 50_000.0,
+        };
+        assert!(w_dot(Law::QueueLength, &tight, s) < w_dot(Law::QueueLength, &base, s));
+        // η has no effect on the other laws.
+        for law in [Law::Delay, Law::RttGradient, Law::Power] {
+            assert_eq!(w_dot(law, &tight, s), w_dot(law, &base, s), "{law:?}");
         }
     }
 

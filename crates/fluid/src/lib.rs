@@ -9,6 +9,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Behavioral version of the fluid model. Bump on **any** change that can
+/// move a number produced by the model — a law's equations, the RK4
+/// integrator, grid defaults, the convergence fit, the fairness
+/// iteration. Content-addressed caches of analytic results (`dcn-runner`)
+/// salt their keys with this constant, so stale outcomes from an older
+/// model miss instead of being served.
+pub const MODEL_VERSION: u32 = 1;
+
 pub mod convergence;
 pub mod fairness;
 pub mod laws;
@@ -21,6 +29,9 @@ pub use convergence::{measure_power_convergence, ConvergenceFit};
 pub use fairness::{analytic_windows, equilibrium_windows};
 pub use laws::{analytic_equilibrium, inflight, q_dot, w_dot, FluidParams, Law, State};
 pub use ode::{rk4_step, settle, trajectory};
-pub use phase::{default_grid, endpoint_spread, phase_portrait, phase_trajectory, PhaseTrajectory};
+pub use phase::{
+    default_grid, endpoint_spread, grid, phase_portrait, phase_portrait_grid, phase_trajectory,
+    PhaseTrajectory, DEFAULT_Q_FRACS, DEFAULT_W_FRACS,
+};
 pub use response::{current_md, fig2c_cases, power_md, voltage_md, Fig2Case};
 pub use stability::{eigenvalues_2x2, is_asymptotically_stable, powertcp_jacobian};

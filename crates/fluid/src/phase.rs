@@ -24,20 +24,33 @@ pub struct PhaseTrajectory {
     pub throughput_loss: bool,
 }
 
-/// The default grid of initial states used for Figure 3 (mirrors the
-/// paper's spread of starting circles on log-log axes).
-pub fn default_grid(p: &FluidParams) -> Vec<State> {
+/// Window starting fractions (of BDP) of the default Figure 3 grid.
+pub const DEFAULT_W_FRACS: [f64; 5] = [0.05, 0.3, 1.0, 2.0, 4.0];
+
+/// Queue starting fractions (of BDP) of the default Figure 3 grid.
+pub const DEFAULT_Q_FRACS: [f64; 3] = [0.0, 0.5, 2.0];
+
+/// A grid of initial states: the cross product of window and queue
+/// starting points given as fractions of BDP, window-major (the order the
+/// paper's plots enumerate starting circles in).
+pub fn grid(p: &FluidParams, w_fracs: &[f64], q_fracs: &[f64]) -> Vec<State> {
     let bdp = p.bdp();
-    let mut grid = Vec::new();
-    for wf in [0.05, 0.3, 1.0, 2.0, 4.0] {
-        for qf in [0.0, 0.5, 2.0] {
-            grid.push(State {
+    let mut out = Vec::with_capacity(w_fracs.len() * q_fracs.len());
+    for &wf in w_fracs {
+        for &qf in q_fracs {
+            out.push(State {
                 w: bdp * wf,
                 q: bdp * qf,
             });
         }
     }
-    grid
+    out
+}
+
+/// The default grid of initial states used for Figure 3 (mirrors the
+/// paper's spread of starting circles on log-log axes).
+pub fn default_grid(p: &FluidParams) -> Vec<State> {
+    grid(p, &DEFAULT_W_FRACS, &DEFAULT_Q_FRACS)
 }
 
 /// Integrate one trajectory for the phase plot.
@@ -65,12 +78,15 @@ pub fn phase_trajectory(law: Law, p: &FluidParams, start: State) -> PhaseTraject
     }
 }
 
-/// Run the full grid for one law.
+/// Run the full default grid for one law.
 pub fn phase_portrait(law: Law, p: &FluidParams) -> Vec<PhaseTrajectory> {
-    default_grid(p)
-        .into_iter()
-        .map(|s| phase_trajectory(law, p, s))
-        .collect()
+    phase_portrait_grid(law, p, &default_grid(p))
+}
+
+/// Run an explicit grid of initial states for one law (the parameterized
+/// entry point behind analytic `phase` scenarios).
+pub fn phase_portrait_grid(law: Law, p: &FluidParams, grid: &[State]) -> Vec<PhaseTrajectory> {
+    grid.iter().map(|&s| phase_trajectory(law, p, s)).collect()
 }
 
 /// Spread of endpoints (max pairwise distance in inflight space) — small

@@ -85,6 +85,7 @@ mod tests {
                     base_rtt: tau,
                     beta_hat: 1000.0,
                     gamma_r: gr,
+                    hpcc_eta: 1.0,
                 };
                 assert!(is_asymptotically_stable(powertcp_jacobian(&p)));
             }

@@ -13,8 +13,10 @@
 //!        [--meta FILE | -]        # write JSON run metadata (cache hits, procs)
 //!        [--seeds a,b,c]          # override the spec's seed grid
 //! xp diff <a.json> <b.json>       # compare two JSON reports
-//! xp diff <dirA> <dirB>           # ... or two report directories, paired
-//!        [--tol X]                #     by file name; one aggregate exit code
+//! xp diff <a.csv> <b.csv>         # ... or two CSV reports, cell-wise
+//! xp diff <dirA> <dirB>           # ... or two report directories (*.json
+//!        [--tol X]                #     and *.csv), paired by file name;
+//!                                 #     one aggregate exit code
 //! xp cache stat [--cache-dir DIR] # entry count and size of the result cache
 //! xp cache clear [--cache-dir DIR]# delete every cache entry
 //! xp bench                        # time the simulator hot paths
@@ -33,8 +35,8 @@
 
 use dcn_runner::{diff_dirs, worker_main, ResultCache, RunConfig, RunStats};
 use dcn_scenarios::{
-    bench_table, bench_to_json, builtin, builtin_specs, diff_reports, run_bench, ScenarioOutput,
-    ScenarioSpec,
+    bench_table, bench_to_json, builtin, builtin_specs, diff_csv, diff_reports, run_bench,
+    ScenarioOutput, ScenarioSpec,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -276,9 +278,13 @@ fn meta_json(
          \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"fallback\": {},\n  \
          \"engine_version\": {},\n  \"key_format\": {}\n}}\n",
         dcn_runner::codec::jstr(&spec.name),
-        match output {
-            ScenarioOutput::Sweep(_) => "sweep",
-            ScenarioOutput::Trace(_) => "timeseries",
+        if spec.analytic().is_some() {
+            "analytic"
+        } else {
+            match output {
+                ScenarioOutput::Sweep(_) => "sweep",
+                ScenarioOutput::Trace(_) => "timeseries",
+            }
         },
         stats.points,
         args.cfg.threads,
@@ -315,14 +321,16 @@ fn run(args: &[String]) -> ExitCode {
     }
     eprintln!(
         "running {} scenario {:?}: {} {} on {}...",
-        if spec.trace().is_some() {
+        if spec.analytic().is_some() {
+            "analytic"
+        } else if spec.trace().is_some() {
             "trace"
         } else {
             "sweep"
         },
         spec.name,
         spec.num_points(),
-        if spec.trace().is_some() {
+        if spec.runs_as_entries() {
             "entries"
         } else {
             "points"
@@ -515,7 +523,15 @@ fn diff_file_pair(a: &str, b: &str, tol: f64) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    match diff_reports(&sa, &sb, tol) {
+    // CSV reports diff cell-wise; everything else parses as JSON. Mixed
+    // extensions make no sense to compare.
+    let (csv_a, csv_b) = (a.ends_with(".csv"), b.ends_with(".csv"));
+    if csv_a != csv_b {
+        eprintln!("error: cannot diff a CSV report against a JSON report");
+        return ExitCode::from(2);
+    }
+    let diff = if csv_a { diff_csv } else { diff_reports };
+    match diff(&sa, &sb, tol) {
         Ok(d) if d.is_match() => {
             eprintln!(
                 "reports match: {} values compared (tol {tol:e})",

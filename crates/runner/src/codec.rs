@@ -62,8 +62,9 @@ pub fn encode(outcome: &Outcome) -> String {
     match outcome {
         Outcome::Sweep(o) => {
             out.push_str(&format!(
-                "{{\"kind\":\"sweep\",\"algo\":{},\"load\":{},\"seed\":{},",
+                "{{\"kind\":\"sweep\",\"algo\":{},\"param\":{},\"load\":{},\"seed\":{},",
                 jstr(&o.algo.key()),
+                jstr(&o.param.label()),
                 o.load.to_bits(),
                 o.seed
             ));
@@ -188,6 +189,7 @@ pub fn decode(j: &Json) -> Result<Outcome, String> {
                 .collect::<Result<Vec<_>, _>>()?;
             Ok(Outcome::Sweep(Box::new(PointOutcome {
                 algo: Algo::parse(&string(get(m, "algo")?)?)?,
+                param: dcn_scenarios::ParamSpec::parse(&string(get(m, "param")?)?)?,
                 load: float_bits(get(m, "load")?)?,
                 seed: uint(get(m, "seed")?)?,
                 buckets,

@@ -1,12 +1,13 @@
 //! `xp diff` over directories of reports.
 //!
-//! Two report directories are paired by file name (every `.json` file in
-//! either side), each pair is compared with the report differ of
-//! `dcn-scenarios`, and the drift aggregates into a single outcome — one
+//! Two report directories are paired by file name (every `.json` and
+//! `.csv` file in either side), each pair is compared with the matching
+//! differ of `dcn-scenarios` (structural JSON or cell-wise CSV, chosen
+//! by extension), and the drift aggregates into a single outcome — one
 //! exit code for a whole baseline directory, e.g. comparing a committed
 //! `baselines/` tree against a fresh `xp run`-produced one.
 
-use dcn_scenarios::diff_reports;
+use dcn_scenarios::{diff_csv, diff_reports};
 use std::collections::BTreeSet;
 use std::fs;
 use std::path::Path;
@@ -50,12 +51,12 @@ impl DirDiffOutcome {
     }
 }
 
-/// Compare every `.json` report under `a` against its same-named
-/// counterpart under `b` (non-recursive; reports are flat files). Files
-/// present on only one side are mismatches, not errors.
+/// Compare every `.json` and `.csv` report under `a` against its
+/// same-named counterpart under `b` (non-recursive; reports are flat
+/// files). Files present on only one side are mismatches, not errors.
 pub fn diff_dirs(a: &Path, b: &Path, tol: f64) -> Result<DirDiffOutcome, String> {
-    let names_a = json_names(a)?;
-    let names_b = json_names(b)?;
+    let names_a = report_names(a)?;
+    let names_b = report_names(b)?;
     let mut out = DirDiffOutcome::default();
     for name in names_a.union(&names_b) {
         let mut file = FileDiff {
@@ -73,8 +74,13 @@ pub fn diff_dirs(a: &Path, b: &Path, tol: f64) -> Result<DirDiffOutcome, String>
                 };
                 // Unreadable or unparseable files degrade to a per-file
                 // difference — the rest of the directory still compares.
+                let diff = if name.ends_with(".csv") {
+                    diff_csv
+                } else {
+                    diff_reports
+                };
                 match (read(a), read(b)) {
-                    (Ok(x), Ok(y)) => match diff_reports(&x, &y, tol) {
+                    (Ok(x), Ok(y)) => match diff(&x, &y, tol) {
                         Ok(d) => {
                             file.compared = d.compared;
                             file.differences = d.differences;
@@ -94,14 +100,14 @@ pub fn diff_dirs(a: &Path, b: &Path, tol: f64) -> Result<DirDiffOutcome, String>
     Ok(out)
 }
 
-fn json_names(dir: &Path) -> Result<BTreeSet<String>, String> {
+fn report_names(dir: &Path) -> Result<BTreeSet<String>, String> {
     let entries =
         fs::read_dir(dir).map_err(|e| format!("cannot read directory {}: {e}", dir.display()))?;
     Ok(entries
         .filter_map(|e| e.ok())
         .filter(|e| e.path().is_file())
         .filter_map(|e| e.file_name().into_string().ok())
-        .filter(|n| n.ends_with(".json"))
+        .filter(|n| n.ends_with(".json") || n.ends_with(".csv"))
         .collect())
 }
 
@@ -140,6 +146,23 @@ mod tests {
         fs::remove_file(a.join("only-a.json")).unwrap();
         let d = diff_dirs(&a, &b, 0.5).unwrap();
         assert!(d.is_match(), "{:?}", d.files);
+        let _ = fs::remove_dir_all(a.parent().unwrap());
+    }
+
+    #[test]
+    fn csv_reports_pair_and_diff_cell_wise() {
+        let (a, b) = scratch("csv");
+        fs::write(a.join("t.csv"), "x,y\n1,2.5\n").unwrap();
+        fs::write(b.join("t.csv"), "x,y\n1,2.5\n").unwrap();
+        fs::write(a.join("drift.csv"), "x\n1.0\n").unwrap();
+        fs::write(b.join("drift.csv"), "x\n1.5\n").unwrap();
+        let d = diff_dirs(&a, &b, 0.0).unwrap();
+        assert_eq!(d.files.len(), 2);
+        assert_eq!(d.mismatched(), 1);
+        let drift = d.files.iter().find(|f| f.name == "drift.csv").unwrap();
+        assert!(drift.differences[0].contains("row 2"), "{drift:?}");
+        // Within tolerance the whole directory matches.
+        assert!(diff_dirs(&a, &b, 0.5).unwrap().is_match());
         let _ = fs::remove_dir_all(a.parent().unwrap());
     }
 

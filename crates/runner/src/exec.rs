@@ -199,7 +199,7 @@ fn run_procs(spec: &ScenarioSpec, cfg: &RunConfig) -> Result<(ScenarioOutput, Ru
         Some(path) => path.clone(),
         None => std::env::current_exe().map_err(|e| format!("cannot locate worker binary: {e}"))?,
     };
-    let is_trace = spec.trace().is_some();
+    let is_trace = spec.runs_as_entries();
     let n = if is_trace {
         trace_entries(spec).len()
     } else {

@@ -3,20 +3,25 @@
 //! A key is derived from a *canonical byte encoding* of everything that
 //! determines a point result: the spec's result-affecting fragment
 //! ([`ScenarioSpec::cache_fragment`] — topology, workload, horizon,
-//! trace config; never the name, description, or sweep axes), the point
-//! coordinates (`algo`, `load`, `seed` — or lineup entry for traces),
-//! the behavioral engine version ([`dcn_sim::ENGINE_VERSION`]), and the
-//! key-format version. The canonical string is hashed with a small
-//! vendored FNV-1a (64-bit) to name the cache file; the full canonical
-//! string is stored *inside* the entry and compared byte-for-byte on
-//! every load, so a hash collision (or a stale file from an older
-//! format) is detected and treated as a miss, never served.
+//! trace or analytic config; never the name, description, or sweep
+//! axes), the point coordinates (`algo`, `param`, `load`, `seed` — or
+//! lineup entry for traces and analytic grids), a behavioral version
+//! salt ([`dcn_sim::ENGINE_VERSION`] for simulated kinds,
+//! [`fluid_model::MODEL_VERSION`] for analytic ones — an analytic cache
+//! survives simulator hot-path work and vice versa), and the key-format
+//! version. The canonical string is hashed with a small vendored FNV-1a
+//! (64-bit) to name the cache file; the full canonical string is stored
+//! *inside* the entry and compared byte-for-byte on every load, so a
+//! hash collision (or a stale file from an older format) is detected and
+//! treated as a miss, never served.
 
 use dcn_scenarios::{ScenarioSpec, SweepPoint, TraceEntrySpec};
 
 /// Version of the canonical key encoding itself. Bump when the encoding
 /// below changes shape, so old entries miss instead of mis-validating.
-pub const KEY_FORMAT: u32 = 1;
+/// (2: `param=` line in sweep-point keys; analytic kind salted by the
+/// fluid-model version.)
+pub const KEY_FORMAT: u32 = 2;
 
 /// A derived cache key: the content hash (file name) plus the canonical
 /// encoding it was derived from (stored in the entry for validation).
@@ -54,12 +59,20 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
-/// The shared key preamble: format + engine salt + spec fragment.
+/// The shared key preamble: format + behavioral-version salt + spec
+/// fragment. Analytic specs never touch the simulator, so their salt is
+/// the fluid-model version — bumping one engine leaves the other kind's
+/// cache warm.
 fn preamble(spec: &ScenarioSpec) -> String {
+    let salt = if spec.analytic().is_some() {
+        format!("fluid-model-version={}", fluid_model::MODEL_VERSION)
+    } else {
+        format!("engine-version={}", dcn_sim::ENGINE_VERSION)
+    };
     format!(
-        "key-format={}\nengine-version={}\n--- spec ---\n{}",
+        "key-format={}\n{}\n--- spec ---\n{}",
         KEY_FORMAT,
-        dcn_sim::ENGINE_VERSION,
+        salt,
         spec.cache_fragment()
     )
 }
@@ -69,20 +82,29 @@ fn preamble(spec: &ScenarioSpec) -> String {
 /// points.
 pub fn point_key(spec: &ScenarioSpec, point: &SweepPoint) -> CacheKey {
     CacheKey::from_canon(format!(
-        "{}--- point ---\nkind=sweep\nalgo={}\nload-bits={:016x}\nseed={}\n",
+        "{}--- point ---\nkind=sweep\nalgo={}\nparam={}\nload-bits={:016x}\nseed={}\n",
         preamble(spec),
         point.algo.key(),
+        point.param.label(),
         point.load.to_bits(),
         point.seed
     ))
 }
 
-/// Key of one timeseries lineup entry (timeseries specs carry exactly
-/// one seed; the reTCP prebuffer distinguishes expanded entries).
+/// Key of one timeseries *or analytic* lineup entry (both kinds carry
+/// exactly one placeholder seed; the label — algorithm/prebuffer for
+/// traces, the grid-point identity for analytic entries — distinguishes
+/// expanded entries, and the analytic grids themselves live in the spec
+/// fragment).
 pub fn entry_key(spec: &ScenarioSpec, entry: &TraceEntrySpec) -> CacheKey {
     let seed = spec.sweep.seeds.first().copied().unwrap_or(0);
+    let kind = if spec.analytic().is_some() {
+        "analytic"
+    } else {
+        "trace"
+    };
     CacheKey::from_canon(format!(
-        "{}--- point ---\nkind=trace\nlabel={}\nalgo={}\nprebuffer-ps={}\nseed={}\n",
+        "{}--- point ---\nkind={kind}\nlabel={}\nalgo={}\nprebuffer-ps={}\nseed={}\n",
         preamble(spec),
         entry.label,
         entry.algo.key(),
@@ -137,6 +159,21 @@ mod tests {
         assert_ne!(point_key(&spec, &other_seed), base);
         assert!(base.canon.contains("engine-version="));
         assert_eq!(base.file_name(), format!("{:016x}.json", base.hash));
+    }
+
+    #[test]
+    fn param_axis_separates_sweep_point_keys() {
+        let spec = builtin("gamma-sweep").unwrap();
+        let pts = sweep_points(&spec);
+        assert_eq!(pts.len(), 2);
+        let a = point_key(&spec, &pts[0]);
+        let b = point_key(&spec, &pts[1]);
+        assert_ne!(a.canon, b.canon, "gamma grid must separate keys");
+        assert!(a.canon.contains("param=gamma=0.5"), "{}", a.canon);
+        // Default-param points carry an empty param line (stable canon).
+        let plain = builtin("fig6-small").unwrap();
+        let k = point_key(&plain, &sweep_points(&plain)[0]);
+        assert!(k.canon.contains("param=\n"), "{}", k.canon);
     }
 
     #[test]

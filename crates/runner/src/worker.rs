@@ -131,7 +131,7 @@ pub fn worker_main(input: &mut dyn Read, output: &mut dyn Write) -> Result<(), S
             .write_all(line.as_bytes())
             .map_err(|e| format!("cannot write result: {e}"))
     };
-    if spec.trace().is_some() {
+    if spec.runs_as_entries() {
         let entries = trace_entries(&spec);
         for i in indices {
             let entry = entries

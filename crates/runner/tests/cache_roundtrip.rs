@@ -65,10 +65,85 @@ fn check_cold_warm(name: &str) {
 #[test]
 fn cold_then_warm_is_byte_identical_across_scenario_kinds() {
     // One fat-tree sweep, one star incast sweep, one analytic trace, one
-    // simulated trace: every executor path.
-    for name in ["fig6-small", "fig9to11", "fig2", "fig5"] {
+    // simulated trace, one fluid-model analytic grid, one theorem check,
+    // one params-axis sweep: every executor path.
+    for name in [
+        "fig6-small",
+        "fig9to11",
+        "fig2",
+        "fig5",
+        "fig3-small",
+        "theorems",
+        "gamma-sweep",
+    ] {
         check_cold_warm(name);
     }
+}
+
+#[test]
+fn analytic_keys_invalidate_on_fluid_physics_not_identity() {
+    use dcn_runner::entry_key;
+    use dcn_scenarios::{trace_entries, ScenarioKind};
+
+    let spec = builtin("fig3-small").unwrap();
+    let entries = trace_entries(&spec);
+    let base: Vec<_> = entries.iter().map(|e| entry_key(&spec, e)).collect();
+
+    // The salt is the fluid-model version, not the sim engine version:
+    // analytic outcomes never touch the simulator, so simulator hot-path
+    // PRs must leave the analytic cache warm (and fluid-model PRs must
+    // invalidate it).
+    for k in &base {
+        assert!(
+            k.canon.contains(&format!(
+                "fluid-model-version={}",
+                fluid_model::MODEL_VERSION
+            )),
+            "{}",
+            k.canon
+        );
+        assert!(!k.canon.contains("engine-version="), "{}", k.canon);
+        assert!(k.canon.contains("kind=analytic"), "{}", k.canon);
+    }
+
+    // Renaming / re-describing the scenario moves no key.
+    let mut renamed = spec.clone().describe("different words");
+    renamed.name = "fig3-small-renamed".into();
+    for (e, k) in entries.iter().zip(&base) {
+        assert_eq!(entry_key(&renamed, e), *k, "identity must not move keys");
+    }
+
+    // Changing any fluid parameter moves every key.
+    let mut tuned = spec.clone();
+    let ScenarioKind::Analytic(a) = &mut tuned.kind else {
+        panic!("fig3-small is analytic");
+    };
+    a.gamma = 0.8;
+    for (e, k) in entries.iter().zip(&base) {
+        assert_ne!(entry_key(&tuned, e), *k, "fluid physics must move keys");
+    }
+    let mut wider = spec.clone();
+    let ScenarioKind::Analytic(a) = &mut wider.kind else {
+        panic!()
+    };
+    a.bandwidth_gbps = 400.0;
+    for (e, k) in entries.iter().zip(&base) {
+        assert_ne!(entry_key(&wider, e), *k);
+    }
+
+    // And a warm cache stays warm across the rename but not the retune.
+    let dir = scratch("analytic-invalidate");
+    let cfg = RunConfig {
+        cache_dir: Some(dir.clone()),
+        ..RunConfig::default()
+    };
+    let (_, s1) = run(&spec, &cfg).unwrap();
+    assert_eq!(s1.cache_misses, entries.len() as u64);
+    let (_, s2) = run(&renamed, &cfg).unwrap();
+    assert_eq!(s2.cache_hits, entries.len() as u64, "rename must hit");
+    let (_, s3) = run(&tuned, &cfg).unwrap();
+    assert_eq!(s3.cache_misses, entries.len() as u64, "retune must miss");
+    let _ = fs::remove_dir_all(&dir);
 }
 
 #[test]

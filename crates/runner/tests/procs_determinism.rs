@@ -87,6 +87,30 @@ fn trace_is_byte_identical_across_process_counts_and_cache_states() {
 }
 
 #[test]
+fn analytic_grid_is_byte_identical_across_process_counts_and_cache_states() {
+    let dir = scratch("analytic");
+    let cache = dir.join("cache");
+    let cache_arg = cache.to_str().unwrap();
+    let (base, base_csv) = run("fig3", &dir, "base", &["--threads", "4"]);
+    let (p1, c1) = run("fig3", &dir, "p1", &["--procs", "1"]);
+    // Cold cache, sharded across worker processes.
+    let (cold, _) = run(
+        "fig3",
+        &dir,
+        "cold",
+        &["--procs", "2", "--cache-dir", cache_arg],
+    );
+    // Warm cache, in-process.
+    let (warm, warm_csv) = run("fig3", &dir, "warm", &["--cache-dir", cache_arg]);
+    assert_eq!(base, p1);
+    assert_eq!(base, cold, "analytic procs+cold-cache must not move a byte");
+    assert_eq!(base, warm, "analytic warm cache must not move a byte");
+    assert_eq!(base_csv, c1);
+    assert_eq!(base_csv, warm_csv);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn warm_cache_reports_full_hits_through_the_cli() {
     let dir = scratch("meta");
     let cache = dir.join("cache");

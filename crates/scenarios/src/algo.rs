@@ -183,13 +183,37 @@ impl Algo {
     /// Build the per-flow CC factory for the windowed transport. Panics
     /// for HOMA (which is a transport, not a CC law).
     pub fn cc_factory(self, tcfg: TransportConfig) -> CcFactory {
+        self.cc_factory_tuned(tcfg, crate::spec::ParamSpec::default())
+    }
+
+    /// [`Algo::cc_factory`] with algorithm-parameter overrides applied:
+    /// `gamma` reconfigures PowerTCP / θ-PowerTCP's EWMA gain, `hpcc_eta`
+    /// HPCC's target utilization. (`expected_flows` acts through `tcfg`,
+    /// which the caller adjusts — it shapes β for every windowed law.)
+    /// Overrides that do not apply to `self` are ignored, so one params
+    /// grid can sweep a mixed lineup.
+    pub fn cc_factory_tuned(
+        self,
+        tcfg: TransportConfig,
+        param: crate::spec::ParamSpec,
+    ) -> CcFactory {
         assert!(!self.is_homa(), "HOMA runs on its own transport");
         Box::new(move |_flow, nic_bw| -> Box<dyn CongestionControl> {
             let ctx = tcfg.cc_context(nic_bw);
+            let ptcfg = || PowerTcpConfig {
+                gamma: param.gamma.unwrap_or(PowerTcpConfig::default().gamma),
+                ..PowerTcpConfig::default()
+            };
             match self {
-                Algo::PowerTcp => Box::new(PowerTcp::new(PowerTcpConfig::default(), ctx)),
-                Algo::ThetaPowerTcp => Box::new(ThetaPowerTcp::new(PowerTcpConfig::default(), ctx)),
-                Algo::Hpcc => Box::new(Hpcc::new(HpccConfig::default(), ctx)),
+                Algo::PowerTcp => Box::new(PowerTcp::new(ptcfg(), ctx)),
+                Algo::ThetaPowerTcp => Box::new(ThetaPowerTcp::new(ptcfg(), ctx)),
+                Algo::Hpcc => Box::new(Hpcc::new(
+                    HpccConfig {
+                        eta: param.hpcc_eta.unwrap_or(HpccConfig::default().eta),
+                        ..HpccConfig::default()
+                    },
+                    ctx,
+                )),
                 Algo::Dcqcn => Box::new(Dcqcn::new(DcqcnConfig::default(), ctx)),
                 Algo::Timely => Box::new(Timely::new(TimelyConfig::default(), ctx)),
                 Algo::Swift => Box::new(Swift::new(SwiftConfig::default(), ctx)),

@@ -130,6 +130,7 @@ fn incast_trace(runs: usize) -> BenchCase {
             tick_us: 20.0,
             max_samples: 4096,
             max_rows: 60,
+            window: 1,
             channels: Vec::new(),
         },
     )

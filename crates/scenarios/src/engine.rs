@@ -13,7 +13,7 @@
 
 use crate::algo::Algo;
 use crate::spec::{
-    gbps, IncastSpec, PoissonSpec, ScenarioSpec, SizeSpec, TopologySpec, WorkloadSpec,
+    gbps, IncastSpec, ParamSpec, PoissonSpec, ScenarioSpec, SizeSpec, TopologySpec, WorkloadSpec,
 };
 use dcn_sim::{
     buffer_tracer, build_dumbbell, build_fat_tree, build_star, series, star_base_rtt,
@@ -38,6 +38,9 @@ pub const SIZE_BUCKETS: [u64; 8] = [
 pub struct PointOutcome {
     /// Algorithm that ran.
     pub algo: Algo,
+    /// Algorithm-parameter overrides that were applied (default when the
+    /// spec has no params axis).
+    pub param: ParamSpec,
     /// Swept load (0 for incast-only workloads).
     pub load: f64,
     /// Workload seed.
@@ -177,8 +180,9 @@ fn plan(topo: &TopologySpec, algo: Algo) -> Plan {
     }
 }
 
-/// Run one sweep point of a scenario spec. Deterministic: identical
-/// arguments replay bit-for-bit, on any thread.
+/// Run one sweep point of a scenario spec at the algorithms' default
+/// parameters. Deterministic: identical arguments replay bit-for-bit, on
+/// any thread.
 pub fn run_point(spec: &ScenarioSpec, algo: Algo, load: f64, seed: u64) -> PointOutcome {
     run_experiment(
         &spec.topology,
@@ -186,19 +190,37 @@ pub fn run_point(spec: &ScenarioSpec, algo: Algo, load: f64, seed: u64) -> Point
         spec.horizon(),
         spec.drain(),
         algo,
+        ParamSpec::default(),
         load,
         seed,
     )
 }
 
+/// Run one expanded sweep point, including its algorithm-parameter
+/// overrides (the [`crate::sweep::Compute`] entry point).
+pub fn run_sweep_point(spec: &ScenarioSpec, point: &crate::sweep::SweepPoint) -> PointOutcome {
+    run_experiment(
+        &spec.topology,
+        &spec.workload,
+        spec.horizon(),
+        spec.drain(),
+        point.algo,
+        point.param,
+        point.load,
+        point.seed,
+    )
+}
+
 /// The engine behind [`run_point`] (and the legacy
 /// [`run_fct_experiment`], which predates `ScenarioSpec`).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_experiment(
     topo: &TopologySpec,
     workload: &WorkloadSpec,
     horizon: Tick,
     drain: Tick,
     algo: Algo,
+    param: ParamSpec,
     load: f64,
     seed: u64,
 ) -> PointOutcome {
@@ -278,8 +300,8 @@ pub(crate) fn run_experiment(
         // N in the paper's β = HostBw·τ/N. A larger N keeps the aggregate
         // additive increase (and hence PowerTCP's equilibrium queue β̂)
         // small under heavy flow multiplexing, matching the paper's
-        // near-zero buffer occupancy.
-        expected_flows: 64,
+        // near-zero buffer occupancy. The params axis may override it.
+        expected_flows: param.expected_flows.unwrap_or(64),
         mtu: 1000,
     };
     let m2 = metrics.clone();
@@ -293,7 +315,7 @@ pub(crate) fn run_experiment(
             }
             Box::new(h)
         } else {
-            let mut h = TransportHost::new(tcfg, m2.clone(), algo.cc_factory(tcfg));
+            let mut h = TransportHost::new(tcfg, m2.clone(), algo.cc_factory_tuned(tcfg, param));
             for f in &per_host[idx] {
                 h.add_flow(*f);
             }
@@ -303,10 +325,20 @@ pub(crate) fn run_experiment(
 
     // ---- Build the fabric. `traced` switches get buffer-occupancy
     // sampling (the edge switches whose shared buffer the paper reports);
-    // `all_switches` are polled for drops.
+    // `all_switches` are polled for drops. The params axis may override
+    // the Dynamic-Thresholds α of every switch (the buffer-sizing
+    // ablation).
+    let tune_switch = |mut cfg: SwitchConfig| {
+        if let Some(a) = param.dt_alpha {
+            cfg.dt_alpha = a;
+        }
+        cfg
+    };
     let (net, traced, all_switches): (Network, Vec<NodeId>, Vec<NodeId>) = match *topo {
         TopologySpec::FatTree { .. } => {
-            let ft = build_fat_tree(fat_tree_config(topo, Some(algo)), &mut mk);
+            let mut cfg = fat_tree_config(topo, Some(algo));
+            cfg.switch = tune_switch(cfg.switch);
+            let ft = build_fat_tree(cfg, &mut mk);
             let all: Vec<NodeId> = ft
                 .tors
                 .iter()
@@ -321,13 +353,15 @@ pub(crate) fn run_experiment(
                 hosts,
                 host_bw,
                 EDGE_HOST_DELAY,
-                algo.switch_config(SwitchConfig::default(), host_bw),
+                tune_switch(algo.switch_config(SwitchConfig::default(), host_bw)),
                 &mut mk,
             );
             (star.net, vec![star.switch], vec![star.switch])
         }
         TopologySpec::Dumbbell { .. } => {
-            let db = build_dumbbell(dumbbell_config(topo, algo), &mut mk);
+            let mut cfg = dumbbell_config(topo, algo);
+            cfg.switch = tune_switch(cfg.switch);
+            let db = build_dumbbell(cfg, &mut mk);
             (db.net, vec![db.left, db.right], vec![db.left, db.right])
         }
     };
@@ -382,6 +416,7 @@ pub(crate) fn run_experiment(
 
     PointOutcome {
         algo,
+        param,
         load,
         seed,
         buckets,
@@ -542,6 +577,7 @@ pub fn run_fct_experiment(
         scale.horizon,
         scale.drain,
         algo,
+        ParamSpec::default(),
         load,
         seed,
     );
@@ -674,5 +710,53 @@ mod tests {
         let spec = star_incast_spec();
         let out = run_point(&spec, Algo::Homa(2), 0.0, 1);
         assert!(out.completed > 0);
+    }
+
+    #[test]
+    fn param_overrides_change_the_dynamics() {
+        use crate::spec::ParamSpec;
+        let spec = star_incast_spec();
+        let point = |param: ParamSpec| crate::sweep::SweepPoint {
+            index: 0,
+            algo: Algo::PowerTcp,
+            param,
+            load: 0.0,
+            seed: 3,
+        };
+        let base = run_sweep_point(&spec, &point(ParamSpec::default()));
+        // γ changes the control law's reaction.
+        let slow = run_sweep_point(
+            &spec,
+            &point(ParamSpec {
+                gamma: Some(0.2),
+                ..ParamSpec::default()
+            }),
+        );
+        assert_ne!(base.all, slow.all, "gamma override must change FCTs");
+        // DT α caps what one hot port may take of the shared buffer.
+        // It bites on *lossy* fabrics (PFC-lossless admission bypasses
+        // the per-port threshold), so probe it under HOMA: a starved
+        // threshold under a 4:1 incast must drop.
+        let homa = |param: ParamSpec| crate::sweep::SweepPoint {
+            algo: Algo::Homa(2),
+            ..point(param)
+        };
+        let roomy = run_sweep_point(&spec, &homa(ParamSpec::default()));
+        let starved = run_sweep_point(
+            &spec,
+            &homa(ParamSpec {
+                dt_alpha: Some(0.001),
+                ..ParamSpec::default()
+            }),
+        );
+        assert!(
+            starved.drops > roomy.drops,
+            "dt_alpha override must reach the switches ({} vs {} drops)",
+            starved.drops,
+            roomy.drops
+        );
+        // And defaults reproduce the unparameterized path bit-for-bit.
+        let plain = run_point(&spec, Algo::PowerTcp, 0.0, 3);
+        assert_eq!(base, plain);
     }
 }

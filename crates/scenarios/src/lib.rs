@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub mod algo;
+pub mod analytic_engine;
 pub mod bench;
 pub mod diff;
 pub mod engine;
@@ -71,16 +72,18 @@ pub mod toml;
 pub mod trace_engine;
 
 pub use algo::Algo;
+pub use analytic_engine::{analytic_entries, run_analytic_entry};
 pub use bench::{bench_table, bench_to_json, run_bench, BenchCase};
-pub use diff::{diff_reports, DiffOutcome};
+pub use diff::{diff_csv, diff_reports, DiffOutcome};
 pub use engine::{
-    run_fct_experiment, run_point, FctResult, IncastOverlay, PointOutcome, Scale, SIZE_BUCKETS,
+    run_fct_experiment, run_point, run_sweep_point, FctResult, IncastOverlay, PointOutcome, Scale,
+    SIZE_BUCKETS,
 };
 pub use library::{builtin, builtin_specs};
 pub use report::{AggregateReport, BucketReport, PointReport, SweepResult};
 pub use spec::{
-    IncastSpec, PoissonSpec, ScenarioKind, ScenarioSpec, SizeSpec, SweepSpec, TopologySpec,
-    TraceScenario, TraceSpec, WorkloadSpec,
+    AnalyticScenario, AnalyticSpec, IncastSpec, ParamSpec, PoissonSpec, ScenarioKind, ScenarioSpec,
+    SizeSpec, SweepSpec, TopologySpec, TraceScenario, TraceSpec, WorkloadSpec,
 };
 pub use sweep::{
     run_scenario, run_scenario_with, run_sweep, run_sweep_with, sweep_points, Compute, PointSource,

@@ -8,7 +8,11 @@
 //! the paper's 256-host fabric).
 
 use crate::algo::Algo;
-use crate::spec::{IncastSpec, ScenarioSpec, SizeSpec, TopologySpec, TraceScenario, TraceSpec};
+use crate::spec::{
+    AnalyticScenario, AnalyticSpec, IncastSpec, ParamSpec, ScenarioSpec, SizeSpec, TopologySpec,
+    TraceScenario, TraceSpec,
+};
+use fluid_model::Law;
 
 /// Default probe configuration of the built-in trace scenarios: sample
 /// every `tick_us`, ring-buffer up to 4096 samples per channel, export at
@@ -19,6 +23,7 @@ fn trace_spec(scenario: TraceScenario, tick_us: f64) -> TraceSpec {
         tick_us,
         max_samples: 4096,
         max_rows: 120,
+        window: 1,
         channels: Vec::new(),
     }
 }
@@ -113,6 +118,99 @@ pub fn fig8() -> ScenarioSpec {
          paper Figure 8",
     )
     .algos([Algo::PowerTcp, Algo::ReTcp, Algo::Hpcc])
+}
+
+/// Figure 3: phase portraits of the fluid model — the queue-length
+/// (voltage), RTT-gradient (current), and power control laws integrated
+/// from the paper's grid of initial `(window, queue)` states at
+/// 100 Gbps / 20 µs.
+pub fn fig3() -> ScenarioSpec {
+    ScenarioSpec::new_analytic(
+        "fig3",
+        AnalyticSpec::new(AnalyticScenario::Phase {
+            laws: vec![Law::QueueLength, Law::RttGradient, Law::Power],
+            w_over_bdp: fluid_model::DEFAULT_W_FRACS.to_vec(),
+            q_over_bdp: fluid_model::DEFAULT_Q_FRACS.to_vec(),
+        }),
+    )
+    .describe(
+        "phase portraits (window x inflight) of the voltage/current/power \
+         control laws over the fluid model at 100G / 20us, paper Figure 3",
+    )
+}
+
+/// `fig3-small`: one law (power) over a 2×2 grid — the fast analytic
+/// fixture for CI cold/warm cache checks.
+pub fn fig3_small() -> ScenarioSpec {
+    ScenarioSpec::new_analytic(
+        "fig3-small",
+        AnalyticSpec::new(AnalyticScenario::Phase {
+            laws: vec![Law::QueueLength, Law::Power],
+            w_over_bdp: vec![0.3, 2.0],
+            q_over_bdp: vec![0.0, 0.5],
+        }),
+    )
+    .describe(
+        "two-law 2x2 phase-portrait grid: the fast analytic fixture for \
+         cache/procs CI checks",
+    )
+}
+
+/// Fluid-model ablations: 1-D response sweeps over γ (reaction speed vs
+/// noise), β̂ (the equilibrium queue), and HPCC η (target utilization).
+pub fn ablations() -> ScenarioSpec {
+    ScenarioSpec::new_analytic(
+        "ablations",
+        AnalyticSpec::new(AnalyticScenario::Ablation {
+            gammas: vec![0.3, 0.5, 0.7, 0.9, 1.0],
+            beta_fracs: vec![0.025, 0.05, 0.1, 0.2, 0.4],
+            etas: vec![0.85, 0.9, 0.95, 1.0],
+        }),
+    )
+    .describe(
+        "fluid-model parameter ablations: gamma sweep (convergence time \
+         delta-t/gamma), beta-hat sweep (equilibrium queue), HPCC eta sweep \
+         (settled utilization headroom)",
+    )
+}
+
+/// Theorems 1–3 (Appendix A) verified numerically with pass/fail stats.
+pub fn theorems() -> ScenarioSpec {
+    ScenarioSpec::new_analytic(
+        "theorems",
+        AnalyticSpec::new(AnalyticScenario::Laws { tolerance: 0.02 }),
+    )
+    .describe(
+        "numeric checks of Theorem 1 (stability), Theorem 2 (exponential \
+         convergence, constant delta-t/gamma), Theorem 3 (beta-weighted \
+         proportional fairness)",
+    )
+}
+
+/// `gamma-sweep`: the *simulated* γ ablation — the fig6-small websearch
+/// point swept over PowerTCP's EWMA gain through the params axis, proving
+/// algorithm-parameter grids ride the same executor/cache/procs pipeline
+/// as load and seed grids.
+pub fn gamma_sweep() -> ScenarioSpec {
+    ScenarioSpec::new("gamma-sweep", tiny_fat_tree())
+        .describe(
+            "simulated gamma ablation: websearch fat-tree at 60% load, \
+             PowerTCP at gamma 0.5 / 0.9 via the sweep params axis",
+        )
+        .poisson(SizeSpec::Websearch)
+        .algos([Algo::PowerTcp])
+        .params([
+            ParamSpec {
+                gamma: Some(0.5),
+                ..ParamSpec::default()
+            },
+            ParamSpec {
+                gamma: Some(0.9),
+                ..ParamSpec::default()
+            },
+        ])
+        .loads([0.6])
+        .seeds([42])
 }
 
 /// Figure 6: tail FCT slowdown vs flow size, websearch at 20% / 60%
@@ -229,6 +327,8 @@ pub fn incast_battle() -> ScenarioSpec {
 pub fn builtin_specs() -> Vec<ScenarioSpec> {
     vec![
         fig2(),
+        fig3(),
+        fig3_small(),
         fig4(),
         fig5(),
         fig6(),
@@ -236,6 +336,9 @@ pub fn builtin_specs() -> Vec<ScenarioSpec> {
         fig7(),
         fig8(),
         fig9to11(),
+        ablations(),
+        theorems(),
+        gamma_sweep(),
         incast_battle(),
     ]
 }

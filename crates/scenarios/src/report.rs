@@ -1,4 +1,4 @@
-//! Structured sweep results: per-point and per-(algo, load) aggregate
+//! Structured sweep results: per-point and per-(algo, param, load) aggregate
 //! summaries, rendered as JSON, CSV, or a markdown table.
 //!
 //! Rendering is deliberately hand-rolled and deterministic: fields are
@@ -54,7 +54,7 @@ pub struct PointReport {
     pub buffer_max: Option<f64>,
 }
 
-/// Summaries of one (algo, load) cell with all seeds merged. Slowdown
+/// Summaries of one (algo, param, load) cell with all seeds merged. Slowdown
 /// vectors are pooled across seeds *before* percentiles are taken, so
 /// tails reflect the whole sample, not a mean of per-seed tails.
 #[derive(Clone, Debug)]
@@ -106,7 +106,7 @@ pub struct SweepResult {
     pub description: String,
     /// One report per sweep point, in point order.
     pub points: Vec<PointReport>,
-    /// One report per (algo, load) cell, in sweep order.
+    /// One report per (algo, param, load) cell, in sweep order.
     pub aggregates: Vec<AggregateReport>,
 }
 
@@ -121,28 +121,47 @@ impl SweepResult {
     /// merge worker-computed outcomes through the exact same reduction;
     /// `outcomes` must be in [`crate::sweep::sweep_points`] order.
     pub fn build(spec: &ScenarioSpec, outcomes: Vec<PointOutcome>) -> SweepResult {
+        // Algorithm-parameter overrides fold into the algo identity
+        // strings ("powertcp[gamma=0.5]") instead of a new report field:
+        // default-param reports stay byte-identical to their pre-params
+        // pinned baselines, and every renderer/differ sees the axis.
+        let keyed = |o: &PointOutcome| {
+            if o.param.is_default() {
+                (o.algo.key(), o.algo.name())
+            } else {
+                let label = o.param.label();
+                (
+                    format!("{}[{label}]", o.algo.key()),
+                    format!("{} [{label}]", o.algo.name()),
+                )
+            }
+        };
         let points: Vec<PointReport> = outcomes
             .iter()
-            .map(|o| PointReport {
-                algo_key: o.algo.key(),
-                algo_name: o.algo.name(),
-                load: o.load,
-                seed: o.seed,
-                offered: o.offered,
-                completed: o.completed,
-                drops: o.drops,
-                short: Summary::of(&o.short),
-                medium: Summary::of(&o.medium),
-                long: Summary::of(&o.long),
-                all: Summary::of(&o.all),
-                buffer_p50: percentile(&o.buffer, 50.0),
-                buffer_p99: percentile(&o.buffer, 99.0),
-                buffer_max: percentile(&o.buffer, 100.0),
+            .map(|o| {
+                let (algo_key, algo_name) = keyed(o);
+                PointReport {
+                    algo_key,
+                    algo_name,
+                    load: o.load,
+                    seed: o.seed,
+                    offered: o.offered,
+                    completed: o.completed,
+                    drops: o.drops,
+                    short: Summary::of(&o.short),
+                    medium: Summary::of(&o.medium),
+                    long: Summary::of(&o.long),
+                    all: Summary::of(&o.all),
+                    buffer_p50: percentile(&o.buffer, 50.0),
+                    buffer_p99: percentile(&o.buffer, 99.0),
+                    buffer_max: percentile(&o.buffer, 100.0),
+                }
             })
             .collect();
 
-        // The expansion is algo-major with seeds innermost, so each
-        // (algo, load) cell is a consecutive run of `seeds` outcomes.
+        // The expansion is algo → params → load → seed with seeds
+        // innermost, so each (algo, param, load) cell is a consecutive
+        // run of `seeds` outcomes.
         let seeds = spec.sweep.seeds.len();
         let mut aggregates = Vec::new();
         for cell in outcomes.chunks(seeds) {
@@ -170,9 +189,10 @@ impl SweepResult {
                     }
                 })
                 .collect();
+            let (algo_key, algo_name) = keyed(first);
             aggregates.push(AggregateReport {
-                algo_key: first.algo.key(),
-                algo_name: first.algo.name(),
+                algo_key,
+                algo_name,
                 load: first.load,
                 seeds: cell.len(),
                 offered: cell.iter().map(|o| o.offered).sum(),
@@ -276,7 +296,7 @@ impl SweepResult {
         out
     }
 
-    /// Render the aggregates as CSV (one row per (algo, load) cell).
+    /// Render the aggregates as CSV (one row per (algo, param, load) cell).
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
         out.push_str(
@@ -502,6 +522,7 @@ mod tests {
         buckets[4] = vec![base * 3.0]; // <= 400 KB bucket
         PointOutcome {
             algo,
+            param: crate::spec::ParamSpec::default(),
             load,
             seed,
             buckets,

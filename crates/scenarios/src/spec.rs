@@ -11,6 +11,7 @@
 
 use crate::algo::Algo;
 use crate::toml::{self, Value};
+use fluid_model::{FluidParams, Law};
 use powertcp_core::{Bandwidth, Tick};
 use std::collections::BTreeMap;
 
@@ -143,14 +144,19 @@ pub struct WorkloadSpec {
 /// What a scenario produces when run.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ScenarioKind {
-    /// The default: an FCT sweep over (algorithm × load × seed), reduced
-    /// to slowdown/buffer statistics ([`crate::sweep::run_sweep`]).
+    /// The default: an FCT sweep over (algorithm × params × load × seed),
+    /// reduced to slowdown/buffer statistics ([`crate::sweep::run_sweep`]).
     Sweep,
     /// Time-series traces: one instrumented run per algorithm (or lineup
     /// entry), producing sampled channels — queue depth, throughput,
     /// per-flow cwnd, PowerTCP Γ — instead of FCT statistics
     /// ([`crate::trace_engine::run_trace`]).
     Timeseries(TraceSpec),
+    /// Fluid-model experiments: no simulation at all — phase portraits,
+    /// parameter ablations, and theorem checks over `fluid-model`, one
+    /// deterministic computation per grid entry
+    /// ([`crate::analytic_engine`]).
+    Analytic(AnalyticSpec),
 }
 
 /// Probe configuration plus the traced experiment of a `timeseries`
@@ -170,6 +176,11 @@ pub struct TraceSpec {
     /// probes are not registered at all, but scalar stats are unaffected
     /// (their windowed accumulators run regardless).
     pub channels: Vec<String>,
+    /// Windowed-mean reducer: average consecutive windows of this many
+    /// samples before decimation (low-pass smoothing of exported
+    /// channels; 1 = off). Scalar stats are unaffected — their streaming
+    /// accumulators see every raw sample.
+    pub window: usize,
 }
 
 /// The traced experiments: the paper's temporal figures as declarative
@@ -272,12 +283,235 @@ impl TraceScenario {
     }
 }
 
-/// The sweep axes: every (algo, load, seed) combination runs as one
-/// independent, deterministic simulation.
+/// Shared fluid-model configuration plus the analytic experiment of a
+/// `kind = "analytic"` scenario. These scenarios never build a simulator:
+/// each grid entry is a pure computation over `fluid-model`, and results
+/// flow through the same executor / cache / multi-process pipeline as
+/// simulated points (cache keys are salted with
+/// [`fluid_model::MODEL_VERSION`] instead of the sim engine version).
+#[derive(Clone, Debug, PartialEq)]
+pub struct AnalyticSpec {
+    /// The analytic experiment.
+    pub scenario: AnalyticScenario,
+    /// Bottleneck bandwidth in Gbps (paper example: 100).
+    pub bandwidth_gbps: f64,
+    /// Base RTT τ in microseconds (paper example: 20).
+    pub base_rtt_us: f64,
+    /// Per-update EWMA gain γ ∈ (0, 1] (paper recommendation: 0.9).
+    pub gamma: f64,
+    /// Control updates per base RTT (per-ACK updates ≈ 10); together with
+    /// `gamma` this sets the continuous-time gain γr = γ·updates/τ.
+    pub updates_per_rtt: f64,
+    /// Aggregate additive increase β̂ as a fraction of BDP.
+    pub beta_frac: f64,
+    /// Target utilization η of the queue-length (HPCC-class) law.
+    pub hpcc_eta: f64,
+}
+
+impl AnalyticSpec {
+    /// An analytic spec over the paper's running example (100 Gbps,
+    /// 20 µs, γ = 0.9 at 10 updates/RTT, β̂ = BDP/10, η = 1).
+    pub fn new(scenario: AnalyticScenario) -> Self {
+        AnalyticSpec {
+            scenario,
+            bandwidth_gbps: 100.0,
+            base_rtt_us: 20.0,
+            gamma: 0.9,
+            updates_per_rtt: 10.0,
+            beta_frac: 0.1,
+            hpcc_eta: 1.0,
+        }
+    }
+
+    /// The [`FluidParams`] this spec denotes.
+    pub fn fluid_params(&self) -> FluidParams {
+        let bandwidth = self.bandwidth_gbps * 1e9 / 8.0;
+        let base_rtt = self.base_rtt_us * 1e-6;
+        FluidParams {
+            bandwidth,
+            base_rtt,
+            beta_hat: bandwidth * base_rtt * self.beta_frac,
+            gamma_r: self.gamma / (base_rtt / self.updates_per_rtt),
+            hpcc_eta: self.hpcc_eta,
+        }
+    }
+}
+
+/// The analytic experiments: the paper's fluid-model figures and appendix
+/// checks as declarative data.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AnalyticScenario {
+    /// Figure 3: phase portraits — integrate a grid of initial
+    /// `(window, queue)` states under each control law; one grid entry
+    /// per law, with per-trajectory channels and endpoint statistics.
+    Phase {
+        /// Control laws to portrait (one lineup entry each).
+        laws: Vec<Law>,
+        /// Window starting points, as fractions of BDP (grid is the cross
+        /// product with `q_over_bdp`, window-major).
+        w_over_bdp: Vec<f64>,
+        /// Queue starting points, as fractions of BDP.
+        q_over_bdp: Vec<f64>,
+    },
+    /// Fluid-model parameter ablations: 1-D response sweeps over γ, β̂,
+    /// and HPCC η — one grid entry per swept value, each measuring the
+    /// perturbed model's settled state and convergence fit.
+    Ablation {
+        /// γ values to sweep (power law).
+        gammas: Vec<f64>,
+        /// β̂ values (fractions of BDP) to sweep (power law).
+        beta_fracs: Vec<f64>,
+        /// HPCC η values to sweep (queue-length law).
+        etas: Vec<f64>,
+    },
+    /// Theorems 1–3 (Appendix A) verified numerically, one grid entry per
+    /// theorem, with pass/fail stats under `tolerance`.
+    Laws {
+        /// Relative tolerance of the numeric checks.
+        tolerance: f64,
+    },
+}
+
+impl AnalyticScenario {
+    /// Stable TOML identifier.
+    pub fn key(&self) -> &'static str {
+        match self {
+            AnalyticScenario::Phase { .. } => "phase",
+            AnalyticScenario::Ablation { .. } => "ablation",
+            AnalyticScenario::Laws { .. } => "laws",
+        }
+    }
+}
+
+/// One point on the algorithm-parameter sweep axis: overrides applied to
+/// the swept algorithms' tunables. Every field is optional; an all-`None`
+/// spec is the algorithm's paper-default configuration. This is what lets
+/// *simulation* specs run ablation grids (γ, β's flow count N, HPCC η)
+/// through the same executor/cache/sharding pipeline as load and seed
+/// grids.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ParamSpec {
+    /// PowerTCP / θ-PowerTCP EWMA gain γ ∈ (0, 1].
+    pub gamma: Option<f64>,
+    /// Expected flow count N in the additive-increase rule β = HostBw·τ/N
+    /// (applies to every windowed-transport algorithm).
+    pub expected_flows: Option<u32>,
+    /// HPCC target utilization η ∈ (0, 1].
+    pub hpcc_eta: Option<f64>,
+    /// Dynamic-Thresholds α of every switch in the topology — how much
+    /// of the shared buffer one hot port may take (the buffer-sizing
+    /// ablation of DESIGN.md).
+    pub dt_alpha: Option<f64>,
+}
+
+impl ParamSpec {
+    /// True when no override is set (the paper-default configuration).
+    pub fn is_default(&self) -> bool {
+        *self == ParamSpec::default()
+    }
+
+    /// Canonical spec identifier: `key=value` pairs joined by `,`, in
+    /// fixed field order with shortest-round-trip floats — `""` for the
+    /// default spec. Round-trips through [`ParamSpec::parse`]; used in
+    /// TOML, report algo labels, and cache-key canons.
+    pub fn label(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(g) = self.gamma {
+            parts.push(format!("gamma={g}"));
+        }
+        if let Some(n) = self.expected_flows {
+            parts.push(format!("n={n}"));
+        }
+        if let Some(e) = self.hpcc_eta {
+            parts.push(format!("eta={e}"));
+        }
+        if let Some(a) = self.dt_alpha {
+            parts.push(format!("alpha={a}"));
+        }
+        parts.join(",")
+    }
+
+    /// Parse a [`ParamSpec::label`]-shaped string (`"gamma=0.5,n=32"`).
+    pub fn parse(s: &str) -> Result<ParamSpec, String> {
+        let mut out = ParamSpec::default();
+        for part in s.split(',').filter(|p| !p.trim().is_empty()) {
+            let Some((k, v)) = part.split_once('=') else {
+                return Err(format!("param {part:?} is not a key=value pair"));
+            };
+            match k.trim() {
+                "gamma" => {
+                    out.gamma = Some(
+                        v.trim()
+                            .parse()
+                            .map_err(|_| format!("bad gamma value {v:?}"))?,
+                    )
+                }
+                "n" => {
+                    out.expected_flows = Some(
+                        v.trim()
+                            .parse()
+                            .map_err(|_| format!("bad flow count {v:?}"))?,
+                    )
+                }
+                "eta" => {
+                    out.hpcc_eta = Some(
+                        v.trim()
+                            .parse()
+                            .map_err(|_| format!("bad eta value {v:?}"))?,
+                    )
+                }
+                "alpha" => {
+                    out.dt_alpha = Some(
+                        v.trim()
+                            .parse()
+                            .map_err(|_| format!("bad alpha value {v:?}"))?,
+                    )
+                }
+                other => {
+                    return Err(format!(
+                        "unknown param key {other:?} (expected gamma, n, eta, or alpha)"
+                    ))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Validity check used by spec validation.
+    fn validate(&self) -> Result<(), String> {
+        if let Some(g) = self.gamma {
+            if !(g.is_finite() && g > 0.0 && g <= 1.0) {
+                return Err(format!("param gamma must be in (0, 1], got {g}"));
+            }
+        }
+        if let Some(n) = self.expected_flows {
+            if n == 0 {
+                return Err("param n (expected flows) must be >= 1".into());
+            }
+        }
+        if let Some(e) = self.hpcc_eta {
+            if !(e.is_finite() && e > 0.0 && e <= 1.0) {
+                return Err(format!("param eta must be in (0, 1], got {e}"));
+            }
+        }
+        if let Some(a) = self.dt_alpha {
+            if !(a.is_finite() && a > 0.0) {
+                return Err(format!("param alpha must be positive, got {a}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The sweep axes: every (algo, params, load, seed) combination runs as
+/// one independent, deterministic simulation.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SweepSpec {
     /// Algorithms to compare.
     pub algos: Vec<Algo>,
+    /// Algorithm-parameter overrides (empty = one default entry). Each
+    /// entry multiplies the sweep like a load or seed does.
+    pub params: Vec<ParamSpec>,
     /// Target loads (fraction of the reference capacity; empty means the
     /// single pseudo-load 0, for incast-only workloads).
     pub loads: Vec<f64>,
@@ -322,6 +556,7 @@ impl ScenarioSpec {
             drain_ms: 6.0,
             sweep: SweepSpec {
                 algos: vec![Algo::PowerTcp],
+                params: Vec::new(),
                 loads: Vec::new(),
                 seeds: vec![42],
             },
@@ -343,18 +578,70 @@ impl ScenarioSpec {
             drain_ms: 0.0,
             sweep: SweepSpec {
                 algos: vec![Algo::PowerTcp],
+                params: Vec::new(),
                 loads: Vec::new(),
                 seeds: vec![42],
             },
         }
     }
 
-    /// The trace spec of a timeseries scenario (`None` for sweeps).
+    /// A new analytic scenario: no topology (a fixed placeholder star, as
+    /// for the analytic `response` trace), no workload, no sweep axes —
+    /// the `[analytic]` table fully describes the experiment.
+    pub fn new_analytic(name: impl Into<String>, analytic: AnalyticSpec) -> Self {
+        ScenarioSpec {
+            name: name.into(),
+            description: String::new(),
+            topology: Self::analytic_topology(),
+            kind: ScenarioKind::Analytic(analytic),
+            workload: WorkloadSpec::default(),
+            horizon_ms: 4.0,
+            drain_ms: 0.0,
+            sweep: Self::analytic_sweep(),
+        }
+    }
+
+    /// The placeholder topology of analytic scenarios (never built).
+    pub(crate) fn analytic_topology() -> TopologySpec {
+        TopologySpec::Star {
+            hosts: 2,
+            host_gbps: 25.0,
+        }
+    }
+
+    /// The placeholder sweep of analytic scenarios (the grid lives in
+    /// `[analytic]`; validation requires exactly this).
+    pub(crate) fn analytic_sweep() -> SweepSpec {
+        SweepSpec {
+            algos: vec![Algo::PowerTcp],
+            params: Vec::new(),
+            loads: Vec::new(),
+            seeds: vec![42],
+        }
+    }
+
+    /// The trace spec of a timeseries scenario (`None` otherwise).
     pub fn trace(&self) -> Option<&TraceSpec> {
         match &self.kind {
             ScenarioKind::Timeseries(t) => Some(t),
-            ScenarioKind::Sweep => None,
+            _ => None,
         }
+    }
+
+    /// The analytic spec of an analytic scenario (`None` otherwise).
+    pub fn analytic(&self) -> Option<&AnalyticSpec> {
+        match &self.kind {
+            ScenarioKind::Analytic(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// True for scenario kinds that expand into lineup *entries*
+    /// (timeseries and analytic) rather than sweep points — the
+    /// executors, the worker protocol, and the runner's merge path all
+    /// dispatch on this.
+    pub fn runs_as_entries(&self) -> bool {
+        !matches!(self.kind, ScenarioKind::Sweep)
     }
 
     /// Replace the trace scenario of a timeseries spec, re-deriving the
@@ -417,6 +704,12 @@ impl ScenarioSpec {
         self
     }
 
+    /// Set the algorithm-parameter grid (the ablation axis).
+    pub fn params(mut self, params: impl IntoIterator<Item = ParamSpec>) -> Self {
+        self.sweep.params = params.into_iter().collect();
+        self
+    }
+
     /// Restrict a timeseries spec to recording only the named channels
     /// (validated against [`TraceScenario::channel_names`]). Panics on a
     /// sweep spec.
@@ -432,9 +725,11 @@ impl ScenarioSpec {
     /// that determines a point outcome **except** the identity fields
     /// (name, description) and the sweep axes — those are either
     /// irrelevant to point results or part of the per-point cache key.
-    /// `dcn-runner` combines this fragment with `(algo, load, seed)` and
-    /// the engine-version salt to derive content-addressed cache keys,
-    /// so two differently-named specs with identical physics share
+    /// `dcn-runner` combines this fragment with `(algo, params, load,
+    /// seed)` (or the lineup-entry identity) and a behavioral-version
+    /// salt — the sim engine version for simulated kinds, the fluid-model
+    /// version for analytic ones — to derive content-addressed cache
+    /// keys, so two differently-named specs with identical physics share
     /// cached outcomes.
     pub fn cache_fragment(&self) -> String {
         let mut stripped = self.clone();
@@ -442,9 +737,29 @@ impl ScenarioSpec {
         stripped.description = String::new();
         stripped.sweep = SweepSpec {
             algos: Vec::new(),
+            params: Vec::new(),
             loads: Vec::new(),
             seeds: Vec::new(),
         };
+        // Ablation grids are sweep *axes*, not per-point physics: each
+        // entry's computation is fully determined by the shared fluid
+        // parameters plus its own swept value, which is already the
+        // entry label in the cache key. Stripping them here means
+        // extending a grid by one value recomputes one point, not the
+        // whole grid. (Phase grids stay: every per-law entry integrates
+        // the full w×q grid, so the grid IS that entry's physics.)
+        if let ScenarioKind::Analytic(a) = &mut stripped.kind {
+            if let AnalyticScenario::Ablation {
+                gammas,
+                beta_fracs,
+                etas,
+            } = &mut a.scenario
+            {
+                gammas.clear();
+                beta_fracs.clear();
+                etas.clear();
+            }
+        }
         stripped.to_toml()
     }
 
@@ -468,6 +783,16 @@ impl ScenarioSpec {
         }
     }
 
+    /// The effective algorithm-parameter grid: the single default entry
+    /// when no `params` axis is configured.
+    pub fn effective_params(&self) -> Vec<ParamSpec> {
+        if self.sweep.params.is_empty() {
+            vec![ParamSpec::default()]
+        } else {
+            self.sweep.params.clone()
+        }
+    }
+
     /// Check internal consistency; returns a human-readable error.
     pub fn validate(&self) -> Result<(), String> {
         if self.name.is_empty() {
@@ -482,8 +807,10 @@ impl ScenarioSpec {
         if self.drain_ms < 0.0 {
             return Err(format!("drain_ms must be >= 0, got {}", self.drain_ms));
         }
-        if let ScenarioKind::Timeseries(trace) = &self.kind {
-            return self.validate_timeseries(trace);
+        match &self.kind {
+            ScenarioKind::Timeseries(trace) => return self.validate_timeseries(trace),
+            ScenarioKind::Analytic(analytic) => return self.validate_analytic(analytic),
+            ScenarioKind::Sweep => {}
         }
         match self.topology {
             TopologySpec::FatTree {
@@ -564,6 +891,47 @@ impl ScenarioSpec {
         if self.sweep.seeds.is_empty() {
             return Err("sweep needs at least one seed".into());
         }
+        self.validate_params()?;
+        Ok(())
+    }
+
+    /// Shared validation of the algorithm-parameter axis.
+    fn validate_params(&self) -> Result<(), String> {
+        if self.sweep.params.is_empty() {
+            return Ok(());
+        }
+        // CC-law overrides (γ, N, η) only exist on the windowed
+        // transport; switch-level overrides (DT α) apply to any lineup —
+        // and matter most under lossy HOMA, where DT actually drops
+        // (PFC-lossless fabrics bypass the per-port threshold).
+        let tunes_cc = self
+            .sweep
+            .params
+            .iter()
+            .any(|p| p.gamma.is_some() || p.expected_flows.is_some() || p.hpcc_eta.is_some());
+        if tunes_cc && self.sweep.algos.iter().any(|a| a.is_homa()) {
+            return Err(
+                "the gamma/n/eta params tune windowed-transport CC laws; HOMA takes \
+                 only switch-level params (alpha)"
+                    .into(),
+            );
+        }
+        let mut seen: Vec<String> = Vec::new();
+        for p in &self.sweep.params {
+            p.validate()?;
+            if p.is_default() {
+                return Err(
+                    "params entries must set at least one override (drop the entry \
+                     for the default configuration)"
+                        .into(),
+                );
+            }
+            let label = p.label();
+            if seen.contains(&label) {
+                return Err(format!("duplicate params entry {label:?}"));
+            }
+            seen.push(label);
+        }
         Ok(())
     }
 
@@ -576,6 +944,9 @@ impl ScenarioSpec {
         }
         if !self.sweep.loads.is_empty() {
             return Err("timeseries scenarios have no load axis".into());
+        }
+        if !self.sweep.params.is_empty() {
+            return Err("timeseries scenarios have no params axis".into());
         }
         if self.sweep.algos.is_empty() {
             return Err("timeseries lineup needs at least one algorithm".into());
@@ -599,6 +970,16 @@ impl ScenarioSpec {
         }
         if trace.max_rows < 2 {
             return Err("trace max_rows must be >= 2".into());
+        }
+        if trace.window == 0 {
+            return Err("trace window must be >= 1 (1 = no windowing)".into());
+        }
+        if trace.window > trace.max_samples {
+            return Err(format!(
+                "trace window {} exceeds max_samples {} (every export would \
+                 collapse to one row)",
+                trace.window, trace.max_samples
+            ));
         }
         let known = trace.scenario.channel_names();
         for ch in &trace.channels {
@@ -677,15 +1058,122 @@ impl ScenarioSpec {
         Ok(())
     }
 
-    /// Total number of sweep points (algos × loads × seeds) for sweeps, or
-    /// lineup entries for timeseries scenarios.
+    /// Analytic-kind validation: the fluid parameters, the grids of the
+    /// analytic scenario, and the placeholder constraints (no topology,
+    /// workload, or sweep axes of its own).
+    fn validate_analytic(&self, analytic: &AnalyticSpec) -> Result<(), String> {
+        if self.workload != WorkloadSpec::default() {
+            return Err("analytic scenarios have no workload; remove [workload]".into());
+        }
+        if self.topology != Self::analytic_topology() {
+            return Err("analytic scenarios have no topology; do not set it".into());
+        }
+        if self.sweep != Self::analytic_sweep() {
+            return Err(
+                "analytic scenarios have no sweep axes (the grid lives in [analytic]); \
+                 remove [sweep]"
+                    .into(),
+            );
+        }
+        let finite_pos = |name: &str, v: f64| -> Result<(), String> {
+            if v.is_finite() && v > 0.0 {
+                Ok(())
+            } else {
+                Err(format!("analytic {name} must be positive, got {v}"))
+            }
+        };
+        finite_pos("bandwidth_gbps", analytic.bandwidth_gbps)?;
+        finite_pos("base_rtt_us", analytic.base_rtt_us)?;
+        finite_pos("updates_per_rtt", analytic.updates_per_rtt)?;
+        finite_pos("beta_frac", analytic.beta_frac)?;
+        let unit_gain = |name: &str, v: f64| -> Result<(), String> {
+            if v.is_finite() && v > 0.0 && v <= 1.0 {
+                Ok(())
+            } else {
+                Err(format!("analytic {name} must be in (0, 1], got {v}"))
+            }
+        };
+        unit_gain("gamma", analytic.gamma)?;
+        unit_gain("hpcc_eta", analytic.hpcc_eta)?;
+        let grid_axis = |name: &str, xs: &[f64], allow_zero: bool| -> Result<(), String> {
+            for &x in xs {
+                if !(x.is_finite() && (x > 0.0 || (allow_zero && x == 0.0))) {
+                    return Err(format!(
+                        "analytic {name} entries must be finite and {}, got {x}",
+                        if allow_zero { ">= 0" } else { "> 0" }
+                    ));
+                }
+            }
+            let mut labels: Vec<String> = xs.iter().map(|x| format!("{x}")).collect();
+            labels.sort();
+            labels.dedup();
+            if labels.len() != xs.len() {
+                return Err(format!("analytic {name} entries must be distinct"));
+            }
+            Ok(())
+        };
+        match &analytic.scenario {
+            AnalyticScenario::Phase {
+                laws,
+                w_over_bdp,
+                q_over_bdp,
+            } => {
+                if laws.is_empty() {
+                    return Err("analytic phase needs at least one law".into());
+                }
+                let mut keys: Vec<&str> = laws.iter().map(|l| l.key()).collect();
+                keys.sort();
+                keys.dedup();
+                if keys.len() != laws.len() {
+                    return Err("analytic phase laws must be distinct".into());
+                }
+                if w_over_bdp.is_empty() || q_over_bdp.is_empty() {
+                    return Err("analytic phase needs non-empty w_over_bdp and q_over_bdp".into());
+                }
+                grid_axis("w_over_bdp", w_over_bdp, false)?;
+                grid_axis("q_over_bdp", q_over_bdp, true)?;
+            }
+            AnalyticScenario::Ablation {
+                gammas,
+                beta_fracs,
+                etas,
+            } => {
+                if gammas.is_empty() && beta_fracs.is_empty() && etas.is_empty() {
+                    return Err(
+                        "analytic ablation needs at least one of gammas, beta_fracs, or etas"
+                            .into(),
+                    );
+                }
+                grid_axis("gammas", gammas, false)?;
+                grid_axis("beta_fracs", beta_fracs, false)?;
+                grid_axis("etas", etas, false)?;
+                for &g in gammas {
+                    unit_gain("gammas entry", g)?;
+                }
+                for &e in etas {
+                    unit_gain("etas entry", e)?;
+                }
+            }
+            AnalyticScenario::Laws { tolerance } => {
+                finite_pos("tolerance", *tolerance)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Total number of sweep points (algos × params × loads × seeds) for
+    /// sweeps, or lineup entries for timeseries/analytic scenarios.
     pub fn num_points(&self) -> usize {
         match &self.kind {
             // Single source of truth for the lineup expansion: the count
-            // is the length of the trace engine's actual entry list.
+            // is the length of the engine's actual entry list.
             ScenarioKind::Timeseries(_) => crate::trace_engine::trace_entries(self).len(),
+            ScenarioKind::Analytic(_) => crate::analytic_engine::analytic_entries(self).len(),
             ScenarioKind::Sweep => {
-                self.sweep.algos.len() * self.effective_loads().len() * self.sweep.seeds.len()
+                self.sweep.algos.len()
+                    * self.effective_params().len()
+                    * self.effective_loads().len()
+                    * self.sweep.seeds.len()
             }
         }
     }
@@ -708,6 +1196,59 @@ impl ScenarioSpec {
             "description",
             Value::Str(self.description.clone()),
         );
+        if let ScenarioKind::Analytic(analytic) = &self.kind {
+            kv(&mut out, "kind", Value::Str("analytic".into()));
+
+            out.push_str("\n[analytic]\n");
+            kv(
+                &mut out,
+                "scenario",
+                Value::Str(analytic.scenario.key().into()),
+            );
+            kv(
+                &mut out,
+                "bandwidth_gbps",
+                Value::Float(analytic.bandwidth_gbps),
+            );
+            kv(&mut out, "base_rtt_us", Value::Float(analytic.base_rtt_us));
+            kv(&mut out, "gamma", Value::Float(analytic.gamma));
+            kv(
+                &mut out,
+                "updates_per_rtt",
+                Value::Float(analytic.updates_per_rtt),
+            );
+            kv(&mut out, "beta_frac", Value::Float(analytic.beta_frac));
+            kv(&mut out, "hpcc_eta", Value::Float(analytic.hpcc_eta));
+            let farr = |xs: &[f64]| Value::Array(xs.iter().map(|&x| Value::Float(x)).collect());
+            match &analytic.scenario {
+                AnalyticScenario::Phase {
+                    laws,
+                    w_over_bdp,
+                    q_over_bdp,
+                } => {
+                    kv(
+                        &mut out,
+                        "laws",
+                        Value::Array(laws.iter().map(|l| Value::Str(l.key().into())).collect()),
+                    );
+                    kv(&mut out, "w_over_bdp", farr(w_over_bdp));
+                    kv(&mut out, "q_over_bdp", farr(q_over_bdp));
+                }
+                AnalyticScenario::Ablation {
+                    gammas,
+                    beta_fracs,
+                    etas,
+                } => {
+                    kv(&mut out, "gammas", farr(gammas));
+                    kv(&mut out, "beta_fracs", farr(beta_fracs));
+                    kv(&mut out, "etas", farr(etas));
+                }
+                AnalyticScenario::Laws { tolerance } => {
+                    kv(&mut out, "tolerance", Value::Float(*tolerance));
+                }
+            }
+            return out;
+        }
         if let ScenarioKind::Timeseries(trace) = &self.kind {
             kv(&mut out, "kind", Value::Str("timeseries".into()));
             kv(&mut out, "horizon_ms", Value::Float(self.horizon_ms));
@@ -726,6 +1267,9 @@ impl ScenarioSpec {
                 Value::Int(trace.max_samples as i64),
             );
             kv(&mut out, "max_rows", Value::Int(trace.max_rows as i64));
+            if trace.window != 1 {
+                kv(&mut out, "window", Value::Int(trace.window as i64));
+            }
             if !trace.channels.is_empty() {
                 kv(
                     &mut out,
@@ -865,6 +1409,19 @@ impl ScenarioSpec {
                     .collect(),
             ),
         );
+        if !self.sweep.params.is_empty() {
+            kv(
+                &mut out,
+                "params",
+                Value::Array(
+                    self.sweep
+                        .params
+                        .iter()
+                        .map(|p| Value::Str(p.label()))
+                        .collect(),
+                ),
+            );
+        }
         kv(
             &mut out,
             "loads",
@@ -904,6 +1461,7 @@ impl ScenarioSpec {
                     | "topology"
                     | "workload"
                     | "trace"
+                    | "analytic"
                     | "sweep"
             ) {
                 return Err(format!("unknown top-level key {key:?}"));
@@ -924,14 +1482,18 @@ impl ScenarioSpec {
         match kind.as_str() {
             "sweep" => {}
             "timeseries" => return Self::timeseries_from_table(root, name, description),
+            "analytic" => return Self::analytic_from_table(root, name, description),
             other => {
                 return Err(format!(
-                    "unknown scenario kind {other:?} (expected sweep or timeseries)"
+                    "unknown scenario kind {other:?} (expected sweep, timeseries, or analytic)"
                 ))
             }
         }
         if root.contains_key("trace") {
             return Err("[trace] is only valid with kind = \"timeseries\"".into());
+        }
+        if root.contains_key("analytic") {
+            return Err("[analytic] is only valid with kind = \"analytic\"".into());
         }
         let horizon_ms = get_f64_or(root, "horizon_ms", 4.0)?;
         let drain_ms = get_f64_or(root, "drain_ms", 6.0)?;
@@ -999,6 +1561,7 @@ impl ScenarioSpec {
                     .and_then(Algo::parse)
             })
             .collect::<Result<Vec<_>, _>>()?;
+        let params = parse_params(sweep_t)?;
         let loads = match sweep_t.get("loads") {
             Some(v) => v
                 .as_array()
@@ -1031,10 +1594,138 @@ impl ScenarioSpec {
             drain_ms,
             sweep: SweepSpec {
                 algos,
+                params,
                 loads,
                 seeds,
             },
         })
+    }
+
+    /// The `kind = "analytic"` parse path: an `[analytic]` table instead
+    /// of topology/workload/trace/sweep (all placeholders).
+    fn analytic_from_table(
+        root: &BTreeMap<String, Value>,
+        name: String,
+        description: String,
+    ) -> Result<ScenarioSpec, String> {
+        for (key, msg) in [
+            (
+                "topology",
+                "analytic scenarios have no topology; remove [topology]",
+            ),
+            (
+                "workload",
+                "analytic scenarios have no workload; remove [workload]",
+            ),
+            ("trace", "analytic scenarios have no [trace]; remove it"),
+            (
+                "sweep",
+                "analytic scenarios have no sweep axes (the grid lives in [analytic]); \
+                 remove [sweep]",
+            ),
+            (
+                "horizon_ms",
+                "analytic scenarios have no horizon_ms; remove it",
+            ),
+            ("drain_ms", "analytic scenarios have no drain_ms; remove it"),
+        ] {
+            if root.contains_key(key) {
+                return Err(msg.into());
+            }
+        }
+        let t = get_table(root, "analytic")?;
+        // Key validation is sub-kind aware: a grid key of the *wrong*
+        // sub-kind (e.g. `gammas` on a phase scenario) would otherwise
+        // be silently ignored and run a different experiment than
+        // configured.
+        let sub_kind = get_str(t, "scenario")?;
+        let shared = [
+            "scenario",
+            "bandwidth_gbps",
+            "base_rtt_us",
+            "gamma",
+            "updates_per_rtt",
+            "beta_frac",
+            "hpcc_eta",
+        ];
+        let specific: &[&str] = match sub_kind.as_str() {
+            "phase" => &["laws", "w_over_bdp", "q_over_bdp"],
+            "ablation" => &["gammas", "beta_fracs", "etas"],
+            "laws" => &["tolerance"],
+            // The unknown-scenario error below names the options.
+            _ => &[],
+        };
+        for key in t.keys() {
+            if !shared.contains(&key.as_str()) && !specific.contains(&key.as_str()) {
+                return Err(format!(
+                    "unknown [analytic] key {key:?} for the {sub_kind:?} scenario \
+                     (expected: {})",
+                    specific.join(", ")
+                ));
+            }
+        }
+        let f64s = |key: &str| -> Result<Vec<f64>, String> {
+            match t.get(key) {
+                Some(v) => v
+                    .as_array()
+                    .ok_or(format!("{key} must be an array"))?
+                    .iter()
+                    .map(|v| v.as_f64().ok_or(format!("{key} entries must be numbers")))
+                    .collect(),
+                None => Ok(Vec::new()),
+            }
+        };
+        let scenario = match get_str(t, "scenario")?.as_str() {
+            "phase" => AnalyticScenario::Phase {
+                laws: match t.get("laws") {
+                    Some(v) => v
+                        .as_array()
+                        .ok_or("laws must be an array")?
+                        .iter()
+                        .map(|v| {
+                            v.as_str()
+                                .ok_or_else(|| "laws entries must be strings".to_string())
+                                .and_then(Law::parse)
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                    None => vec![Law::QueueLength, Law::RttGradient, Law::Power],
+                },
+                w_over_bdp: match t.get("w_over_bdp") {
+                    Some(_) => f64s("w_over_bdp")?,
+                    None => fluid_model::DEFAULT_W_FRACS.to_vec(),
+                },
+                q_over_bdp: match t.get("q_over_bdp") {
+                    Some(_) => f64s("q_over_bdp")?,
+                    None => fluid_model::DEFAULT_Q_FRACS.to_vec(),
+                },
+            },
+            "ablation" => AnalyticScenario::Ablation {
+                gammas: f64s("gammas")?,
+                beta_fracs: f64s("beta_fracs")?,
+                etas: f64s("etas")?,
+            },
+            "laws" => AnalyticScenario::Laws {
+                tolerance: get_f64_or(t, "tolerance", 0.05)?,
+            },
+            other => {
+                return Err(format!(
+                    "unknown analytic scenario {other:?} (expected phase, ablation, or laws)"
+                ))
+            }
+        };
+        let defaults = AnalyticSpec::new(scenario);
+        let analytic = AnalyticSpec {
+            bandwidth_gbps: get_f64_or(t, "bandwidth_gbps", defaults.bandwidth_gbps)?,
+            base_rtt_us: get_f64_or(t, "base_rtt_us", defaults.base_rtt_us)?,
+            gamma: get_f64_or(t, "gamma", defaults.gamma)?,
+            updates_per_rtt: get_f64_or(t, "updates_per_rtt", defaults.updates_per_rtt)?,
+            beta_frac: get_f64_or(t, "beta_frac", defaults.beta_frac)?,
+            hpcc_eta: get_f64_or(t, "hpcc_eta", defaults.hpcc_eta)?,
+            scenario: defaults.scenario,
+        };
+        let mut spec = ScenarioSpec::new_analytic(name, analytic);
+        spec.description = description;
+        Ok(spec)
     }
 
     /// The `kind = "timeseries"` parse path: a `[trace]` table instead of
@@ -1064,6 +1755,7 @@ impl ScenarioSpec {
                     | "tick_us"
                     | "max_samples"
                     | "max_rows"
+                    | "window"
                     | "channels"
                     | "fan_in"
                     | "burst_bytes"
@@ -1122,6 +1814,10 @@ impl ScenarioSpec {
                 Some(_) => get_usize(trace_t, "max_rows")?,
                 None => 120,
             },
+            window: match trace_t.get("window") {
+                Some(_) => get_usize(trace_t, "window")?,
+                None => 1,
+            },
             channels: match trace_t.get("channels") {
                 Some(v) => v
                     .as_array()
@@ -1140,6 +1836,9 @@ impl ScenarioSpec {
         let sweep_t = get_table(root, "sweep")?;
         if sweep_t.contains_key("loads") {
             return Err("timeseries scenarios have no load axis; remove sweep.loads".into());
+        }
+        if sweep_t.contains_key("params") {
+            return Err("timeseries scenarios have no params axis; remove sweep.params".into());
         }
         let algos = get_array(sweep_t, "algos")?
             .iter()
@@ -1169,10 +1868,30 @@ impl ScenarioSpec {
             drain_ms,
             sweep: SweepSpec {
                 algos,
+                params: Vec::new(),
                 loads: Vec::new(),
                 seeds,
             },
         })
+    }
+}
+
+/// Parse the optional `params` array of a `[sweep]` table.
+fn parse_params(sweep_t: &BTreeMap<String, Value>) -> Result<Vec<ParamSpec>, String> {
+    match sweep_t.get("params") {
+        Some(v) => v
+            .as_array()
+            .ok_or("sweep.params must be an array")?
+            .iter()
+            .map(|v| {
+                v.as_str()
+                    .ok_or_else(|| {
+                        "sweep.params entries must be strings like \"gamma=0.5\"".to_string()
+                    })
+                    .and_then(ParamSpec::parse)
+            })
+            .collect(),
+        None => Ok(Vec::new()),
     }
 }
 
@@ -1346,6 +2065,7 @@ mod tests {
                 tick_us: 20.0,
                 max_samples: 1024,
                 max_rows: 50,
+                window: 1,
                 channels: Vec::new(),
             },
         )
@@ -1502,6 +2222,305 @@ mod tests {
         .algos([Algo::PowerTcp, Algo::ReTcp, Algo::Hpcc]);
         assert_eq!(s.num_points(), 4); // powertcp + 2x retcp + hpcc
         assert_eq!(ts_spec(TraceScenario::Response).num_points(), 1);
+    }
+
+    #[test]
+    fn analytic_specs_round_trip_and_validate() {
+        use fluid_model::Law;
+        for scenario in [
+            AnalyticScenario::Phase {
+                laws: vec![Law::QueueLength, Law::RttGradient, Law::Power],
+                w_over_bdp: vec![0.05, 1.0, 4.0],
+                q_over_bdp: vec![0.0, 2.0],
+            },
+            AnalyticScenario::Ablation {
+                gammas: vec![0.3, 0.9],
+                beta_fracs: vec![0.05, 0.2],
+                etas: vec![0.95],
+            },
+            AnalyticScenario::Laws { tolerance: 0.02 },
+        ] {
+            let spec = ScenarioSpec::new_analytic("an", AnalyticSpec::new(scenario))
+                .describe("an analytic scenario");
+            spec.validate().unwrap_or_else(|e| panic!("{e}"));
+            let text = spec.to_toml();
+            assert!(text.contains("kind = \"analytic\""), "{text}");
+            assert!(!text.contains("[topology]"), "no topology for analytic");
+            assert!(!text.contains("[sweep]"), "no sweep axes for analytic");
+            let back = ScenarioSpec::from_toml(&text).expect("reparse");
+            assert_eq!(back, spec);
+        }
+    }
+
+    #[test]
+    fn analytic_validation_catches_mistakes() {
+        use fluid_model::Law;
+        let base = || {
+            ScenarioSpec::new_analytic(
+                "an",
+                AnalyticSpec::new(AnalyticScenario::Phase {
+                    laws: vec![Law::Power],
+                    w_over_bdp: vec![1.0],
+                    q_over_bdp: vec![0.0],
+                }),
+            )
+        };
+        assert!(base().validate().is_ok());
+
+        // Sweep axes are placeholders; touching them is an error.
+        let s = base().seeds([7]);
+        assert!(s.validate().unwrap_err().contains("sweep"));
+
+        // Duplicate laws would collide entry labels (and cache keys).
+        let mut s = base();
+        let ScenarioKind::Analytic(a) = &mut s.kind else {
+            unreachable!()
+        };
+        a.scenario = AnalyticScenario::Phase {
+            laws: vec![Law::Power, Law::Power],
+            w_over_bdp: vec![1.0],
+            q_over_bdp: vec![0.0],
+        };
+        assert!(s.validate().unwrap_err().contains("distinct"));
+
+        // Fluid parameters are range-checked.
+        let mut s = base();
+        let ScenarioKind::Analytic(a) = &mut s.kind else {
+            unreachable!()
+        };
+        a.gamma = 1.5;
+        assert!(s.validate().unwrap_err().contains("gamma"));
+
+        // An empty ablation sweeps nothing.
+        let mut s = base();
+        let ScenarioKind::Analytic(a) = &mut s.kind else {
+            unreachable!()
+        };
+        a.scenario = AnalyticScenario::Ablation {
+            gammas: vec![],
+            beta_fracs: vec![],
+            etas: vec![],
+        };
+        assert!(s.validate().unwrap_err().contains("at least one"));
+    }
+
+    #[test]
+    fn analytic_toml_rejects_sim_tables() {
+        let with_topo = r#"
+name = "x"
+kind = "analytic"
+[topology]
+kind = "star"
+hosts = 4
+[analytic]
+scenario = "laws"
+"#;
+        assert!(ScenarioSpec::from_toml(with_topo)
+            .unwrap_err()
+            .contains("no topology"));
+        let sweep_with_analytic = r#"
+name = "x"
+[analytic]
+scenario = "laws"
+[topology]
+kind = "star"
+hosts = 4
+[workload.poisson]
+sizes = "websearch"
+[sweep]
+algos = ["powertcp"]
+loads = [0.5]
+seeds = [1]
+"#;
+        assert!(ScenarioSpec::from_toml(sweep_with_analytic)
+            .unwrap_err()
+            .contains("analytic"));
+    }
+
+    #[test]
+    fn analytic_toml_rejects_sub_kind_mismatched_keys() {
+        // A grid key of the wrong sub-kind must error, not silently run
+        // a different experiment than configured.
+        let phase_with_gammas = r#"
+name = "x"
+kind = "analytic"
+[analytic]
+scenario = "phase"
+gammas = [0.5, 0.9]
+"#;
+        let err = ScenarioSpec::from_toml(phase_with_gammas).unwrap_err();
+        assert!(err.contains("gammas") && err.contains("phase"), "{err}");
+        let ablation_with_grid = r#"
+name = "x"
+kind = "analytic"
+[analytic]
+scenario = "ablation"
+gammas = [0.5]
+w_over_bdp = [0.1, 1.0]
+"#;
+        let err = ScenarioSpec::from_toml(ablation_with_grid).unwrap_err();
+        assert!(err.contains("w_over_bdp"), "{err}");
+        let laws_with_tolerance_ok = r#"
+name = "x"
+kind = "analytic"
+[analytic]
+scenario = "laws"
+tolerance = 0.05
+"#;
+        assert!(ScenarioSpec::from_toml(laws_with_tolerance_ok).is_ok());
+    }
+
+    #[test]
+    fn ablation_fragment_excludes_the_grid_axes() {
+        use fluid_model::Law;
+        // Extending an ablation axis must not move the other entries'
+        // cache keys: the axes are sweep axes, each entry's identity is
+        // its label plus the shared fluid parameters.
+        let small = ScenarioSpec::new_analytic(
+            "ab",
+            AnalyticSpec::new(AnalyticScenario::Ablation {
+                gammas: vec![0.5],
+                beta_fracs: vec![],
+                etas: vec![],
+            }),
+        );
+        let mut wider = small.clone();
+        let ScenarioKind::Analytic(a) = &mut wider.kind else {
+            unreachable!()
+        };
+        a.scenario = AnalyticScenario::Ablation {
+            gammas: vec![0.5, 0.9],
+            beta_fracs: vec![0.1],
+            etas: vec![],
+        };
+        assert_eq!(small.cache_fragment(), wider.cache_fragment());
+        // Shared fluid parameters ARE per-entry physics.
+        let mut tuned = small.clone();
+        let ScenarioKind::Analytic(a) = &mut tuned.kind else {
+            unreachable!()
+        };
+        a.base_rtt_us = 40.0;
+        assert_ne!(small.cache_fragment(), tuned.cache_fragment());
+        // Phase grids stay in the fragment: every law entry integrates
+        // the whole grid.
+        let phase = |w: Vec<f64>| {
+            ScenarioSpec::new_analytic(
+                "ph",
+                AnalyticSpec::new(AnalyticScenario::Phase {
+                    laws: vec![Law::Power],
+                    w_over_bdp: w,
+                    q_over_bdp: vec![0.0],
+                }),
+            )
+        };
+        assert_ne!(
+            phase(vec![1.0]).cache_fragment(),
+            phase(vec![1.0, 2.0]).cache_fragment()
+        );
+    }
+
+    #[test]
+    fn param_specs_round_trip_and_expand_the_sweep() {
+        let p = ParamSpec {
+            gamma: Some(0.5),
+            expected_flows: Some(32),
+            hpcc_eta: Some(0.95),
+            dt_alpha: Some(0.25),
+        };
+        assert_eq!(p.label(), "gamma=0.5,n=32,eta=0.95,alpha=0.25");
+        assert_eq!(ParamSpec::parse(&p.label()), Ok(p));
+        assert_eq!(ParamSpec::parse(""), Ok(ParamSpec::default()));
+        assert!(ParamSpec::parse("gamma").is_err());
+        assert!(ParamSpec::parse("zeta=1").is_err());
+
+        let spec = sample_spec().algos([Algo::PowerTcp, Algo::Hpcc]).params([
+            ParamSpec {
+                gamma: Some(0.5),
+                ..ParamSpec::default()
+            },
+            ParamSpec {
+                gamma: Some(0.9),
+                ..ParamSpec::default()
+            },
+        ]);
+        spec.validate().unwrap();
+        // 2 algos x 2 params x 2 loads x 2 seeds.
+        assert_eq!(spec.num_points(), 16);
+        let text = spec.to_toml();
+        assert!(
+            text.contains("params = [\"gamma=0.5\", \"gamma=0.9\"]"),
+            "{text}"
+        );
+        assert_eq!(ScenarioSpec::from_toml(&text).unwrap(), spec);
+        // Specs without a params axis do not write the key at all.
+        assert!(!sample_spec().to_toml().contains("params"));
+    }
+
+    #[test]
+    fn param_validation_catches_mistakes() {
+        let with = |p: ParamSpec| sample_spec().algos([Algo::PowerTcp]).params([p]);
+        assert!(with(ParamSpec {
+            gamma: Some(0.0),
+            ..ParamSpec::default()
+        })
+        .validate()
+        .unwrap_err()
+        .contains("gamma"));
+        assert!(with(ParamSpec::default())
+            .validate()
+            .unwrap_err()
+            .contains("at least one override"));
+        // Duplicates collide cache keys and report labels.
+        let dup = sample_spec().algos([Algo::PowerTcp]).params([
+            ParamSpec {
+                gamma: Some(0.5),
+                ..ParamSpec::default()
+            },
+            ParamSpec {
+                gamma: Some(0.5),
+                ..ParamSpec::default()
+            },
+        ]);
+        assert!(dup.validate().unwrap_err().contains("duplicate"));
+        // HOMA has no CC params.
+        let homa = sample_spec().algos([Algo::Homa(1)]).params([ParamSpec {
+            gamma: Some(0.5),
+            ..ParamSpec::default()
+        }]);
+        assert!(homa.validate().unwrap_err().contains("HOMA"));
+    }
+
+    #[test]
+    fn trace_window_round_trips_and_validates() {
+        let mut spec = ts_spec(TraceScenario::Fairness {
+            flows: 2,
+            stagger_ms: 1.0,
+        });
+        let ScenarioKind::Timeseries(t) = &mut spec.kind else {
+            unreachable!()
+        };
+        t.window = 4;
+        spec.validate().unwrap();
+        let text = spec.to_toml();
+        assert!(text.contains("window = 4"), "{text}");
+        assert_eq!(ScenarioSpec::from_toml(&text).unwrap(), spec);
+        // The default (1) is not written out.
+        let default = ts_spec(TraceScenario::Fairness {
+            flows: 2,
+            stagger_ms: 1.0,
+        });
+        assert!(!default.to_toml().contains("window"));
+        // Window 0 and window > max_samples are rejected.
+        let ScenarioKind::Timeseries(t) = &mut spec.kind else {
+            unreachable!()
+        };
+        t.window = 0;
+        assert!(spec.validate().unwrap_err().contains("window"));
+        let ScenarioKind::Timeseries(t) = &mut spec.kind else {
+            unreachable!()
+        };
+        t.window = 1_000_000;
+        assert!(spec.validate().unwrap_err().contains("window"));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! byte-identical no matter how many threads run the sweep.
 
 use crate::algo::Algo;
-use crate::engine::{run_point, PointOutcome};
+use crate::engine::PointOutcome;
 use crate::report::SweepResult;
 use crate::spec::ScenarioSpec;
 use crate::trace_engine::{run_trace_entry, TraceEntrySpec};
@@ -22,11 +22,13 @@ use std::sync::Mutex;
 /// One cell of the sweep cross-product.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SweepPoint {
-    /// Position in the expansion (stable: algo-major, then load, then
-    /// seed).
+    /// Position in the expansion (stable: algo-major, then params, then
+    /// load, then seed).
     pub index: usize,
     /// Algorithm.
     pub algo: Algo,
+    /// Algorithm-parameter overrides (default when no params axis).
+    pub param: crate::spec::ParamSpec,
     /// Load (0 for incast-only workloads).
     pub load: f64,
     /// Workload seed.
@@ -36,16 +38,20 @@ pub struct SweepPoint {
 /// Expand a spec's sweep axes into points, in stable order.
 pub fn sweep_points(spec: &ScenarioSpec) -> Vec<SweepPoint> {
     let mut out = Vec::with_capacity(spec.num_points());
+    let params = spec.effective_params();
     let loads = spec.effective_loads();
     for &algo in &spec.sweep.algos {
-        for &load in &loads {
-            for &seed in &spec.sweep.seeds {
-                out.push(SweepPoint {
-                    index: out.len(),
-                    algo,
-                    load,
-                    seed,
-                });
+        for &param in &params {
+            for &load in &loads {
+                for &seed in &spec.sweep.seeds {
+                    out.push(SweepPoint {
+                        index: out.len(),
+                        algo,
+                        param,
+                        load,
+                        seed,
+                    });
+                }
             }
         }
     }
@@ -78,7 +84,7 @@ pub struct Compute;
 
 impl PointSource for Compute {
     fn sweep_point(&self, spec: &ScenarioSpec, point: &SweepPoint) -> PointOutcome {
-        run_point(spec, point.algo, point.load, point.seed)
+        crate::engine::run_sweep_point(spec, point)
     }
 
     fn trace_entry(&self, spec: &ScenarioSpec, entry: &TraceEntrySpec) -> TraceEntry {
@@ -102,9 +108,10 @@ pub fn run_sweep_with(
     source: &dyn PointSource,
 ) -> Result<SweepResult, String> {
     spec.validate()?;
-    if spec.trace().is_some() {
+    if spec.runs_as_entries() {
         return Err(format!(
-            "scenario {:?} is a timeseries scenario; run it with run_scenario/run_trace",
+            "scenario {:?} is a timeseries/analytic scenario; run it with \
+             run_scenario/run_trace",
             spec.name
         ));
     }
@@ -151,8 +158,9 @@ impl ScenarioOutput {
 }
 
 /// Run any scenario, dispatching on its kind: sweeps through
-/// [`run_sweep`], timeseries scenarios through
-/// [`crate::trace_engine::run_trace`]. Both paths share the determinism
+/// [`run_sweep`], timeseries and analytic scenarios through
+/// [`crate::trace_engine::run_trace`] (analytic entries compute via
+/// [`crate::analytic_engine`]). All paths share the determinism
 /// contract: byte-identical output at any `threads` value.
 pub fn run_scenario(spec: &ScenarioSpec, threads: usize) -> Result<ScenarioOutput, String> {
     run_scenario_with(spec, threads, &Compute)
@@ -164,7 +172,7 @@ pub fn run_scenario_with(
     threads: usize,
     source: &dyn PointSource,
 ) -> Result<ScenarioOutput, String> {
-    if spec.trace().is_some() {
+    if spec.runs_as_entries() {
         crate::trace_engine::run_trace_with(spec, threads, source).map(ScenarioOutput::Trace)
     } else {
         run_sweep_with(spec, threads, source).map(ScenarioOutput::Sweep)

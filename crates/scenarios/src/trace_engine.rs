@@ -45,7 +45,12 @@ pub struct TraceEntrySpec {
 
 /// Expand a timeseries spec's lineup into trace entries, in stable order:
 /// algo-major, with reTCP expanding to one entry per configured prebuffer.
+/// Analytic specs expand through [`crate::analytic_engine`] (same entry
+/// shape, so executors and the runner treat both kinds uniformly).
 pub fn trace_entries(spec: &ScenarioSpec) -> Vec<TraceEntrySpec> {
+    if spec.analytic().is_some() {
+        return crate::analytic_engine::analytic_entries(spec);
+    }
     let Some(trace) = spec.trace() else {
         return Vec::new();
     };
@@ -99,7 +104,7 @@ pub fn run_trace_with(
     source: &dyn crate::sweep::PointSource,
 ) -> Result<TraceReport, String> {
     spec.validate()?;
-    if spec.trace().is_none() {
+    if !spec.runs_as_entries() {
         return Err(format!(
             "scenario {:?} is a sweep; run it with run_sweep",
             spec.name
@@ -117,8 +122,12 @@ pub fn run_trace_with(
 }
 
 /// Run one trace entry. Deterministic: identical arguments replay
-/// bit-for-bit, on any thread.
+/// bit-for-bit, on any thread. Analytic entries dispatch to
+/// [`crate::analytic_engine::run_analytic_entry`].
 pub fn run_trace_entry(spec: &ScenarioSpec, entry: &TraceEntrySpec) -> TraceEntry {
+    if spec.analytic().is_some() {
+        return crate::analytic_engine::run_analytic_entry(spec, entry);
+    }
     let trace = spec.trace().expect("trace entry of a timeseries spec");
     match &trace.scenario {
         TraceScenario::Response => response_trace(spec, entry),
@@ -278,10 +287,10 @@ fn cc_sink(
     }
 }
 
-fn export(rec: &Recorder, max_rows: usize) -> Vec<ChannelTrace> {
+fn export(rec: &Recorder, trace: &crate::spec::TraceSpec) -> Vec<ChannelTrace> {
     rec.channels()
         .iter()
-        .map(|c| ChannelTrace::from_channel(c, max_rows))
+        .map(|c| ChannelTrace::from_channel_windowed(c, trace.max_rows, trace.window))
         .collect()
 }
 
@@ -341,7 +350,7 @@ fn response_trace(spec: &ScenarioSpec, entry: &TraceEntrySpec) -> TraceEntry {
     TraceEntry {
         label: entry.label.clone(),
         stats,
-        channels: export(&rec, trace.max_rows),
+        channels: export(&rec, trace),
     }
 }
 
@@ -476,7 +485,7 @@ fn incast_trace(
         ("tail_throughput_mean_gbps".into(), tail_t.borrow().mean()),
         ("drops".into(), drops as f64),
     ];
-    let channels = export(&rec.borrow(), trace.max_rows);
+    let channels = export(&rec.borrow(), trace);
     TraceEntry {
         label: entry.label.clone(),
         stats,
@@ -576,7 +585,7 @@ fn fairness_trace(
     for (i, share) in shares.iter().enumerate() {
         stats.push((format!("flow-{}_mean_gbps", i + 1), *share));
     }
-    let channels = export(&rec.borrow(), trace.max_rows);
+    let channels = export(&rec.borrow(), trace);
     TraceEntry {
         label: entry.label.clone(),
         stats,
@@ -731,7 +740,7 @@ fn rdcn_trace(
         ("completed".into(), completed as f64),
         ("offered".into(), offered as f64),
     ];
-    let channels = export(&rec.borrow(), trace.max_rows);
+    let channels = export(&rec.borrow(), trace);
     TraceEntry {
         label: entry.label.clone(),
         stats,
@@ -752,6 +761,7 @@ mod tests {
                 tick_us: 20.0,
                 max_samples: 4096,
                 max_rows: 60,
+                window: 1,
                 channels: Vec::new(),
             },
         )
@@ -861,6 +871,47 @@ mod tests {
         // The Jain stat still reduces over every flow.
         assert!(e.stat("jain_all_active").is_some());
         assert!(e.stat("flow-2_mean_gbps").is_some());
+    }
+
+    #[test]
+    fn window_option_smooths_exported_channels_but_not_stats() {
+        let raw_spec = ts(TraceScenario::Incast {
+            fan_in: 4,
+            burst_bytes: 100_000,
+            at_ms: 1.0,
+        });
+        let mut win_spec = raw_spec.clone();
+        {
+            let crate::spec::ScenarioKind::Timeseries(t) = &mut win_spec.kind else {
+                unreachable!()
+            };
+            t.window = 4;
+            // Disable decimation so the window reduction is observable.
+            t.max_rows = 4096;
+        }
+        let mut raw_rows = raw_spec.clone();
+        {
+            let crate::spec::ScenarioKind::Timeseries(t) = &mut raw_rows.kind else {
+                unreachable!()
+            };
+            t.max_rows = 4096;
+        }
+        win_spec.validate().unwrap();
+        let raw = run_trace_entry(&raw_rows, &trace_entries(&raw_rows)[0]);
+        let win = run_trace_entry(&win_spec, &trace_entries(&win_spec)[0]);
+        let rq = raw.channel("queue").unwrap();
+        let wq = win.channel("queue").unwrap();
+        // Windows of 4 collapse to one row each (partial tail included).
+        assert_eq!(wq.samples.len(), rq.samples.len().div_ceil(4));
+        // Each exported sample is the mean of its window, anchored at the
+        // window's first x.
+        assert_eq!(wq.samples[0].x, rq.samples[0].x);
+        let mean0: f64 = rq.samples[..4].iter().map(|s| s.y).sum::<f64>() / 4.0;
+        assert_eq!(wq.samples[0].y, mean0);
+        // Raw-sample accounting and scalar stats are untouched: windowing
+        // is an export reduction, not a recording change.
+        assert_eq!(wq.total_samples, rq.total_samples);
+        assert_eq!(win.stats, raw.stats);
     }
 
     #[test]

@@ -23,6 +23,7 @@ fn golden_spec() -> ScenarioSpec {
             tick_us: 50.0,
             max_samples: 256,
             max_rows: 24,
+            window: 1,
             channels: Vec::new(),
         },
     )

@@ -87,6 +87,14 @@ impl<'a> EndpointCtx<'a> {
         self.actions.push(EndpointAction::Send(boxed));
     }
 
+    /// Queue an already-boxed packet for transmission — the zero-copy
+    /// path for endpoints that transform a delivered packet in place
+    /// (e.g. [`crate::packet::Packet::into_ack`]) and send the same box
+    /// back instead of recycling it and building a fresh packet.
+    pub fn send_boxed(&mut self, pkt: Box<Packet>) {
+        self.actions.push(EndpointAction::Send(pkt));
+    }
+
     /// Return a consumed packet's box to the simulator's pool. Endpoints
     /// call this for every delivered packet they are done with; without a
     /// pool (standalone tests) the box is simply freed.

@@ -21,8 +21,13 @@ pub const DEFAULT_MTU: u32 = 1000;
 /// On-wire size of an ACK/grant/control packet.
 pub const CTRL_PKT_BYTES: u32 = 64;
 
-/// ACK payload: per-packet cumulative acknowledgment with echoed telemetry.
-#[derive(Clone, Debug)]
+/// ACK payload: per-packet cumulative acknowledgment with echoed
+/// telemetry. The echoed INT stack is **not** here: an ACK carries it in
+/// the packet's own [`Packet::int`] field (dead weight for ACKs
+/// otherwise, since switches never append to control packets), which is
+/// what lets [`Packet::into_ack`] turn a data packet into its ACK
+/// without copying the ~330-byte header once per ACK.
+#[derive(Clone, Copy, Debug)]
 pub struct AckPayload {
     /// Next byte expected by the receiver (cumulative ACK).
     pub cum_ack: u64,
@@ -32,8 +37,6 @@ pub struct AckPayload {
     pub nack: bool,
     /// Echo of the data packet's transmit timestamp (RTT measurement).
     pub echo_ts: Tick,
-    /// Echo of the data packet's accumulated INT stack.
-    pub echo_int: IntHeader,
     /// Echo of the data packet's ECN CE mark.
     pub ecn_echo: bool,
 }
@@ -48,10 +51,6 @@ pub struct GrantPayload {
 }
 
 /// What kind of packet this is.
-// Variant sizes differ (Data carries inline INT); packets always travel
-// as `Box<Packet>`, so the skew stays on the heap and boxing the large
-// variant would only add a second indirection on the hot path.
-#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
 pub enum PacketKind {
     /// Transport data segment carrying `[seq, seq+len)` of the flow.
@@ -150,34 +149,44 @@ impl Packet {
         }
     }
 
-    /// Construct the ACK for a data packet, echoing telemetry.
+    /// Construct the ACK for a data packet, echoing telemetry (the
+    /// echoed INT stack rides the ACK's own `int` field — one copy here;
+    /// the hot path uses the copy-free [`Packet::into_ack`] instead).
     pub fn ack_for(data: &Packet, cum_ack: u64, nack: bool, now: Tick) -> Packet {
-        let (seq, _len) = match &data.kind {
-            PacketKind::Data { seq, len, .. } => (*seq, *len),
-            _ => panic!("ack_for() requires a data packet"),
+        let mut ack = data.clone();
+        ack.into_ack(cum_ack, nack, now);
+        ack
+    }
+
+    /// Transform this data packet **in place** into its ACK: direction
+    /// reversed, control size/priority, the accumulated INT stack left
+    /// where it is as the echo. Receivers call this on the delivered
+    /// `Box<Packet>` and send the same box back, so the per-ACK cost is
+    /// a handful of scalar writes — no `IntHeader` copy (the stack never
+    /// moves) and no box round-trip through the packet pool. Panics on a
+    /// non-data packet.
+    pub fn into_ack(&mut self, cum_ack: u64, nack: bool, now: Tick) {
+        let seq = match &self.kind {
+            PacketKind::Data { seq, .. } => *seq,
+            _ => panic!("into_ack() requires a data packet"),
         };
-        Packet {
-            flow: data.flow,
-            src: data.dst,
-            dst: data.src,
-            size: CTRL_PKT_BYTES,
-            // ACKs ride the highest class so feedback is never stuck
-            // behind data (standard in DCN transports).
-            priority: 0,
-            ecn_capable: false,
-            ecn_ce: false,
-            int_enable: false,
-            int: IntHeader::new(),
-            sent_at: now,
-            kind: PacketKind::Ack(AckPayload {
-                cum_ack,
-                data_seq: seq,
-                nack,
-                echo_ts: data.sent_at,
-                echo_int: data.int,
-                ecn_echo: data.ecn_ce,
-            }),
-        }
+        self.kind = PacketKind::Ack(AckPayload {
+            cum_ack,
+            data_seq: seq,
+            nack,
+            echo_ts: self.sent_at,
+            ecn_echo: self.ecn_ce,
+        });
+        std::mem::swap(&mut self.src, &mut self.dst);
+        self.size = CTRL_PKT_BYTES;
+        // ACKs ride the highest class so feedback is never stuck behind
+        // data (standard in DCN transports).
+        self.priority = 0;
+        self.ecn_capable = false;
+        self.ecn_ce = false;
+        self.int_enable = false;
+        self.sent_at = now;
+        // `self.int` is untouched: it IS the echo.
     }
 
     /// Bytes of transport payload carried (0 for control packets).
@@ -248,11 +257,53 @@ mod tests {
                 assert_eq!(pl.data_seq, 5000);
                 assert!(pl.ecn_echo);
                 assert_eq!(pl.echo_ts, Tick::from_micros(5));
-                assert_eq!(pl.echo_int.hops()[0].qlen_bytes, 777);
             }
             _ => panic!("wrong kind"),
         }
+        // The echoed INT stack rides the ACK's own header field.
+        assert_eq!(a.int.hops()[0].qlen_bytes, 777);
         assert!(!a.kind.collects_int());
+        assert!(!a.ecn_ce, "the CE mark is echoed in the payload, not set");
+    }
+
+    #[test]
+    fn into_ack_transforms_in_place_without_moving_the_int_stack() {
+        let mut d = Packet::data(
+            FlowId(9),
+            NodeId(4),
+            NodeId(5),
+            2000,
+            1000,
+            false,
+            Tick::from_micros(3),
+        );
+        d.int.push(IntHopMetadata {
+            node: 1,
+            port: 2,
+            qlen_bytes: 555,
+            ts: Tick::from_micros(4),
+            tx_bytes: 7,
+            bandwidth: Bandwidth::gbps(25),
+        });
+        let by_ref = Packet::ack_for(&d, 3000, true, Tick::from_micros(6));
+        d.into_ack(3000, true, Tick::from_micros(6));
+        // The in-place transform produces exactly what ack_for builds.
+        assert_eq!(d.src, by_ref.src);
+        assert_eq!(d.dst, by_ref.dst);
+        assert_eq!(d.size, CTRL_PKT_BYTES);
+        assert_eq!(d.priority, 0);
+        assert!(!d.int_enable);
+        assert_eq!(d.int.hops()[0].qlen_bytes, 555);
+        match (&d.kind, &by_ref.kind) {
+            (PacketKind::Ack(a), PacketKind::Ack(b)) => {
+                assert_eq!(a.cum_ack, b.cum_ack);
+                assert_eq!(a.data_seq, b.data_seq);
+                assert_eq!(a.nack, b.nack);
+                assert_eq!(a.echo_ts, b.echo_ts);
+                assert_eq!(a.ecn_echo, b.ecn_echo);
+            }
+            _ => panic!("wrong kind"),
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! determinism contract golden-tested in `crates/scenarios/tests/`).
 
 use crate::probe::{Channel, Sample};
-use crate::reduce::decimate;
+use crate::reduce::{decimate, window_mean};
 
 /// One exported channel: metadata plus (decimated) samples.
 #[derive(Clone, Debug, PartialEq)]
@@ -30,14 +30,28 @@ pub struct ChannelTrace {
 impl ChannelTrace {
     /// Export a recorder channel, decimating to at most `max_rows` rows.
     pub fn from_channel(ch: &Channel, max_rows: usize) -> Self {
+        Self::from_channel_windowed(ch, max_rows, 1)
+    }
+
+    /// Export a recorder channel through the windowed-mean reducer
+    /// (consecutive windows of `window` kept samples averaged; 1 = off)
+    /// before decimating to at most `max_rows` rows. `total_samples` and
+    /// `evicted` keep counting *raw* samples — windowing is an export
+    /// reduction, not a recording change.
+    pub fn from_channel_windowed(ch: &Channel, max_rows: usize, window: usize) -> Self {
         let kept = ch.ring.to_vec();
+        let reduced = if window > 1 {
+            window_mean(&kept, window)
+        } else {
+            kept
+        };
         ChannelTrace {
             name: ch.name.clone(),
             unit: ch.unit.clone(),
             x_unit: ch.x_unit.clone(),
             total_samples: ch.ring.len() as u64 + ch.ring.evicted(),
             evicted: ch.ring.evicted(),
-            samples: decimate(&kept, max_rows),
+            samples: decimate(&reduced, max_rows),
         }
     }
 }
@@ -161,14 +175,23 @@ impl TraceReport {
     }
 
     /// Render the entry stats as a human-readable markdown table (one row
-    /// per entry; columns are the first entry's stat names).
+    /// per entry; columns are the union of stat names in first-seen
+    /// order, so lineups with per-entry stat sets — analytic grids —
+    /// still show everything).
     pub fn table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("\n## {} — {}\n\n", self.name, self.description));
-        let Some(first) = self.entries.first() else {
+        if self.entries.is_empty() {
             return out;
-        };
-        let cols: Vec<&str> = first.stats.iter().map(|(k, _)| k.as_str()).collect();
+        }
+        let mut cols: Vec<&str> = Vec::new();
+        for e in &self.entries {
+            for (k, _) in &e.stats {
+                if !cols.contains(&k.as_str()) {
+                    cols.push(k);
+                }
+            }
+        }
         out.push_str(&format!("| entry | {} |\n", cols.join(" | ")));
         out.push_str(&format!(
             "|---|{}|\n",

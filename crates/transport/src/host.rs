@@ -199,9 +199,10 @@ impl TransportHost {
         }
         let newly = pl.cum_ack.saturating_sub(f.snd_una);
         f.snd_una = f.snd_una.max(pl.cum_ack);
-        // Feed the control law.
+        // Feed the control law (an ACK carries the echoed INT stack in
+        // its own header field — see `Packet::into_ack`).
         let rtt = ctx.now.saturating_sub(pl.echo_ts);
-        let int = (!pl.echo_int.is_empty()).then_some(&pl.echo_int);
+        let int = (!pkt.int.is_empty()).then_some(&pkt.int);
         f.cc.on_ack(&AckInfo {
             now: ctx.now,
             ack_seq: pl.cum_ack,
@@ -243,7 +244,11 @@ impl TransportHost {
         self.try_send(idx, ctx);
     }
 
-    fn on_data(&mut self, pkt: &Packet, ctx: &mut EndpointCtx<'_>) {
+    /// Receive one data packet and send its ACK — in the *same* box: the
+    /// delivered packet is transformed in place ([`Packet::into_ack`]),
+    /// so the per-ACK cost is a few scalar writes instead of an
+    /// `IntHeader` copy plus a pool round-trip.
+    fn on_data(&mut self, mut pkt: Box<Packet>, ctx: &mut EndpointCtx<'_>) {
         let PacketKind::Data { seq, len, is_last } = pkt.kind else {
             return;
         };
@@ -266,6 +271,7 @@ impl TransportHost {
             // only the in-order prefix. NACK on a gap.
             seq > r.rcv_nxt
         };
+        let cum_ack = r.rcv_nxt;
         if !r.complete {
             if let Some(end) = r.end_seq {
                 if r.rcv_nxt >= end {
@@ -274,8 +280,8 @@ impl TransportHost {
                 }
             }
         }
-        let ack = Packet::ack_for(pkt, r.rcv_nxt, nack, ctx.now);
-        ctx.send(ack);
+        pkt.into_ack(cum_ack, nack, ctx.now);
+        ctx.send_boxed(pkt);
     }
 
     fn on_rto(&mut self, idx: usize, ctx: &mut EndpointCtx<'_>) {
@@ -337,11 +343,14 @@ impl Endpoint for TransportHost {
 
     fn on_packet(&mut self, pkt: Box<Packet>, ctx: &mut EndpointCtx<'_>) {
         match pkt.kind {
-            PacketKind::Data { .. } => self.on_data(&pkt, ctx),
-            PacketKind::Ack(_) => self.on_ack(&pkt, ctx),
-            _ => {}
+            // Data consumes the box: it goes back out as the ACK.
+            PacketKind::Data { .. } => self.on_data(pkt, ctx),
+            PacketKind::Ack(_) => {
+                self.on_ack(&pkt, ctx);
+                ctx.recycle(pkt);
+            }
+            _ => ctx.recycle(pkt),
         }
-        ctx.recycle(pkt);
     }
 
     fn cc_samples(&self, out: &mut Vec<CcFlowSample>) {
