@@ -10,7 +10,9 @@
 //!        [--cache-dir DIR]        # cache somewhere else (implies --cache)
 //!        [--json FILE | -]        # write JSON results (- = stdout)
 //!        [--csv FILE | -]         # write CSV results (- = stdout)
-//!        [--meta FILE | -]        # write JSON run metadata (cache hits, procs)
+//!        [--meta FILE | -]        # write JSON run metadata (spans, counters)
+//!        [--progress]             # live done/total (cached k) · ETA on stderr
+//!        [--log-json FILE]        # NDJSON span stream (one record per point)
 //!        [--seeds a,b,c]          # override the spec's seed grid
 //! xp diff <a.json> <b.json>       # compare two JSON reports
 //! xp diff <a.csv> <b.csv>         # ... or two CSV reports, cell-wise
@@ -33,10 +35,10 @@
 //! xp diff baseline.json new.json`; a directory of baselines compares in
 //! one shot with `xp diff baselines/ fresh/ --tol 0`.
 
-use dcn_runner::{diff_dirs, worker_main, ResultCache, RunConfig, RunStats};
+use dcn_runner::{diff_dirs, worker_main, ResultCache, RunConfig};
 use dcn_scenarios::{
     bench_table, bench_to_json, builtin, builtin_specs, diff_csv, diff_reports, run_bench,
-    ScenarioOutput, ScenarioSpec,
+    ScenarioSpec,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -45,7 +47,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  xp list\n  xp show <name>\n  xp run <spec.toml | name> \
          [--threads N] [--procs N] [--cache] [--cache-dir DIR]\n           \
-         [--json FILE|-] [--csv FILE|-] [--meta FILE|-] [--seeds a,b,c]\n  \
+         [--json FILE|-] [--csv FILE|-] [--meta FILE|-]\n           \
+         [--progress] [--log-json FILE] [--seeds a,b,c]\n  \
          xp diff <a.json|dirA> <b.json|dirB> [--tol X]\n  \
          xp cache <stat|clear> [--cache-dir DIR]\n  \
          xp bench [--runs N] [--json FILE|-]"
@@ -212,6 +215,8 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
             "--json" => json = Some(take(&mut i)?),
             "--csv" => csv = Some(take(&mut i)?),
             "--meta" => meta = Some(take(&mut i)?),
+            "--progress" => cfg.progress = true,
+            "--log-json" => cfg.log_json = Some(PathBuf::from(take(&mut i)?)),
             "--seeds" => {
                 let list = take(&mut i)?;
                 let parsed: Result<Vec<u64>, _> =
@@ -263,44 +268,6 @@ fn emit(kind: &str, dest: &str, content: &str) -> Result<(), String> {
     }
 }
 
-/// The `--meta` sidecar: run metadata as JSON. Kept *outside* the result
-/// reports so a cold and a warm cache run (or 1 vs 8 procs) still write
-/// byte-identical report files.
-fn meta_json(
-    spec: &ScenarioSpec,
-    output: &ScenarioOutput,
-    args: &RunArgs,
-    stats: &RunStats,
-) -> String {
-    format!(
-        "{{\n  \"scenario\": {},\n  \"kind\": \"{}\",\n  \"points\": {},\n  \
-         \"threads\": {},\n  \"procs\": {},\n  \"cache_enabled\": {},\n  \
-         \"cache_hits\": {},\n  \"cache_misses\": {},\n  \"fallback\": {},\n  \
-         \"engine_version\": {},\n  \"key_format\": {}\n}}\n",
-        dcn_runner::codec::jstr(&spec.name),
-        if spec.analytic().is_some() {
-            "analytic"
-        } else {
-            match output {
-                ScenarioOutput::Sweep(_) => "sweep",
-                ScenarioOutput::Trace(_) => "timeseries",
-            }
-        },
-        stats.points,
-        args.cfg.threads,
-        stats.procs,
-        args.cfg.cache_dir.is_some(),
-        stats.cache_hits,
-        stats.cache_misses,
-        match &stats.fallback {
-            Some(why) => dcn_runner::codec::jstr(why),
-            None => "null".into(),
-        },
-        dcn_sim::ENGINE_VERSION,
-        dcn_runner::KEY_FORMAT,
-    )
-}
-
 fn run(args: &[String]) -> ExitCode {
     let parsed = match parse_run_args(args) {
         Ok(p) => p,
@@ -349,7 +316,12 @@ fn run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    eprintln!("done in {:.2?}", t0.elapsed());
+    match &stats.summary {
+        // The roll-up renders through the same SummaryRecord the
+        // --log-json stream writes, so the two views cannot drift.
+        Some(sum) => eprintln!("{}", sum.table_row()),
+        None => eprintln!("done in {:.2?}", t0.elapsed()),
+    }
     if let Some(why) = &stats.fallback {
         eprintln!("note: fell back to in-process threads ({why})");
     }
@@ -369,7 +341,12 @@ fn run(args: &[String]) -> ExitCode {
         (
             "meta",
             &parsed.meta,
-            meta_json(&spec, &result, &parsed, &stats),
+            dcn_runner::meta_json(
+                &spec,
+                parsed.cfg.threads,
+                parsed.cfg.cache_dir.is_some(),
+                &stats,
+            ),
         ),
     ] {
         if let Some(dest) = dest {

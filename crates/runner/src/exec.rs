@@ -6,15 +6,21 @@
 //! payloads are bit-exact, and the reduction to reports is the same
 //! [`SweepResult::build`] / [`TraceReport`] assembly the in-process
 //! executor uses — so the report bytes are identical at any
-//! `--threads` / `--procs` value and any cache state.
+//! `--threads` / `--procs` value and any cache state. Observability
+//! (per-point spans, the `--progress` line, the `--log-json` stream)
+//! rides alongside through a [`crate::obs::RunObserver`] and never
+//! feeds the report path.
 
 use crate::cache::ResultCache;
 use crate::codec::Outcome;
 use crate::key::{entry_key, point_key};
+use crate::obs::RunObserver;
 use crate::worker;
 use dcn_scenarios::{
-    run_scenario_with, sweep_points, trace_entries, Compute, PointOutcome, PointSource,
-    ScenarioOutput, ScenarioSpec, SweepPoint, SweepResult, TraceEntrySpec,
+    point_label, run_scenario_observed, run_sweep_point_observed, run_trace_entry_observed,
+    spec_kind, sweep_points, trace_entries, CacheStatus, PointObs, PointOutcome, PointSource,
+    ScenarioOutput, ScenarioSpec, SpanRecord, SummaryRecord, SweepPoint, SweepResult,
+    TraceEntrySpec,
 };
 use dcn_telemetry::{TraceEntry, TraceReport};
 use std::io::Write;
@@ -35,6 +41,12 @@ pub struct RunConfig {
     /// Binary to spawn in worker mode (defaults to the current
     /// executable, which is correct when the caller *is* `xp`).
     pub worker_exe: Option<PathBuf>,
+    /// Redraw a `done/total (cached k) · ETA` line on stderr as points
+    /// complete.
+    pub progress: bool,
+    /// Stream one NDJSON span record per point (plus a final summary
+    /// record) to this file.
+    pub log_json: Option<PathBuf>,
 }
 
 impl Default for RunConfig {
@@ -44,15 +56,17 @@ impl Default for RunConfig {
             procs: 1,
             cache_dir: None,
             worker_exe: None,
+            progress: false,
+            log_json: None,
         }
     }
 }
 
 /// What a run did, beyond its report: the run metadata surfaced by
-/// `xp run` (stderr summary and the `--meta` sidecar) — deliberately
-/// *not* embedded in the result report, whose bytes are pinned across
-/// cache states and process counts.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+/// `xp run` (stderr summary, the `--meta` sidecar, the `--log-json`
+/// stream) — deliberately *not* embedded in the result report, whose
+/// bytes are pinned across cache states and process counts.
+#[derive(Clone, Debug, Default)]
 pub struct RunStats {
     /// Points / lineup entries executed.
     pub points: usize,
@@ -65,6 +79,10 @@ pub struct RunStats {
     /// Why multi-process execution fell back to in-process threads, if
     /// it did.
     pub fallback: Option<String>,
+    /// One span per point, in index order.
+    pub spans: Vec<SpanRecord>,
+    /// The run roll-up (wall clock, cached count, event totals).
+    pub summary: Option<SummaryRecord>,
 }
 
 /// A [`PointSource`] that consults a [`ResultCache`] before computing,
@@ -93,59 +111,92 @@ impl CachingSource {
             self.misses.load(Ordering::Relaxed),
         )
     }
-
-    /// One sweep point through the cache; the bool is "was a hit".
-    pub fn sweep_point_tracked(
-        &self,
-        spec: &ScenarioSpec,
-        point: &SweepPoint,
-    ) -> (PointOutcome, bool) {
-        let Some(cache) = &self.cache else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            return (Compute.sweep_point(spec, point), false);
-        };
-        let key = point_key(spec, point);
-        if let Some(Outcome::Sweep(out)) = cache.load(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return (*out, true);
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let out = Compute.sweep_point(spec, point);
-        // Best-effort store: an unwritable cache degrades to recompute,
-        // it does not fail the run.
-        let _ = cache.store(&key, &Outcome::Sweep(Box::new(out.clone())));
-        (out, false)
-    }
-
-    /// One trace entry through the cache; the bool is "was a hit".
-    pub fn trace_entry_tracked(
-        &self,
-        spec: &ScenarioSpec,
-        entry: &TraceEntrySpec,
-    ) -> (TraceEntry, bool) {
-        let Some(cache) = &self.cache else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            return (Compute.trace_entry(spec, entry), false);
-        };
-        let key = entry_key(spec, entry);
-        if let Some(Outcome::Trace(out)) = cache.load(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return (*out, true);
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let out = Compute.trace_entry(spec, entry);
-        let _ = cache.store(&key, &Outcome::Trace(Box::new(out.clone())));
-        (out, false)
-    }
 }
 
 impl PointSource for CachingSource {
     fn sweep_point(&self, spec: &ScenarioSpec, point: &SweepPoint) -> PointOutcome {
-        self.sweep_point_tracked(spec, point).0
+        self.sweep_point_obs(spec, point).0
     }
 
     fn trace_entry(&self, spec: &ScenarioSpec, entry: &TraceEntrySpec) -> TraceEntry {
-        self.trace_entry_tracked(spec, entry).0
+        self.trace_entry_obs(spec, entry).0
+    }
+
+    fn sweep_point_obs(&self, spec: &ScenarioSpec, point: &SweepPoint) -> (PointOutcome, PointObs) {
+        let Some(cache) = &self.cache else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            let (out, stats) = run_sweep_point_observed(spec, point);
+            return (
+                out,
+                PointObs {
+                    cache: CacheStatus::Computed,
+                    stats: Some(stats),
+                },
+            );
+        };
+        let key = point_key(spec, point);
+        if let Some(Outcome::Sweep(out)) = cache.load(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            // Hits carry no stats: no simulator ran.
+            return (
+                *out,
+                PointObs {
+                    cache: CacheStatus::Hit,
+                    stats: None,
+                },
+            );
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let (out, stats) = run_sweep_point_observed(spec, point);
+        // Best-effort store: an unwritable cache degrades to recompute,
+        // it does not fail the run.
+        let _ = cache.store(&key, &Outcome::Sweep(Box::new(out.clone())));
+        (
+            out,
+            PointObs {
+                cache: CacheStatus::Miss,
+                stats: Some(stats),
+            },
+        )
+    }
+
+    fn trace_entry_obs(
+        &self,
+        spec: &ScenarioSpec,
+        entry: &TraceEntrySpec,
+    ) -> (TraceEntry, PointObs) {
+        let Some(cache) = &self.cache else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            let (out, stats) = run_trace_entry_observed(spec, entry);
+            return (
+                out,
+                PointObs {
+                    cache: CacheStatus::Computed,
+                    stats,
+                },
+            );
+        };
+        let key = entry_key(spec, entry);
+        if let Some(Outcome::Trace(out)) = cache.load(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (
+                *out,
+                PointObs {
+                    cache: CacheStatus::Hit,
+                    stats: None,
+                },
+            );
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let (out, stats) = run_trace_entry_observed(spec, entry);
+        let _ = cache.store(&key, &Outcome::Trace(Box::new(out.clone())));
+        (
+            out,
+            PointObs {
+                cache: CacheStatus::Miss,
+                stats,
+            },
+        )
     }
 }
 
@@ -160,7 +211,10 @@ pub fn run(spec: &ScenarioSpec, cfg: &RunConfig) -> Result<(ScenarioOutput, RunS
             Err(why) => {
                 // Clean fallback: same points, same merge, in-process.
                 // With the cache on, any outcome a worker managed to
-                // store is reused rather than recomputed.
+                // store is reused rather than recomputed. A fresh
+                // observer (inside run_inproc) re-truncates the NDJSON
+                // log, so it holds only the attempt that produced the
+                // report.
                 let (out, mut stats) = run_inproc(spec, cfg, cfg.threads.max(cfg.procs))?;
                 stats.fallback = Some(why);
                 return Ok((out, stats));
@@ -176,8 +230,10 @@ fn run_inproc(
     threads: usize,
 ) -> Result<(ScenarioOutput, RunStats), String> {
     let source = CachingSource::new(cfg.cache_dir.as_ref().map(ResultCache::new));
-    let output = run_scenario_with(spec, threads.max(1), &source)?;
+    let obs = RunObserver::new(spec.num_points(), cfg.progress, cfg.log_json.as_deref())?;
+    let output = run_scenario_observed(spec, threads.max(1), &source, &obs)?;
     let (cache_hits, cache_misses) = source.counters();
+    let (spans, summary) = obs.finish(&spec.name, spec_kind(spec));
     Ok((
         output,
         RunStats {
@@ -186,13 +242,19 @@ fn run_inproc(
             cache_misses,
             procs: 1,
             fallback: None,
+            spans,
+            summary: Some(summary),
         },
     ))
 }
 
 /// Multi-process execution: shard point indices round-robin over `xp
 /// worker` children, stream their outcome lines back, and merge by
-/// index. Any worker failure aborts to the caller, which falls back to
+/// index. Workers ship per-point wall clocks and engine counters along
+/// with each outcome; the parent replays them as shard-tagged spans
+/// through the same observer the in-process path uses. Any worker
+/// failure aborts to the caller (with `shard K/N (points ...)` context,
+/// which becomes the fallback note), and the caller falls back to
 /// in-process execution.
 fn run_procs(spec: &ScenarioSpec, cfg: &RunConfig) -> Result<(ScenarioOutput, RunStats), String> {
     let exe = match &cfg.worker_exe {
@@ -200,10 +262,15 @@ fn run_procs(spec: &ScenarioSpec, cfg: &RunConfig) -> Result<(ScenarioOutput, Ru
         None => std::env::current_exe().map_err(|e| format!("cannot locate worker binary: {e}"))?,
     };
     let is_trace = spec.runs_as_entries();
-    let n = if is_trace {
-        trace_entries(spec).len()
+    let (n, labels): (usize, Vec<String>) = if is_trace {
+        let entries = trace_entries(spec);
+        (
+            entries.len(),
+            entries.iter().map(|e| e.label.clone()).collect(),
+        )
     } else {
-        sweep_points(spec).len()
+        let points = sweep_points(spec);
+        (points.len(), points.iter().map(point_label).collect())
     };
     let procs = cfg.procs.clamp(1, n.max(1));
     let spec_toml = spec.to_toml();
@@ -214,14 +281,16 @@ fn run_procs(spec: &ScenarioSpec, cfg: &RunConfig) -> Result<(ScenarioOutput, Ru
         .map(|w| (w..n).step_by(procs).collect())
         .collect();
 
-    let mut children: Vec<Child> = Vec::new();
-    let reap = |children: &mut Vec<Child>| {
-        for c in children.iter_mut() {
+    // (shard id, owned indices, child) — the id and indices give every
+    // failure message (and the fallback note) its shard context.
+    let mut children: Vec<(usize, &[usize], Child)> = Vec::new();
+    let reap = |children: &mut Vec<(usize, &[usize], Child)>| {
+        for (_, _, c) in children.iter_mut() {
             let _ = c.kill();
             let _ = c.wait();
         }
     };
-    for shard in shards.iter().filter(|s| !s.is_empty()) {
+    for (w, shard) in shards.iter().enumerate().filter(|(_, s)| !s.is_empty()) {
         let mut child = match Command::new(&exe)
             .arg("worker")
             .stdin(Stdio::piped())
@@ -235,7 +304,7 @@ fn run_procs(spec: &ScenarioSpec, cfg: &RunConfig) -> Result<(ScenarioOutput, Ru
                 return Err(format!("cannot spawn {}: {e}", exe.display()));
             }
         };
-        let manifest = worker::manifest_json(&spec_toml, shard, cfg.cache_dir.as_deref());
+        let manifest = worker::manifest_json(&spec_toml, shard, cfg.cache_dir.as_deref(), w, procs);
         if let Err(e) = child
             .stdin
             .take()
@@ -245,21 +314,26 @@ fn run_procs(spec: &ScenarioSpec, cfg: &RunConfig) -> Result<(ScenarioOutput, Ru
             let _ = child.kill();
             let _ = child.wait();
             reap(&mut children);
-            return Err(format!("cannot write worker manifest: {e}"));
+            return Err(format!(
+                "shard {w}/{procs} (points {}): cannot write worker manifest: {e}",
+                worker::fmt_indices(shard)
+            ));
         }
         // Dropping stdin closes the pipe; the worker sees EOF.
-        children.push(child);
+        children.push((w, shard, child));
     }
 
+    let obs = RunObserver::new(n, cfg.progress, cfg.log_json.as_deref())?;
     let mut slots: Vec<Option<Outcome>> = (0..n).map(|_| None).collect();
     let (mut hits, mut misses) = (0u64, 0u64);
     // Consume children one at a time; on any error, reap the rest before
     // returning so the fallback path does not race still-running workers
     // (and nothing is left a zombie).
-    while let Some(child) = children.pop() {
-        let bail = |children: &mut Vec<Child>, why: String| {
+    while let Some((w, shard, child)) = children.pop() {
+        let ctx = format!("shard {w}/{procs} (points {})", worker::fmt_indices(shard));
+        let bail = |children: &mut Vec<(usize, &[usize], Child)>, why: String| {
             reap(children);
-            why
+            format!("{ctx}: {why}")
         };
         let out = match child.wait_with_output() {
             Ok(out) => out,
@@ -278,27 +352,51 @@ fn run_procs(spec: &ScenarioSpec, cfg: &RunConfig) -> Result<(ScenarioOutput, Ru
             ));
         };
         for line in text.lines().filter(|l| !l.trim().is_empty()) {
-            let (index, cached, outcome) = match worker::parse_result_line(line) {
+            let r = match worker::parse_result_line(line) {
                 Ok(parsed) => parsed,
                 Err(e) => return Err(bail(&mut children, e)),
             };
-            if index >= n {
+            if r.index >= n {
                 return Err(bail(
                     &mut children,
-                    format!("worker returned out-of-range index {index}"),
+                    format!("worker returned out-of-range index {}", r.index),
                 ));
             }
-            if cached {
+            if r.cached {
                 hits += 1;
             } else {
                 misses += 1;
             }
-            slots[index] = Some(outcome);
+            // Replay the worker's observability sidecar as a
+            // shard-tagged span. Cache semantics mirror the worker's
+            // CachingSource: hit / miss with a cache, computed without.
+            obs.record(SpanRecord {
+                index: r.index,
+                label: labels[r.index].clone(),
+                cache: if r.cached {
+                    CacheStatus::Hit
+                } else if cfg.cache_dir.is_some() {
+                    CacheStatus::Miss
+                } else {
+                    CacheStatus::Computed
+                },
+                shard: Some(w),
+                wall_ms: r.wall_ms,
+                stats: r.sim,
+            });
+            slots[r.index] = Some(r.outcome);
+        }
+        if let Some(&missing) = shard.iter().find(|i| slots[**i].is_none()) {
+            return Err(bail(
+                &mut children,
+                format!("worker dropped point {missing}"),
+            ));
         }
     }
     if let Some(missing) = slots.iter().position(|s| s.is_none()) {
         return Err(format!("worker dropped point {missing}"));
     }
+    let (spans, summary) = obs.finish(&spec.name, spec_kind(spec));
 
     // Order-stable merge: slots are already in expansion order.
     let output = if is_trace {
@@ -332,6 +430,8 @@ fn run_procs(spec: &ScenarioSpec, cfg: &RunConfig) -> Result<(ScenarioOutput, Ru
             cache_misses: misses,
             procs,
             fallback: None,
+            spans,
+            summary: Some(summary),
         },
     ))
 }
@@ -364,14 +464,33 @@ mod tests {
         let (cold, cold_stats) = run(&spec, &cfg).unwrap();
         assert_eq!(cold_stats.cache_hits, 0);
         assert_eq!(cold_stats.cache_misses, cold_stats.points as u64);
+        // Cold points are misses with real engine counters attached.
+        assert_eq!(cold_stats.spans.len(), cold_stats.points);
+        assert!(cold_stats
+            .spans
+            .iter()
+            .all(|s| s.cache == CacheStatus::Miss
+                && s.stats.is_some_and(|st| st.events_processed > 0)));
         let (warm, warm_stats) = run(&spec, &cfg).unwrap();
         assert_eq!(warm_stats.cache_hits, warm_stats.points as u64);
         assert_eq!(warm_stats.cache_misses, 0);
+        // Warm spans are hits with no stats: no simulator ran.
+        assert!(warm_stats
+            .spans
+            .iter()
+            .all(|s| s.cache == CacheStatus::Hit && s.stats.is_none()));
+        let summary = warm_stats.summary.as_ref().unwrap();
+        assert_eq!(summary.cached, warm_stats.points);
+        assert_eq!(summary.events, 0);
         assert_eq!(json_of(&cold), json_of(&warm));
         assert_eq!(cold.to_csv(), warm.to_csv());
         // And identical to an uncached run.
-        let (plain, _) = run(&spec, &RunConfig::default()).unwrap();
+        let (plain, plain_stats) = run(&spec, &RunConfig::default()).unwrap();
         assert_eq!(json_of(&plain), json_of(&cold));
+        assert!(plain_stats
+            .spans
+            .iter()
+            .all(|s| s.cache == CacheStatus::Computed));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -385,6 +504,8 @@ mod tests {
         };
         let (out, stats) = run(&spec, &cfg).unwrap();
         assert!(stats.fallback.is_some(), "must report the fallback");
+        // The fallback attempt still produces a full span table.
+        assert_eq!(stats.spans.len(), stats.points);
         let (plain, _) = run(&spec, &RunConfig::default()).unwrap();
         assert_eq!(json_of(&out), json_of(&plain));
     }
@@ -402,6 +523,29 @@ mod tests {
         assert_eq!(s1.cache_misses, 1);
         assert_eq!(s2.cache_hits, 1);
         assert_eq!(json_of(&cold), json_of(&warm));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ndjson_log_rides_along_without_touching_the_report() {
+        let dir = tmp_dir("ndjson");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = builtin("fig6-small").unwrap();
+        let log = dir.join("run.ndjson");
+        let cfg = RunConfig {
+            threads: 2,
+            log_json: Some(log.clone()),
+            ..RunConfig::default()
+        };
+        let (logged, _) = run(&spec, &cfg).unwrap();
+        let (plain, _) = run(&spec, &RunConfig::default()).unwrap();
+        assert_eq!(json_of(&logged), json_of(&plain), "log must not perturb");
+        let text = std::fs::read_to_string(&log).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), spec.num_points() + 1, "spans + summary");
+        for line in &lines {
+            dcn_scenarios::diff::parse_json(line).expect("well-formed NDJSON");
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -21,7 +21,10 @@
 //!   executors of `dcn-scenarios`) and multi-process sharded execution
 //!   (`--procs N`), with clean fallback to threads.
 //! * [`worker`] — the `xp worker` protocol: shard manifest on stdin,
-//!   bit-exact outcome lines on stdout, order-stable merge by index.
+//!   bit-exact outcome lines on stdout (each with its wall clock and
+//!   engine counters), order-stable merge by index.
+//! * [`obs`] — the [`obs::RunObserver`] behind `xp run --progress` and
+//!   `--log-json`, and the versioned `--meta` sidecar renderer.
 //! * [`dirdiff`] — `xp diff` over directories of reports.
 //!
 //! The `xp` CLI binary lives here (it needs the cache and the process
@@ -35,6 +38,7 @@ pub mod codec;
 pub mod dirdiff;
 pub mod exec;
 pub mod key;
+pub mod obs;
 pub mod worker;
 
 pub use cache::{CacheStat, ResultCache, CACHE_FORMAT};
@@ -42,4 +46,5 @@ pub use codec::Outcome;
 pub use dirdiff::{diff_dirs, DirDiffOutcome, FileDiff};
 pub use exec::{run, CachingSource, RunConfig, RunStats};
 pub use key::{entry_key, fnv1a64, point_key, CacheKey, KEY_FORMAT};
+pub use obs::{meta_json, RunObserver, META_VERSION};
 pub use worker::worker_main;

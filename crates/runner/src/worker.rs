@@ -5,34 +5,67 @@
 //! worker's stdin and closes it:
 //!
 //! ```json
-//! {"spec_toml": "<scenario TOML>", "indices": [0, 2, 4], "cache_dir": ".xp-cache"}
+//! {"spec_toml": "<scenario TOML>", "indices": [0, 2, 4],
+//!  "cache_dir": ".xp-cache", "shard": 0, "shards": 2}
 //! ```
 //!
-//! (`cache_dir` is `null` when caching is off.) The worker computes its
-//! indices **sequentially in manifest order** — process-level sharding
-//! is the parallelism — consulting and filling the shared result cache
-//! exactly like an in-process run, and emits one line per point on
-//! stdout:
+//! (`cache_dir` is `null` when caching is off; `shard`/`shards`
+//! identify the worker so its spans and error messages carry shard
+//! context.) The worker computes its indices **sequentially in manifest
+//! order** — process-level sharding is the parallelism — consulting and
+//! filling the shared result cache exactly like an in-process run, and
+//! emits one line per point on stdout:
 //!
 //! ```json
-//! {"index": 2, "cached": false, "outcome": {...}}
+//! {"index": 2, "cached": false, "wall_ms": 12.345, "sim": {...}, "outcome": {...}}
 //! ```
 //!
-//! Outcome payloads are the bit-exact encoding of [`crate::codec`], so
-//! a parent merging worker lines by index reproduces the in-process
-//! report byte for byte. Anything written to stderr is diagnostic only;
-//! a non-zero exit tells the parent to fall back.
+//! (`sim` is `null` for cache hits and analytic entries — no simulator
+//! ran.) Outcome payloads are the bit-exact encoding of
+//! [`crate::codec`], so a parent merging worker lines by index
+//! reproduces the in-process report byte for byte; `wall_ms` and `sim`
+//! are observability sidecars the parent replays into its span stream,
+//! never report inputs. Anything written to stderr is diagnostic only;
+//! a non-zero exit tells the parent to fall back. Worker failures after
+//! manifest parse are prefixed `shard K/N (points ...):` so the
+//! parent's `worker error:` line pins down which shard died.
 
 use crate::cache::ResultCache;
 use crate::codec::{self, jstr, Outcome};
 use crate::exec::CachingSource;
 use dcn_scenarios::diff::{parse_json, Json};
-use dcn_scenarios::{sweep_points, trace_entries, ScenarioSpec};
+use dcn_scenarios::{
+    sim_stats_from_json, sim_stats_json, sweep_points, trace_entries, CacheStatus, PointSource,
+    ScenarioSpec,
+};
+use dcn_sim::SimStats;
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// A parsed shard manifest.
+#[derive(Clone, Debug)]
+pub struct Manifest {
+    /// The scenario to run.
+    pub spec: ScenarioSpec,
+    /// Point/entry indices this shard owns, in execution order.
+    pub indices: Vec<usize>,
+    /// Result-cache directory (`None` = caching off).
+    pub cache_dir: Option<PathBuf>,
+    /// This shard's id (0-based).
+    pub shard: usize,
+    /// Total shard count.
+    pub shards: usize,
+}
 
 /// Render a shard manifest.
-pub fn manifest_json(spec_toml: &str, indices: &[usize], cache_dir: Option<&Path>) -> String {
+pub fn manifest_json(
+    spec_toml: &str,
+    indices: &[usize],
+    cache_dir: Option<&Path>,
+    shard: usize,
+    shards: usize,
+) -> String {
     let list = indices
         .iter()
         .map(|i| i.to_string())
@@ -43,13 +76,14 @@ pub fn manifest_json(spec_toml: &str, indices: &[usize], cache_dir: Option<&Path
         None => "null".into(),
     };
     format!(
-        "{{\"spec_toml\": {}, \"indices\": [{list}], \"cache_dir\": {cache}}}\n",
+        "{{\"spec_toml\": {}, \"indices\": [{list}], \"cache_dir\": {cache}, \
+         \"shard\": {shard}, \"shards\": {shards}}}\n",
         jstr(spec_toml)
     )
 }
 
-/// Parse a shard manifest into (spec, indices, cache dir).
-pub fn parse_manifest(text: &str) -> Result<(ScenarioSpec, Vec<usize>, Option<PathBuf>), String> {
+/// Parse a shard manifest.
+pub fn parse_manifest(text: &str) -> Result<Manifest, String> {
     let Json::Obj(members) = parse_json(text.trim())? else {
         return Err("manifest must be a JSON object".into());
     };
@@ -79,19 +113,56 @@ pub fn parse_manifest(text: &str) -> Result<(ScenarioSpec, Vec<usize>, Option<Pa
         Json::Str(dir) => Some(PathBuf::from(dir)),
         _ => return Err("cache_dir must be a string or null".into()),
     };
-    Ok((spec, indices, cache_dir))
+    let uint = |k: &str| match field(k)? {
+        Json::Int(i) if *i >= 0 => Ok(*i as usize),
+        _ => Err(format!("{k} must be a non-negative integer")),
+    };
+    let (shard, shards) = (uint("shard")?, uint("shards")?);
+    Ok(Manifest {
+        spec,
+        indices,
+        cache_dir,
+        shard,
+        shards,
+    })
+}
+
+/// One parsed worker result line.
+#[derive(Clone, Debug)]
+pub struct WorkerResult {
+    /// Point/entry index in the spec's expansion order.
+    pub index: usize,
+    /// Served from the result cache?
+    pub cached: bool,
+    /// Wall-clock milliseconds the worker spent on this point.
+    pub wall_ms: f64,
+    /// Engine counters, when a simulator ran.
+    pub sim: Option<SimStats>,
+    /// The bit-exact outcome payload.
+    pub outcome: Outcome,
 }
 
 /// Render one worker result line.
-pub fn result_line(index: usize, cached: bool, outcome: &Outcome) -> String {
+pub fn result_line(
+    index: usize,
+    cached: bool,
+    wall_ms: f64,
+    sim: Option<&SimStats>,
+    outcome: &Outcome,
+) -> String {
     format!(
-        "{{\"index\": {index}, \"cached\": {cached}, \"outcome\": {}}}\n",
+        "{{\"index\": {index}, \"cached\": {cached}, \"wall_ms\": {wall_ms:.3}, \
+         \"sim\": {}, \"outcome\": {}}}\n",
+        match sim {
+            Some(s) => sim_stats_json(s),
+            None => "null".into(),
+        },
         codec::encode(outcome)
     )
 }
 
-/// Parse one worker result line into (index, cached, outcome).
-pub fn parse_result_line(line: &str) -> Result<(usize, bool, Outcome), String> {
+/// Parse one worker result line.
+pub fn parse_result_line(line: &str) -> Result<WorkerResult, String> {
     let Json::Obj(members) = parse_json(line.trim())? else {
         return Err("worker line must be a JSON object".into());
     };
@@ -111,48 +182,97 @@ pub fn parse_result_line(line: &str) -> Result<(usize, bool, Outcome), String> {
     let Json::Bool(cached) = field("cached")? else {
         return Err("cached must be a boolean".into());
     };
+    let wall_ms = match field("wall_ms")? {
+        Json::Num(n) => *n,
+        Json::Int(i) => *i as f64,
+        _ => return Err("wall_ms must be a number".into()),
+    };
+    let sim = match field("sim")? {
+        Json::Null => None,
+        j => Some(sim_stats_from_json(j).ok_or("sim must be a stats object or null")?),
+    };
     let outcome = codec::decode(field("outcome")?)?;
-    Ok((*index as usize, *cached, outcome))
+    Ok(WorkerResult {
+        index: *index as usize,
+        cached: *cached,
+        wall_ms,
+        sim,
+        outcome,
+    })
+}
+
+/// Render a point-index list for shard-context messages (`0, 2, 4`).
+pub fn fmt_indices(indices: &[usize]) -> String {
+    indices
+        .iter()
+        .map(|i| i.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 /// The `xp worker` entry point: read one manifest from `input`, write
 /// result lines to `output`. Factored over generic streams so tests can
-/// drive the protocol without spawning processes.
+/// drive the protocol without spawning processes. Every error after the
+/// manifest parses carries `shard K/N (points ...)` context.
 pub fn worker_main(input: &mut dyn Read, output: &mut dyn Write) -> Result<(), String> {
     let mut text = String::new();
     input
         .read_to_string(&mut text)
         .map_err(|e| format!("cannot read manifest: {e}"))?;
-    let (spec, indices, cache_dir) = parse_manifest(&text)?;
-    spec.validate()?;
-    let source = CachingSource::new(cache_dir.map(ResultCache::new));
+    let m = parse_manifest(&text)?;
+    let ctx = format!(
+        "shard {}/{} (points {})",
+        m.shard,
+        m.shards,
+        fmt_indices(&m.indices)
+    );
+    run_shard(&m, output).map_err(|e| format!("{ctx}: {e}"))
+}
+
+fn run_shard(m: &Manifest, output: &mut dyn Write) -> Result<(), String> {
+    m.spec.validate()?;
+    let source = CachingSource::new(m.cache_dir.as_ref().map(ResultCache::new));
     let emit = |output: &mut dyn Write, line: String| {
         output
             .write_all(line.as_bytes())
             .map_err(|e| format!("cannot write result: {e}"))
     };
-    if spec.runs_as_entries() {
-        let entries = trace_entries(&spec);
-        for i in indices {
+    if m.spec.runs_as_entries() {
+        let entries = trace_entries(&m.spec);
+        for &i in &m.indices {
             let entry = entries
                 .get(i)
                 .ok_or_else(|| format!("entry index {i} out of range ({})", entries.len()))?;
-            let (outcome, cached) = source.trace_entry_tracked(&spec, entry);
+            let t0 = Instant::now();
+            let (outcome, obs) = source.trace_entry_obs(&m.spec, entry);
             emit(
                 output,
-                result_line(i, cached, &Outcome::Trace(Box::new(outcome))),
+                result_line(
+                    i,
+                    obs.cache == CacheStatus::Hit,
+                    t0.elapsed().as_secs_f64() * 1e3,
+                    obs.stats.as_ref(),
+                    &Outcome::Trace(Box::new(outcome)),
+                ),
             )?;
         }
     } else {
-        let points = sweep_points(&spec);
-        for i in indices {
+        let points = sweep_points(&m.spec);
+        for &i in &m.indices {
             let point = points
                 .get(i)
                 .ok_or_else(|| format!("point index {i} out of range ({})", points.len()))?;
-            let (outcome, cached) = source.sweep_point_tracked(&spec, point);
+            let t0 = Instant::now();
+            let (outcome, obs) = source.sweep_point_obs(&m.spec, point);
             emit(
                 output,
-                result_line(i, cached, &Outcome::Sweep(Box::new(outcome))),
+                result_line(
+                    i,
+                    obs.cache == CacheStatus::Hit,
+                    t0.elapsed().as_secs_f64() * 1e3,
+                    obs.stats.as_ref(),
+                    &Outcome::Sweep(Box::new(outcome)),
+                ),
             )?;
         }
     }
@@ -168,30 +288,34 @@ mod tests {
     fn manifest_round_trips() {
         let spec = builtin("fig6-small").unwrap();
         let toml = spec.to_toml();
-        let m = manifest_json(&toml, &[0, 1], Some(Path::new(".xp-cache")));
-        let (back, indices, cache) = parse_manifest(&m).unwrap();
-        assert_eq!(back, spec);
-        assert_eq!(indices, vec![0, 1]);
-        assert_eq!(cache, Some(PathBuf::from(".xp-cache")));
-        let (_, _, none) = parse_manifest(&manifest_json(&toml, &[1], None)).unwrap();
-        assert_eq!(none, None);
+        let m = manifest_json(&toml, &[0, 1], Some(Path::new(".xp-cache")), 1, 4);
+        let parsed = parse_manifest(&m).unwrap();
+        assert_eq!(parsed.spec, spec);
+        assert_eq!(parsed.indices, vec![0, 1]);
+        assert_eq!(parsed.cache_dir, Some(PathBuf::from(".xp-cache")));
+        assert_eq!((parsed.shard, parsed.shards), (1, 4));
+        let none = parse_manifest(&manifest_json(&toml, &[1], None, 0, 1)).unwrap();
+        assert_eq!(none.cache_dir, None);
     }
 
     #[test]
     fn worker_reproduces_the_in_process_sweep() {
         let spec = builtin("fig6-small").unwrap();
-        let manifest = manifest_json(&spec.to_toml(), &[1, 0], None);
+        let manifest = manifest_json(&spec.to_toml(), &[1, 0], None, 0, 1);
         let mut out = Vec::new();
         worker_main(&mut manifest.as_bytes(), &mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2);
         // Lines come back in manifest order and merge by index.
-        let (i1, c1, o1) = parse_result_line(lines[0]).unwrap();
-        let (i0, _, o0) = parse_result_line(lines[1]).unwrap();
-        assert_eq!((i1, i0), (1, 0));
-        assert!(!c1, "no cache configured");
-        let (Outcome::Sweep(o0), Outcome::Sweep(o1)) = (o0, o1) else {
+        let r1 = parse_result_line(lines[0]).unwrap();
+        let r0 = parse_result_line(lines[1]).unwrap();
+        assert_eq!((r1.index, r0.index), (1, 0));
+        assert!(!r1.cached, "no cache configured");
+        // Computed points ship real engine counters and a wall clock.
+        assert!(r1.sim.is_some_and(|s| s.events_processed > 0));
+        assert!(r1.wall_ms > 0.0);
+        let (Outcome::Sweep(o0), Outcome::Sweep(o1)) = (r0.outcome, r1.outcome) else {
             panic!("sweep outcomes expected");
         };
         let direct = run_sweep(&spec, 1).unwrap();
@@ -203,7 +327,10 @@ mod tests {
     fn bad_manifests_are_rejected() {
         assert!(worker_main(&mut "not json".as_bytes(), &mut Vec::new()).is_err());
         let spec = builtin("fig6-small").unwrap();
-        let oob = manifest_json(&spec.to_toml(), &[99], None);
-        assert!(worker_main(&mut oob.as_bytes(), &mut Vec::new()).is_err());
+        let oob = manifest_json(&spec.to_toml(), &[99], None, 2, 4);
+        let err = worker_main(&mut oob.as_bytes(), &mut Vec::new()).unwrap_err();
+        // Post-parse failures carry shard context for the parent's
+        // `worker error:` line.
+        assert!(err.starts_with("shard 2/4 (points 99):"), "got: {err}");
     }
 }

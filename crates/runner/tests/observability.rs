@@ -1,0 +1,185 @@
+//! Observability never moves a report byte, driven through the real
+//! `xp` binary: fig6-small with `--progress --log-json` produces the
+//! same JSON/CSV bytes as a bare run, the NDJSON stream is well-formed
+//! line by line (checked with the repo's own hand-rolled parser), spans
+//! equal points, and the cache disposition flips miss→hit between a
+//! cold and a warm run.
+
+use dcn_scenarios::diff::{parse_json, Json};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const XP: &str = env!("CARGO_BIN_EXE_xp");
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xp-obs-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run(dir: &Path, tag: &str, extra: &[&str]) -> String {
+    let json = dir.join(format!("{tag}.json"));
+    let out = Command::new(XP)
+        .args(["run", "fig6-small", "--json", json.to_str().unwrap()])
+        .args(extra)
+        .output()
+        .expect("spawn xp");
+    assert!(
+        out.status.success(),
+        "xp run {extra:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::read_to_string(json).unwrap()
+}
+
+/// Members of one parsed NDJSON object.
+type Members = Vec<(String, Json)>;
+
+/// Parse an NDJSON log: every line must parse; returns (span objects,
+/// summary object).
+fn parse_ndjson(path: &Path) -> (Vec<Members>, Members) {
+    let text = std::fs::read_to_string(path).unwrap();
+    let mut spans = Vec::new();
+    let mut summary = None;
+    for line in text.lines() {
+        let Json::Obj(members) = parse_json(line).expect("NDJSON line parses") else {
+            panic!("NDJSON line must be an object: {line}");
+        };
+        let Some((_, Json::Str(record))) = members.iter().find(|(k, _)| k == "record") else {
+            panic!("record discriminator missing: {line}");
+        };
+        match record.as_str() {
+            "span" => spans.push(members),
+            "summary" => {
+                assert!(summary.is_none(), "exactly one summary record");
+                summary = Some(members);
+            }
+            other => panic!("unknown record kind {other:?}"),
+        }
+    }
+    // Span lines land in completion order; normalize to index order for
+    // the assertions.
+    spans.sort_by_key(|s| match field(s, "index") {
+        Json::Int(i) => *i,
+        _ => panic!("index must be an integer"),
+    });
+    (spans, summary.expect("summary record present, last"))
+}
+
+fn field<'a>(obj: &'a [(String, Json)], key: &str) -> &'a Json {
+    &obj.iter().find(|(k, _)| k == key).expect(key).1
+}
+
+#[test]
+fn observed_run_is_byte_identical_and_streams_wellformed_ndjson() {
+    let dir = scratch("bytes");
+    let cache = dir.join("cache");
+    let cache_arg = cache.to_str().unwrap();
+    let log_cold = dir.join("cold.ndjson");
+    let log_warm = dir.join("warm.ndjson");
+
+    // Bare run: no observability at all.
+    let bare = run(&dir, "bare", &[]);
+    // Cold cached run with the full observability surface on.
+    let cold = run(
+        &dir,
+        "cold",
+        &[
+            "--progress",
+            "--log-json",
+            log_cold.to_str().unwrap(),
+            "--cache-dir",
+            cache_arg,
+        ],
+    );
+    // Warm run: all hits, observability still on.
+    let warm = run(
+        &dir,
+        "warm",
+        &[
+            "--progress",
+            "--log-json",
+            log_warm.to_str().unwrap(),
+            "--cache-dir",
+            cache_arg,
+        ],
+    );
+    assert_eq!(bare, cold, "--progress/--log-json must not move a byte");
+    assert_eq!(bare, warm, "a warm observed run must not move a byte");
+
+    // fig6-small has 2 points: 2 spans + 1 summary per log.
+    let (cold_spans, cold_sum) = parse_ndjson(&log_cold);
+    let (warm_spans, warm_sum) = parse_ndjson(&log_warm);
+    assert_eq!(cold_spans.len(), 2, "spans == points");
+    assert_eq!(warm_spans.len(), 2);
+    assert_eq!(*field(&cold_sum, "points"), Json::Int(2));
+    assert_eq!(*field(&warm_sum, "cached"), Json::Int(2));
+    for s in &cold_spans {
+        assert_eq!(*field(s, "cache"), Json::Str("miss".into()));
+        assert!(
+            matches!(field(s, "sim"), Json::Obj(_)),
+            "computed spans carry engine counters"
+        );
+    }
+    for s in &warm_spans {
+        assert_eq!(*field(s, "cache"), Json::Str("hit".into()));
+        assert_eq!(*field(s, "sim"), Json::Null, "hits never ran a simulator");
+    }
+    // Spans land in index order and carry the sweep labels.
+    let labels: Vec<&Json> = cold_spans.iter().map(|s| field(s, "label")).collect();
+    assert!(matches!(labels[0], Json::Str(l) if l.contains("seed")));
+    assert_eq!(*field(&cold_spans[0], "index"), Json::Int(0));
+    assert_eq!(*field(&cold_spans[1], "index"), Json::Int(1));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sharded_run_tags_spans_with_their_shard() {
+    let dir = scratch("shards");
+    let log = dir.join("procs.ndjson");
+    let bare = run(&dir, "bare", &[]);
+    let sharded = run(
+        &dir,
+        "procs",
+        &["--procs", "2", "--log-json", log.to_str().unwrap()],
+    );
+    assert_eq!(bare, sharded, "sharded observed run must not move a byte");
+    let (spans, sum) = parse_ndjson(&log);
+    assert_eq!(spans.len(), 2);
+    // Round-robin over 2 procs: point 0 on shard 0, point 1 on shard 1.
+    assert_eq!(*field(&spans[0], "shard"), Json::Int(0));
+    assert_eq!(*field(&spans[1], "shard"), Json::Int(1));
+    assert!(
+        matches!(field(&sum, "events_per_sec"), Json::Num(n) if *n > 0.0),
+        "summary tracks engine throughput"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn meta_sidecar_carries_versioned_span_rollup() {
+    let dir = scratch("meta");
+    let meta = dir.join("meta.json");
+    let out = Command::new(XP)
+        .args(["run", "fig6-small", "--meta", meta.to_str().unwrap()])
+        .output()
+        .expect("spawn xp");
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&meta).unwrap();
+    let Json::Obj(members) = parse_json(&text).expect("meta parses") else {
+        panic!("meta must be an object");
+    };
+    assert_eq!(
+        *field(&members, "meta_version"),
+        Json::Int(dcn_runner::META_VERSION as i128)
+    );
+    let Json::Arr(spans) = field(&members, "spans") else {
+        panic!("spans array");
+    };
+    assert_eq!(spans.len(), 2);
+    assert!(matches!(field(&members, "drops"), Json::Obj(_)));
+    assert!(matches!(field(&members, "pool"), Json::Obj(_)));
+    assert!(matches!(field(&members, "events_per_sec"), Json::Num(_)));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -11,9 +11,17 @@
 //! with a generous tolerance (timings are machine-dependent; try
 //! `--tol 0.5`) can flag order-of-magnitude regressions between the
 //! committed baseline and a fresh `xp bench --json` run.
+//!
+//! Every case counts the simulation events it dispatched (via
+//! [`Simulator::stats`]) and derives events/sec from its best
+//! repetition, so the engine's throughput is a tracked number across
+//! PRs, not an anecdote. Both the JSON report and the human table render
+//! through [`SummaryRecord`], the same struct the `--log-json` NDJSON
+//! stream uses — the two views cannot drift apart.
 
 use crate::algo::Algo;
 use crate::library::fig6_small;
+use crate::obs::SummaryRecord;
 use crate::spec::{ScenarioSpec, TraceScenario, TraceSpec};
 use dcn_sim::{
     build_star, Endpoint, EndpointCtx, FlowId, NodeId, Packet, Simulator, SwitchConfig, DEFAULT_MTU,
@@ -30,7 +38,8 @@ pub struct BenchCase {
     pub what: &'static str,
     /// Wall-clock per run, milliseconds.
     pub wall_ms: Vec<f64>,
-    /// Events dispatched per run (0 when the case reports no counter).
+    /// Simulation events dispatched per run (identical every run — the
+    /// simulated work is deterministic).
     pub events: u64,
 }
 
@@ -40,6 +49,20 @@ impl BenchCase {
     }
     fn mean_ms(&self) -> f64 {
         self.wall_ms.iter().sum::<f64>() / self.wall_ms.len() as f64
+    }
+
+    /// This case as a [`SummaryRecord`]: `wall_ms` is the best
+    /// repetition (so events/sec reports peak engine throughput),
+    /// `points` the repetition count.
+    pub fn summary(&self) -> SummaryRecord {
+        SummaryRecord {
+            name: self.name.into(),
+            kind: "bench".into(),
+            points: self.wall_ms.len(),
+            cached: 0,
+            wall_ms: self.min_ms(),
+            events: self.events,
+        }
     }
 }
 
@@ -82,12 +105,11 @@ fn time<R>(runs: usize, mut f: impl FnMut() -> R) -> (Vec<f64>, R) {
 
 fn fabric_blast(runs: usize) -> BenchCase {
     // Sized to finish without admission drops, so the case times the hot
-    // forwarding path and `events` == packets delivered: the bottleneck
-    // queue peaks at ~4x25 G in / 25 G out x 192 µs ≈ 1.8 MB, under the
-    // ~3.5 MB Dynamic-Thresholds cap (α=1: one port may hold at most
-    // half the 7 MB shared buffer).
+    // forwarding path: the bottleneck queue peaks at ~4x25 G in / 25 G
+    // out x 192 µs ≈ 1.8 MB, under the ~3.5 MB Dynamic-Thresholds cap
+    // (α=1: one port may hold at most half the 7 MB shared buffer).
     let pkts = 600u64;
-    let (wall_ms, delivered) = time(runs, || {
+    let (wall_ms, (delivered, events)) = time(runs, || {
         let mut mk = |_id: NodeId, idx: usize| -> Box<dyn Endpoint> {
             if idx == 0 {
                 Box::new(dcn_sim::NullEndpoint)
@@ -107,14 +129,14 @@ fn fabric_blast(runs: usize) -> BenchCase {
         );
         let mut sim = Simulator::new(star.net);
         sim.run_until_idle();
-        sim.delivered
+        (sim.delivered, sim.stats().events_processed)
     });
     assert_eq!(delivered, 4 * pkts, "blast must not overflow the buffer");
     BenchCase {
         name: "fabric_4to1_blast",
         what: "2400-packet 4:1 blast through one switch (no drops), null transport",
         wall_ms,
-        events: delivered,
+        events,
     }
 }
 
@@ -137,27 +159,36 @@ fn incast_trace(runs: usize) -> BenchCase {
     .algos([Algo::PowerTcp])
     .horizon_ms(3.0);
     let entries = crate::trace_engine::trace_entries(&spec);
-    let (wall_ms, _) = time(runs, || {
-        crate::trace_engine::run_trace_entry(&spec, &entries[0])
+    let (wall_ms, (_, stats)) = time(runs, || {
+        crate::trace_engine::run_trace_entry_observed(&spec, &entries[0])
     });
     BenchCase {
         name: "incast_16to1_powertcp_trace",
         what: "fig4-style 16:1 incast trace entry, PowerTCP + probes",
         wall_ms,
-        events: 0,
+        events: stats.map_or(0, |s| s.events_processed),
     }
 }
 
 fn fat_tree_sweep(runs: usize) -> BenchCase {
     let spec = fig6_small();
-    let (wall_ms, report) = time(runs, || {
-        crate::sweep::run_sweep(&spec, 1).expect("fig6-small sweep")
+    let points = crate::sweep::sweep_points(&spec);
+    let (wall_ms, (report, events)) = time(runs, || {
+        let mut events = 0;
+        let mut outcomes = Vec::with_capacity(points.len());
+        for p in &points {
+            let (out, stats) = crate::engine::run_sweep_point_observed(&spec, p);
+            events += stats.events_processed;
+            outcomes.push(out);
+        }
+        (crate::report::SweepResult::build(&spec, outcomes), events)
     });
+    assert_eq!(report.points.len(), points.len());
     BenchCase {
         name: "fig6_small_sweep",
         what: "fig6-small fat-tree websearch sweep (2 points, 1 thread)",
         wall_ms,
-        events: report.points.len() as u64,
+        events,
     }
 }
 
@@ -166,19 +197,26 @@ pub fn run_bench(runs: usize) -> Vec<BenchCase> {
     vec![fabric_blast(runs), incast_trace(runs), fat_tree_sweep(runs)]
 }
 
-/// Render cases as the `BENCH_sim.json` report.
+/// Render cases as the `BENCH_sim.json` report. The per-case figures
+/// (best wall-clock, events, events/sec) come from
+/// [`BenchCase::summary`], the same record the table renders.
 pub fn bench_to_json(cases: &[BenchCase], runs: usize) -> String {
     let mut s = String::from("{\n");
     s.push_str("  \"bench\": \"sim\",\n");
     s.push_str(&format!("  \"runs\": {runs},\n"));
     s.push_str("  \"cases\": [\n");
     for (i, c) in cases.iter().enumerate() {
+        let sum = c.summary();
         s.push_str("    {\n");
         s.push_str(&format!("      \"name\": \"{}\",\n", c.name));
         s.push_str(&format!("      \"what\": \"{}\",\n", c.what));
-        s.push_str(&format!("      \"wall_ms_min\": {:.3},\n", c.min_ms()));
+        s.push_str(&format!("      \"wall_ms_min\": {:.3},\n", sum.wall_ms));
         s.push_str(&format!("      \"wall_ms_mean\": {:.3},\n", c.mean_ms()));
-        s.push_str(&format!("      \"events\": {}\n", c.events));
+        s.push_str(&format!("      \"events\": {},\n", sum.events));
+        s.push_str(&format!(
+            "      \"events_per_sec\": {:.1}\n",
+            sum.events_per_sec()
+        ));
         s.push_str(if i + 1 == cases.len() {
             "    }\n"
         } else {
@@ -189,14 +227,14 @@ pub fn bench_to_json(cases: &[BenchCase], runs: usize) -> String {
     s
 }
 
-/// Human-readable table for stderr.
+/// Human-readable table for stderr: one [`SummaryRecord`] row per case
+/// (plus the run-to-run mean, which only the table shows).
 pub fn bench_table(cases: &[BenchCase]) -> String {
     let mut s = String::new();
     for c in cases {
         s.push_str(&format!(
-            "{:<28} min {:>9.3} ms  mean {:>9.3} ms   {}\n",
-            c.name,
-            c.min_ms(),
+            "{}  mean {:>9.3} ms  {}\n",
+            c.summary().table_row(),
             c.mean_ms(),
             c.what
         ));
@@ -212,14 +250,30 @@ mod tests {
     fn bench_suite_runs_and_renders() {
         let cases = run_bench(1);
         assert_eq!(cases.len(), 3);
+        // Every case tracks a real event count now (the engine counts
+        // all dispatches, so anything that simulates is nonzero).
+        for c in &cases {
+            assert!(c.events > 0, "case {} must count events", c.name);
+            assert!(c.summary().events_per_sec() > 0.0);
+        }
         let json = bench_to_json(&cases, 1);
         // The report must parse with our own diff parser and carry one
-        // object per case.
+        // object per case, each with an events/sec figure.
         let parsed = crate::diff::parse_json(&json).expect("valid JSON");
         let crate::diff::Json::Obj(members) = parsed else {
             panic!("top-level object");
         };
         assert_eq!(members[0].0, "bench");
+        let crate::diff::Json::Arr(cases_json) = &members[2].1 else {
+            panic!("cases array");
+        };
+        for cj in cases_json {
+            let crate::diff::Json::Obj(m) = cj else {
+                panic!("case object");
+            };
+            assert!(m.iter().any(|(k, _)| k == "events_per_sec"));
+        }
         assert!(bench_table(&cases).contains("fig6_small_sweep"));
+        assert!(bench_table(&cases).contains("ev/s"));
     }
 }

@@ -194,11 +194,22 @@ pub fn run_point(spec: &ScenarioSpec, algo: Algo, load: f64, seed: u64) -> Point
         load,
         seed,
     )
+    .0
 }
 
 /// Run one expanded sweep point, including its algorithm-parameter
 /// overrides (the [`crate::sweep::Compute`] entry point).
 pub fn run_sweep_point(spec: &ScenarioSpec, point: &crate::sweep::SweepPoint) -> PointOutcome {
+    run_sweep_point_observed(spec, point).0
+}
+
+/// [`run_sweep_point`], also returning the engine's run counters. The
+/// outcome is bit-identical to the unobserved call — the stats are a
+/// read-only snapshot taken after the run.
+pub fn run_sweep_point_observed(
+    spec: &ScenarioSpec,
+    point: &crate::sweep::SweepPoint,
+) -> (PointOutcome, dcn_sim::SimStats) {
     run_experiment(
         &spec.topology,
         &spec.workload,
@@ -223,7 +234,7 @@ pub(crate) fn run_experiment(
     param: ParamSpec,
     load: f64,
     seed: u64,
-) -> PointOutcome {
+) -> (PointOutcome, dcn_sim::SimStats) {
     let plan = plan(topo, algo);
     let base_rtt = plan.base_rtt;
     let host_bw = plan.host_bw;
@@ -414,7 +425,7 @@ pub(crate) fn run_experiment(
         .map(|&s| sim.net.switch(s).total_drops())
         .sum();
 
-    PointOutcome {
+    let outcome = PointOutcome {
         algo,
         param,
         load,
@@ -428,7 +439,8 @@ pub(crate) fn run_experiment(
         completed,
         offered,
         drops,
-    }
+    };
+    (outcome, sim.stats())
 }
 
 // ---------------------------------------------------------------------
@@ -571,7 +583,7 @@ pub fn run_fct_experiment(
             periodic: false,
         }),
     };
-    let out = run_experiment(
+    let (out, _stats) = run_experiment(
         &scale.topology(),
         &workload,
         scale.horizon,

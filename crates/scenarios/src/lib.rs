@@ -65,6 +65,7 @@ pub mod bench;
 pub mod diff;
 pub mod engine;
 pub mod library;
+pub mod obs;
 pub mod report;
 pub mod spec;
 pub mod sweep;
@@ -76,17 +77,24 @@ pub use analytic_engine::{analytic_entries, run_analytic_entry};
 pub use bench::{bench_table, bench_to_json, run_bench, BenchCase};
 pub use diff::{diff_csv, diff_reports, DiffOutcome};
 pub use engine::{
-    run_fct_experiment, run_point, run_sweep_point, FctResult, IncastOverlay, PointOutcome, Scale,
-    SIZE_BUCKETS,
+    run_fct_experiment, run_point, run_sweep_point, run_sweep_point_observed, FctResult,
+    IncastOverlay, PointOutcome, Scale, SIZE_BUCKETS,
 };
 pub use library::{builtin, builtin_specs};
+pub use obs::{
+    point_label, sim_stats_from_json, sim_stats_json, spec_kind, CacheStatus, NullObserver,
+    Observer, PointObs, SpanRecord, SummaryRecord,
+};
 pub use report::{AggregateReport, BucketReport, PointReport, SweepResult};
 pub use spec::{
     AnalyticScenario, AnalyticSpec, IncastSpec, ParamSpec, PoissonSpec, ScenarioKind, ScenarioSpec,
     SizeSpec, SweepSpec, TopologySpec, TraceScenario, TraceSpec, WorkloadSpec,
 };
 pub use sweep::{
-    run_scenario, run_scenario_with, run_sweep, run_sweep_with, sweep_points, Compute, PointSource,
-    ScenarioOutput, SweepPoint,
+    run_scenario, run_scenario_observed, run_scenario_with, run_sweep, run_sweep_observed,
+    run_sweep_with, sweep_points, Compute, PointSource, ScenarioOutput, SweepPoint,
 };
-pub use trace_engine::{run_trace, run_trace_entry, run_trace_with, trace_entries, TraceEntrySpec};
+pub use trace_engine::{
+    run_trace, run_trace_entry, run_trace_entry_observed, run_trace_observed, run_trace_with,
+    trace_entries, TraceEntrySpec,
+};

@@ -12,12 +12,14 @@
 
 use crate::algo::Algo;
 use crate::engine::PointOutcome;
+use crate::obs::{CacheStatus, NullObserver, Observer, PointObs, SpanRecord};
 use crate::report::SweepResult;
 use crate::spec::ScenarioSpec;
-use crate::trace_engine::{run_trace_entry, TraceEntrySpec};
+use crate::trace_engine::{run_trace_entry, run_trace_entry_observed, TraceEntrySpec};
 use dcn_telemetry::TraceEntry;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// One cell of the sweep cross-product.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -75,6 +77,25 @@ pub trait PointSource: Sync {
 
     /// Produce the outcome of one timeseries lineup entry.
     fn trace_entry(&self, spec: &ScenarioSpec, entry: &TraceEntrySpec) -> TraceEntry;
+
+    /// [`PointSource::sweep_point`] plus its observability sidecar (cache
+    /// disposition, engine counters). The default delegates to the plain
+    /// method and reports a stat-less [`PointObs`]; sources that know
+    /// more (the in-process engine, caching layers) override it. The
+    /// outcome must stay bit-identical to the plain method.
+    fn sweep_point_obs(&self, spec: &ScenarioSpec, point: &SweepPoint) -> (PointOutcome, PointObs) {
+        (self.sweep_point(spec, point), PointObs::default())
+    }
+
+    /// [`PointSource::trace_entry`] plus its observability sidecar (see
+    /// [`PointSource::sweep_point_obs`]).
+    fn trace_entry_obs(
+        &self,
+        spec: &ScenarioSpec,
+        entry: &TraceEntrySpec,
+    ) -> (TraceEntry, PointObs) {
+        (self.trace_entry(spec, entry), PointObs::default())
+    }
 }
 
 /// The default [`PointSource`]: compute every point in-process with a
@@ -89,6 +110,32 @@ impl PointSource for Compute {
 
     fn trace_entry(&self, spec: &ScenarioSpec, entry: &TraceEntrySpec) -> TraceEntry {
         run_trace_entry(spec, entry)
+    }
+
+    fn sweep_point_obs(&self, spec: &ScenarioSpec, point: &SweepPoint) -> (PointOutcome, PointObs) {
+        let (outcome, stats) = crate::engine::run_sweep_point_observed(spec, point);
+        (
+            outcome,
+            PointObs {
+                cache: CacheStatus::Computed,
+                stats: Some(stats),
+            },
+        )
+    }
+
+    fn trace_entry_obs(
+        &self,
+        spec: &ScenarioSpec,
+        entry: &TraceEntrySpec,
+    ) -> (TraceEntry, PointObs) {
+        let (out, stats) = run_trace_entry_observed(spec, entry);
+        (
+            out,
+            PointObs {
+                cache: CacheStatus::Computed,
+                stats,
+            },
+        )
     }
 }
 
@@ -107,6 +154,19 @@ pub fn run_sweep_with(
     threads: usize,
     source: &dyn PointSource,
 ) -> Result<SweepResult, String> {
+    run_sweep_observed(spec, threads, source, &NullObserver)
+}
+
+/// [`run_sweep_with`] reporting a [`SpanRecord`] per point to `obs` as
+/// points complete. Observation is outside the report path: the result
+/// is byte-identical for any observer (spans are derived from the
+/// source's sidecar and a wall clock; outcomes flow through untouched).
+pub fn run_sweep_observed(
+    spec: &ScenarioSpec,
+    threads: usize,
+    source: &dyn PointSource,
+    obs: &dyn Observer,
+) -> Result<SweepResult, String> {
     spec.validate()?;
     if spec.runs_as_entries() {
         return Err(format!(
@@ -117,7 +177,17 @@ pub fn run_sweep_with(
     }
     let points = sweep_points(spec);
     let outcomes = run_indexed(points.len(), threads, |i| {
-        source.sweep_point(spec, &points[i])
+        let t0 = Instant::now();
+        let (outcome, pobs) = source.sweep_point_obs(spec, &points[i]);
+        obs.span(&SpanRecord {
+            index: i,
+            label: crate::obs::point_label(&points[i]),
+            cache: pobs.cache,
+            shard: None,
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            stats: pobs.stats,
+        });
+        outcome
     });
     Ok(SweepResult::build(spec, outcomes))
 }
@@ -172,10 +242,22 @@ pub fn run_scenario_with(
     threads: usize,
     source: &dyn PointSource,
 ) -> Result<ScenarioOutput, String> {
+    run_scenario_observed(spec, threads, source, &NullObserver)
+}
+
+/// [`run_scenario_with`] reporting a span per point to `obs` (see
+/// [`run_sweep_observed`]): byte-identical output for any observer.
+pub fn run_scenario_observed(
+    spec: &ScenarioSpec,
+    threads: usize,
+    source: &dyn PointSource,
+    obs: &dyn Observer,
+) -> Result<ScenarioOutput, String> {
     if spec.runs_as_entries() {
-        crate::trace_engine::run_trace_with(spec, threads, source).map(ScenarioOutput::Trace)
+        crate::trace_engine::run_trace_observed(spec, threads, source, obs)
+            .map(ScenarioOutput::Trace)
     } else {
-        run_sweep_with(spec, threads, source).map(ScenarioOutput::Sweep)
+        run_sweep_observed(spec, threads, source, obs).map(ScenarioOutput::Sweep)
     }
 }
 

@@ -103,6 +103,19 @@ pub fn run_trace_with(
     threads: usize,
     source: &dyn crate::sweep::PointSource,
 ) -> Result<TraceReport, String> {
+    run_trace_observed(spec, threads, source, &crate::obs::NullObserver)
+}
+
+/// [`run_trace_with`] reporting a [`crate::obs::SpanRecord`] per entry
+/// to `obs` as entries complete (see
+/// [`crate::sweep::run_sweep_observed`]): the report is byte-identical
+/// for any observer.
+pub fn run_trace_observed(
+    spec: &ScenarioSpec,
+    threads: usize,
+    source: &dyn crate::sweep::PointSource,
+    obs: &dyn crate::obs::Observer,
+) -> Result<TraceReport, String> {
     spec.validate()?;
     if !spec.runs_as_entries() {
         return Err(format!(
@@ -112,7 +125,17 @@ pub fn run_trace_with(
     }
     let entries = trace_entries(spec);
     let outcomes = crate::sweep::run_indexed(entries.len(), threads, |i| {
-        source.trace_entry(spec, &entries[i])
+        let t0 = std::time::Instant::now();
+        let (out, pobs) = source.trace_entry_obs(spec, &entries[i]);
+        obs.span(&crate::obs::SpanRecord {
+            index: i,
+            label: entries[i].label.clone(),
+            cache: pobs.cache,
+            shard: None,
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            stats: pobs.stats,
+        });
+        out
     });
     Ok(TraceReport {
         name: spec.name.clone(),
@@ -125,12 +148,25 @@ pub fn run_trace_with(
 /// bit-for-bit, on any thread. Analytic entries dispatch to
 /// [`crate::analytic_engine::run_analytic_entry`].
 pub fn run_trace_entry(spec: &ScenarioSpec, entry: &TraceEntrySpec) -> TraceEntry {
+    run_trace_entry_observed(spec, entry).0
+}
+
+/// [`run_trace_entry`], also returning the engine's run counters when
+/// the entry actually ran a simulator (analytic/fluid entries return
+/// `None`). The entry itself is bit-identical to the unobserved call.
+pub fn run_trace_entry_observed(
+    spec: &ScenarioSpec,
+    entry: &TraceEntrySpec,
+) -> (TraceEntry, Option<dcn_sim::SimStats>) {
     if spec.analytic().is_some() {
-        return crate::analytic_engine::run_analytic_entry(spec, entry);
+        return (
+            crate::analytic_engine::run_analytic_entry(spec, entry),
+            None,
+        );
     }
     let trace = spec.trace().expect("trace entry of a timeseries spec");
     match &trace.scenario {
-        TraceScenario::Response => response_trace(spec, entry),
+        TraceScenario::Response => (response_trace(spec, entry), None),
         TraceScenario::Incast {
             fan_in,
             burst_bytes,
@@ -368,7 +404,7 @@ fn incast_trace(
     fan_in: usize,
     burst_bytes: u64,
     at_ms: f64,
-) -> TraceEntry {
+) -> (TraceEntry, Option<dcn_sim::SimStats>) {
     let trace = spec.trace().expect("timeseries");
     let algo = entry.algo;
     let host_bw = spec.topology.host_bw();
@@ -486,11 +522,12 @@ fn incast_trace(
         ("drops".into(), drops as f64),
     ];
     let channels = export(&rec.borrow(), trace);
-    TraceEntry {
+    let trace_entry = TraceEntry {
         label: entry.label.clone(),
         stats,
         channels,
-    }
+    };
+    (trace_entry, Some(sim.stats()))
 }
 
 // ---------------------------------------------------------------------
@@ -504,7 +541,7 @@ fn fairness_trace(
     entry: &TraceEntrySpec,
     flows: usize,
     stagger_ms: f64,
-) -> TraceEntry {
+) -> (TraceEntry, Option<dcn_sim::SimStats>) {
     let trace = spec.trace().expect("timeseries");
     let algo = entry.algo;
     let host_bw = spec.topology.host_bw();
@@ -586,11 +623,12 @@ fn fairness_trace(
         stats.push((format!("flow-{}_mean_gbps", i + 1), *share));
     }
     let channels = export(&rec.borrow(), trace);
-    TraceEntry {
+    let trace_entry = TraceEntry {
         label: entry.label.clone(),
         stats,
         channels,
-    }
+    };
+    (trace_entry, Some(sim.stats()))
 }
 
 // ---------------------------------------------------------------------
@@ -606,7 +644,7 @@ fn rdcn_trace(
     entry: &TraceEntrySpec,
     weeks: u64,
     packet_gbps: f64,
-) -> TraceEntry {
+) -> (TraceEntry, Option<dcn_sim::SimStats>) {
     let trace = spec.trace().expect("timeseries");
     let algo = entry.algo;
     let prebuffer = entry.prebuffer;
@@ -741,11 +779,12 @@ fn rdcn_trace(
         ("offered".into(), offered as f64),
     ];
     let channels = export(&rec.borrow(), trace);
-    TraceEntry {
+    let trace_entry = TraceEntry {
         label: entry.label.clone(),
         stats,
         channels,
-    }
+    };
+    (trace_entry, Some(sim.stats()))
 }
 
 #[cfg(test)]

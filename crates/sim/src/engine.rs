@@ -14,8 +14,10 @@ use crate::node::{
 };
 use crate::packet::{Packet, PacketKind, CTRL_PKT_BYTES};
 use crate::pool::{PacketPool, PoolStats};
+use crate::stats::SimStats;
 use crate::switch::{Switch, SwitchEmit};
 use powertcp_core::Tick;
+use std::time::Instant;
 
 /// The static network: nodes and links.
 #[derive(Default)]
@@ -100,6 +102,12 @@ pub struct Simulator {
     pool: PacketPool,
     /// Total packets delivered to hosts.
     pub delivered: u64,
+    /// Events dispatched so far (all kinds, tracer samples included).
+    events_processed: u64,
+    /// PFC pause/resume frames emitted by switches.
+    pfc_frames: u64,
+    /// Wall-clock anchor for [`Simulator::stats`]; set at construction.
+    t0: Instant,
 }
 
 impl Simulator {
@@ -117,6 +125,9 @@ impl Simulator {
             scratch_views: Vec::new(),
             pool: PacketPool::new(),
             delivered: 0,
+            events_processed: 0,
+            pfc_frames: 0,
+            t0: Instant::now(),
         }
     }
 
@@ -223,7 +234,47 @@ impl Simulator {
         }
     }
 
+    /// Snapshot the engine's run counters (see [`SimStats`]): the two
+    /// hot-path counters plus everything the switches, queue, and pool
+    /// already track, gathered lazily — calling this is the only cost.
+    ///
+    /// The snapshot includes wall-clock time, so it is **not**
+    /// deterministic; keep it out of report payloads and cache entries.
+    pub fn stats(&self) -> SimStats {
+        let mut forwarded = 0;
+        let mut drops_no_route = 0;
+        let mut drops_buffer = 0;
+        let mut drops_custom = 0;
+        for node in &self.net.nodes {
+            match node {
+                Node::Switch(sw) => {
+                    forwarded += sw.forwarded();
+                    drops_no_route += sw.no_route_drops;
+                    drops_buffer += sw.total_drops() - sw.no_route_drops;
+                }
+                Node::Custom(c) => drops_custom += c.drops,
+                Node::Host(_) => {}
+            }
+        }
+        let pool = self.pool.stats();
+        SimStats {
+            events_processed: self.events_processed,
+            events_scheduled: self.queue.scheduled(),
+            overflow_scheduled: self.queue.overflow_scheduled(),
+            delivered: self.delivered,
+            forwarded,
+            drops_no_route,
+            drops_buffer,
+            drops_custom,
+            pfc_frames: self.pfc_frames,
+            pool_fresh: pool.fresh,
+            pool_reused: pool.reused,
+            wall_ms: self.t0.elapsed().as_secs_f64() * 1e3,
+        }
+    }
+
     fn dispatch(&mut self, ev: Event) {
+        self.events_processed += 1;
         match ev {
             Event::Arrival { node, port, pkt } => {
                 self.live_events -= 1;
@@ -398,6 +449,7 @@ impl Simulator {
                     );
                 }
                 SwitchEmit::Pfc { port, pause } => {
+                    self.pfc_frames += 1;
                     let link_id = self.net.nodes[node.index()].as_switch().port(port).link();
                     let link = *self.net.links.get(link_id);
                     // PFC frames preempt data on real hardware: model as

@@ -144,6 +144,9 @@ pub struct EventQueue {
     /// Events at or beyond the wrap horizon, ordered by `(at, seq)`.
     overflow: BinaryHeap<Reverse<Scheduled>>,
     seq: u64,
+    /// Lifetime count of schedules that went to the overflow heap (the
+    /// ring takes the rest); `seq` doubles as the total scheduled count.
+    overflow_scheduled: u64,
     now: Tick,
 }
 
@@ -165,6 +168,7 @@ impl EventQueue {
             cursor_sorted: false,
             overflow: BinaryHeap::new(),
             seq: 0,
+            overflow_scheduled: 0,
             now: Tick::ZERO,
         }
     }
@@ -190,6 +194,7 @@ impl EventQueue {
         self.seq += 1;
         let abs = at.0 >> BUCKET_SHIFT;
         if abs >= self.wrap_base + NUM_BUCKETS as u64 {
+            self.overflow_scheduled += 1;
             self.overflow.push(Reverse(Scheduled { at, seq, ev }));
             return;
         }
@@ -325,6 +330,21 @@ impl EventQueue {
         debug_assert!(ready, "non-empty ring must prepare");
         let slot = (self.cursor & BUCKET_MASK) as usize;
         self.buckets[slot].last().map(|s| s.at)
+    }
+
+    /// Lifetime count of events scheduled (the insertion-seq counter —
+    /// every schedule increments it exactly once).
+    #[inline]
+    pub fn scheduled(&self) -> u64 {
+        self.seq
+    }
+
+    /// Lifetime count of schedules that landed in the overflow heap
+    /// rather than a calendar bucket (see [`EventQueue::scheduled`] for
+    /// the total; the difference went straight to the ring).
+    #[inline]
+    pub fn overflow_scheduled(&self) -> u64 {
+        self.overflow_scheduled
     }
 
     /// Number of pending events.
@@ -470,6 +490,19 @@ mod tests {
             .map(|(t, e)| (t, key_of(&e)))
             .collect();
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn schedule_counters_track_ring_vs_overflow() {
+        let mut q = EventQueue::new();
+        q.schedule(Tick::from_nanos(10), timer(0)); // ring
+        q.schedule(Tick::from_millis(5), timer(1)); // beyond horizon
+        assert_eq!(q.scheduled(), 2);
+        assert_eq!(q.overflow_scheduled(), 1);
+        // Migration into the ring does not re-count.
+        while q.pop().is_some() {}
+        assert_eq!(q.scheduled(), 2);
+        assert_eq!(q.overflow_scheduled(), 1);
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub mod link;
 pub mod node;
 pub mod packet;
 pub mod pool;
+pub mod stats;
 pub mod switch;
 pub mod topology;
 pub mod trace;
@@ -75,6 +76,7 @@ pub use packet::{
     AckPayload, GrantPayload, Packet, PacketKind, CTRL_PKT_BYTES, DEFAULT_MTU, NUM_PRIORITIES,
 };
 pub use pool::{PacketPool, PoolStats};
+pub use stats::SimStats;
 pub use switch::{PfcConfig, Switch, SwitchConfig, SwitchPort};
 pub use topology::{
     build_dumbbell, build_fat_tree, build_star, star_base_rtt, AppFactory, Dumbbell,
