@@ -1,0 +1,562 @@
+//! # dcn-flow
+//!
+//! A flow-level shared-bandwidth engine: the scale unlock for scenarios
+//! the packet simulator cannot reach (100k-host fat-trees, million-flow
+//! heavy-tailed mixes).
+//!
+//! Instead of packets, the unit of simulation is a *flow* — a
+//! `(size, start, path)` tuple over an abstract capacitated link set.
+//! Between discrete events (flow arrivals and completions) every active
+//! flow transfers bytes at the **max-min fair** rate computed by exact
+//! water-filling (progressive filling) over the links it crosses:
+//! repeatedly find the most contended link, freeze every flow crossing
+//! it at that link's fair share, subtract the frozen bandwidth, and
+//! recurse on the rest. When all active flows share one global
+//! bottleneck — the full-mesh/incast shape — a fast path allocates
+//! `capacity / n` to everyone in a single scan.
+//!
+//! The engine is exactly deterministic: events are processed in
+//! `(time, seq)` order (same tie-breaking contract as the packet
+//! engine's calendar queue), the allocator visits links in sorted id
+//! order, and the whole loop is sequential floating-point arithmetic —
+//! identical inputs produce bit-identical outputs on any thread or
+//! process layout.
+//!
+//! What the abstraction gives up is transport dynamics: no slow start,
+//! no congestion-control law, no switch buffers, no drops or PFC. A
+//! flow's rate converges instantly to its fair share, so flow-level
+//! FCTs are an *ideal lower envelope* for the packet engine's — the
+//! cross-check harness in `dcn-scenarios` pins that relationship.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Behavioral version of the flow engine.
+///
+/// Folded into `dcn-runner` cache keys for `engine = "flow"` sweeps the
+/// same way `dcn_sim::ENGINE_VERSION` salts packet sweeps: bump it on
+/// **any** change that can move a simulated byte (allocator order,
+/// completion epsilon, event scheduling), and stale flow-engine cache
+/// entries die while packet and analytic entries stay warm.
+pub const FLOW_ENGINE_VERSION: &str = "flow-engine-v1";
+
+/// Completion slack in bytes: a flow whose remaining volume drops to or
+/// below this after an advance is complete. Absorbs the rounding of
+/// `remaining -= rate * dt` without ever stalling the event loop (the
+/// next completion is always a strictly positive time away).
+const EPS_BYTES: f64 = 1e-6;
+
+/// A directed capacitated link in the abstract network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub u32);
+
+/// The capacitated link set flows are routed over.
+///
+/// There is no graph here — routing already happened. A link is just a
+/// capacity in bytes/second; a flow's path is the list of links it
+/// consumes bandwidth on.
+#[derive(Clone, Debug, Default)]
+pub struct FlowNet {
+    caps: Vec<f64>,
+}
+
+impl FlowNet {
+    /// An empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a link with the given capacity in bytes per second.
+    ///
+    /// # Panics
+    /// If the capacity is not strictly positive and finite.
+    pub fn add_link(&mut self, bytes_per_sec: f64) -> LinkId {
+        assert!(
+            bytes_per_sec > 0.0 && bytes_per_sec.is_finite(),
+            "link capacity must be positive and finite, got {bytes_per_sec}"
+        );
+        let id = LinkId(self.caps.len() as u32);
+        self.caps.push(bytes_per_sec);
+        id
+    }
+
+    /// Number of links.
+    pub fn num_links(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// Capacity of a link in bytes per second.
+    pub fn capacity(&self, link: LinkId) -> f64 {
+        self.caps[link.0 as usize]
+    }
+}
+
+/// One flow offered to the engine.
+#[derive(Clone, Debug)]
+pub struct FlowDef {
+    /// Deterministic tie-breaker: flows arriving at the same instant are
+    /// admitted (and, on simultaneous completion, retired) in ascending
+    /// `seq` order.
+    pub seq: u64,
+    /// Flow volume in bytes.
+    pub size_bytes: u64,
+    /// Arrival time in seconds.
+    pub start_s: f64,
+    /// Links the flow consumes bandwidth on. An empty path transfers
+    /// instantly (the abstraction's zero-cost loopback).
+    pub path: Vec<LinkId>,
+}
+
+/// Per-flow outcome, aligned with the input slice by index.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FlowResult {
+    /// Transfer-complete time in seconds, or `None` if the flow was
+    /// still in flight (or had not started) at the simulation end —
+    /// i.e. it is right-censored.
+    pub finish_s: Option<f64>,
+}
+
+/// Engine counters. Observability only — never fold into byte-pinned
+/// report payloads (mirrors the `SimStats` contract in `dcn-sim`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlowStats {
+    /// Discrete events processed (each followed by one re-allocation).
+    pub events: u64,
+    /// Flows admitted into the active set.
+    pub arrivals: u64,
+    /// Flows that finished before the simulation end.
+    pub completed: u64,
+    /// Flows censored at the simulation end (includes never-started).
+    pub censored: u64,
+    /// Progressive-filling rounds across all general allocations.
+    pub waterfill_rounds: u64,
+    /// Allocations served by the single-bottleneck fast path.
+    pub fastpath_allocs: u64,
+}
+
+/// One active flow inside the event loop.
+#[derive(Clone, Debug)]
+struct Active {
+    /// Index into the caller's `flows` slice.
+    idx: usize,
+    seq: u64,
+    remaining: f64,
+    rate: f64,
+}
+
+/// The allocator's persistent view of contended links: sorted link ids
+/// with the number of active flows crossing each. Maintained
+/// incrementally on admit/retire so a re-allocation never rebuilds it.
+#[derive(Default)]
+struct LinkLoad {
+    ids: Vec<u32>,
+    counts: Vec<u32>,
+}
+
+impl LinkLoad {
+    fn admit(&mut self, path: &[LinkId]) {
+        for l in path {
+            match self.ids.binary_search(&l.0) {
+                Ok(p) => self.counts[p] += 1,
+                Err(p) => {
+                    self.ids.insert(p, l.0);
+                    self.counts.insert(p, 1);
+                }
+            }
+        }
+    }
+
+    fn retire(&mut self, path: &[LinkId]) {
+        for l in path {
+            let p = self
+                .ids
+                .binary_search(&l.0)
+                .expect("retired flow crosses an untracked link");
+            self.counts[p] -= 1;
+            if self.counts[p] == 0 {
+                self.ids.remove(p);
+                self.counts.remove(p);
+            }
+        }
+    }
+
+    fn dense(&self, link: LinkId) -> usize {
+        self.ids
+            .binary_search(&link.0)
+            .expect("active flow crosses an untracked link")
+    }
+}
+
+/// Simulate the offered flows over the link set until `end_s`.
+///
+/// Returns one [`FlowResult`] per input flow (same order) and the
+/// engine counters. Flows still unfinished at `end_s` — including flows
+/// whose `start_s` is at or beyond it — come back censored
+/// (`finish_s == None`).
+///
+/// # Panics
+/// If a flow references a link outside `net`, or a start time is not
+/// finite.
+pub fn simulate(net: &FlowNet, flows: &[FlowDef], end_s: f64) -> (Vec<FlowResult>, FlowStats) {
+    for f in flows {
+        assert!(f.start_s.is_finite(), "flow start must be finite");
+        for l in &f.path {
+            assert!(
+                (l.0 as usize) < net.num_links(),
+                "flow path references unknown link {}",
+                l.0
+            );
+        }
+    }
+    let mut order: Vec<usize> = (0..flows.len()).collect();
+    order.sort_by(|&a, &b| {
+        flows[a]
+            .start_s
+            .total_cmp(&flows[b].start_s)
+            .then(flows[a].seq.cmp(&flows[b].seq))
+    });
+
+    let mut finish: Vec<Option<f64>> = vec![None; flows.len()];
+    let mut stats = FlowStats::default();
+    let mut active: Vec<Active> = Vec::new();
+    let mut load = LinkLoad::default();
+    let mut next = 0usize; // cursor into `order`
+    let mut t = 0.0f64;
+
+    loop {
+        if active.is_empty() {
+            // Jump straight to the next arrival batch.
+            let Some(&first) = order.get(next) else { break };
+            t = t.max(flows[first].start_s);
+            if t >= end_s {
+                break;
+            }
+        } else {
+            // Next event: earliest completion, next arrival, or the end
+            // of time — whichever comes first.
+            let mut dt_done = f64::INFINITY;
+            for f in &active {
+                if f.rate > 0.0 {
+                    dt_done = dt_done.min((f.remaining / f.rate).max(0.0));
+                }
+            }
+            let t_arrival = order
+                .get(next)
+                .map_or(f64::INFINITY, |&i| flows[i].start_s.max(t));
+            let t_next = (t + dt_done).min(t_arrival).min(end_s);
+            let dt = t_next - t;
+            if dt > 0.0 {
+                for f in &mut active {
+                    f.remaining -= f.rate * dt;
+                }
+            }
+            t = t_next;
+            // Retire completions in (time, seq) order.
+            let mut done: Vec<usize> = (0..active.len())
+                .filter(|&k| active[k].remaining <= EPS_BYTES)
+                .collect();
+            done.sort_by_key(|&k| active[k].seq);
+            for &k in done.iter().rev() {
+                // Reverse index order keeps earlier swap_remove targets
+                // stable; completion bookkeeping below is index-free.
+                load.retire(&flows[active[k].idx].path);
+            }
+            for &k in &done {
+                finish[active[k].idx] = Some(t);
+                stats.completed += 1;
+            }
+            let mut k = 0;
+            while k < active.len() {
+                if active[k].remaining <= EPS_BYTES {
+                    active.remove(k);
+                } else {
+                    k += 1;
+                }
+            }
+            if t >= end_s {
+                break;
+            }
+        }
+        // Admit every flow that has arrived by now, in (start, seq) order.
+        while let Some(&i) = order.get(next) {
+            if flows[i].start_s > t {
+                break;
+            }
+            next += 1;
+            if flows[i].path.is_empty() {
+                // Zero-cost loopback: transfers instantly.
+                finish[i] = Some(t);
+                stats.completed += 1;
+                continue;
+            }
+            load.admit(&flows[i].path);
+            active.push(Active {
+                idx: i,
+                seq: flows[i].seq,
+                remaining: (flows[i].size_bytes as f64).max(EPS_BYTES * 2.0),
+                rate: 0.0,
+            });
+            stats.arrivals += 1;
+        }
+        if !active.is_empty() {
+            allocate(net, &mut active, &load, flows, &mut stats);
+        }
+        stats.events += 1;
+    }
+    stats.censored += active.len() as u64;
+    stats.censored += (flows.len() - next) as u64;
+    (
+        finish
+            .into_iter()
+            .map(|f| FlowResult { finish_s: f })
+            .collect(),
+        stats,
+    )
+}
+
+/// Recompute every active flow's max-min fair rate.
+fn allocate(
+    net: &FlowNet,
+    active: &mut [Active],
+    load: &LinkLoad,
+    flows: &[FlowDef],
+    stats: &mut FlowStats,
+) {
+    if try_single_bottleneck(net, active, load, stats) {
+        return;
+    }
+    // Progressive filling: repeatedly saturate the most contended link.
+    let nlinks = load.ids.len();
+    let mut rem: Vec<f64> = load.ids.iter().map(|&id| net.caps[id as usize]).collect();
+    let mut cnt: Vec<u32> = load.counts.clone();
+    let mut frozen = vec![false; active.len()];
+    let mut unfrozen = active.len();
+    while unfrozen > 0 {
+        let mut best: Option<(usize, f64)> = None;
+        for l in 0..nlinks {
+            if cnt[l] > 0 {
+                let share = rem[l] / cnt[l] as f64;
+                if best.is_none_or(|(_, s)| share < s) {
+                    best = Some((l, share));
+                }
+            }
+        }
+        let Some((bottleneck, share)) = best else {
+            // Unreachable while every active flow has a non-empty path;
+            // guard against a stall anyway.
+            for (k, f) in active.iter_mut().enumerate() {
+                if !frozen[k] {
+                    f.rate = f64::INFINITY;
+                }
+            }
+            break;
+        };
+        for (k, f) in active.iter_mut().enumerate() {
+            if frozen[k]
+                || !flows[f.idx]
+                    .path
+                    .iter()
+                    .any(|l| load.dense(*l) == bottleneck)
+            {
+                continue;
+            }
+            frozen[k] = true;
+            unfrozen -= 1;
+            f.rate = share;
+            for l in &flows[f.idx].path {
+                let d = load.dense(*l);
+                rem[d] = (rem[d] - share).max(0.0);
+                cnt[d] -= 1;
+            }
+        }
+        // The bottleneck is exactly saturated; pin it against rounding.
+        rem[bottleneck] = 0.0;
+        cnt[bottleneck] = 0;
+        stats.waterfill_rounds += 1;
+    }
+}
+
+/// Fast path: when one link is crossed by *every* active flow and its
+/// equal split is feasible on all other links, the max-min allocation
+/// is the uniform rate `cap / n`. Detects the full-mesh / incast shape
+/// in one scan instead of a filling loop.
+fn try_single_bottleneck(
+    net: &FlowNet,
+    active: &mut [Active],
+    load: &LinkLoad,
+    stats: &mut FlowStats,
+) -> bool {
+    let n = active.len() as u32;
+    let mut shared: Option<(usize, f64)> = None;
+    for (l, (&id, &c)) in load.ids.iter().zip(&load.counts).enumerate() {
+        if c == n {
+            let share = net.caps[id as usize] / n as f64;
+            if shared.is_none_or(|(_, s)| share < s) {
+                shared = Some((l, share));
+            }
+        }
+    }
+    let Some((_, share)) = shared else {
+        return false;
+    };
+    for (&id, &c) in load.ids.iter().zip(&load.counts) {
+        if net.caps[id as usize] / c as f64 + 1e-15 < share {
+            return false;
+        }
+    }
+    for f in active.iter_mut() {
+        f.rate = share;
+    }
+    stats.fastpath_allocs += 1;
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_link_net(cap: f64) -> (FlowNet, LinkId) {
+        let mut net = FlowNet::new();
+        let l = net.add_link(cap);
+        (net, l)
+    }
+
+    fn flow(seq: u64, size: u64, start: f64, path: Vec<LinkId>) -> FlowDef {
+        FlowDef {
+            seq,
+            size_bytes: size,
+            start_s: start,
+            path,
+        }
+    }
+
+    #[test]
+    fn lone_flow_runs_at_link_capacity() {
+        let (net, l) = one_link_net(100.0);
+        let (res, stats) = simulate(&net, &[flow(0, 250, 0.5, vec![l])], 10.0);
+        assert_eq!(res[0].finish_s, Some(3.0));
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.censored, 0);
+        // A single flow trivially satisfies the shared-bottleneck shape.
+        assert!(stats.fastpath_allocs > 0);
+    }
+
+    #[test]
+    fn equal_share_then_residual_speedup() {
+        // f1=150B and f2=50B split 100B/s evenly; f2 finishes at t=1,
+        // then f1 runs alone at full rate: 100 bytes left -> t=2.
+        let (net, l) = one_link_net(100.0);
+        let defs = [flow(0, 150, 0.0, vec![l]), flow(1, 50, 0.0, vec![l])];
+        let (res, stats) = simulate(&net, &defs, 10.0);
+        assert_eq!(res[1].finish_s, Some(1.0));
+        assert_eq!(res[0].finish_s, Some(2.0));
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.arrivals, 2);
+    }
+
+    #[test]
+    fn water_filling_matches_the_textbook_example() {
+        // A on link1 (cap 100), C on link2 (cap 60), B crosses both.
+        // Max-min: link2's share 30 freezes B and C, link1's residual 70
+        // goes to A. Sizes chosen so all three finish exactly at t=1.
+        let mut net = FlowNet::new();
+        let l1 = net.add_link(100.0);
+        let l2 = net.add_link(60.0);
+        let defs = [
+            flow(0, 70, 0.0, vec![l1]),
+            flow(1, 30, 0.0, vec![l1, l2]),
+            flow(2, 30, 0.0, vec![l2]),
+        ];
+        let (res, stats) = simulate(&net, &defs, 10.0);
+        for r in &res {
+            assert_eq!(r.finish_s, Some(1.0), "all rates must be max-min exact");
+        }
+        assert!(stats.waterfill_rounds >= 2, "two filling rounds expected");
+        assert_eq!(stats.fastpath_allocs, 0, "no link is crossed by all flows");
+    }
+
+    #[test]
+    fn fast_path_agrees_with_general_water_filling() {
+        // Incast shape: many flows share one downlink; per-flow uplinks
+        // are never binding. The fast path must produce the same rates
+        // (observable through finish times) as progressive filling
+        // would: cap/n each.
+        let mut net = FlowNet::new();
+        let down = net.add_link(80.0);
+        let ups: Vec<LinkId> = (0..4).map(|_| net.add_link(100.0)).collect();
+        let defs: Vec<FlowDef> = ups
+            .iter()
+            .enumerate()
+            .map(|(i, &up)| flow(i as u64, 40, 0.0, vec![up, down]))
+            .collect();
+        let (res, stats) = simulate(&net, &defs, 10.0);
+        // 4 flows at 80/4 = 20 B/s, 40 bytes each -> t=2.
+        for r in &res {
+            assert_eq!(r.finish_s, Some(2.0));
+        }
+        assert!(stats.fastpath_allocs > 0);
+    }
+
+    #[test]
+    fn staggered_arrivals_reallocate() {
+        // f0 alone at 100B/s for 1s (100B done), then shares 50/50.
+        // f0's remaining 100B takes 2s more -> finishes t=3. f1 (300B)
+        // then runs alone from t=3 with 200B left -> t=5.
+        let (net, l) = one_link_net(100.0);
+        let defs = [flow(0, 200, 0.0, vec![l]), flow(1, 300, 1.0, vec![l])];
+        let (res, _) = simulate(&net, &defs, 10.0);
+        assert_eq!(res[0].finish_s, Some(3.0));
+        assert_eq!(res[1].finish_s, Some(5.0));
+    }
+
+    #[test]
+    fn end_of_time_censors_in_flight_and_unstarted_flows() {
+        let (net, l) = one_link_net(100.0);
+        let defs = [
+            flow(0, 50, 0.0, vec![l]),
+            flow(1, 1_000_000, 0.0, vec![l]),
+            flow(2, 10, 99.0, vec![l]),
+        ];
+        let (res, stats) = simulate(&net, &defs, 2.0);
+        assert_eq!(res[0].finish_s, Some(1.0), "50B at a 50B/s split");
+        assert_eq!(res[1].finish_s, None);
+        assert_eq!(res[2].finish_s, None, "starts after the end of time");
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.censored, 2);
+    }
+
+    #[test]
+    fn empty_path_transfers_instantly() {
+        let (net, _l) = one_link_net(100.0);
+        let (res, stats) = simulate(&net, &[flow(0, 1 << 30, 0.25, vec![])], 1.0);
+        assert_eq!(res[0].finish_s, Some(0.25));
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn simultaneous_events_tie_break_by_seq_and_repeat_bitwise() {
+        let (net, l) = one_link_net(100.0);
+        // Input deliberately out of seq order; same start instant.
+        let defs = [
+            flow(3, 100, 0.0, vec![l]),
+            flow(1, 100, 0.0, vec![l]),
+            flow(2, 100, 0.0, vec![l]),
+        ];
+        let (a, sa) = simulate(&net, &defs, 10.0);
+        let (b, sb) = simulate(&net, &defs, 10.0);
+        assert_eq!(a, b, "bit-identical across runs");
+        assert_eq!(sa, sb);
+        for r in &a {
+            assert_eq!(r.finish_s, Some(3.0), "3 equal flows at 100/3 B/s");
+        }
+    }
+
+    #[test]
+    fn results_align_with_input_order_not_arrival_order() {
+        let (net, l) = one_link_net(100.0);
+        let defs = [flow(0, 100, 5.0, vec![l]), flow(1, 100, 0.0, vec![l])];
+        let (res, _) = simulate(&net, &defs, 20.0);
+        assert_eq!(res[1].finish_s, Some(1.0), "earlier arrival, later index");
+        assert_eq!(res[0].finish_s, Some(6.0));
+    }
+}

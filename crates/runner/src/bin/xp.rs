@@ -38,7 +38,7 @@
 use dcn_runner::{diff_dirs, worker_main, ResultCache, RunConfig};
 use dcn_scenarios::{
     bench_table, bench_to_json, builtin, builtin_specs, diff_csv, diff_reports, run_bench,
-    ScenarioSpec,
+    spec_kind, EngineKind, ScenarioSpec,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -132,13 +132,23 @@ fn bench(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Engine column of `xp list`: the execution kind, with sweeps split by
+/// the engine that runs their points (packet simulator vs flow-level).
+fn engine_label(spec: &ScenarioSpec) -> &'static str {
+    match spec_kind(spec) {
+        "sweep" => spec.engine.key(),
+        other => other,
+    }
+}
+
 fn list() -> ExitCode {
     println!("built-in scenarios (run with `xp run <name>`):\n");
     for spec in builtin_specs() {
         println!(
-            "  {:<16} {:>3} points  {}",
+            "  {:<18} {:>4} points  {:<10} {}",
             spec.name,
             spec.num_points(),
+            engine_label(&spec),
             spec.description
         );
     }
@@ -149,6 +159,8 @@ fn list() -> ExitCode {
 fn show(name: &str) -> ExitCode {
     match builtin(name) {
         Some(spec) => {
+            // Engine note on stderr so stdout stays valid, pipeable TOML.
+            eprintln!("# {}: {} scenario", spec.name, engine_label(&spec));
             print!("{}", spec.to_toml());
             ExitCode::SUCCESS
         }
@@ -292,6 +304,8 @@ fn run(args: &[String]) -> ExitCode {
             "analytic"
         } else if spec.trace().is_some() {
             "trace"
+        } else if spec.engine == EngineKind::Flow {
+            "flow sweep"
         } else {
             "sweep"
         },

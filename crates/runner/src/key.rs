@@ -6,9 +6,10 @@
 //! trace or analytic config; never the name, description, or sweep
 //! axes), the point coordinates (`algo`, `param`, `load`, `seed` — or
 //! lineup entry for traces and analytic grids), a behavioral version
-//! salt ([`dcn_sim::ENGINE_VERSION`] for simulated kinds,
-//! [`fluid_model::MODEL_VERSION`] for analytic ones — an analytic cache
-//! survives simulator hot-path work and vice versa), and the key-format
+//! salt ([`dcn_sim::ENGINE_VERSION`] for packet-simulated kinds,
+//! [`dcn_flow::FLOW_ENGINE_VERSION`] for flow-engine sweeps,
+//! [`fluid_model::MODEL_VERSION`] for analytic ones — each engine's
+//! cache survives hot-path work in the others), and the key-format
 //! version. The canonical string is hashed with a small vendored FNV-1a
 //! (64-bit) to name the cache file; the full canonical string is stored
 //! *inside* the entry and compared byte-for-byte on every load, so a
@@ -61,11 +62,14 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 
 /// The shared key preamble: format + behavioral-version salt + spec
 /// fragment. Analytic specs never touch the simulator, so their salt is
-/// the fluid-model version — bumping one engine leaves the other kind's
-/// cache warm.
+/// the fluid-model version; flow-engine sweeps never touch the
+/// packet simulator either, so they carry the flow-engine version —
+/// bumping one engine leaves the other kinds' caches warm.
 fn preamble(spec: &ScenarioSpec) -> String {
     let salt = if spec.analytic().is_some() {
         format!("fluid-model-version={}", fluid_model::MODEL_VERSION)
+    } else if spec.engine == dcn_scenarios::EngineKind::Flow {
+        format!("flow-engine-version={}", dcn_flow::FLOW_ENGINE_VERSION)
     } else {
         format!("engine-version={}", dcn_sim::ENGINE_VERSION)
     };
@@ -174,6 +178,26 @@ mod tests {
         let plain = builtin("fig6-small").unwrap();
         let k = point_key(&plain, &sweep_points(&plain)[0]);
         assert!(k.canon.contains("param=\n"), "{}", k.canon);
+    }
+
+    #[test]
+    fn flow_engine_sweeps_carry_their_own_version_salt() {
+        let packet = builtin("fig7").unwrap();
+        let flow = builtin("fig7-flow").unwrap();
+        let pk = point_key(&packet, &sweep_points(&packet)[0]);
+        let fk = point_key(&flow, &sweep_points(&flow)[0]);
+        // Packet keys are salted by the simulator version only; flow keys
+        // by the flow-engine version only — so bumping one engine leaves
+        // the other's cache warm.
+        assert!(pk.canon.contains("engine-version="), "{}", pk.canon);
+        assert!(!pk.canon.contains("flow-engine-version="), "{}", pk.canon);
+        assert!(fk.canon.contains("flow-engine-version="), "{}", fk.canon);
+        assert!(!fk.canon.contains("\nengine-version="), "{}", fk.canon);
+        // Switching a spec's engine moves every point key: the engine
+        // selects physics, so it must never alias across engines.
+        let mut as_packet = flow.clone();
+        as_packet.engine = dcn_scenarios::EngineKind::Packet;
+        assert_ne!(point_key(&as_packet, &sweep_points(&flow)[0]), fk);
     }
 
     #[test]

@@ -192,9 +192,90 @@ fn fat_tree_sweep(runs: usize) -> BenchCase {
     }
 }
 
+/// The flow-engine core benchmark: `total` flows through a synthetic
+/// fabric, arrivals staggered so a bounded set is in flight at once (as
+/// in a real sweep). The 1k case routes host-to-host without a shared
+/// link, forcing general water-filling every event; the 100k case pushes
+/// everything through one shared fabric link, the single-bottleneck fast
+/// path a fat-tree rack reduces to. The `events` figure is *flows
+/// completed*, so events/sec reads as flow-completion throughput.
+fn flow_core(
+    runs: usize,
+    total: u64,
+    hosts: u64,
+    stagger_s: f64,
+    shared_bottleneck: bool,
+    name: &'static str,
+    what: &'static str,
+) -> BenchCase {
+    use dcn_flow::{simulate, FlowDef, FlowNet};
+    let host_bps = Bandwidth::gbps(25).bytes_per_sec();
+    let (wall_ms, completed) = time(runs, || {
+        let mut net = FlowNet::new();
+        let up: Vec<_> = (0..hosts).map(|_| net.add_link(host_bps)).collect();
+        let down: Vec<_> = (0..hosts).map(|_| net.add_link(host_bps)).collect();
+        let fabric = shared_bottleneck.then(|| net.add_link(2.0 * host_bps));
+        let flows: Vec<FlowDef> = (0..total)
+            .map(|i| {
+                let src = (i % hosts) as usize;
+                let dst = ((i * 7 + 1) % hosts) as usize;
+                let mut path = vec![up[src], down[dst]];
+                if let Some(f) = fabric {
+                    path.push(f);
+                }
+                FlowDef {
+                    seq: i,
+                    // 10–59.5 KB, varying deterministically per flow; the
+                    // stagger keeps offered load under the bottleneck
+                    // capacity so the in-flight set stays bounded.
+                    size_bytes: 10_000 + (i * 37 % 100) * 500,
+                    start_s: i as f64 * stagger_s,
+                    path,
+                }
+            })
+            .collect();
+        let (results, stats) = simulate(&net, &flows, f64::INFINITY);
+        assert!(results.iter().all(|r| r.finish_s.is_some()));
+        stats.completed
+    });
+    assert_eq!(completed, total, "every offered flow must complete");
+    BenchCase {
+        name,
+        what,
+        wall_ms,
+        events: completed,
+    }
+}
+
 /// Run the bench suite with `runs` timed repetitions per case.
 pub fn run_bench(runs: usize) -> Vec<BenchCase> {
-    vec![fabric_blast(runs), incast_trace(runs), fat_tree_sweep(runs)]
+    vec![
+        fabric_blast(runs),
+        incast_trace(runs),
+        fat_tree_sweep(runs),
+        // 1k flows at ~70% per-uplink load on an 8-host mesh: no shared
+        // link, so every event re-runs general water-filling.
+        flow_core(
+            runs,
+            1_000,
+            8,
+            2e-6,
+            false,
+            "flow_core_1k",
+            "1k flows, 8-host mesh, general water-filling (events = flows completed)",
+        ),
+        // 100k flows at ~56% load through one shared fabric link: the
+        // single-bottleneck fast path a fat-tree rack reduces to.
+        flow_core(
+            runs,
+            100_000,
+            64,
+            1e-5,
+            true,
+            "flow_core_100k",
+            "100k flows through one shared bottleneck, fast-path allocation (events = flows completed)",
+        ),
+    ]
 }
 
 /// Render cases as the `BENCH_sim.json` report. The per-case figures
@@ -249,7 +330,7 @@ mod tests {
     #[test]
     fn bench_suite_runs_and_renders() {
         let cases = run_bench(1);
-        assert_eq!(cases.len(), 3);
+        assert_eq!(cases.len(), 5);
         // Every case tracks a real event count now (the engine counts
         // all dispatches, so anything that simulates is nonzero).
         for c in &cases {

@@ -68,11 +68,13 @@ pub struct PointOutcome {
 /// Everything the workload generators need to know about a topology
 /// before it is built: the (deterministic) host node-id plan, rack
 /// layout, base RTT, and the capacity that `load` is a fraction of.
-struct Plan {
-    map: HostMap,
-    base_rtt: Tick,
-    host_bw: Bandwidth,
-    capacity: Bandwidth,
+/// Shared with the flow engine ([`crate::flow_engine`]), which consumes
+/// the same plan without ever building the packet fabric.
+pub(crate) struct Plan {
+    pub(crate) map: HostMap,
+    pub(crate) base_rtt: Tick,
+    pub(crate) host_bw: Bandwidth,
+    pub(crate) capacity: Bandwidth,
 }
 
 /// The `FatTreeConfig` a fat-tree topology spec denotes (default 4-pod
@@ -124,7 +126,7 @@ fn dumbbell_config(topo: &TopologySpec, algo: Algo) -> DumbbellConfig {
     }
 }
 
-fn plan(topo: &TopologySpec, algo: Algo) -> Plan {
+pub(crate) fn plan(topo: &TopologySpec, algo: Algo) -> Plan {
     match *topo {
         TopologySpec::FatTree { hosts_per_tor, .. } => {
             let cfg = fat_tree_config(topo, Some(algo));
@@ -184,15 +186,15 @@ fn plan(topo: &TopologySpec, algo: Algo) -> Plan {
 /// parameters. Deterministic: identical arguments replay bit-for-bit, on
 /// any thread.
 pub fn run_point(spec: &ScenarioSpec, algo: Algo, load: f64, seed: u64) -> PointOutcome {
-    run_experiment(
-        &spec.topology,
-        &spec.workload,
-        spec.horizon(),
-        spec.drain(),
-        algo,
-        ParamSpec::default(),
-        load,
-        seed,
+    run_sweep_point_observed(
+        spec,
+        &crate::sweep::SweepPoint {
+            index: 0,
+            algo,
+            param: ParamSpec::default(),
+            load,
+            seed,
+        },
     )
     .0
 }
@@ -206,10 +208,17 @@ pub fn run_sweep_point(spec: &ScenarioSpec, point: &crate::sweep::SweepPoint) ->
 /// [`run_sweep_point`], also returning the engine's run counters. The
 /// outcome is bit-identical to the unobserved call — the stats are a
 /// read-only snapshot taken after the run.
+///
+/// This is where `spec.engine` dispatches: everything above this call —
+/// the thread executor, the result cache, the worker protocol, the
+/// bench harness — is engine-agnostic.
 pub fn run_sweep_point_observed(
     spec: &ScenarioSpec,
     point: &crate::sweep::SweepPoint,
 ) -> (PointOutcome, dcn_sim::SimStats) {
+    if spec.engine == crate::spec::EngineKind::Flow {
+        return crate::flow_engine::run_flow_point_observed(spec, point);
+    }
     run_experiment(
         &spec.topology,
         &spec.workload,
@@ -222,28 +231,24 @@ pub fn run_sweep_point_observed(
     )
 }
 
-/// The engine behind [`run_point`] (and the legacy
-/// [`run_fct_experiment`], which predates `ScenarioSpec`).
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn run_experiment(
+/// Generate the flows a `(workload, load, seed)` combination offers over
+/// a planned topology. Shared between the packet and flow engines: both
+/// see the *same* flow population by construction (same generators, same
+/// seed derivation, same dumbbell re-orientation), so cross-engine FCT
+/// comparisons are apples to apples.
+pub(crate) fn offered_flows(
     topo: &TopologySpec,
     workload: &WorkloadSpec,
+    plan: &Plan,
     horizon: Tick,
-    drain: Tick,
-    algo: Algo,
-    param: ParamSpec,
     load: f64,
     seed: u64,
-) -> (PointOutcome, dcn_sim::SimStats) {
-    let plan = plan(topo, algo);
-    let base_rtt = plan.base_rtt;
-    let host_bw = plan.host_bw;
-
-    // ---- Workload (flow specs reference the planned host node ids).
+) -> Vec<FlowSpec> {
     let mut flows: Vec<FlowSpec> = Vec::new();
     if let Some(PoissonSpec { sizes }) = workload.poisson {
         let sizes = match sizes {
             SizeSpec::Websearch => SizeCdf::websearch(),
+            SizeSpec::WebsearchHadoop => SizeCdf::websearch_hadoop(),
             SizeSpec::Fixed(bytes) => SizeCdf::fixed(bytes),
         };
         flows = poisson_flows(
@@ -287,6 +292,28 @@ pub(crate) fn run_experiment(
             &plan.map,
         ));
     }
+    flows
+}
+
+/// The engine behind [`run_point`] (and the legacy
+/// [`run_fct_experiment`], which predates `ScenarioSpec`).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_experiment(
+    topo: &TopologySpec,
+    workload: &WorkloadSpec,
+    horizon: Tick,
+    drain: Tick,
+    algo: Algo,
+    param: ParamSpec,
+    load: f64,
+    seed: u64,
+) -> (PointOutcome, dcn_sim::SimStats) {
+    let plan = plan(topo, algo);
+    let base_rtt = plan.base_rtt;
+    let host_bw = plan.host_bw;
+
+    // ---- Workload (flow specs reference the planned host node ids).
+    let flows = offered_flows(topo, workload, &plan, horizon, load, seed);
     let offered = flows.len();
 
     // ---- Group flows by source host index.

@@ -1,0 +1,348 @@
+//! The flow-level sweep engine: `engine = "flow"` points run here.
+//!
+//! This is the `dcn-flow` adapter — it reuses the packet engine's
+//! topology [`plan`](crate::engine::plan) and workload generation
+//! ([`crate::engine::offered_flows`]) verbatim, so a flow-engine sweep
+//! offers the *exact same flow population* as its packet twin, then
+//! progresses those flows with max-min fair water-filling instead of
+//! per-packet simulation. The reduction (size buckets, size classes,
+//! slowdown, censoring) is byte-for-byte the packet engine's, so the
+//! same [`crate::SweepResult`] rows come out.
+//!
+//! ## Path model (the fidelity envelope)
+//!
+//! The abstract link set keeps exactly the capacities that bound
+//! steady-state throughput:
+//!
+//! * every host NIC, in both directions (`host_bw` each way);
+//! * **fat-tree**: one aggregate up- and one aggregate downlink per ToR
+//!   at `fabric_bw × aggs_per_pod` — the rack's total fabric capacity.
+//!   The agg/core layers are treated as non-blocking (per-path ECMP
+//!   imbalance is averaged away), which is the standard flow-model
+//!   simplification and matches the paper's load denominator;
+//! * **star**: NICs only (the hub is non-blocking);
+//! * **dumbbell**: NICs plus one capacitated link per bottleneck
+//!   direction.
+//!
+//! What the flow abstraction drops is transport dynamics: no slow
+//! start, no CC law, no switch buffers, drops, or PFC. Rates converge
+//! instantly to the fair share, so flow-engine slowdowns are an ideal
+//! lower envelope of packet-engine slowdowns — the cross-check test
+//! (`flow_determinism.rs`) pins that band. Per-packet knobs (the
+//! `params` axis' γ/N/η/α overrides) don't exist at this level: the
+//! spec layer rejects them for flow sweeps. Buffer-occupancy samples
+//! come back empty and drops are zero by construction.
+
+use crate::engine::{self, PointOutcome, SIZE_BUCKETS};
+use crate::spec::{ScenarioSpec, TopologySpec};
+use crate::sweep::SweepPoint;
+use dcn_flow::{simulate, FlowDef, FlowNet, LinkId};
+use dcn_sim::{NodeId, SimStats};
+use dcn_stats::slowdown;
+use dcn_transport::FlowSpec;
+use powertcp_core::Tick;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Run one flow-engine sweep point. Deterministic: identical arguments
+/// replay bit-for-bit on any thread or process layout.
+pub(crate) fn run_flow_point_observed(
+    spec: &ScenarioSpec,
+    point: &SweepPoint,
+) -> (PointOutcome, SimStats) {
+    let t0 = Instant::now();
+    let plan = engine::plan(&spec.topology, point.algo);
+    let horizon = spec.horizon();
+    let flows = engine::offered_flows(
+        &spec.topology,
+        &spec.workload,
+        &plan,
+        horizon,
+        point.load,
+        point.seed,
+    );
+    let offered = flows.len();
+
+    let (net, defs) = build_network(&spec.topology, &plan, &flows);
+    let run_end = horizon + spec.drain();
+    let (results, fstats) = simulate(&net, &defs, run_end.as_secs_f64());
+
+    // ---- Reduce, mirroring the packet engine: unfinished flows are
+    // censored at the run end, never dropped.
+    let base_rtt = plan.base_rtt;
+    let host_bw = plan.host_bw;
+    let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); SIZE_BUCKETS.len()];
+    let (mut short, mut medium, mut long) = (Vec::new(), Vec::new(), Vec::new());
+    let mut all = Vec::new();
+    let mut completed = 0;
+    for (f, r) in flows.iter().zip(&results) {
+        let fct = match r.finish_s {
+            Some(finish) => {
+                completed += 1;
+                // First-byte delivery (half an RTT, as in the ideal-FCT
+                // model) plus the fair-share transfer time.
+                base_rtt / 2 + Tick::from_secs_f64(finish - f.start.as_secs_f64())
+            }
+            None => run_end.saturating_sub(f.start),
+        };
+        let s = slowdown(fct, f.size_bytes, base_rtt, host_bw);
+        let size = f.size_bytes;
+        if let Some(b) = SIZE_BUCKETS.iter().position(|&ub| size <= ub) {
+            buckets[b].push(s);
+        }
+        match dcn_workloads::size_class(size) {
+            dcn_workloads::SizeClass::Short => short.push(s),
+            dcn_workloads::SizeClass::Medium => medium.push(s),
+            dcn_workloads::SizeClass::Long => long.push(s),
+            dcn_workloads::SizeClass::SmallMedium => {}
+        }
+        all.push(s);
+    }
+
+    let outcome = PointOutcome {
+        algo: point.algo,
+        param: point.param,
+        load: point.load,
+        seed: point.seed,
+        buckets,
+        short,
+        medium,
+        long,
+        all,
+        // No switch buffers and no drops at this abstraction level.
+        buffer: Vec::new(),
+        completed,
+        offered,
+        drops: 0,
+    };
+    // Observability sidecar (never a report input): map the flow
+    // engine's counters onto the shared SimStats shape — events are
+    // allocation events, `delivered` is completed flows.
+    let stats = SimStats {
+        events_processed: fstats.events,
+        events_scheduled: fstats.events,
+        delivered: fstats.completed,
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        ..SimStats::default()
+    };
+    (outcome, stats)
+}
+
+/// Build the capacitated link set and per-flow paths for a topology.
+///
+/// Link layout (ids are assigned in this order so runs are reproducible
+/// from the spec alone): host uplinks `0..n`, host downlinks `n..2n`,
+/// then per-rack ToR uplinks/downlinks (fat-tree) or the two bottleneck
+/// directions (dumbbell).
+fn build_network(
+    topo: &TopologySpec,
+    plan: &engine::Plan,
+    flows: &[FlowSpec],
+) -> (FlowNet, Vec<FlowDef>) {
+    let n = plan.map.hosts.len();
+    let host_bytes = plan.host_bw.bytes_per_sec();
+    let mut net = FlowNet::new();
+    let up: Vec<LinkId> = (0..n).map(|_| net.add_link(host_bytes)).collect();
+    let down: Vec<LinkId> = (0..n).map(|_| net.add_link(host_bytes)).collect();
+    enum Fabric {
+        /// Per-rack aggregate ToR up/downlinks (fat-tree).
+        Racks {
+            tor_up: Vec<LinkId>,
+            tor_down: Vec<LinkId>,
+        },
+        /// Non-blocking hub (star).
+        Hub,
+        /// One capacitated link per direction (dumbbell).
+        Bottleneck { lr: LinkId, rl: LinkId },
+    }
+    let fabric = match *topo {
+        TopologySpec::FatTree { .. } => {
+            let cfg = engine::fat_tree_config(topo, None);
+            let racks = plan.map.num_racks();
+            let rack_bytes = cfg.fabric_bw.bytes_per_sec() * cfg.aggs_per_pod as f64;
+            Fabric::Racks {
+                tor_up: (0..racks).map(|_| net.add_link(rack_bytes)).collect(),
+                tor_down: (0..racks).map(|_| net.add_link(rack_bytes)).collect(),
+            }
+        }
+        TopologySpec::Star { .. } => Fabric::Hub,
+        TopologySpec::Dumbbell {
+            bottleneck_gbps, ..
+        } => {
+            let bn = crate::spec::gbps(bottleneck_gbps).bytes_per_sec();
+            Fabric::Bottleneck {
+                lr: net.add_link(bn),
+                rl: net.add_link(bn),
+            }
+        }
+    };
+    let index_of: BTreeMap<NodeId, usize> = plan
+        .map
+        .hosts
+        .iter()
+        .enumerate()
+        .map(|(i, &node)| (node, i))
+        .collect();
+    let defs = flows
+        .iter()
+        .map(|f| {
+            let (src, dst) = (index_of[&f.src], index_of[&f.dst]);
+            let mut path = vec![up[src], down[dst]];
+            let (rs, rd) = (plan.map.rack_of[src], plan.map.rack_of[dst]);
+            match &fabric {
+                Fabric::Racks { tor_up, tor_down } if rs != rd => {
+                    path.push(tor_up[rs]);
+                    path.push(tor_down[rd]);
+                }
+                Fabric::Bottleneck { lr, rl } if rs != rd => {
+                    path.push(if rs < rd { *lr } else { *rl });
+                }
+                _ => {}
+            }
+            FlowDef {
+                seq: f.id.0,
+                size_bytes: f.size_bytes,
+                start_s: f.start.as_secs_f64(),
+                path,
+            }
+        })
+        .collect();
+    (net, defs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::Algo;
+    use crate::spec::{EngineKind, IncastSpec, ParamSpec, SizeSpec};
+
+    fn flow_spec(topology: TopologySpec) -> ScenarioSpec {
+        ScenarioSpec::new("flow-test", topology)
+            .engine(EngineKind::Flow)
+            .poisson(SizeSpec::Websearch)
+            .loads([0.4])
+            .horizon_ms(2.0)
+            .drain_ms(4.0)
+    }
+
+    fn point(algo: Algo, load: f64, seed: u64) -> SweepPoint {
+        SweepPoint {
+            index: 0,
+            algo,
+            param: ParamSpec::default(),
+            load,
+            seed,
+        }
+    }
+
+    #[test]
+    fn flow_point_completes_on_every_topology() {
+        for topo in [
+            TopologySpec::FatTree {
+                hosts_per_tor: 2,
+                host_gbps: 25.0,
+                fabric_gbps: 12.5,
+            },
+            TopologySpec::Star {
+                hosts: 8,
+                host_gbps: 25.0,
+            },
+            TopologySpec::Dumbbell {
+                pairs: 4,
+                host_gbps: 25.0,
+                bottleneck_gbps: 25.0,
+            },
+        ] {
+            let mut spec = flow_spec(topo);
+            if matches!(topo, TopologySpec::Dumbbell { .. }) {
+                // A 25G bottleneck offers < 1 websearch-sized flow per
+                // 2 ms horizon; use fixed 40 KB flows (as the packet
+                // engine's dumbbell test does) to get a population.
+                spec = spec.poisson(SizeSpec::Fixed(40_000));
+            }
+            let (out, stats) = run_flow_point_observed(&spec, &point(Algo::PowerTcp, 0.4, 7));
+            assert!(out.offered > 5, "offered {}", out.offered);
+            assert!(
+                out.completed as f64 >= 0.9 * out.offered as f64,
+                "completed {}/{}",
+                out.completed,
+                out.offered
+            );
+            assert!(out.buffer.is_empty(), "flow engine has no buffer samples");
+            assert_eq!(out.drops, 0);
+            assert!(stats.events_processed > 0);
+            // Slowdowns are well-formed: >= 1 by construction.
+            assert!(out.all.iter().all(|&s| s >= 1.0));
+        }
+    }
+
+    #[test]
+    fn flow_points_replay_bit_for_bit() {
+        let spec = flow_spec(TopologySpec::Star {
+            hosts: 8,
+            host_gbps: 25.0,
+        });
+        let a = run_flow_point_observed(&spec, &point(Algo::PowerTcp, 0.4, 17)).0;
+        let b = run_flow_point_observed(&spec, &point(Algo::PowerTcp, 0.4, 17)).0;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn same_flow_population_as_the_packet_engine() {
+        // The whole cross-check rests on this: both engines must offer
+        // identical flows for identical (spec-physics, load, seed).
+        let spec = flow_spec(TopologySpec::FatTree {
+            hosts_per_tor: 2,
+            host_gbps: 25.0,
+            fabric_gbps: 12.5,
+        })
+        .incast(IncastSpec {
+            rate_per_sec: 8_000.0,
+            request_bytes: 100_000,
+            fan_in: 4,
+            periodic: false,
+        });
+        let (flow_out, _) = run_flow_point_observed(&spec, &point(Algo::PowerTcp, 0.4, 3));
+        let packet_out = engine::run_point(
+            &spec.clone().engine(EngineKind::Packet),
+            Algo::PowerTcp,
+            0.4,
+            3,
+        );
+        assert_eq!(flow_out.offered, packet_out.offered);
+        // Same flows means same per-bucket counts, even though the
+        // slowdown values differ.
+        let counts = |o: &PointOutcome| o.buckets.iter().map(Vec::len).collect::<Vec<_>>();
+        assert_eq!(counts(&flow_out), counts(&packet_out));
+    }
+
+    #[test]
+    fn dispatch_routes_flow_specs_through_run_sweep_point() {
+        let spec = flow_spec(TopologySpec::Star {
+            hosts: 8,
+            host_gbps: 25.0,
+        });
+        let via_dispatch = engine::run_sweep_point(&spec, &point(Algo::PowerTcp, 0.4, 17));
+        let direct = run_flow_point_observed(&spec, &point(Algo::PowerTcp, 0.4, 17)).0;
+        assert_eq!(via_dispatch, direct);
+    }
+
+    #[test]
+    fn heavier_load_means_worse_slowdowns() {
+        let spec = flow_spec(TopologySpec::FatTree {
+            hosts_per_tor: 4,
+            host_gbps: 25.0,
+            fabric_gbps: 25.0,
+        })
+        .loads([0.2, 0.9]);
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+        let light = run_flow_point_observed(&spec, &point(Algo::PowerTcp, 0.2, 5)).0;
+        let heavy = run_flow_point_observed(&spec, &point(Algo::PowerTcp, 0.9, 5)).0;
+        assert!(
+            mean(&heavy.all) > mean(&light.all),
+            "contention must show up: {} vs {}",
+            mean(&heavy.all),
+            mean(&light.all)
+        );
+    }
+}

@@ -64,6 +64,7 @@ pub mod analytic_engine;
 pub mod bench;
 pub mod diff;
 pub mod engine;
+pub mod flow_engine;
 pub mod library;
 pub mod obs;
 pub mod report;
@@ -85,10 +86,10 @@ pub use obs::{
     point_label, sim_stats_from_json, sim_stats_json, spec_kind, CacheStatus, NullObserver,
     Observer, PointObs, SpanRecord, SummaryRecord,
 };
-pub use report::{AggregateReport, BucketReport, PointReport, SweepResult};
+pub use report::{AggregateReport, BucketReport, PointReport, SweepResult, BUFFER_CDF_PCTS};
 pub use spec::{
-    AnalyticScenario, AnalyticSpec, IncastSpec, ParamSpec, PoissonSpec, ScenarioKind, ScenarioSpec,
-    SizeSpec, SweepSpec, TopologySpec, TraceScenario, TraceSpec, WorkloadSpec,
+    AnalyticScenario, AnalyticSpec, EngineKind, IncastSpec, ParamSpec, PoissonSpec, ScenarioKind,
+    ScenarioSpec, SizeSpec, SweepSpec, TopologySpec, TraceScenario, TraceSpec, WorkloadSpec,
 };
 pub use sweep::{
     run_scenario, run_scenario_observed, run_scenario_with, run_sweep, run_sweep_observed,

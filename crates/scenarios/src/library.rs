@@ -9,8 +9,8 @@
 
 use crate::algo::Algo;
 use crate::spec::{
-    AnalyticScenario, AnalyticSpec, IncastSpec, ParamSpec, ScenarioSpec, SizeSpec, TopologySpec,
-    TraceScenario, TraceSpec,
+    AnalyticScenario, AnalyticSpec, EngineKind, IncastSpec, ParamSpec, ScenarioSpec, SizeSpec,
+    TopologySpec, TraceScenario, TraceSpec,
 };
 use fluid_model::Law;
 
@@ -270,6 +270,72 @@ pub fn fig7() -> ScenarioSpec {
         .seeds([42])
 }
 
+/// The fig7 workload on the flow engine: the cross-check twin of
+/// [`fig7`]. Same topology, same flow population (generators and seeds
+/// are shared between engines), but progressed by max-min water-filling
+/// instead of per-packet simulation — the CI byte-pins its report
+/// against a committed baseline, and the cross-check test bands its
+/// slowdowns against the packet engine's.
+pub fn fig7_flow() -> ScenarioSpec {
+    ScenarioSpec::new("fig7-flow", tiny_fat_tree())
+        .describe(
+            "the fig7 websearch+incast mix on the flow-level engine: \
+             cross-check twin of the packet-engine fig7, byte-pinned in CI",
+        )
+        .engine(EngineKind::Flow)
+        .poisson(SizeSpec::Websearch)
+        .incast(IncastSpec {
+            rate_per_sec: 16.0 * 50.0,
+            request_bytes: 2_000_000,
+            fan_in: 8,
+            periodic: false,
+        })
+        .algos([Algo::PowerTcp, Algo::ThetaPowerTcp, Algo::Hpcc])
+        .loads([0.4, 0.8])
+        .seeds([42])
+}
+
+/// The datacenter-scale flow-engine showcase: a 100,000-host
+/// oversubscribed fat-tree (12,500 hosts per ToR under the default
+/// 4-pod / 8-ToR layout; 25G hosts against 2×100G of fabric per rack —
+/// 1,562× oversubscription at the ToR) offering the heavy-tailed
+/// websearch+hadoop mixture for a full second of simulated time —
+/// roughly a quarter-million flows. Far beyond what per-packet
+/// simulation can touch; the flow engine completes it in seconds on
+/// one machine, deterministically.
+pub fn fattree_100k() -> ScenarioSpec {
+    ScenarioSpec::new(
+        "fattree-100k",
+        TopologySpec::FatTree {
+            hosts_per_tor: 12_500,
+            host_gbps: 25.0,
+            fabric_gbps: 100.0,
+        },
+    )
+    .describe(
+        "100k-host oversubscribed fat-tree, websearch+hadoop mix on the \
+         flow engine: the scale the packet engine cannot reach",
+    )
+    .engine(EngineKind::Flow)
+    .poisson(SizeSpec::WebsearchHadoop)
+    .loads([0.6])
+    .seeds([42])
+    .horizon_ms(1_000.0)
+    .drain_ms(500.0)
+}
+
+/// A reduced [`fattree_100k`] for CI smoke: same 100k-host topology and
+/// mix, a 40 ms horizon (thousands of flows instead of hundreds of
+/// thousands) so the job completes well inside a wall-clock budget.
+pub fn fattree_100k_smoke() -> ScenarioSpec {
+    let mut spec = fattree_100k()
+        .horizon_ms(40.0)
+        .drain_ms(100.0)
+        .describe("reduced fattree-100k (40 ms horizon) for CI wall-clock budgets");
+    spec.name = "fattree-100k-smoke".into();
+    spec
+}
+
 /// Figures 9–11 (Appendix D): HOMA under incast at overcommitment
 /// levels 1–6, on the canonical star fixture.
 pub fn fig9to11() -> ScenarioSpec {
@@ -334,8 +400,11 @@ pub fn builtin_specs() -> Vec<ScenarioSpec> {
         fig6(),
         fig6_small(),
         fig7(),
+        fig7_flow(),
         fig8(),
         fig9to11(),
+        fattree_100k(),
+        fattree_100k_smoke(),
         ablations(),
         theorems(),
         gamma_sweep(),

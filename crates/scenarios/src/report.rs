@@ -95,7 +95,16 @@ pub struct AggregateReport {
     /// Per-size-bucket slowdown summaries (the Figure 6 x-axis), pooled
     /// across seeds; one entry per [`SIZE_BUCKETS`] boundary.
     pub buckets: Vec<BucketReport>,
+    /// Buffer-occupancy CDF, `(percentile, bytes)` at each
+    /// [`BUFFER_CDF_PCTS`] rung, pooled across seeds. `None` unless the
+    /// spec opts in with `buffer_cdf = true` — the default report bytes
+    /// never move.
+    pub buffer_cdf: Option<Vec<(f64, f64)>>,
 }
+
+/// The percentile ladder of the optional buffer-occupancy CDF export
+/// (`buffer_cdf = true` in a sweep spec).
+pub const BUFFER_CDF_PCTS: [f64; 9] = [0.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9, 100.0];
 
 /// The full, structured result of a sweep.
 #[derive(Clone, Debug)]
@@ -208,6 +217,12 @@ impl SweepResult {
                 buffer_p99: percentile(&buffer, 99.0),
                 buffer_max: percentile(&buffer, 100.0),
                 buckets,
+                buffer_cdf: spec.buffer_cdf.then(|| {
+                    BUFFER_CDF_PCTS
+                        .iter()
+                        .filter_map(|&p| percentile(&buffer, p).map(|v| (p, v)))
+                        .collect()
+                }),
             });
         }
 
@@ -285,6 +300,23 @@ impl SweepResult {
                 ));
             }
             out.push(']');
+            // Opt-in CDF rows go *after* every always-on field, so specs
+            // without `buffer_cdf = true` render byte-identically to
+            // reports produced before the field existed.
+            if let Some(cdf) = &a.buffer_cdf {
+                out.push_str(", \"buffer_cdf\": [");
+                for (j, (pct, bytes)) in cdf.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!(
+                        "{{\"pct\": {}, \"bytes\": {}}}",
+                        jf(*pct),
+                        jf(*bytes)
+                    ));
+                }
+                out.push(']');
+            }
             out.push('}');
             out.push_str(if i + 1 < self.aggregates.len() {
                 ",\n"
@@ -368,6 +400,26 @@ impl SweepResult {
                     jf(a.load),
                     b.le_bytes,
                 ));
+            }
+        }
+        // Third table, opt-in (`buffer_cdf = true`): one row per
+        // (algo, load, percentile) of the pooled buffer-occupancy CDF.
+        // Appended after both always-on tables so default reports stay
+        // byte-identical.
+        if self.aggregates.iter().any(|a| a.buffer_cdf.is_some()) {
+            out.push('\n');
+            out.push_str("scenario,algo,load,pct,buffer_bytes\n");
+            for a in &self.aggregates {
+                for (pct, bytes) in a.buffer_cdf.iter().flatten() {
+                    out.push_str(&format!(
+                        "{},{},{},{},{}\n",
+                        csv_escape(&self.name),
+                        a.algo_key,
+                        jf(a.load),
+                        jf(*pct),
+                        jf(*bytes),
+                    ));
+                }
             }
         }
         out
@@ -577,6 +629,39 @@ mod tests {
         assert_eq!(a.buckets[0].summary.unwrap().count, 4);
         assert_eq!(a.buckets[4].summary.unwrap().count, 2);
         assert!(a.buckets[1].summary.is_none());
+    }
+
+    #[test]
+    fn buffer_cdf_is_opt_in_and_byte_stable_when_off() {
+        let outcomes = || {
+            vec![
+                fake_outcome(Algo::PowerTcp, 0.5, 1, 1.0),
+                fake_outcome(Algo::PowerTcp, 0.5, 2, 2.0),
+                fake_outcome(Algo::Hpcc, 0.5, 1, 4.0),
+                fake_outcome(Algo::Hpcc, 0.5, 2, 8.0),
+            ]
+        };
+        let off = SweepResult::build(&spec2x2(), outcomes());
+        assert!(off.aggregates.iter().all(|a| a.buffer_cdf.is_none()));
+        assert!(!off.to_json().contains("buffer_cdf"));
+        assert!(!off.to_csv().contains("pct,buffer_bytes"));
+
+        let on = SweepResult::build(&spec2x2().buffer_cdf(true), outcomes());
+        let cdf = on.aggregates[0].buffer_cdf.as_ref().unwrap();
+        assert_eq!(cdf.len(), BUFFER_CDF_PCTS.len());
+        // Pooled samples [1000, 2000] x 2 seeds: min 1000, max 2000,
+        // monotone in between.
+        assert_eq!(cdf[0], (0.0, 1000.0));
+        assert_eq!(cdf[cdf.len() - 1], (100.0, 2000.0));
+        assert!(cdf.windows(2).all(|w| w[0].1 <= w[1].1));
+        let j = on.to_json();
+        assert!(j.contains("\"buffer_cdf\": [{\"pct\": 0, \"bytes\": 1000}"));
+        // The CDF only appends: stripping its field must restore the
+        // default bytes exactly (so off-path reports never move).
+        let csv = on.to_csv();
+        assert!(csv.contains("scenario,algo,load,pct,buffer_bytes\n"));
+        assert!(csv.starts_with(&off.to_csv()));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 
     #[test]

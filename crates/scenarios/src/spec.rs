@@ -108,8 +108,52 @@ pub(crate) fn gbps(g: f64) -> Bandwidth {
 pub enum SizeSpec {
     /// The paper's web search distribution (DCTCP §4.1).
     Websearch,
+    /// A 50/50 mixture of the web-search and Hadoop distributions — the
+    /// heavy-tailed datacenter mix of the 100k-host flow-engine
+    /// scenarios ([`dcn_workloads::SizeCdf::websearch_hadoop`]).
+    WebsearchHadoop,
     /// Every flow has the same size (controlled experiments).
     Fixed(u64),
+}
+
+/// Which engine executes a sweep's points.
+///
+/// The packet engine is the default and the source of truth: full
+/// per-packet simulation with congestion control, switch buffers, and
+/// INT telemetry. The flow engine (`dcn-flow`) trades all transport
+/// dynamics for scale: flows progress at max-min fair rates between
+/// arrival/completion events, which is what makes 100k-host fat-trees
+/// and million-flow mixes tractable. Both produce the same
+/// [`crate::SweepResult`] rows; `dcn-runner` salts their cache keys
+/// with independent behavioral versions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Per-packet simulation via `dcn-sim` (the default).
+    #[default]
+    Packet,
+    /// Flow-level max-min shared-bandwidth simulation via `dcn-flow`.
+    Flow,
+}
+
+impl EngineKind {
+    /// The TOML key of this engine kind.
+    pub fn key(self) -> &'static str {
+        match self {
+            EngineKind::Packet => "packet",
+            EngineKind::Flow => "flow",
+        }
+    }
+
+    /// Parse a TOML engine value.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "packet" => Ok(EngineKind::Packet),
+            "flow" => Ok(EngineKind::Flow),
+            other => Err(format!(
+                "unknown engine {other:?} (expected packet or flow)"
+            )),
+        }
+    }
 }
 
 /// Poisson background traffic at the swept load.
@@ -540,6 +584,13 @@ pub struct ScenarioSpec {
     pub drain_ms: f64,
     /// Sweep axes.
     pub sweep: SweepSpec,
+    /// Which engine runs the sweep points (sweep kind only).
+    pub engine: EngineKind,
+    /// Emit per-aggregate buffer-occupancy CDF columns in sweep reports
+    /// (packet engine only; a report option, not physics — stripped
+    /// from [`Self::cache_fragment`]). Off by default so existing
+    /// baselines stay byte-identical.
+    pub buffer_cdf: bool,
 }
 
 impl ScenarioSpec {
@@ -560,6 +611,8 @@ impl ScenarioSpec {
                 loads: Vec::new(),
                 seeds: vec![42],
             },
+            engine: EngineKind::Packet,
+            buffer_cdf: false,
         }
     }
 
@@ -582,6 +635,8 @@ impl ScenarioSpec {
                 loads: Vec::new(),
                 seeds: vec![42],
             },
+            engine: EngineKind::Packet,
+            buffer_cdf: false,
         }
     }
 
@@ -598,6 +653,8 @@ impl ScenarioSpec {
             horizon_ms: 4.0,
             drain_ms: 0.0,
             sweep: Self::analytic_sweep(),
+            engine: EngineKind::Packet,
+            buffer_cdf: false,
         }
     }
 
@@ -710,6 +767,19 @@ impl ScenarioSpec {
         self
     }
 
+    /// Select the engine that runs the sweep points.
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Toggle per-aggregate buffer-occupancy CDF columns in the report
+    /// (packet-engine sweeps only).
+    pub fn buffer_cdf(mut self, on: bool) -> Self {
+        self.buffer_cdf = on;
+        self
+    }
+
     /// Restrict a timeseries spec to recording only the named channels
     /// (validated against [`TraceScenario::channel_names`]). Panics on a
     /// sweep spec.
@@ -735,6 +805,10 @@ impl ScenarioSpec {
         let mut stripped = self.clone();
         stripped.name = String::new();
         stripped.description = String::new();
+        // buffer_cdf only changes how the report renders already-cached
+        // outcomes, never the outcomes themselves. (`engine` stays: it
+        // selects the physics.)
+        stripped.buffer_cdf = false;
         stripped.sweep = SweepSpec {
             algos: Vec::new(),
             params: Vec::new(),
@@ -807,10 +881,27 @@ impl ScenarioSpec {
         if self.drain_ms < 0.0 {
             return Err(format!("drain_ms must be >= 0, got {}", self.drain_ms));
         }
+        if self.engine == EngineKind::Flow && !matches!(self.kind, ScenarioKind::Sweep) {
+            return Err(
+                "engine = \"flow\" only applies to sweep scenarios: timeseries traces \
+                 depend on per-packet INT probes and analytic scenarios never simulate"
+                    .into(),
+            );
+        }
+        if self.buffer_cdf && !matches!(self.kind, ScenarioKind::Sweep) {
+            return Err("buffer_cdf is a sweep-report option; remove it".into());
+        }
         match &self.kind {
             ScenarioKind::Timeseries(trace) => return self.validate_timeseries(trace),
             ScenarioKind::Analytic(analytic) => return self.validate_analytic(analytic),
             ScenarioKind::Sweep => {}
+        }
+        if self.engine == EngineKind::Flow && self.buffer_cdf {
+            return Err(
+                "buffer_cdf requires the packet engine: the flow engine models no \
+                 switch buffers to sample (use engine = \"packet\")"
+                    .into(),
+            );
         }
         match self.topology {
             TopologySpec::FatTree {
@@ -1343,6 +1434,15 @@ impl ScenarioSpec {
             );
             return out;
         }
+        // Defaults are omitted (engine = "packet", buffer_cdf = false) so
+        // every pre-flow-engine spec renders — and cache-keys — exactly
+        // as before.
+        if self.engine != EngineKind::Packet {
+            kv(&mut out, "engine", Value::Str(self.engine.key().into()));
+        }
+        if self.buffer_cdf {
+            kv(&mut out, "buffer_cdf", Value::Bool(true));
+        }
         kv(&mut out, "horizon_ms", Value::Float(self.horizon_ms));
         kv(&mut out, "drain_ms", Value::Float(self.drain_ms));
 
@@ -1379,6 +1479,9 @@ impl ScenarioSpec {
             out.push_str("\n[workload.poisson]\n");
             match p.sizes {
                 SizeSpec::Websearch => kv(&mut out, "sizes", Value::Str("websearch".into())),
+                SizeSpec::WebsearchHadoop => {
+                    kv(&mut out, "sizes", Value::Str("websearch-hadoop".into()))
+                }
                 SizeSpec::Fixed(b) => {
                     kv(&mut out, "sizes", Value::Str("fixed".into()));
                     kv(&mut out, "fixed_bytes", Value::Int(b as i64));
@@ -1456,6 +1559,8 @@ impl ScenarioSpec {
                 "name"
                     | "description"
                     | "kind"
+                    | "engine"
+                    | "buffer_cdf"
                     | "horizon_ms"
                     | "drain_ms"
                     | "topology"
@@ -1495,6 +1600,14 @@ impl ScenarioSpec {
         if root.contains_key("analytic") {
             return Err("[analytic] is only valid with kind = \"analytic\"".into());
         }
+        let engine = match root.get("engine") {
+            Some(v) => EngineKind::parse(v.as_str().ok_or("engine must be a string")?)?,
+            None => EngineKind::Packet,
+        };
+        let buffer_cdf = match root.get("buffer_cdf") {
+            Some(v) => v.as_bool().ok_or("buffer_cdf must be a boolean")?,
+            None => false,
+        };
         let horizon_ms = get_f64_or(root, "horizon_ms", 4.0)?;
         let drain_ms = get_f64_or(root, "drain_ms", 6.0)?;
 
@@ -1529,10 +1642,12 @@ impl ScenarioSpec {
                 let p = p.as_table().ok_or("workload.poisson must be a table")?;
                 let sizes = match get_str(p, "sizes")?.as_str() {
                     "websearch" => SizeSpec::Websearch,
+                    "websearch-hadoop" => SizeSpec::WebsearchHadoop,
                     "fixed" => SizeSpec::Fixed(get_u64(p, "fixed_bytes")?),
                     other => {
                         return Err(format!(
-                            "unknown size distribution {other:?} (expected websearch or fixed)"
+                            "unknown size distribution {other:?} (expected websearch, \
+                             websearch-hadoop, or fixed)"
                         ))
                     }
                 };
@@ -1598,6 +1713,8 @@ impl ScenarioSpec {
                 loads,
                 seeds,
             },
+            engine,
+            buffer_cdf,
         })
     }
 
@@ -1628,6 +1745,14 @@ impl ScenarioSpec {
                 "analytic scenarios have no horizon_ms; remove it",
             ),
             ("drain_ms", "analytic scenarios have no drain_ms; remove it"),
+            (
+                "engine",
+                "engine is a sweep setting; analytic scenarios never simulate — remove it",
+            ),
+            (
+                "buffer_cdf",
+                "buffer_cdf is a sweep-report option; remove it",
+            ),
         ] {
             if root.contains_key(key) {
                 return Err(msg.into());
@@ -1743,6 +1868,16 @@ impl ScenarioSpec {
             return Err(
                 "timeseries scenarios define traffic via [trace]; remove [workload]".into(),
             );
+        }
+        if root.contains_key("engine") {
+            return Err(
+                "engine is a sweep setting; timeseries traces depend on per-packet INT \
+                 probes the flow engine cannot produce — remove it"
+                    .into(),
+            );
+        }
+        if root.contains_key("buffer_cdf") {
+            return Err("buffer_cdf is a sweep-report option; remove it".into());
         }
         let horizon_ms = get_f64_or(root, "horizon_ms", 4.0)?;
         let drain_ms = get_f64_or(root, "drain_ms", 0.0)?;
@@ -1872,6 +2007,8 @@ impl ScenarioSpec {
                 loads: Vec::new(),
                 seeds,
             },
+            engine: EngineKind::Packet,
+            buffer_cdf: false,
         })
     }
 }

@@ -4,7 +4,7 @@
 //! engine, not just to the data structure).
 
 use dcn_scenarios::{
-    builtin_specs, run_sweep, Algo, IncastSpec, ScenarioSpec, SizeSpec, TopologySpec,
+    builtin_specs, run_sweep, Algo, EngineKind, IncastSpec, ScenarioSpec, SizeSpec, TopologySpec,
 };
 
 /// A fig7-shaped scenario (websearch + incast on the fat-tree, PowerTCP
@@ -68,6 +68,69 @@ fn parsed_toml_runs_identically_to_the_builder_spec() {
         assert!(a.short.is_some(), "{}: no short-flow samples", a.algo_name);
         assert!(a.buffer_p99.is_some());
     }
+}
+
+#[test]
+fn engine_and_buffer_cdf_round_trip_and_default_away() {
+    // Defaults are omitted from the rendering: a packet spec's TOML
+    // must not mention either key (pre-existing TOML fragments, cache
+    // fragments, and pinned baselines stay byte-identical).
+    let packet = fig7_trimmed();
+    let text = packet.to_toml();
+    assert!(!text.contains("engine"), "{text}");
+    assert!(!text.contains("buffer_cdf"), "{text}");
+
+    // Non-defaults render, parse back, and reach a fixpoint.
+    let flow = fig7_trimmed().engine(EngineKind::Flow);
+    let text = flow.to_toml();
+    assert!(text.contains("engine = \"flow\""), "{text}");
+    let parsed = ScenarioSpec::from_toml(&text).expect("re-parse");
+    assert_eq!(parsed, flow);
+    assert_eq!(parsed.to_toml(), text);
+
+    let cdf = fig7_trimmed().buffer_cdf(true);
+    let text = cdf.to_toml();
+    assert!(text.contains("buffer_cdf = true"), "{text}");
+    let parsed = ScenarioSpec::from_toml(&text).expect("re-parse");
+    assert_eq!(parsed, cdf);
+    // buffer_cdf is a report option, not physics: the cache fragment
+    // strips it, so enabling the CDF never invalidates cached points.
+    assert_eq!(cdf.cache_fragment(), fig7_trimmed().cache_fragment());
+    // The engine *is* physics: it must stay in the fragment.
+    assert_ne!(flow.cache_fragment(), fig7_trimmed().cache_fragment());
+}
+
+#[test]
+fn flow_engine_rejects_per_packet_features_with_clear_errors() {
+    // engine = "flow" + buffer_cdf: the flow model has no switch
+    // buffers to sample.
+    let err = fig7_trimmed()
+        .engine(EngineKind::Flow)
+        .buffer_cdf(true)
+        .validate()
+        .expect_err("flow + buffer_cdf must not validate");
+    assert!(
+        err.contains("buffer_cdf requires the packet engine"),
+        "{err}"
+    );
+
+    // engine on a timeseries spec is rejected at parse time.
+    let trace_toml = dcn_scenarios::builtin("fig4").unwrap().to_toml();
+    let with_engine = trace_toml.replace("[trace]", "engine = \"flow\"\n\n[trace]");
+    let err = ScenarioSpec::from_toml(&with_engine).expect_err("trace + engine must not parse");
+    assert!(err.contains("engine is a sweep setting"), "{err}");
+
+    // ... and on an analytic spec.
+    let analytic_toml = dcn_scenarios::builtin("fig3-small").unwrap().to_toml();
+    let with_engine = analytic_toml.replace("[analytic]", "engine = \"flow\"\n\n[analytic]");
+    let err = ScenarioSpec::from_toml(&with_engine).expect_err("analytic + engine must not parse");
+    assert!(err.contains("engine is a sweep setting"), "{err}");
+
+    // Unknown engine names fail with the accepted set in the message.
+    let sweep_toml = fig7_trimmed().to_toml();
+    let bad = sweep_toml.replace("[topology]", "engine = \"quantum\"\n\n[topology]");
+    let err = ScenarioSpec::from_toml(&bad).expect_err("unknown engine must not parse");
+    assert!(err.contains("expected packet or flow"), "{err}");
 }
 
 #[test]

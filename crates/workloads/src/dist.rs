@@ -62,6 +62,69 @@ impl SizeCdf {
         ])
     }
 
+    /// A Hadoop-style batch/shuffle distribution: the other half of the
+    /// heavy-tailed datacenter mix ("It's Time to Replace TCP in the
+    /// Datacenter" argues this regime is where transports diverge). As
+    /// with [`Self::websearch`], the exact trace is not published; the
+    /// embedded CDF reproduces its defining shape — half of flows are
+    /// sub-kilobyte control messages while shuffle/sort transfers push
+    /// the tail to ~100 MB and dominate the bytes (mean ≈ 6 MB).
+    pub fn hadoop() -> Self {
+        SizeCdf::new(vec![
+            (200, 0.10),
+            (500, 0.30),
+            (1_000, 0.50),
+            (10_000, 0.63),
+            (100_000, 0.72),
+            (1_000_000, 0.80),
+            (10_000_000, 0.90),
+            (100_000_000, 1.00),
+        ])
+    }
+
+    /// The 50/50 websearch + Hadoop mixture used by the flow-engine
+    /// datacenter-scale scenarios: each flow is drawn from one of the
+    /// two distributions with equal probability. Built as the exact
+    /// pointwise mixture CDF `F(x) = (Fw(x) + Fh(x)) / 2` on the union
+    /// of both knot sets (both CDFs are piecewise linear, so the
+    /// mixture is too and the union knots represent it exactly).
+    pub fn websearch_hadoop() -> Self {
+        Self::mix(&Self::websearch(), &Self::hadoop(), 0.5)
+    }
+
+    /// The mixture `w·a + (1-w)·b` as an exact piecewise-linear CDF.
+    pub fn mix(a: &SizeCdf, b: &SizeCdf, w: f64) -> Self {
+        assert!((0.0..=1.0).contains(&w), "mixture weight must be in [0,1]");
+        let mut sizes: Vec<u64> = a.points.iter().chain(&b.points).map(|&(s, _)| s).collect();
+        sizes.sort_unstable();
+        sizes.dedup();
+        let points = sizes
+            .into_iter()
+            .map(|s| (s, w * a.prob_at(s) + (1.0 - w) * b.prob_at(s)))
+            .collect();
+        SizeCdf::new(points)
+    }
+
+    /// The cumulative probability at `size` (linear interpolation; the
+    /// first point carries its mass, sizes beyond the last are 1.0).
+    pub fn prob_at(&self, size: u64) -> f64 {
+        let first = self.points[0];
+        if size <= first.0 {
+            // The first point's probability is the mass at or below its
+            // size; below it there is nothing.
+            return if size == first.0 { first.1 } else { 0.0 };
+        }
+        for w in self.points.windows(2) {
+            let (s0, p0) = w[0];
+            let (s1, p1) = w[1];
+            if size <= s1 {
+                let frac = (size - s0) as f64 / (s1 - s0) as f64;
+                return p0 + (p1 - p0) * frac;
+            }
+        }
+        1.0
+    }
+
     /// Fixed-size "distribution" (useful for controlled experiments).
     pub fn fixed(size: u64) -> Self {
         SizeCdf::new(vec![
@@ -193,6 +256,47 @@ mod tests {
             (0..100).map(|_| d.sample(&mut rng)).collect()
         };
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hadoop_shape() {
+        let d = SizeCdf::hadoop();
+        // Half of flows are sub-kilobyte control messages.
+        assert!(d.quantile(0.5) <= 1_000);
+        // Shuffle tail reaches 100 MB.
+        assert_eq!(d.quantile(1.0), 100_000_000);
+        let m = d.mean();
+        assert!(m > 4_000_000.0 && m < 9_000_000.0, "mean={m}");
+    }
+
+    #[test]
+    fn prob_at_inverts_quantile_on_knots() {
+        let d = SizeCdf::websearch();
+        for &(s, p) in d.points() {
+            assert!((d.prob_at(s) - p).abs() < 1e-12);
+        }
+        assert_eq!(d.prob_at(500), 0.0, "below the first knot");
+        assert_eq!(d.prob_at(u64::MAX), 1.0, "beyond the last knot");
+    }
+
+    #[test]
+    fn mixture_is_the_exact_average_of_both_cdfs() {
+        let wsh = SizeCdf::websearch_hadoop();
+        let (w, h) = (SizeCdf::websearch(), SizeCdf::hadoop());
+        // Spot-check across the whole support, including between knots:
+        // a piecewise-linear mixture on union knots must agree exactly.
+        for s in [200, 1_000, 4_321, 10_000, 123_456, 5_000_000, 100_000_000] {
+            let expect = 0.5 * w.prob_at(s) + 0.5 * h.prob_at(s);
+            assert!(
+                (wsh.prob_at(s) - expect).abs() < 1e-12,
+                "size {s}: {} vs {expect}",
+                wsh.prob_at(s)
+            );
+        }
+        // Mean follows by linearity.
+        let mm = wsh.mean();
+        let expect = 0.5 * w.mean() + 0.5 * h.mean();
+        assert!((mm - expect).abs() / expect < 1e-6, "{mm} vs {expect}");
     }
 
     #[test]
