@@ -1,0 +1,399 @@
+//! A minimal Rust lexer — just enough structure for the lint rules.
+//!
+//! The scanner classifies source bytes into identifier, punctuation,
+//! string/char/number literal, and lifetime tokens, each tagged with its
+//! 1-based line. Line comments are collected separately (they carry the
+//! `lint:allow` suppression grammar); block comments, doc comments, and
+//! whitespace are skipped. This is deliberately *not* a full Rust lexer:
+//! it only needs to (a) never mistake a string or comment for code —
+//! otherwise rule text like `"Instant::now"` in a message would
+//! self-flag — and (b) keep identifier/punctuation sequences faithful
+//! enough to match paths like `Instant :: now` and `map . iter (`.
+
+/// Token classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Kind {
+    /// Identifier or keyword (`unsafe`, `HashMap`, `for`, ...).
+    Ident,
+    /// Single punctuation character (`:`, `.`, `(`, ...).
+    Punct,
+    /// String literal of any flavor (plain, raw, byte, raw byte).
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'a`).
+    Lifetime,
+}
+
+/// One lexed token: classification, text, and 1-based source line.
+#[derive(Clone, Debug)]
+pub(crate) struct Token {
+    pub kind: Kind,
+    /// Identifier text, or the punctuation character; empty for
+    /// literals (the rules never inspect literal contents).
+    pub text: String,
+    pub line: usize,
+}
+
+/// One `//` line comment (doc comments included), with leading slashes
+/// stripped.
+#[derive(Clone, Debug)]
+pub(crate) struct Comment {
+    pub text: String,
+    pub line: usize,
+}
+
+/// Lex `src` into (tokens, line comments).
+pub(crate) fn tokenize(src: &str) -> (Vec<Token>, Vec<Comment>) {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != b'\n' {
+                    j += 1;
+                }
+                comments.push(Comment {
+                    text: src[start..j].to_string(),
+                    line,
+                });
+                i = j;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Nested block comment (Rust allows nesting).
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < b.len() && depth > 0 {
+                    if b[j] == b'\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == b'/' && j + 1 < b.len() && b[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && j + 1 < b.len() && b[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            b'"' => {
+                i = skip_string(b, i, &mut line);
+                toks.push(Token {
+                    kind: Kind::Str,
+                    text: String::new(),
+                    line,
+                });
+            }
+            b'r' | b'b' if is_literal_prefix(b, i) => {
+                let start_line = line;
+                i = skip_prefixed_literal(b, i, &mut line);
+                toks.push(Token {
+                    kind: Kind::Str,
+                    text: String::new(),
+                    line: start_line,
+                });
+            }
+            b'\'' => {
+                // Lifetime or char literal.
+                if i + 1 < b.len() && (b[i + 1] == b'\\' || b[i + 1] == b'\'') {
+                    i = skip_char_literal(b, i, &mut line);
+                    toks.push(Token {
+                        kind: Kind::Char,
+                        text: String::new(),
+                        line,
+                    });
+                } else if i + 1 < b.len() && is_ident_start(b[i + 1]) {
+                    let mut j = i + 1;
+                    while j < b.len() && is_ident_continue(b[j]) {
+                        j += 1;
+                    }
+                    if j < b.len() && b[j] == b'\'' {
+                        // 'x' — a char literal.
+                        toks.push(Token {
+                            kind: Kind::Char,
+                            text: String::new(),
+                            line,
+                        });
+                        i = j + 1;
+                    } else {
+                        toks.push(Token {
+                            kind: Kind::Lifetime,
+                            text: String::new(),
+                            line,
+                        });
+                        i = j;
+                    }
+                } else {
+                    i = skip_char_literal(b, i, &mut line);
+                    toks.push(Token {
+                        kind: Kind::Char,
+                        text: String::new(),
+                        line,
+                    });
+                }
+            }
+            _ if is_ident_start(c) => {
+                let start = i;
+                let mut j = i;
+                while j < b.len() && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                toks.push(Token {
+                    kind: Kind::Ident,
+                    text: src[start..j].to_string(),
+                    line,
+                });
+                i = j;
+            }
+            _ if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < b.len() {
+                    let d = b[j];
+                    if d.is_ascii_alphanumeric() || d == b'_' {
+                        j += 1;
+                    } else if d == b'.'
+                        && j + 1 < b.len()
+                        && b[j + 1].is_ascii_digit()
+                        && j > i
+                        && !src[i..j].contains('.')
+                    {
+                        // `1.5` continues the number; `0..10` does not.
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Token {
+                    kind: Kind::Num,
+                    text: String::new(),
+                    line,
+                });
+                i = j;
+            }
+            _ => {
+                toks.push(Token {
+                    kind: Kind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    (toks, comments)
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Is `b[i]` (`r` or `b`) the start of a raw/byte literal rather than a
+/// plain identifier? (`r"`, `r#"`, `r#raw_ident` is *not* a literal,
+/// `b"`, `b'`, `br"`, `br#"`.)
+fn is_literal_prefix(b: &[u8], i: usize) -> bool {
+    let rest = &b[i..];
+    match rest.first() {
+        Some(b'r') => {
+            let mut j = 1;
+            while j < rest.len() && rest[j] == b'#' {
+                j += 1;
+            }
+            // r"..."/r#"..."#; r#ident is a raw identifier.
+            j < rest.len() && rest[j] == b'"' && (j == 1 || rest.get(1) == Some(&b'#'))
+                || rest.get(1) == Some(&b'"')
+        }
+        Some(b'b') => match rest.get(1) {
+            Some(b'"') | Some(b'\'') => true,
+            Some(b'r') => {
+                let mut j = 2;
+                while j < rest.len() && rest[j] == b'#' {
+                    j += 1;
+                }
+                j < rest.len() && rest[j] == b'"'
+            }
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Skip a raw/byte/raw-byte literal starting at `i`; returns the index
+/// past its end.
+fn skip_prefixed_literal(b: &[u8], i: usize, line: &mut usize) -> usize {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'r' {
+        j += 1;
+        let mut hashes = 0usize;
+        while j < b.len() && b[j] == b'#' {
+            hashes += 1;
+            j += 1;
+        }
+        debug_assert!(j < b.len() && b[j] == b'"');
+        j += 1; // opening quote
+        loop {
+            if j >= b.len() {
+                return j;
+            }
+            if b[j] == b'\n' {
+                *line += 1;
+                j += 1;
+            } else if b[j] == b'"' {
+                let mut k = j + 1;
+                let mut seen = 0usize;
+                while k < b.len() && b[k] == b'#' && seen < hashes {
+                    seen += 1;
+                    k += 1;
+                }
+                if seen == hashes {
+                    return k;
+                }
+                j += 1;
+            } else {
+                j += 1;
+            }
+        }
+    } else if j < b.len() && b[j] == b'"' {
+        skip_string(b, j, line)
+    } else {
+        // b'x'
+        skip_char_literal(b, j, line)
+    }
+}
+
+/// Skip a `"..."` string with escapes; returns the index past the
+/// closing quote.
+fn skip_string(b: &[u8], i: usize, line: &mut usize) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\n' => {
+                *line += 1;
+                j += 1;
+            }
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Skip a `'x'` / `'\n'` char literal; returns the index past the
+/// closing quote.
+fn skip_char_literal(b: &[u8], i: usize, line: &mut usize) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\n' => {
+                *line += 1;
+                j += 1;
+            }
+            b'\'' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        tokenize(src)
+            .0
+            .into_iter()
+            .filter(|t| t.kind == Kind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_code() {
+        let src = r##"
+            // Instant::now in a comment
+            let s = "Instant::now()";
+            let r = r#"unsafe { env::var }"#;
+            /* block HashMap.iter() */
+            let c = 'u'; let bs = b"x"; let bc = b'y';
+        "##;
+        let ids = idents(src);
+        assert_eq!(
+            ids,
+            vec!["let", "s", "let", "r", "let", "c", "let", "bs", "let", "bc"]
+        );
+    }
+
+    #[test]
+    fn comments_are_collected_with_lines() {
+        let src = "fn f() {}\n// lint:allow(R2): reason\nlet x = 1;\n";
+        let (_, comments) = tokenize(src);
+        assert_eq!(comments.len(), 1);
+        assert_eq!(comments[0].line, 2);
+        assert!(comments[0].text.contains("lint:allow(R2)"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'z'; let nl = '\\n'; }";
+        let (toks, _) = tokenize(src);
+        let lifetimes = toks.iter().filter(|t| t.kind == Kind::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.kind == Kind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn ranges_do_not_glue_into_floats() {
+        let src = "for i in 0..10 { let x = 1.5; }";
+        let (toks, _) = tokenize(src);
+        let dots = toks
+            .iter()
+            .filter(|t| t.kind == Kind::Punct && t.text == ".")
+            .count();
+        assert_eq!(dots, 2, "0..10 must lex as Num . . Num");
+        assert_eq!(toks.iter().filter(|t| t.kind == Kind::Num).count(), 3);
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        let src = "let r#type = 1; let r = r\"str\";";
+        let (toks, _) = tokenize(src);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == Kind::Ident && t.text == "type"));
+        assert_eq!(toks.iter().filter(|t| t.kind == Kind::Str).count(), 1);
+    }
+
+    #[test]
+    fn lines_survive_multiline_strings() {
+        let src = "let a = \"x\ny\";\nlet b = 1;\n";
+        let (toks, _) = tokenize(src);
+        let b_tok = toks.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b_tok.line, 3);
+    }
+}

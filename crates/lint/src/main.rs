@@ -1,0 +1,12 @@
+//! Standalone entry point: `cargo run -p dcn-lint -- [--json] [--root DIR]`.
+//!
+//! Identical to `xp lint`; both front-ends share [`dcn_lint::cli_main`].
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    ExitCode::from(dcn_lint::cli_main(&args))
+}

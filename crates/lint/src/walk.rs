@@ -1,0 +1,91 @@
+//! Workspace file discovery.
+//!
+//! Walks the workspace root collecting every `.rs` source and every
+//! `Cargo.toml`, skipping build products (`target/`), VCS internals,
+//! cache directories (`.xp-cache/`), hidden directories, and lint
+//! fixture trees (`fixtures/` — they contain deliberate violations).
+//! Paths come back workspace-relative, `/`-separated, and sorted, so
+//! lint output is byte-stable across platforms and filesystems.
+
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", "fixtures"];
+
+/// Find the workspace root at or above `start`: the nearest ancestor
+/// whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(src) = std::fs::read_to_string(&manifest) {
+            if src.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Collect every lintable file under `root`: sorted workspace-relative
+/// paths of `.rs` sources and `Cargo.toml` manifests.
+pub fn workspace_files(root: &Path) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    walk_dir(root, root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk_dir(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name.starts_with('.') || SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            walk_dir(root, &path, out)?;
+        } else if name.ends_with(".rs") || name == "Cargo.toml" {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|e| format!("path {} escapes root: {e}", path.display()))?;
+            let rel = rel
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_this_workspace_root() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root above crates/lint");
+        assert!(root.join("crates/lint/Cargo.toml").exists());
+    }
+
+    #[test]
+    fn walk_skips_fixtures_and_target() {
+        let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).unwrap();
+        let files = workspace_files(&root).expect("walk");
+        assert!(files.iter().any(|f| f == "crates/lint/src/walk.rs"));
+        assert!(files.iter().any(|f| f == "Cargo.toml"));
+        assert!(!files.iter().any(|f| f.contains("fixtures/")));
+        assert!(!files.iter().any(|f| f.starts_with("target/")));
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted, "walk output must be sorted");
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: R1 twin — the same iteration under a reasoned allow passes.
+
+use std::collections::HashMap;
+
+pub fn sum_keys(m: &HashMap<u64, u64>) -> u64 {
+    // lint:allow(R1): summation is order-independent; no order escapes
+    m.keys().sum()
+}

@@ -1,0 +1,12 @@
+//! Fixture: R1 — iteration over a hash-ordered map is flagged.
+//! Never compiled; scanned by `tests/fixture_rules.rs`.
+
+use std::collections::HashMap;
+
+pub fn sum_keys(m: &HashMap<u64, u64>) -> u64 {
+    m.keys().sum()
+}
+
+pub fn lookup(m: &HashMap<u64, u64>) -> Option<&u64> {
+    m.get(&1)
+}

@@ -1,0 +1,7 @@
+//! Fixture: R2 twin — allowed with a reason (trailing-comment form).
+
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now() // lint:allow(R2): fixture timing — never feeds report bytes
+}

@@ -1,0 +1,7 @@
+//! Fixture: R2 — a wall-clock read outside the observability allowlist.
+
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,6 @@
+//! Fixture: R3 twin — allowed with a reason.
+
+pub fn toggled() -> bool {
+    // lint:allow(R3): fixture toggle — value never reaches physics
+    std::env::var("SOME_TOGGLE").is_ok()
+}

@@ -1,0 +1,5 @@
+//! Fixture: R3 — an environment read outside the runner CLI and tests.
+
+pub fn toggled() -> bool {
+    std::env::var("SOME_TOGGLE").is_ok()
+}

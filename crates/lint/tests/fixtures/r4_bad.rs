@@ -1,0 +1,5 @@
+//! Fixture: R4 — `unsafe` is forbidden everywhere.
+
+pub fn danger(p: *const u8) -> u8 {
+    unsafe { *p }
+}

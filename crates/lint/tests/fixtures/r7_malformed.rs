@@ -1,0 +1,8 @@
+//! Fixture: R7 — an allow without a reason is rejected.
+
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    // lint:allow(R2)
+    Instant::now()
+}

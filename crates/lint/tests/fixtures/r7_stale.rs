@@ -1,0 +1,6 @@
+//! Fixture: R7 — an allow that suppresses nothing is itself an error.
+
+// lint:allow(R2): nothing on the next line reads the clock
+pub fn quiet() -> u32 {
+    42
+}

@@ -24,6 +24,9 @@
 //! xp bench                        # time the simulator hot paths
 //!        [--runs N]               # timed repetitions per case (default 5)
 //!        [--json FILE | -]        # write BENCH_sim.json-style report
+//! xp lint                         # determinism & hygiene static analysis
+//!        [--json]                 #     NDJSON violation records
+//!        [--root DIR]             #     workspace root (default: ascend from cwd)
 //! xp worker                       # internal: one shard of an `xp run --procs`
 //! ```
 //!
@@ -34,6 +37,8 @@
 //! Regression comparison across PRs is `xp run fig8 --json new.json &&
 //! xp diff baseline.json new.json`; a directory of baselines compares in
 //! one shot with `xp diff baselines/ fresh/ --tol 0`.
+
+#![forbid(unsafe_code)]
 
 use dcn_runner::{diff_dirs, worker_main, ResultCache, RunConfig};
 use dcn_scenarios::{
@@ -51,7 +56,8 @@ fn usage() -> ExitCode {
          [--progress] [--log-json FILE] [--seeds a,b,c]\n  \
          xp diff <a.json|dirA> <b.json|dirB> [--tol X]\n  \
          xp cache <stat|clear> [--cache-dir DIR]\n  \
-         xp bench [--runs N] [--json FILE|-]"
+         xp bench [--runs N] [--json FILE|-]\n  \
+         xp lint [--json] [--root DIR]"
     );
     ExitCode::from(2)
 }
@@ -68,6 +74,7 @@ fn main() -> ExitCode {
         Some("diff") => diff(&args[1..]),
         Some("cache") => cache_cmd(&args[1..]),
         Some("bench") => bench(&args[1..]),
+        Some("lint") => ExitCode::from(dcn_lint::cli_main(&args[1..])),
         Some("worker") => worker(),
         _ => usage(),
     }
@@ -322,7 +329,8 @@ fn run(args: &[String]) -> ExitCode {
             format!("{} thread(s)", parsed.cfg.threads)
         }
     );
-    let t0 = std::time::Instant::now();
+    #[allow(clippy::disallowed_methods)] // wall-clock fallback for the stderr roll-up only
+    let t0 = std::time::Instant::now(); // lint:allow(R2): stderr "done in" timing, never in report bytes
     let (result, stats) = match dcn_runner::run(&spec, &parsed.cfg) {
         Ok(r) => r,
         Err(e) => {

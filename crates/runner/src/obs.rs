@@ -19,6 +19,9 @@
 //! from outcome sidecars and wall clocks, and reports are identical
 //! with observation on or off.
 
+// Wall-clock reads are this module's purpose (R2-allowlisted in dcn-lint).
+#![allow(clippy::disallowed_methods)]
+
 use crate::codec::jstr;
 use crate::exec::RunStats;
 use dcn_scenarios::{spec_kind, CacheStatus, Observer, ScenarioSpec, SpanRecord, SummaryRecord};

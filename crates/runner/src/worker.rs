@@ -30,6 +30,9 @@
 //! manifest parse are prefixed `shard K/N (points ...):` so the
 //! parent's `worker error:` line pins down which shard died.
 
+// Workers ship span wall-clocks to the parent (R2-allowlisted in dcn-lint).
+#![allow(clippy::disallowed_methods)]
+
 use crate::cache::ResultCache;
 use crate::codec::{self, jstr, Outcome};
 use crate::exec::CachingSource;

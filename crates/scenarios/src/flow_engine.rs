@@ -50,7 +50,8 @@ pub(crate) fn run_flow_point_observed(
     spec: &ScenarioSpec,
     point: &SweepPoint,
 ) -> (PointOutcome, SimStats) {
-    let t0 = Instant::now();
+    #[allow(clippy::disallowed_methods)] // span wall-clock; never in report bytes
+    let t0 = Instant::now(); // lint:allow(R2): executor span timing — observability only
     let plan = engine::plan(&spec.topology, point.algo);
     let horizon = spec.horizon();
     let flows = engine::offered_flows(

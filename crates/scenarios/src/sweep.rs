@@ -177,7 +177,8 @@ pub fn run_sweep_observed(
     }
     let points = sweep_points(spec);
     let outcomes = run_indexed(points.len(), threads, |i| {
-        let t0 = Instant::now();
+        #[allow(clippy::disallowed_methods)] // span wall-clock; never in report bytes
+        let t0 = Instant::now(); // lint:allow(R2): executor span timing — observability only
         let (outcome, pobs) = source.sweep_point_obs(spec, &points[i]);
         obs.span(&SpanRecord {
             index: i,

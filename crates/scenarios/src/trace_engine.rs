@@ -125,7 +125,8 @@ pub fn run_trace_observed(
     }
     let entries = trace_entries(spec);
     let outcomes = crate::sweep::run_indexed(entries.len(), threads, |i| {
-        let t0 = std::time::Instant::now();
+        #[allow(clippy::disallowed_methods)] // span wall-clock; never in report bytes
+        let t0 = std::time::Instant::now(); // lint:allow(R2): executor span timing — observability only
         let (out, pobs) = source.trace_entry_obs(spec, &entries[i]);
         obs.span(&crate::obs::SpanRecord {
             index: i,

@@ -10,6 +10,9 @@
 //! (bump `dcn_flow::FLOW_ENGINE_VERSION` too!):
 //! `GOLDEN_REGEN=1 cargo test -p dcn-scenarios --test flow_determinism`.
 
+// GOLDEN_REGEN is an env toggle; tests are R3-exempt in dcn-lint.
+#![allow(clippy::disallowed_methods)]
+
 use dcn_scenarios::{
     builtin, diff_reports, run_sweep, Algo, EngineKind, IncastSpec, ParamSpec, ScenarioSpec,
     SizeSpec, TopologySpec,

@@ -5,6 +5,9 @@
 //! To regenerate the golden after an intentional engine change:
 //! `GOLDEN_REGEN=1 cargo test -p dcn-scenarios --test trace_determinism`.
 
+// GOLDEN_REGEN is an env toggle; tests are R3-exempt in dcn-lint.
+#![allow(clippy::disallowed_methods)]
+
 use dcn_scenarios::{
     diff_reports, run_trace, trace_entries, Algo, ScenarioSpec, TraceScenario, TraceSpec,
 };

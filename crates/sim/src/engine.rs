@@ -112,6 +112,7 @@ pub struct Simulator {
 
 impl Simulator {
     /// Wrap a built network.
+    #[allow(clippy::disallowed_methods)] // SimStats wall-clock anchor; never in report bytes
     pub fn new(net: Network) -> Self {
         Simulator {
             net,
@@ -127,6 +128,7 @@ impl Simulator {
             delivered: 0,
             events_processed: 0,
             pfc_frames: 0,
+            // lint:allow(R2): SimStats wall-clock anchor — observability only, never report bytes
             t0: Instant::now(),
         }
     }

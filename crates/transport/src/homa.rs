@@ -29,7 +29,11 @@ use dcn_sim::{
     Endpoint, EndpointCtx, FlowId, GrantPayload, NodeId, Packet, PacketKind, CTRL_PKT_BYTES,
 };
 use powertcp_core::{Bandwidth, IntHeader, Tick};
-use std::collections::HashMap;
+// BTreeMap, not HashMap: lookups stay keyed, `receiver_order` carries
+// the deterministic iteration order, and an ordered map means a future
+// direct iteration cannot introduce hash-order nondeterminism
+// (dcn-lint rule R1 guards the same invariant statically).
+use std::collections::BTreeMap;
 
 const K_MSG_START: u64 = 1;
 const K_PACE: u64 = 2;
@@ -103,8 +107,8 @@ pub struct HomaHost {
     cfg: HomaConfig,
     metrics: SharedMetrics,
     senders: Vec<HomaSender>,
-    sender_index: HashMap<FlowId, usize>,
-    receivers: HashMap<FlowId, HomaReceiver>,
+    sender_index: BTreeMap<FlowId, usize>,
+    receivers: BTreeMap<FlowId, HomaReceiver>,
     /// Receive order of message ids (stable iteration for determinism).
     receiver_order: Vec<FlowId>,
     stall_scan_armed: bool,
@@ -118,8 +122,8 @@ impl HomaHost {
             cfg,
             metrics,
             senders: Vec::new(),
-            sender_index: HashMap::new(),
-            receivers: HashMap::new(),
+            sender_index: BTreeMap::new(),
+            receivers: BTreeMap::new(),
             receiver_order: Vec::new(),
             stall_scan_armed: false,
         }

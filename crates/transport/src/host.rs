@@ -12,7 +12,10 @@ use crate::flow::FlowSpec;
 use crate::metrics::SharedMetrics;
 use dcn_sim::{CcFlowSample, Endpoint, EndpointCtx, FlowId, Packet, PacketKind};
 use powertcp_core::{AckInfo, Bandwidth, CongestionControl, LossKind, NetSignal, Tick};
-use std::collections::HashMap;
+// BTreeMap, not HashMap: these maps are keyed lookups today, but ordered
+// maps keep the whole endpoint trivially deterministic if iteration is
+// ever added (dcn-lint rule R1 would flag hash iteration).
+use std::collections::BTreeMap;
 
 /// Timer-key kinds (top byte of the `u64` key).
 const K_FLOW_START: u64 = 1;
@@ -71,8 +74,8 @@ pub struct TransportHost {
     make_cc: CcFactory,
     /// Sender flows in start order; timer keys index into this.
     senders: Vec<SenderFlow>,
-    sender_index: HashMap<FlowId, usize>,
-    receivers: HashMap<FlowId, ReceiverFlow>,
+    sender_index: BTreeMap<FlowId, usize>,
+    receivers: BTreeMap<FlowId, ReceiverFlow>,
 }
 
 impl TransportHost {
@@ -84,8 +87,8 @@ impl TransportHost {
             metrics,
             make_cc,
             senders: Vec::new(),
-            sender_index: HashMap::new(),
-            receivers: HashMap::new(),
+            sender_index: BTreeMap::new(),
+            receivers: BTreeMap::new(),
         }
     }
 
