@@ -14,12 +14,21 @@
 //!        [--progress]             # live done/total (cached k) · ETA on stderr
 //!        [--log-json FILE]        # NDJSON span stream (one record per point)
 //!        [--seeds a,b,c]          # override the spec's seed grid
+//!        [--timeout-secs N]       # wall-clock budget per --procs worker
+//! xp serve                        # results daemon: HTTP job queue + dashboards
+//!        [--addr HOST:PORT]       # bind address (default 127.0.0.1:8080)
+//!        [--workers N]            # job worker threads (default 2)
+//!        [--threads N]            # executor threads per job (default: all cores)
+//!        [--cache-dir DIR]        # shared result cache (default .xp-cache)
+//!        [--no-cache]             # run jobs without the result cache
+//!        [--queue-cap N]          # queued-job bound, 503 beyond (default 64)
 //! xp diff <a.json> <b.json>       # compare two JSON reports
 //! xp diff <a.csv> <b.csv>         # ... or two CSV reports, cell-wise
 //! xp diff <dirA> <dirB>           # ... or two report directories (*.json
 //!        [--tol X]                #     and *.csv), paired by file name;
 //!                                 #     one aggregate exit code
 //! xp cache stat [--cache-dir DIR] # entry count and size of the result cache
+//!        [--json]                 #     as an NDJSON record with per-engine counts
 //! xp cache clear [--cache-dir DIR]# delete every cache entry
 //! xp bench                        # time the simulator hot paths
 //!        [--runs N]               # timed repetitions per case (default 5)
@@ -53,9 +62,11 @@ fn usage() -> ExitCode {
         "usage:\n  xp list\n  xp show <name>\n  xp run <spec.toml | name> \
          [--threads N] [--procs N] [--cache] [--cache-dir DIR]\n           \
          [--json FILE|-] [--csv FILE|-] [--meta FILE|-]\n           \
-         [--progress] [--log-json FILE] [--seeds a,b,c]\n  \
+         [--progress] [--log-json FILE] [--seeds a,b,c] [--timeout-secs N]\n  \
+         xp serve [--addr HOST:PORT] [--workers N] [--threads N]\n           \
+         [--cache-dir DIR] [--no-cache] [--queue-cap N]\n  \
          xp diff <a.json|dirA> <b.json|dirB> [--tol X]\n  \
-         xp cache <stat|clear> [--cache-dir DIR]\n  \
+         xp cache <stat|clear> [--cache-dir DIR] [--json]\n  \
          xp bench [--runs N] [--json FILE|-]\n  \
          xp lint [--json] [--root DIR]"
     );
@@ -71,6 +82,7 @@ fn main() -> ExitCode {
             None => usage(),
         },
         Some("run") => run(&args[1..]),
+        Some("serve") => serve(&args[1..]),
         Some("diff") => diff(&args[1..]),
         Some("cache") => cache_cmd(&args[1..]),
         Some("bench") => bench(&args[1..]),
@@ -163,16 +175,26 @@ fn list() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The one stderr path for human annotations that accompany machine
+/// output: every note is a `# `-prefixed comment line, so even a
+/// careless `2>&1` capture still parses as commented TOML/NDJSON.
+fn note(msg: &str) {
+    eprintln!("# {msg}");
+}
+
 fn show(name: &str) -> ExitCode {
     match builtin(name) {
         Some(spec) => {
-            // Engine note on stderr so stdout stays valid, pipeable TOML.
-            eprintln!("# {}: {} scenario", spec.name, engine_label(&spec));
+            // Notes go to stderr so stdout stays valid, pipeable TOML
+            // (pinned by the cli_contract integration test).
+            note(&format!("{}: {} scenario", spec.name, engine_label(&spec)));
             print!("{}", spec.to_toml());
             ExitCode::SUCCESS
         }
         None => {
-            eprintln!("unknown scenario {name:?}; `xp list` shows the library");
+            note(&format!(
+                "unknown scenario {name:?}; `xp list` shows the library"
+            ));
             ExitCode::FAILURE
         }
     }
@@ -236,6 +258,15 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
             "--meta" => meta = Some(take(&mut i)?),
             "--progress" => cfg.progress = true,
             "--log-json" => cfg.log_json = Some(PathBuf::from(take(&mut i)?)),
+            "--timeout-secs" => {
+                let secs = take(&mut i)?
+                    .parse::<u64>()
+                    .map_err(|_| "--timeout-secs expects a positive integer".to_string())?;
+                if secs == 0 {
+                    return Err("--timeout-secs expects a positive integer".into());
+                }
+                cfg.timeout_secs = Some(secs);
+            }
             "--seeds" => {
                 let list = take(&mut i)?;
                 let parsed: Result<Vec<u64>, _> =
@@ -381,10 +412,91 @@ fn run(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// `xp cache stat|clear [--cache-dir DIR]`.
+/// `xp serve [--addr A] [--workers N] [--threads N] [--cache-dir DIR]
+/// [--no-cache] [--queue-cap N]`: the long-running results daemon.
+/// Submissions dedup through the shared result cache; reports served
+/// over HTTP are byte-identical to `xp run` output for the same spec.
+fn serve(args: &[String]) -> ExitCode {
+    let mut addr = "127.0.0.1:8080".to_string();
+    let mut workers = 2usize;
+    let mut threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut cache_dir = Some(PathBuf::from(ResultCache::DEFAULT_DIR));
+    let mut queue_cap = 64usize;
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{} needs a value", args[*i - 1]))
+        };
+        let positive = |v: Result<String, String>, flag: &str| -> Result<usize, String> {
+            match v?.parse::<usize>() {
+                Ok(n) if n >= 1 => Ok(n),
+                _ => Err(format!("{flag} expects a positive integer")),
+            }
+        };
+        let step = match args[i].as_str() {
+            "--addr" => take(&mut i).map(|v| addr = v),
+            "--workers" => positive(take(&mut i), "--workers").map(|n| workers = n),
+            "--threads" => positive(take(&mut i), "--threads").map(|n| threads = n),
+            "--queue-cap" => positive(take(&mut i), "--queue-cap").map(|n| queue_cap = n),
+            "--cache-dir" => take(&mut i).map(|v| cache_dir = Some(PathBuf::from(v))),
+            "--no-cache" => {
+                cache_dir = None;
+                Ok(())
+            }
+            other => Err(format!("unknown argument {other:?}")),
+        };
+        if let Err(e) = step {
+            eprintln!("error: {e}");
+            return usage();
+        }
+        i += 1;
+    }
+    let cfg = dcn_serve::ServeConfig {
+        workers,
+        queue_cap,
+        run: dcn_runner::serve_run_fn(cache_dir.clone(), threads),
+        cache_stat: cache_dir.clone().map(dcn_runner::serve_stat_fn),
+    };
+    let server = match dcn_serve::Server::bind(&addr, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    note(&format!(
+        "xp serve listening on http://{} ({} worker(s), {} thread(s)/job, cache {})",
+        server.local_addr(),
+        workers,
+        threads,
+        match &cache_dir {
+            Some(dir) => dir.display().to_string(),
+            None => "off".into(),
+        }
+    ));
+    note("POST /jobs takes a TOML spec; GET / is the dashboard; POST /shutdown drains");
+    match server.serve() {
+        Ok(()) => {
+            note("xp serve drained and stopped");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `xp cache stat|clear [--cache-dir DIR] [--json]`.
 fn cache_cmd(args: &[String]) -> ExitCode {
     let mut dir = PathBuf::from(ResultCache::DEFAULT_DIR);
     let mut action = None;
+    let mut json = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -398,6 +510,7 @@ fn cache_cmd(args: &[String]) -> ExitCode {
                     }
                 }
             }
+            "--json" => json = true,
             a @ ("stat" | "clear") if action.is_none() => action = Some(a.to_string()),
             other => {
                 eprintln!("error: unknown argument {other:?}");
@@ -408,6 +521,12 @@ fn cache_cmd(args: &[String]) -> ExitCode {
     }
     let cache = ResultCache::new(&dir);
     match action.as_deref() {
+        Some("stat") if json => {
+            // One NDJSON record in the span-record grammar family, for
+            // the serve daemon and CI; the human text path is unchanged.
+            println!("{}", cache.stat_detailed().to_ndjson());
+            ExitCode::SUCCESS
+        }
         Some("stat") => {
             let s = cache.stat();
             println!(

@@ -33,6 +33,46 @@ pub struct CacheStat {
     pub bytes: u64,
 }
 
+/// [`CacheStat`] plus a per-engine entry breakdown, classified by each
+/// entry's canonical-key salt line (`xp cache stat --json`, and the
+/// serve daemon's `GET /cache`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStatDetail {
+    /// The cache directory surveyed (as given, `/`-separated).
+    pub dir: String,
+    /// Entry count and total bytes.
+    pub stat: CacheStat,
+    /// Entries salted by the packet engine (`engine-version=`).
+    pub packet: usize,
+    /// Entries salted by the flow engine (`flow-engine-version=`).
+    pub flow: usize,
+    /// Entries salted by the analytic model (`fluid-model-version=`).
+    pub analytic: usize,
+    /// Entries whose canonical key could not be read or classified
+    /// (corrupt or foreign files — they load as misses anyway).
+    pub other: usize,
+}
+
+impl CacheStatDetail {
+    /// The NDJSON record, in the span-record grammar family:
+    /// `{"record":"cache","dir":...,"entries":...,"bytes":...,
+    /// "packet":...,"flow":...,"analytic":...,"other":...}` (one line,
+    /// no trailing newline).
+    pub fn to_ndjson(&self) -> String {
+        format!(
+            "{{\"record\":\"cache\",\"dir\":{},\"entries\":{},\"bytes\":{},\
+             \"packet\":{},\"flow\":{},\"analytic\":{},\"other\":{}}}",
+            codec::jstr(&self.dir),
+            self.stat.entries,
+            self.stat.bytes,
+            self.packet,
+            self.flow,
+            self.analytic,
+            self.other
+        )
+    }
+}
+
 /// A content-addressed result cache rooted at one directory.
 #[derive(Clone, Debug)]
 pub struct ResultCache {
@@ -103,6 +143,29 @@ impl ResultCache {
         stat
     }
 
+    /// [`ResultCache::stat`] plus the per-engine breakdown: each entry's
+    /// canonical key is read back and classified by its salt line (line
+    /// 2 of the canon — see `crates/runner/src/key.rs`).
+    pub fn stat_detailed(&self) -> CacheStatDetail {
+        let mut detail = CacheStatDetail {
+            dir: self.dir.display().to_string().replace('\\', "/"),
+            ..CacheStatDetail::default()
+        };
+        for path in self.entry_paths() {
+            detail.stat.entries += 1;
+            detail.stat.bytes += fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            match Self::entry_salt(&path).as_deref() {
+                // `engine-version=` is a suffix of `flow-engine-version=`;
+                // match the longer salts first.
+                Some(s) if s.starts_with("flow-engine-version=") => detail.flow += 1,
+                Some(s) if s.starts_with("fluid-model-version=") => detail.analytic += 1,
+                Some(s) if s.starts_with("engine-version=") => detail.packet += 1,
+                _ => detail.other += 1,
+            }
+        }
+        detail
+    }
+
     /// Delete every cache entry (plus any `*.json.tmp.*` files orphaned
     /// by a writer that crashed before its atomic rename); returns how
     /// many entries were removed.
@@ -125,6 +188,20 @@ impl ResultCache {
             }
         }
         Ok(removed)
+    }
+
+    /// The salt line (line 2 of the canonical key) of the entry at
+    /// `path`; `None` when the file cannot be read or parsed.
+    fn entry_salt(path: &Path) -> Option<String> {
+        let text = fs::read_to_string(path).ok()?;
+        let Json::Obj(members) = parse_json(&text).ok()? else {
+            return None;
+        };
+        let canon = members.iter().find_map(|(k, v)| match (k.as_str(), v) {
+            ("canon", Json::Str(c)) => Some(c),
+            _ => None,
+        })?;
+        canon.lines().nth(1).map(str::to_string)
     }
 
     /// All `<16-hex>.json` entry files, sorted for deterministic output.

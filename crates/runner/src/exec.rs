@@ -27,6 +27,8 @@ use std::io::Write;
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// How to execute a scenario.
 #[derive(Clone, Debug)]
@@ -47,6 +49,11 @@ pub struct RunConfig {
     /// Stream one NDJSON span record per point (plus a final summary
     /// record) to this file.
     pub log_json: Option<PathBuf>,
+    /// Wall-clock budget per worker process; a worker still running
+    /// this long after its spawn is killed and the run falls back
+    /// in-process with the usual `shard K/N` context note (`None`
+    /// disables the watchdog).
+    pub timeout_secs: Option<u64>,
 }
 
 impl Default for RunConfig {
@@ -58,6 +65,7 @@ impl Default for RunConfig {
             worker_exe: None,
             progress: false,
             log_json: None,
+            timeout_secs: None,
         }
     }
 }
@@ -281,11 +289,13 @@ fn run_procs(spec: &ScenarioSpec, cfg: &RunConfig) -> Result<(ScenarioOutput, Ru
         .map(|w| (w..n).step_by(procs).collect())
         .collect();
 
-    // (shard id, owned indices, child) — the id and indices give every
-    // failure message (and the fallback note) its shard context.
-    let mut children: Vec<(usize, &[usize], Child)> = Vec::new();
-    let reap = |children: &mut Vec<(usize, &[usize], Child)>| {
-        for (_, _, c) in children.iter_mut() {
+    // (shard id, owned indices, child, deadline) — the id and indices
+    // give every failure message (and the fallback note) its shard
+    // context; the deadline is the worker's wall-clock budget, counted
+    // from its own spawn.
+    let mut children: Vec<(usize, &[usize], Child, Option<Instant>)> = Vec::new();
+    let reap = |children: &mut Vec<(usize, &[usize], Child, Option<Instant>)>| {
+        for (_, _, c, _) in children.iter_mut() {
             let _ = c.kill();
             let _ = c.wait();
         }
@@ -320,7 +330,10 @@ fn run_procs(spec: &ScenarioSpec, cfg: &RunConfig) -> Result<(ScenarioOutput, Ru
             ));
         }
         // Dropping stdin closes the pipe; the worker sees EOF.
-        children.push((w, shard, child));
+        let deadline = cfg
+            .timeout_secs
+            .map(|s| clock_now() + Duration::from_secs(s));
+        children.push((w, shard, child, deadline));
     }
 
     let obs = RunObserver::new(n, cfg.progress, cfg.log_json.as_deref())?;
@@ -329,15 +342,15 @@ fn run_procs(spec: &ScenarioSpec, cfg: &RunConfig) -> Result<(ScenarioOutput, Ru
     // Consume children one at a time; on any error, reap the rest before
     // returning so the fallback path does not race still-running workers
     // (and nothing is left a zombie).
-    while let Some((w, shard, child)) = children.pop() {
+    while let Some((w, shard, child, deadline)) = children.pop() {
         let ctx = format!("shard {w}/{procs} (points {})", worker::fmt_indices(shard));
-        let bail = |children: &mut Vec<(usize, &[usize], Child)>, why: String| {
+        let bail = |children: &mut Vec<(usize, &[usize], Child, Option<Instant>)>, why: String| {
             reap(children);
             format!("{ctx}: {why}")
         };
-        let out = match child.wait_with_output() {
+        let out = match wait_worker(child, deadline) {
             Ok(out) => out,
-            Err(e) => return Err(bail(&mut children, format!("worker I/O failed: {e}"))),
+            Err(e) => return Err(bail(&mut children, e)),
         };
         if !out.status.success() {
             return Err(bail(
@@ -434,6 +447,88 @@ fn run_procs(spec: &ScenarioSpec, cfg: &RunConfig) -> Result<(ScenarioOutput, Ru
             summary: Some(summary),
         },
     ))
+}
+
+/// Wait for a worker, enforcing its wall-clock deadline. Without a
+/// deadline this is `wait_with_output`; with one, the worker's stdout is
+/// drained on a side thread (a chatty worker must not deadlock on a full
+/// pipe while we poll) and a worker still running at its deadline is
+/// killed — the resulting "timed out" error carries the shard context
+/// through `bail` and lands in the in-process fallback note.
+fn wait_worker(
+    mut child: Child,
+    deadline: Option<Instant>,
+) -> Result<std::process::Output, String> {
+    let Some(deadline) = deadline else {
+        return child
+            .wait_with_output()
+            .map_err(|e| format!("worker I/O failed: {e}"));
+    };
+    let mut stdout = child.stdout.take().expect("piped stdout");
+    let reader = std::thread::spawn(move || {
+        let mut buf = Vec::new();
+        let _ = std::io::Read::read_to_end(&mut stdout, &mut buf);
+        buf
+    });
+    loop {
+        match child.try_wait() {
+            Err(e) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                // Don't join the reader: a grandchild the kill didn't
+                // reach can hold the pipe open indefinitely, and the
+                // output is discarded on this path anyway.
+                drop(reader);
+                return Err(format!("worker I/O failed: {e}"));
+            }
+            Ok(Some(status)) => {
+                let stdout = reader.join().unwrap_or_default();
+                return Ok(std::process::Output {
+                    status,
+                    stdout,
+                    stderr: Vec::new(),
+                });
+            }
+            Ok(None) => {
+                if clock_now() >= deadline {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    // As above: never block on a pipe an orphaned
+                    // grandchild may still hold open.
+                    drop(reader);
+                    return Err("worker timed out; killed".into());
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// The worker watchdog's clock. Wall-clock here gates only *whether a
+/// worker is killed* — and a killed worker means fallback, whose output
+/// is byte-identical by the determinism contract — so report bytes never
+/// depend on it.
+fn clock_now() -> Instant {
+    #[allow(clippy::disallowed_methods)]
+    Instant::now() // lint:allow(R2): worker timeout watchdog — scheduling only, never report bytes
+}
+
+/// The production [`dcn_serve::RunFn`]: every daemon job executes
+/// through a fresh [`CachingSource`] over the shared cache directory, so
+/// concurrent submissions dedup work through the content-addressed
+/// store, and spans flow straight into the job's event log.
+pub fn serve_run_fn(cache_dir: Option<PathBuf>, threads: usize) -> dcn_serve::RunFn {
+    Arc::new(move |spec, obs| {
+        spec.validate()?;
+        let source = CachingSource::new(cache_dir.as_ref().map(ResultCache::new));
+        run_scenario_observed(spec, threads.max(1), &source, obs)
+    })
+}
+
+/// The production [`dcn_serve::StatFn`]: the daemon's `GET /cache`
+/// serves exactly the `xp cache stat --json` record.
+pub fn serve_stat_fn(cache_dir: PathBuf) -> dcn_serve::StatFn {
+    Arc::new(move || ResultCache::new(&cache_dir).stat_detailed().to_ndjson())
 }
 
 #[cfg(test)]

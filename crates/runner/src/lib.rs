@@ -27,6 +27,10 @@
 //!   `--log-json`, and the versioned `--meta` sidecar renderer.
 //! * [`dirdiff`] — `xp diff` over directories of reports.
 //!
+//! The `xp serve` daemon lives in `dcn-serve` (a pure scheduling and
+//! transport layer); this crate injects the execution half through
+//! [`exec::serve_run_fn`] / [`exec::serve_stat_fn`].
+//!
 //! The `xp` CLI binary lives here (it needs the cache and the process
 //! runner); `dcn-scenarios` stays a pure library.
 
@@ -41,10 +45,10 @@ pub mod key;
 pub mod obs;
 pub mod worker;
 
-pub use cache::{CacheStat, ResultCache, CACHE_FORMAT};
+pub use cache::{CacheStat, CacheStatDetail, ResultCache, CACHE_FORMAT};
 pub use codec::Outcome;
 pub use dirdiff::{diff_dirs, DirDiffOutcome, FileDiff};
-pub use exec::{run, CachingSource, RunConfig, RunStats};
+pub use exec::{run, serve_run_fn, serve_stat_fn, CachingSource, RunConfig, RunStats};
 pub use key::{entry_key, fnv1a64, point_key, CacheKey, KEY_FORMAT};
 pub use obs::{meta_json, RunObserver, META_VERSION};
 pub use worker::worker_main;

@@ -1,0 +1,134 @@
+//! CLI output contracts, driven through the real `xp` binary:
+//!
+//! * `xp show` stdout is clean, pipeable TOML — byte-identical to
+//!   `ScenarioSpec::to_toml()`, round-trippable through `from_toml`,
+//!   with every human annotation on stderr as a `# `-prefixed note;
+//! * `xp cache stat --json` emits one NDJSON record in the span-record
+//!   grammar family (entries, bytes, per-engine counts) while the human
+//!   text rendering stays unchanged.
+
+use dcn_scenarios::diff::{parse_json, Json};
+use dcn_scenarios::{builtin, ScenarioSpec};
+use std::path::PathBuf;
+use std::process::Command;
+
+const XP: &str = env!("CARGO_BIN_EXE_xp");
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xp-cli-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn show_stdout_is_clean_toml_and_notes_go_to_stderr() {
+    for name in ["fig6-small", "fig7-flow", "fig2"] {
+        let out = Command::new(XP).args(["show", name]).output().unwrap();
+        assert!(out.status.success(), "xp show {name} failed");
+        let stdout = String::from_utf8(out.stdout).expect("stdout is UTF-8");
+        let stderr = String::from_utf8(out.stderr).expect("stderr is UTF-8");
+
+        // stdout: exactly the spec's TOML rendering, nothing else.
+        let want = builtin(name).expect("builtin").to_toml();
+        assert_eq!(stdout, want, "xp show {name} stdout must be the TOML alone");
+        let parsed = ScenarioSpec::from_toml(&stdout).expect("stdout round-trips");
+        assert_eq!(parsed, builtin(name).unwrap());
+
+        // stderr: every line is a `# `-prefixed human note.
+        assert!(!stderr.is_empty(), "the engine note belongs on stderr");
+        for line in stderr.lines() {
+            assert!(line.starts_with("# "), "stray stderr line: {line:?}");
+        }
+    }
+}
+
+#[test]
+fn show_unknown_scenario_notes_stderr_and_fails() {
+    let out = Command::new(XP).args(["show", "no-such"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(out.stdout.is_empty(), "errors must not pollute stdout");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    for line in stderr.lines() {
+        assert!(line.starts_with("# "), "stray stderr line: {line:?}");
+    }
+    assert!(stderr.contains("no-such"));
+}
+
+fn field<'a>(obj: &'a [(String, Json)], key: &str) -> &'a Json {
+    &obj.iter().find(|(k, _)| k == key).expect(key).1
+}
+
+fn int(obj: &[(String, Json)], key: &str) -> i128 {
+    match field(obj, key) {
+        Json::Int(i) => *i,
+        other => panic!("{key} must be an integer, got {other:?}"),
+    }
+}
+
+#[test]
+fn cache_stat_json_is_one_record_with_per_engine_counts() {
+    let dir = scratch("stat-json");
+    let cache = dir.join("cache");
+    let cache_arg = cache.to_str().unwrap();
+
+    // Empty cache: a well-formed all-zero record.
+    let out = Command::new(XP)
+        .args(["cache", "stat", "--json", "--cache-dir", cache_arg])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(text.lines().count(), 1, "exactly one NDJSON record");
+    let Json::Obj(obj) = parse_json(text.trim()).expect("record parses") else {
+        panic!("record must be an object: {text}");
+    };
+    assert_eq!(field(&obj, "record"), &Json::Str("cache".into()));
+    assert_eq!(int(&obj, "entries"), 0);
+    assert_eq!(int(&obj, "bytes"), 0);
+
+    // Populate with a packet-engine sweep and a flow-engine sweep, then
+    // re-stat: entries split by engine salt.
+    for spec in ["fig6-small", "fig7-flow"] {
+        let run = Command::new(XP)
+            .args(["run", spec, "--cache-dir", cache_arg])
+            .output()
+            .unwrap();
+        assert!(
+            run.status.success(),
+            "{}",
+            String::from_utf8_lossy(&run.stderr)
+        );
+    }
+    let packet_points = builtin("fig6-small").unwrap().num_points() as i128;
+    let flow_points = builtin("fig7-flow").unwrap().num_points() as i128;
+    let out = Command::new(XP)
+        .args(["cache", "stat", "--json", "--cache-dir", cache_arg])
+        .output()
+        .unwrap();
+    let text = String::from_utf8(out.stdout).unwrap();
+    let Json::Obj(obj) = parse_json(text.trim()).expect("record parses") else {
+        panic!("record must be an object: {text}");
+    };
+    assert_eq!(int(&obj, "entries"), packet_points + flow_points);
+    assert_eq!(int(&obj, "packet"), packet_points);
+    assert_eq!(int(&obj, "flow"), flow_points);
+    assert_eq!(int(&obj, "analytic"), 0);
+    assert_eq!(int(&obj, "other"), 0);
+    assert!(int(&obj, "bytes") > 0);
+
+    // The human rendering is unchanged by the new flag's existence.
+    let human = Command::new(XP)
+        .args(["cache", "stat", "--cache-dir", cache_arg])
+        .output()
+        .unwrap();
+    let human_text = String::from_utf8(human.stdout).unwrap();
+    assert!(
+        human_text.contains(&format!("{} entries", packet_points + flow_points)),
+        "{human_text}"
+    );
+    assert!(human_text.contains("bytes"), "{human_text}");
+    assert!(!human_text.contains("record"), "{human_text}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

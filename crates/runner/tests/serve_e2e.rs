@@ -1,0 +1,290 @@
+//! End-to-end tests of the `xp serve` daemon: the server is bound on an
+//! ephemeral port and driven over real TCP with the repo's own
+//! `dcn_serve::client` helper — submit, poll, stream events, download
+//! reports, and drain a graceful shutdown.
+//!
+//! The load-bearing assertion is the reports-never-differ invariant: a
+//! `report.json` fetched from the daemon is **byte-identical** to the
+//! committed `fig6-small` baseline (the same bytes `xp run --json`
+//! writes), cold cache and warm.
+
+use dcn_scenarios::diff::{parse_json, Json};
+use dcn_scenarios::{builtin, diff_reports};
+use dcn_serve::client;
+use dcn_serve::{ServeConfig, Server};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// The committed cross-PR baseline: exactly `xp run fig6-small --json`.
+const BASELINE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../scenarios/tests/fig6_small_baseline.json"
+);
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xp-serve-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Bind a daemon on an ephemeral port with the production runner glue;
+/// returns its address, a shutdown handle, and the serve-loop thread.
+fn start_daemon(
+    cache_dir: Option<PathBuf>,
+    workers: usize,
+) -> (
+    String,
+    dcn_serve::server::ShutdownHandle,
+    std::thread::JoinHandle<Result<(), String>>,
+) {
+    let cfg = ServeConfig {
+        workers,
+        queue_cap: 16,
+        run: dcn_runner::serve_run_fn(cache_dir.clone(), 2),
+        cache_stat: cache_dir.map(dcn_runner::serve_stat_fn),
+    };
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+    let handle = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.serve());
+    (addr, handle, join)
+}
+
+/// Poll `GET /jobs/<id>` until the job is terminal. The ~2-minute
+/// budget is counted in poll attempts, not wall clock (no clock reads —
+/// lint rule R2 applies to tests too).
+fn wait_done(addr: &str, id: u64) -> String {
+    let mut last = String::new();
+    for _ in 0..2400 {
+        let status = client::get(addr, &format!("/jobs/{id}")).expect("poll status");
+        assert_eq!(status.status, 200);
+        last = status.text();
+        if last.contains("\"state\":\"done\"") || last.contains("\"state\":\"failed\"") {
+            return last;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    panic!("job {id} never finished: {last}");
+}
+
+fn field<'a>(obj: &'a [(String, Json)], key: &str) -> &'a Json {
+    &obj.iter().find(|(k, _)| k == key).expect(key).1
+}
+
+#[test]
+fn served_reports_match_committed_baseline_cold_and_warm() {
+    let cache = scratch("bytes");
+    let (addr, shutdown, join) = start_daemon(Some(cache.clone()), 1);
+    let spec_toml = builtin("fig6-small").unwrap().to_toml();
+    let baseline = std::fs::read_to_string(BASELINE).expect("committed fig6-small baseline");
+
+    // Two identical submissions through one worker: the first computes
+    // cold, the second must be served entirely from the shared cache.
+    let first = client::post(&addr, "/jobs", spec_toml.as_bytes()).expect("submit cold");
+    assert_eq!(first.status, 201, "{}", first.text());
+    assert!(
+        first.text().contains("\"record\":\"job\""),
+        "{}",
+        first.text()
+    );
+    let second = client::post(&addr, "/jobs", spec_toml.as_bytes()).expect("submit warm");
+    assert_eq!(second.status, 201, "{}", second.text());
+
+    for id in [1u64, 2] {
+        let status = wait_done(&addr, id);
+        assert!(status.contains("\"state\":\"done\""), "job {id}: {status}");
+
+        // The invariant: served bytes == committed baseline, exactly.
+        let report = client::get(&addr, &format!("/jobs/{id}/report.json")).unwrap();
+        assert_eq!(report.status, 200);
+        assert_eq!(
+            report.text(),
+            baseline,
+            "job {id} report.json must be byte-identical to the committed baseline"
+        );
+        // Belt and braces: the repo's own differ at zero tolerance.
+        let d = diff_reports(&report.text(), &baseline, 0.0).expect("diffable");
+        assert!(d.is_match(), "{:?}", d.differences);
+
+        let csv = client::get(&addr, &format!("/jobs/{id}/report.csv")).unwrap();
+        assert_eq!(csv.status, 200);
+        assert!(csv.text().lines().count() > 1, "CSV has header + rows");
+    }
+
+    // Event streams: well-formed NDJSON, spans then exactly one summary;
+    // job 1 all misses (cold), job 2 all hits (concurrent-submission
+    // dedup through the shared cache).
+    for (id, disposition) in [(1u64, "miss"), (2, "hit")] {
+        let events = client::get(&addr, &format!("/jobs/{id}/events")).unwrap();
+        assert_eq!(events.status, 200);
+        let text = events.text();
+        let lines: Vec<&str> = text.lines().map(str::trim).collect();
+        let points = builtin("fig6-small").unwrap().num_points();
+        assert_eq!(lines.len(), points + 1, "spans + summary: {lines:#?}");
+        for span_line in &lines[..points] {
+            let Json::Obj(obj) = parse_json(span_line).expect("span parses") else {
+                panic!("span line must be an object: {span_line}");
+            };
+            assert_eq!(field(&obj, "record"), &Json::Str("span".into()));
+            assert_eq!(
+                field(&obj, "cache"),
+                &Json::Str(disposition.into()),
+                "job {id}: {span_line}"
+            );
+        }
+        let Json::Obj(sum) = parse_json(lines[points]).expect("summary parses") else {
+            panic!("summary line must be an object");
+        };
+        assert_eq!(field(&sum, "record"), &Json::Str("summary".into()));
+        assert_eq!(field(&sum, "points"), &Json::Int(points as i128));
+        let cached = match field(&sum, "cached") {
+            Json::Int(n) => *n as usize,
+            other => panic!("cached must be an integer, got {other:?}"),
+        };
+        assert_eq!(cached, if id == 1 { 0 } else { points });
+    }
+
+    // The job list is one NDJSON record per job; the cache endpoint
+    // serves the per-engine stat record.
+    let list = client::get(&addr, "/jobs").unwrap();
+    assert_eq!(list.text().lines().count(), 2);
+    let stat = client::get(&addr, "/cache").unwrap();
+    assert_eq!(stat.status, 200);
+    assert!(
+        stat.text().contains("\"record\":\"cache\""),
+        "{}",
+        stat.text()
+    );
+
+    // Dashboards render from the same data.
+    let dash = client::get(&addr, "/").unwrap();
+    assert_eq!(dash.status, 200);
+    assert!(dash.text().contains("fig6-small"));
+    let page = client::get(&addr, "/jobs/1/html").unwrap();
+    assert!(page.text().contains("report.json"), "{}", page.text());
+
+    shutdown.shutdown();
+    join.join().unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn malformed_and_missing_requests_get_4xx() {
+    let (addr, shutdown, join) = start_daemon(None, 1);
+
+    // Malformed spec body → 400 with a diagnostic.
+    let bad = client::post(&addr, "/jobs", b"this is not = [valid [toml").unwrap();
+    assert_eq!(bad.status, 400, "{}", bad.text());
+    assert!(bad.text().contains("\"error\""), "{}", bad.text());
+
+    // A spec that parses but validates empty is also a 400.
+    let empty = client::post(&addr, "/jobs", b"name = \"x\"\n").unwrap();
+    assert_eq!(empty.status, 400, "{}", empty.text());
+
+    // Unknown job, unknown route, wrong method.
+    assert_eq!(client::get(&addr, "/jobs/99").unwrap().status, 404);
+    assert_eq!(client::get(&addr, "/no/such/thing").unwrap().status, 404);
+    assert_eq!(client::post(&addr, "/jobs/1", b"x").unwrap().status, 405);
+    assert_eq!(client::get(&addr, "/shutdown").unwrap().status, 405);
+
+    // Report for a job that never existed.
+    assert_eq!(
+        client::get(&addr, "/jobs/7/report.json").unwrap().status,
+        404
+    );
+
+    // No cache configured → /cache is a 404.
+    assert_eq!(client::get(&addr, "/cache").unwrap().status, 404);
+
+    shutdown.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+/// `ScenarioSpec::from_toml` validates, so a spec that would fail at
+/// execution is refused at submission — the daemon never queues a job
+/// doomed by its spec (runtime failure capture is covered by the
+/// `dcn-serve` job lifecycle unit tests).
+#[test]
+fn invalid_specs_are_rejected_at_submission() {
+    let (addr, shutdown, join) = start_daemon(None, 1);
+    let good = builtin("fig6-small").unwrap().to_toml();
+
+    // Unknown key → parse error → 400.
+    let unknown_key = good.replace("horizon_ms", "horizon_zz");
+    let resp = client::post(&addr, "/jobs", unknown_key.as_bytes()).unwrap();
+    assert_eq!(resp.status, 400, "{}", resp.text());
+
+    // Parses but fails validation (negative horizon) → 400 too.
+    let bad_value = good.replace("horizon_ms = ", "horizon_ms = -");
+    let resp = client::post(&addr, "/jobs", bad_value.as_bytes()).unwrap();
+    assert_eq!(resp.status, 400, "{}", resp.text());
+    assert!(resp.text().contains("horizon"), "{}", resp.text());
+
+    shutdown.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn shutdown_drains_queued_jobs() {
+    let cache = scratch("drain");
+    let (addr, shutdown, join) = start_daemon(Some(cache.clone()), 1);
+    let spec_toml = builtin("fig6-small").unwrap().to_toml();
+    // Three jobs through one worker: at least two still queued when the
+    // shutdown lands; all three must complete before serve() returns.
+    for _ in 0..3 {
+        let resp = client::post(&addr, "/jobs", spec_toml.as_bytes()).unwrap();
+        assert_eq!(resp.status, 201, "{}", resp.text());
+    }
+    shutdown.shutdown();
+    join.join().unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+/// The CLI wiring: `xp serve --addr 127.0.0.1:0` announces its bound
+/// address on stderr (a `# `-prefixed note), serves a job, and drains on
+/// `POST /shutdown`.
+#[test]
+fn xp_serve_cli_round_trip() {
+    use std::io::{BufRead, BufReader};
+    use std::process::{Command, Stdio};
+
+    let cache = scratch("cli");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_xp"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "1",
+            "--cache-dir",
+            cache.to_str().unwrap(),
+        ])
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn xp serve");
+    let stderr = child.stderr.take().expect("piped stderr");
+    let mut lines = BufReader::new(stderr).lines();
+    let first = lines.next().expect("announce line").expect("readable");
+    assert!(first.starts_with("# "), "stderr is the note path: {first}");
+    let addr = first
+        .split("http://")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .expect("announce line carries the bound address")
+        .to_string();
+
+    let spec_toml = builtin("fig6-small").unwrap().to_toml();
+    let resp = client::post(&addr, "/jobs", spec_toml.as_bytes()).unwrap();
+    assert_eq!(resp.status, 201, "{}", resp.text());
+    wait_done(&addr, 1);
+    let report = client::get(&addr, "/jobs/1/report.json").unwrap();
+    let baseline = std::fs::read_to_string(BASELINE).unwrap();
+    assert_eq!(report.text(), baseline, "CLI daemon serves the same bytes");
+
+    let down = client::post(&addr, "/shutdown", b"").unwrap();
+    assert_eq!(down.status, 200);
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success(), "graceful shutdown exits 0");
+    let _ = std::fs::remove_dir_all(&cache);
+}

@@ -1,0 +1,78 @@
+//! `--timeout-secs`: a hung `--procs` worker is killed at its wall-clock
+//! budget and the run falls back in-process with the usual `shard K/N`
+//! context note — and the fallback's report bytes are identical to a
+//! plain run, so the watchdog can never move a result.
+
+#![cfg(unix)]
+
+use dcn_runner::{run, RunConfig};
+use dcn_scenarios::builtin;
+use std::path::PathBuf;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xp-timeout-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A stand-in worker that hangs forever: reads nothing, writes nothing,
+/// sleeps past any test budget. `exec` so the kill signal lands on the
+/// sleep itself — no orphan lingers holding inherited pipes open.
+fn hung_worker(dir: &std::path::Path) -> PathBuf {
+    use std::os::unix::fs::PermissionsExt;
+    let path = dir.join("hung-worker.sh");
+    std::fs::write(&path, "#!/bin/sh\nexec sleep 600\n").unwrap();
+    std::fs::set_permissions(&path, std::fs::Permissions::from_mode(0o755)).unwrap();
+    path
+}
+
+#[test]
+fn hung_workers_are_killed_and_fall_back_in_process() {
+    let dir = scratch("hang");
+    let spec = builtin("fig6-small").unwrap();
+    let cfg = RunConfig {
+        procs: 2,
+        timeout_secs: Some(1),
+        worker_exe: Some(hung_worker(&dir)),
+        ..RunConfig::default()
+    };
+    let (out, stats) = run(&spec, &cfg).expect("watchdog falls back, run still succeeds");
+
+    // The fallback note carries the kill reason with shard context.
+    let note = stats.fallback.expect("fallback must be reported");
+    assert!(note.contains("timed out"), "note: {note}");
+    assert!(note.contains("shard"), "note: {note}");
+    assert!(note.contains("points"), "note: {note}");
+
+    // The fallback produced the full result, byte-identical to a plain
+    // in-process run.
+    assert_eq!(stats.spans.len(), stats.points);
+    let (plain, _) = run(&spec, &RunConfig::default()).unwrap();
+    assert_eq!(out.to_json(), plain.to_json());
+    assert_eq!(out.to_csv(), plain.to_csv());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Without a timeout nothing changes: real workers finish and the
+/// watchdog never fires; with a generous timeout real workers also
+/// finish — the budget only bites on genuinely hung processes.
+#[test]
+fn generous_timeouts_do_not_disturb_healthy_workers() {
+    let spec = builtin("fig6-small").unwrap();
+    let cfg = RunConfig {
+        procs: 2,
+        timeout_secs: Some(300),
+        worker_exe: Some(PathBuf::from(env!("CARGO_BIN_EXE_xp"))),
+        ..RunConfig::default()
+    };
+    let (out, stats) = run(&spec, &cfg).expect("healthy workers complete");
+    assert!(
+        stats.fallback.is_none(),
+        "no fallback expected: {:?}",
+        stats.fallback
+    );
+    assert_eq!(stats.procs, 2);
+    let (plain, _) = run(&spec, &RunConfig::default()).unwrap();
+    assert_eq!(out.to_json(), plain.to_json());
+}

@@ -1,0 +1,95 @@
+//! A minimal HTTP client over `std::net::TcpStream`, matched to the
+//! daemon's one-request-per-connection protocol: send one request, read
+//! to EOF, split head from body. The integration tests and scripting
+//! examples use it in place of curl.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A completed HTTP exchange.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Status code from the response line.
+    pub status: u16,
+    /// Raw body bytes (close-delimited, so streams arrive complete).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// Body as UTF-8 (lossy — diagnostics only go through here).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// `GET path` against `addr` (e.g. `127.0.0.1:8080`). Blocks until the
+/// server closes the connection, so streaming endpoints return the full
+/// stream.
+pub fn get(addr: &str, path: &str) -> Result<Response, String> {
+    request(addr, "GET", path, None)
+}
+
+/// `POST path` with a body (the daemon only ever takes TOML specs).
+pub fn post(addr: &str, path: &str, body: &[u8]) -> Result<Response, String> {
+    request(addr, "POST", path, Some(body))
+}
+
+fn request(addr: &str, method: &str, path: &str, body: Option<&[u8]>) -> Result<Response, String> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(120)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.map_or(0, <[u8]>::len)
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body.unwrap_or(&[])))
+        .map_err(|e| format!("request write failed: {e}"))?;
+
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("response read failed: {e}"))?;
+    parse_response(&raw)
+}
+
+/// Split a raw `Connection: close` response into status + body.
+fn parse_response(raw: &[u8]) -> Result<Response, String> {
+    let sep = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or("response has no header terminator")?;
+    let head = std::str::from_utf8(&raw[..sep]).map_err(|_| "response head is not UTF-8")?;
+    let status_line = head.lines().next().unwrap_or("");
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| format!("malformed status line: {status_line:?}"))?;
+    Ok(Response {
+        status,
+        body: raw[sep + 4..].to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_status_and_body() {
+        let raw = b"HTTP/1.1 201 Created\r\nContent-Type: application/json\r\n\r\n{\"id\":1}\n";
+        let resp = parse_response(raw).expect("parses");
+        assert_eq!(resp.status, 201);
+        assert_eq!(resp.text(), "{\"id\":1}\n");
+    }
+
+    #[test]
+    fn rejects_headerless_garbage() {
+        assert!(parse_response(b"no terminator here").is_err());
+        assert!(parse_response(b"NOT HTTP\r\n\r\nbody").is_err());
+    }
+}

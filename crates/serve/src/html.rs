@@ -1,0 +1,198 @@
+//! Static HTML dashboards, rendered server-side from the same
+//! byte-stable data the JSON endpoints serve: the job table from
+//! [`JobSnapshot`]s, the per-job report tables from the CSV export.
+//! No JavaScript — pages carry a `meta refresh` while work is live, so
+//! "live" dashboards are just re-rendered snapshots.
+
+use crate::job::{JobSnapshot, JobState};
+
+const STYLE: &str = "<style>\n\
+    body{font-family:monospace;margin:2em;background:#fdfdfd;color:#222}\n\
+    table{border-collapse:collapse;margin:1em 0}\n\
+    th,td{border:1px solid #bbb;padding:.25em .6em;text-align:right}\n\
+    th{background:#eee}td:first-child,th:first-child{text-align:left}\n\
+    .queued{color:#888}.running{color:#06c}.done{color:#080}.failed{color:#c00}\n\
+    a{color:#06c}\n\
+    </style>\n";
+
+/// The front page: one row per job, newest first, plus queue depth.
+/// Auto-refreshes while any job is live.
+pub fn dashboard(jobs: &[JobSnapshot], queued: usize) -> String {
+    let live = jobs.iter().any(|j| !j.state.is_terminal());
+    let mut page = page_head("xp serve", live);
+    page.push_str(&format!(
+        "<h1>xp serve</h1>\n<p>{} job(s), {} queued</p>\n",
+        jobs.len(),
+        queued
+    ));
+    page.push_str(
+        "<table>\n<tr><th>job</th><th>scenario</th><th>kind</th><th>state</th>\
+         <th>progress</th><th>hits</th><th>misses</th><th>wall ms</th><th>eta ms</th>\
+         <th>report</th></tr>\n",
+    );
+    for j in jobs.iter().rev() {
+        let eta = match j.eta_ms {
+            Some(ms) => format!("{ms:.0}"),
+            None => "—".into(),
+        };
+        let report = if j.state == JobState::Done {
+            format!(
+                "<a href=\"/jobs/{0}/report.json\">json</a> \
+                 <a href=\"/jobs/{0}/report.csv\">csv</a>",
+                j.id
+            )
+        } else {
+            "—".into()
+        };
+        page.push_str(&format!(
+            "<tr><td><a href=\"/jobs/{id}/html\">#{id}</a></td><td>{name}</td>\
+             <td>{kind}</td><td class=\"{state}\">{state}</td><td>{done}/{points}</td>\
+             <td>{hits}</td><td>{misses}</td><td>{wall:.1}</td><td>{eta}</td>\
+             <td>{report}</td></tr>\n",
+            id = j.id,
+            name = escape(&j.name),
+            kind = j.kind,
+            state = j.state.as_str(),
+            done = j.done,
+            points = j.points,
+            hits = j.hits,
+            misses = j.misses,
+            wall = j.wall_ms,
+            eta = eta,
+            report = report,
+        ));
+    }
+    page.push_str("</table>\n</body></html>\n");
+    page
+}
+
+/// One job's page: status line, failure message if any, and — once done
+/// — the report rendered as an HTML table straight from the byte-stable
+/// CSV export (the CSV is the contract; the table is just a view).
+pub fn job_page(snap: &JobSnapshot, report_csv: Option<&str>) -> String {
+    let live = !snap.state.is_terminal();
+    let mut page = page_head(&format!("job #{}", snap.id), live);
+    page.push_str(&format!(
+        "<h1>job #{id} — {name}</h1>\n\
+         <p class=\"{state}\">{state}</p>\n\
+         <p>kind {kind} · {done}/{points} points · {hits} hits · {misses} misses · \
+         {wall:.1} ms</p>\n\
+         <p><a href=\"/\">all jobs</a> · <a href=\"/jobs/{id}/events\">events</a>",
+        id = snap.id,
+        name = escape(&snap.name),
+        state = snap.state.as_str(),
+        kind = snap.kind,
+        done = snap.done,
+        points = snap.points,
+        hits = snap.hits,
+        misses = snap.misses,
+        wall = snap.wall_ms,
+    ));
+    if snap.state == JobState::Done {
+        page.push_str(&format!(
+            " · <a href=\"/jobs/{0}/report.json\">report.json</a> · \
+             <a href=\"/jobs/{0}/report.csv\">report.csv</a>",
+            snap.id
+        ));
+    }
+    page.push_str("</p>\n");
+    if let Some(error) = &snap.error {
+        page.push_str(&format!(
+            "<p class=\"failed\">error: {}</p>\n",
+            escape(error)
+        ));
+    }
+    if let Some(csv) = report_csv {
+        page.push_str(&csv_table(csv));
+    }
+    page.push_str("</body></html>\n");
+    page
+}
+
+fn page_head(title: &str, live: bool) -> String {
+    let refresh = if live {
+        "<meta http-equiv=\"refresh\" content=\"2\">\n"
+    } else {
+        ""
+    };
+    format!(
+        "<!doctype html>\n<html><head><meta charset=\"utf-8\">\n{refresh}\
+         <title>{}</title>\n{STYLE}</head><body>\n",
+        escape(title)
+    )
+}
+
+/// Render a CSV export as an HTML table (first line is the header; the
+/// repo's CSV never quotes or embeds commas, so a plain split is exact).
+fn csv_table(csv: &str) -> String {
+    let mut out = String::from("<table>\n");
+    for (i, line) in csv.lines().enumerate() {
+        let tag = if i == 0 { "th" } else { "td" };
+        out.push_str("<tr>");
+        for field in line.split(',') {
+            out.push_str(&format!("<{tag}>{}</{tag}>", escape(field)));
+        }
+        out.push_str("</tr>\n");
+    }
+    out.push_str("</table>\n");
+    out
+}
+
+/// Minimal HTML escaping for text content and attribute values.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(state: JobState) -> JobSnapshot {
+        JobSnapshot {
+            id: 3,
+            name: "fig6-small".into(),
+            kind: "sweep",
+            state,
+            points: 2,
+            done: if state == JobState::Done { 2 } else { 1 },
+            hits: 1,
+            misses: 1,
+            wall_ms: 12.5,
+            eta_ms: None,
+            error: None,
+        }
+    }
+
+    #[test]
+    fn dashboard_lists_jobs_and_refreshes_while_live() {
+        let page = dashboard(&[snap(JobState::Running)], 1);
+        assert!(page.contains("meta http-equiv=\"refresh\""));
+        assert!(page.contains("fig6-small"));
+        assert!(page.contains("/jobs/3/html"));
+        let done = dashboard(&[snap(JobState::Done)], 0);
+        assert!(!done.contains("meta http-equiv=\"refresh\""));
+        assert!(done.contains("/jobs/3/report.json"));
+    }
+
+    #[test]
+    fn job_page_renders_csv_as_table_and_escapes() {
+        let page = job_page(&snap(JobState::Done), Some("algo,load\npowertcp,0.6\n"));
+        assert!(page.contains("<th>algo</th><th>load</th>"));
+        assert!(page.contains("<td>powertcp</td><td>0.6</td>"));
+        let mut failed = snap(JobState::Failed);
+        failed.error = Some("<bad & worse>".into());
+        let page = job_page(&failed, None);
+        assert!(page.contains("&lt;bad &amp; worse&gt;"));
+        assert!(!page.contains("<bad"));
+    }
+}

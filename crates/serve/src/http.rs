@@ -1,0 +1,251 @@
+//! Hand-rolled HTTP/1.1, in the house style of the vendored JSON
+//! parser: no dependencies, explicit state, hard input caps.
+//!
+//! The daemon speaks the smallest useful subset of HTTP/1.1:
+//!
+//! * one request per connection — every response carries
+//!   `Connection: close`, so clients never need to parse framing beyond
+//!   "read until EOF";
+//! * request bodies are framed by `Content-Length` only (no chunked
+//!   uploads — a TOML spec is a few KB);
+//! * streaming responses (the NDJSON event feed) send headers without a
+//!   `Content-Length` and are close-delimited, which every HTTP client
+//!   and `curl` handle natively.
+//!
+//! Caps: request head (request line + headers) ≤ 64 KiB, body ≤ 4 MiB.
+//! Anything over is a parse error, which the server turns into a 4xx.
+
+use std::io::{Read, Write};
+
+/// Request head cap: request line + headers.
+pub const MAX_HEAD: usize = 64 * 1024;
+/// Request body cap (a scenario spec is a few KB; 4 MiB is generous).
+pub const MAX_BODY: usize = 4 * 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Method verb, uppercased by the client (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target path, query string stripped (`/jobs/3/events`).
+    pub path: String,
+    /// Raw query string after `?`, empty when absent.
+    pub query: String,
+    /// Header name/value pairs; names lowercased for lookup.
+    pub headers: Vec<(String, String)>,
+    /// Request body (`Content-Length`-framed; empty when absent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header (name matched case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let want = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == want)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parse one request from a stream. Reads exactly the head plus the
+/// declared body — nothing beyond — so the connection stays in a known
+/// state for the response. Errors are human-readable and become 4xx.
+pub fn parse_request(stream: &mut dyn Read) -> Result<Request, String> {
+    let head = read_head(stream)?;
+    let text = std::str::from_utf8(&head).map_err(|_| "request head is not UTF-8".to_string())?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(format!("malformed request line: {request_line:?}"));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target, String::new()),
+    };
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(format!("malformed header line: {line:?}"));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| format!("bad Content-Length: {v:?}"))?,
+        None => 0,
+    };
+    if content_length > MAX_BODY {
+        return Err(format!(
+            "body of {content_length} bytes exceeds the {MAX_BODY}-byte cap"
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    stream
+        .read_exact(&mut body)
+        .map_err(|e| format!("short body read: {e}"))?;
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// Read up to and including the `\r\n\r\n` head terminator, one byte at
+/// a time (heads are tiny; simplicity beats buffering cleverness that
+/// would over-read into the body).
+fn read_head(stream: &mut dyn Read) -> Result<Vec<u8>, String> {
+    let mut head = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => return Err("connection closed before request head completed".into()),
+            Ok(_) => head.push(byte[0]),
+            Err(e) => return Err(format!("read error in request head: {e}")),
+        }
+        if head.ends_with(b"\r\n\r\n") {
+            head.truncate(head.len() - 4);
+            return Ok(head);
+        }
+        if head.len() > MAX_HEAD {
+            return Err(format!("request head exceeds the {MAX_HEAD}-byte cap"));
+        }
+    }
+}
+
+/// Canonical reason phrase for the status codes the daemon uses.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        503 => "Service Unavailable",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Write a complete response: status line, `Content-Type`,
+/// `Content-Length`, `Connection: close`, body. One call per connection.
+pub fn write_response(
+    stream: &mut dyn Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        reason(status),
+        content_type,
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Write the head of a close-delimited streaming response (no
+/// `Content-Length`); the caller then writes body bytes as they become
+/// available and closes the connection to terminate.
+pub fn write_stream_head(
+    stream: &mut dyn Write,
+    status: u16,
+    content_type: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nConnection: close\r\n\r\n",
+        status,
+        reason(status),
+        content_type
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_post_with_body_and_query() {
+        let raw = b"POST /jobs?pretty=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        let req = parse_request(&mut &raw[..]).expect("parses");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/jobs");
+        assert_eq!(req.query, "pretty=1");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let raw = b"GET /jobs/3/events HTTP/1.1\r\n\r\n";
+        let req = parse_request(&mut &raw[..]).expect("parses");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/jobs/3/events");
+        assert!(req.query.is_empty());
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for raw in [
+            &b"not http\r\n\r\n"[..],
+            &b"GET\r\n\r\n"[..],
+            &b"GET / SMTP/1.0\r\n\r\n"[..],
+            &b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"[..],
+            &b"POST / HTTP/1.1\r\nContent-Length: tall\r\n\r\n"[..],
+            &b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"[..],
+        ] {
+            assert!(parse_request(&mut &raw[..]).is_err(), "accepted {raw:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_declared_body() {
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        let err = parse_request(&mut raw.as_bytes()).unwrap_err();
+        assert!(err.contains("cap"), "{err}");
+    }
+
+    #[test]
+    fn response_writer_frames_with_content_length() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "application/json", b"{}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn stream_head_omits_content_length() {
+        let mut out = Vec::new();
+        write_stream_head(&mut out, 200, "application/x-ndjson").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(!text.contains("Content-Length"));
+        assert!(text.ends_with("\r\n\r\n"));
+    }
+}

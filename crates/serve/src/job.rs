@@ -1,0 +1,521 @@
+//! The job subsystem: per-submission lifecycle, progress accounting,
+//! and the bounded FIFO queue feeding the worker pool.
+//!
+//! A [`Job`] is born `queued` when `POST /jobs` accepts a spec, turns
+//! `running` when a worker picks it up, and ends `done` (reports
+//! rendered) or `failed` (error captured). The job itself implements
+//! [`Observer`]: the executor reports each completed point straight into
+//! the job, which appends the span's NDJSON line to the event log and
+//! updates the hit/miss/done counters that drive status ETAs and the
+//! dashboard. The event log finishes with the same summary record `xp
+//! run --log-json` emits, so a job's event stream and a batch run's
+//! stream share one grammar.
+//!
+//! Wall-clock time lives here and only here in this crate (span
+//! timestamps come from the executor; this module only times the job
+//! itself for ETA math). Reports never see any of it: the report bytes
+//! are rendered from the returned [`ScenarioOutput`] alone.
+
+// Wall-clock reads are confined to this module (see module docs); the
+// workspace-wide clippy mirror of lint rule R2 is lifted for the file.
+#![allow(clippy::disallowed_methods)]
+
+use crate::RunFn;
+use dcn_scenarios::{
+    analytic_entries, spec_kind, sweep_points, trace_entries, Observer, ScenarioSpec, SpanRecord,
+    SummaryRecord,
+};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Lifecycle state of a job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting in the FIFO queue.
+    Queued,
+    /// Claimed by a worker; points are completing.
+    Running,
+    /// Finished; reports are available.
+    Done,
+    /// Execution failed; the error is captured on the job.
+    Failed,
+}
+
+impl JobState {
+    /// Wire label (`queued` / `running` / `done` / `failed`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+
+    /// Whether the job will make no further progress.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed)
+    }
+}
+
+/// Mutable half of a job, guarded by one mutex so every observer update
+/// and state transition is atomic with respect to status reads.
+struct Progress {
+    state: JobState,
+    /// NDJSON event log: one span line per completed point, then one
+    /// summary line. Streamed by `GET /jobs/<id>/events`.
+    events: Vec<String>,
+    /// Points completed so far, by cache disposition.
+    done: usize,
+    hits: usize,
+    misses: usize,
+    /// Wall-clock milliseconds summed over completed spans (ETA basis).
+    span_wall_ms: f64,
+    /// Simulation events summed over completed spans (summary record).
+    sim_events: u64,
+    /// When the worker claimed the job (ETA + wall_ms basis).
+    started: Option<Instant>,
+    /// Total wall milliseconds, frozen at completion.
+    wall_ms: f64,
+    /// Rendered reports, present once `Done`.
+    report_json: Option<String>,
+    report_csv: Option<String>,
+    /// Failure message, present once `Failed`.
+    error: Option<String>,
+}
+
+/// One submitted scenario and its full lifecycle. Shared between the
+/// accept loop (submission + status reads), one worker (execution), and
+/// any number of event-stream readers.
+pub struct Job {
+    /// Dense id, assigned in submission order.
+    pub id: u64,
+    /// Scenario name from the spec.
+    pub name: String,
+    /// `sweep` / `timeseries` / `analytic`.
+    pub kind: &'static str,
+    /// Total points the spec expands to (denominator for progress).
+    pub points: usize,
+    /// The parsed submission.
+    pub spec: ScenarioSpec,
+    progress: Mutex<Progress>,
+    /// Notified on every event append and state change.
+    changed: Condvar,
+}
+
+/// Immutable status snapshot, taken under the lock, for rendering.
+#[derive(Clone, Debug)]
+pub struct JobSnapshot {
+    /// Job id.
+    pub id: u64,
+    /// Scenario name.
+    pub name: String,
+    /// Spec kind label.
+    pub kind: &'static str,
+    /// Lifecycle state at snapshot time.
+    pub state: JobState,
+    /// Total points.
+    pub points: usize,
+    /// Completed points.
+    pub done: usize,
+    /// Cache hits among completed points.
+    pub hits: usize,
+    /// Cache misses among completed points.
+    pub misses: usize,
+    /// Wall milliseconds: running total while live, frozen at the end.
+    pub wall_ms: f64,
+    /// Estimated milliseconds to completion (running jobs with at least
+    /// one completed point only).
+    pub eta_ms: Option<f64>,
+    /// Failure message, if failed.
+    pub error: Option<String>,
+}
+
+impl JobSnapshot {
+    /// Status as one NDJSON line: `{"record":"job",...}` — the job-level
+    /// companion to the span/summary grammar.
+    pub fn to_json(&self) -> String {
+        let eta = match self.eta_ms {
+            Some(ms) => format!("{ms:.0}"),
+            None => "null".into(),
+        };
+        let error = match &self.error {
+            Some(e) => json_str(e),
+            None => "null".into(),
+        };
+        format!(
+            "{{\"record\":\"job\",\"id\":{},\"name\":{},\"kind\":\"{}\",\"state\":\"{}\",\
+             \"points\":{},\"done\":{},\"hits\":{},\"misses\":{},\"wall_ms\":{:.3},\
+             \"eta_ms\":{},\"error\":{}}}",
+            self.id,
+            json_str(&self.name),
+            self.kind,
+            self.state.as_str(),
+            self.points,
+            self.done,
+            self.hits,
+            self.misses,
+            self.wall_ms,
+            eta,
+            error
+        )
+    }
+}
+
+impl Job {
+    /// Wrap a parsed spec as a queued job.
+    pub fn new(id: u64, spec: ScenarioSpec) -> Arc<Job> {
+        let kind = spec_kind(&spec);
+        let points = match kind {
+            "analytic" => analytic_entries(&spec).len(),
+            "timeseries" => trace_entries(&spec).len(),
+            _ => sweep_points(&spec).len(),
+        };
+        Arc::new(Job {
+            id,
+            name: spec.name.clone(),
+            kind,
+            points,
+            spec,
+            progress: Mutex::new(Progress {
+                state: JobState::Queued,
+                events: Vec::new(),
+                done: 0,
+                hits: 0,
+                misses: 0,
+                span_wall_ms: 0.0,
+                sim_events: 0,
+                started: None,
+                wall_ms: 0.0,
+                report_json: None,
+                report_csv: None,
+                error: None,
+            }),
+            changed: Condvar::new(),
+        })
+    }
+
+    /// Run the job to completion through the injected run function.
+    /// Called by exactly one worker; every transition notifies waiters.
+    pub fn execute(self: &Arc<Job>, run: &RunFn) {
+        {
+            let mut p = self.progress.lock().unwrap();
+            p.state = JobState::Running;
+            p.started = Some(Instant::now());
+            self.changed.notify_all();
+        }
+        let result = run(&self.spec, self.as_ref());
+        let mut p = self.progress.lock().unwrap();
+        p.wall_ms = match p.started {
+            Some(t0) => t0.elapsed().as_secs_f64() * 1e3,
+            None => 0.0,
+        };
+        match result {
+            Ok(output) => {
+                // Reports are rendered from the output alone — the bytes
+                // are exactly `xp run`'s, regardless of scheduling.
+                p.report_json = Some(output.to_json());
+                p.report_csv = Some(output.to_csv());
+                let summary = SummaryRecord {
+                    name: self.name.clone(),
+                    kind: self.kind.to_string(),
+                    points: p.done,
+                    cached: p.hits,
+                    wall_ms: p.span_wall_ms,
+                    events: p.sim_events,
+                };
+                // Summary before the terminal state, under one lock:
+                // event streams observe a complete log the moment they
+                // see a terminal state.
+                p.events.push(summary.to_json());
+                p.state = JobState::Done;
+            }
+            Err(e) => {
+                p.error = Some(e);
+                p.state = JobState::Failed;
+            }
+        }
+        self.changed.notify_all();
+    }
+
+    /// Status snapshot for `GET /jobs` and `GET /jobs/<id>`.
+    pub fn snapshot(&self) -> JobSnapshot {
+        let p = self.progress.lock().unwrap();
+        let wall_ms = match (p.state, p.started) {
+            (JobState::Running, Some(t0)) => t0.elapsed().as_secs_f64() * 1e3,
+            _ => p.wall_ms,
+        };
+        let eta_ms = if p.state == JobState::Running && p.done > 0 && self.points > p.done {
+            Some(p.span_wall_ms / p.done as f64 * (self.points - p.done) as f64)
+        } else {
+            None
+        };
+        JobSnapshot {
+            id: self.id,
+            name: self.name.clone(),
+            kind: self.kind,
+            state: p.state,
+            points: self.points,
+            done: p.done,
+            hits: p.hits,
+            misses: p.misses,
+            wall_ms,
+            eta_ms,
+            error: p.error.clone(),
+        }
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> JobState {
+        self.progress.lock().unwrap().state
+    }
+
+    /// The JSON report, once done.
+    pub fn report_json(&self) -> Option<String> {
+        self.progress.lock().unwrap().report_json.clone()
+    }
+
+    /// The CSV report, once done.
+    pub fn report_csv(&self) -> Option<String> {
+        self.progress.lock().unwrap().report_csv.clone()
+    }
+
+    /// Event lines from `from` onward, blocking until at least one new
+    /// line is available or the job is terminal. Returns the new lines
+    /// and whether the job is terminal (stream may end). Waits time out
+    /// periodically so a shutting-down server can drop readers.
+    pub fn wait_events(&self, from: usize, max_wait: Duration) -> (Vec<String>, bool) {
+        let mut p = self.progress.lock().unwrap();
+        let deadline = Instant::now() + max_wait;
+        while p.events.len() <= from && !p.state.is_terminal() {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (next, timeout) = self.changed.wait_timeout(p, deadline - now).unwrap();
+            p = next;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+        let lines = p.events.get(from..).unwrap_or(&[]).to_vec();
+        (lines, p.state.is_terminal())
+    }
+
+    /// Block until the job reaches a terminal state.
+    pub fn wait_terminal(&self) -> JobState {
+        let mut p = self.progress.lock().unwrap();
+        while !p.state.is_terminal() {
+            p = self.changed.wait(p).unwrap();
+        }
+        p.state
+    }
+}
+
+impl Observer for Job {
+    fn span(&self, span: &SpanRecord) {
+        let mut p = self.progress.lock().unwrap();
+        p.done += 1;
+        match span.cache {
+            dcn_scenarios::CacheStatus::Hit => p.hits += 1,
+            dcn_scenarios::CacheStatus::Miss => p.misses += 1,
+            dcn_scenarios::CacheStatus::Computed => {}
+        }
+        p.span_wall_ms += span.wall_ms;
+        if let Some(stats) = &span.stats {
+            p.sim_events += stats.events_processed;
+        }
+        p.events.push(span.to_json());
+        self.changed.notify_all();
+    }
+}
+
+/// Bounded FIFO job queue between the accept loop and the worker pool.
+/// `push` fails fast when full (the server answers 503 — backpressure,
+/// not buffering); `pop` blocks until a job arrives or the queue is
+/// closed and drained, which is how graceful shutdown ends the workers.
+pub struct JobQueue {
+    inner: Mutex<QueueInner>,
+    nonempty: Condvar,
+    cap: usize,
+}
+
+struct QueueInner {
+    queue: VecDeque<Arc<Job>>,
+    closed: bool,
+}
+
+impl JobQueue {
+    /// An open queue holding at most `cap` undispatched jobs.
+    pub fn new(cap: usize) -> JobQueue {
+        JobQueue {
+            inner: Mutex::new(QueueInner {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            nonempty: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Enqueue a job. `Err` when the queue is full or closed; the
+    /// message is the client-facing explanation.
+    pub fn push(&self, job: Arc<Job>) -> Result<(), String> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err("server is shutting down".into());
+        }
+        if inner.queue.len() >= self.cap {
+            return Err(format!("job queue is full ({} queued)", self.cap));
+        }
+        inner.queue.push_back(job);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue the oldest job, blocking while the queue is open and
+    /// empty. `None` once the queue is closed **and** drained — the
+    /// worker's signal to exit after finishing queued work.
+    pub fn pop(&self) -> Option<Arc<Job>> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(job) = inner.queue.pop_front() {
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.nonempty.wait(inner).unwrap();
+        }
+    }
+
+    /// Close the queue: no new pushes; pops drain what remains.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.closed = true;
+        self.nonempty.notify_all();
+    }
+
+    /// Undispatched jobs currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().queue.len()
+    }
+
+    /// Whether no jobs are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// JSON string literal with escaping (mirrors the span-record escaper).
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcn_scenarios::{builtin, CacheStatus};
+
+    fn tiny_job(id: u64) -> Arc<Job> {
+        Job::new(id, builtin("fig6-small").expect("builtin spec"))
+    }
+
+    fn fake_run(fail: bool) -> RunFn {
+        Arc::new(move |spec, obs| {
+            for (i, point) in sweep_points(spec).iter().enumerate() {
+                obs.span(&SpanRecord {
+                    index: i,
+                    label: dcn_scenarios::point_label(point),
+                    cache: if i == 0 {
+                        CacheStatus::Miss
+                    } else {
+                        CacheStatus::Hit
+                    },
+                    shard: None,
+                    wall_ms: 1.0,
+                    stats: None,
+                });
+            }
+            if fail {
+                Err("engine exploded".into())
+            } else {
+                dcn_scenarios::run_scenario(spec, 1)
+            }
+        })
+    }
+
+    #[test]
+    fn lifecycle_done_renders_reports_and_summary() {
+        let job = tiny_job(1);
+        assert_eq!(job.state(), JobState::Queued);
+        assert!(job.points > 0);
+        job.execute(&fake_run(false));
+        assert_eq!(job.state(), JobState::Done);
+        let snap = job.snapshot();
+        assert_eq!(snap.done, job.points);
+        assert_eq!(snap.misses, 1);
+        assert_eq!(snap.hits, job.points - 1);
+        assert!(job.report_json().is_some());
+        assert!(job.report_csv().is_some());
+        let (events, done) = job.wait_events(0, Duration::from_millis(1));
+        assert!(done);
+        assert_eq!(events.len(), job.points + 1);
+        assert!(events.last().unwrap().contains("\"record\":\"summary\""));
+        assert!(events[0].contains("\"record\":\"span\""));
+        let status = snap.to_json();
+        assert!(status.contains("\"record\":\"job\""));
+        assert!(status.contains("\"state\":\"done\""));
+        assert!(status.contains("\"error\":null"));
+    }
+
+    #[test]
+    fn lifecycle_failed_captures_error() {
+        let job = tiny_job(2);
+        job.execute(&fake_run(true));
+        assert_eq!(job.state(), JobState::Failed);
+        let snap = job.snapshot();
+        assert_eq!(snap.error.as_deref(), Some("engine exploded"));
+        assert!(snap.to_json().contains("\"state\":\"failed\""));
+        assert!(job.report_json().is_none());
+    }
+
+    #[test]
+    fn queue_is_fifo_bounded_and_drains_after_close() {
+        let q = JobQueue::new(2);
+        q.push(tiny_job(1)).unwrap();
+        q.push(tiny_job(2)).unwrap();
+        let err = q.push(tiny_job(3)).unwrap_err();
+        assert!(err.contains("full"), "{err}");
+        q.close();
+        assert!(q.push(tiny_job(4)).is_err());
+        assert_eq!(q.pop().map(|j| j.id), Some(1));
+        assert_eq!(q.pop().map(|j| j.id), Some(2));
+        assert_eq!(q.pop().map(|j| j.id), None);
+    }
+
+    #[test]
+    fn pop_blocks_until_push_from_another_thread() {
+        let q = Arc::new(JobQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop().map(|j| j.id));
+        std::thread::sleep(Duration::from_millis(20));
+        q.push(tiny_job(7)).unwrap();
+        assert_eq!(h.join().unwrap(), Some(7));
+    }
+}

@@ -1,0 +1,365 @@
+//! The daemon itself: accept loop, request routing, worker pool, and
+//! graceful shutdown.
+//!
+//! ## Endpoints
+//!
+//! | Method | Path                     | Response                                   |
+//! |--------|--------------------------|--------------------------------------------|
+//! | POST   | `/jobs`                  | 201 + job status (body: TOML spec)         |
+//! | GET    | `/jobs`                  | NDJSON, one job record per line            |
+//! | GET    | `/jobs/<id>`             | job status record (state, progress, ETA)   |
+//! | GET    | `/jobs/<id>/events`      | NDJSON live stream: spans, then summary    |
+//! | GET    | `/jobs/<id>/report.json` | the `xp run --json` bytes                  |
+//! | GET    | `/jobs/<id>/report.csv`  | the `xp run --csv` bytes                   |
+//! | GET    | `/jobs/<id>/html`        | per-job dashboard                          |
+//! | GET    | `/`                      | job-table dashboard                        |
+//! | GET    | `/cache`                 | cache-stat NDJSON record (via [`StatFn`])  |
+//! | POST   | `/shutdown`              | 200, then graceful drain                   |
+//!
+//! ## Shutdown
+//!
+//! `POST /shutdown` (or [`Server::shutdown`]) closes the queue and
+//! stops the accept loop; [`Server::serve`] then joins the workers —
+//! which drain every queued job — and the open connection handlers
+//! before returning. Nothing accepted is ever dropped.
+
+use crate::http::{parse_request, write_response, write_stream_head, Request};
+use crate::job::{Job, JobQueue, JobState};
+use crate::{html, RunFn, StatFn};
+use dcn_scenarios::ScenarioSpec;
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How the daemon is wired: pool sizing plus the injected execution and
+/// cache-stat functions (see [`RunFn`], [`StatFn`]).
+pub struct ServeConfig {
+    /// Worker threads executing jobs (≥ 1).
+    pub workers: usize,
+    /// Bound on undispatched jobs; pushes beyond it get 503.
+    pub queue_cap: usize,
+    /// Executes one scenario, reporting spans to the job.
+    pub run: RunFn,
+    /// Renders the cache-stat NDJSON record for `GET /cache`.
+    pub cache_stat: Option<StatFn>,
+}
+
+/// Shared server state: the job registry, the queue, and the stop flag.
+struct Shared {
+    jobs: Mutex<Vec<Arc<Job>>>,
+    queue: JobQueue,
+    stopping: AtomicBool,
+    run: RunFn,
+    cache_stat: Option<StatFn>,
+}
+
+impl Shared {
+    fn job(&self, id: u64) -> Option<Arc<Job>> {
+        let jobs = self.jobs.lock().unwrap();
+        jobs.iter().find(|j| j.id == id).cloned()
+    }
+
+    fn snapshots(&self) -> Vec<crate::JobSnapshot> {
+        let jobs = self.jobs.lock().unwrap();
+        jobs.iter().map(|j| j.snapshot()).collect()
+    }
+
+    fn submit(&self, spec: ScenarioSpec) -> Result<Arc<Job>, (u16, String)> {
+        let mut jobs = self.jobs.lock().unwrap();
+        let id = jobs.len() as u64 + 1;
+        let job = Job::new(id, spec);
+        // Register before queueing so a worker that grabs the job
+        // instantly still has it visible under /jobs/<id>.
+        jobs.push(Arc::clone(&job));
+        if let Err(e) = self.queue.push(Arc::clone(&job)) {
+            jobs.pop();
+            return Err((503, e));
+        }
+        Ok(job)
+    }
+}
+
+/// The `xp serve` daemon: bind, then [`serve`](Server::serve) until a
+/// shutdown request drains it.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    workers: usize,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:8080`; port 0 picks an ephemeral
+    /// port — the integration tests' friend).
+    pub fn bind(addr: &str, cfg: ServeConfig) -> Result<Server, String> {
+        let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                jobs: Mutex::new(Vec::new()),
+                queue: JobQueue::new(cfg.queue_cap),
+                stopping: AtomicBool::new(false),
+                run: cfg.run,
+                cache_stat: cfg.cache_stat,
+            }),
+            workers: cfg.workers.max(1),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.listener
+            .local_addr()
+            .expect("bound listener has an address")
+    }
+
+    /// A handle that can stop the server from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            shared: Arc::clone(&self.shared),
+            addr: self.local_addr(),
+        }
+    }
+
+    /// Run until shutdown: accept connections, dispatch jobs to the
+    /// worker pool, then drain. Returns once every queued job has run
+    /// and every open connection handler has finished.
+    pub fn serve(self) -> Result<(), String> {
+        let mut worker_handles = Vec::with_capacity(self.workers);
+        for _ in 0..self.workers {
+            let shared = Arc::clone(&self.shared);
+            worker_handles.push(std::thread::spawn(move || {
+                // Pop returns None only when the queue is closed and
+                // drained, so queued jobs always complete.
+                while let Some(job) = shared.queue.pop() {
+                    job.execute(&shared.run);
+                }
+            }));
+        }
+
+        let mut conn_handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.shared.stopping.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let shared = Arc::clone(&self.shared);
+            conn_handles.push(std::thread::spawn(move || {
+                handle_connection(stream, &shared)
+            }));
+            // Opportunistically reap finished handlers so a long-lived
+            // daemon doesn't accumulate join handles.
+            conn_handles.retain(|h| !h.is_finished());
+        }
+
+        // Drain: close the queue (workers finish queued jobs and exit),
+        // then wait for workers and any open connections.
+        self.shared.queue.close();
+        for h in worker_handles {
+            let _ = h.join();
+        }
+        for h in conn_handles {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+}
+
+/// Stops a running [`Server`] from another thread: sets the stop flag,
+/// closes the queue, and wakes the blocking accept loop by connecting
+/// to it.
+pub struct ShutdownHandle {
+    shared: Arc<Shared>,
+    addr: std::net::SocketAddr,
+}
+
+impl ShutdownHandle {
+    /// Request shutdown. Idempotent; returns immediately (the serve
+    /// loop drains in its own thread).
+    pub fn shutdown(&self) {
+        request_shutdown(&self.shared, self.addr);
+    }
+}
+
+fn request_shutdown(shared: &Shared, addr: std::net::SocketAddr) {
+    if shared.stopping.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    shared.queue.close();
+    // The accept loop blocks in `incoming()`; a no-op connection wakes
+    // it so it can observe the stop flag.
+    let _ = TcpStream::connect(addr);
+}
+
+/// How long an events stream waits for news before emitting nothing and
+/// re-checking (bounds how long a reader can pin a handler thread after
+/// shutdown).
+const EVENT_POLL: Duration = Duration::from_millis(250);
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    // Generous guards so a stuck peer cannot pin a handler forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let req = match parse_request(&mut stream) {
+        Ok(req) => req,
+        Err(e) => {
+            respond_error(&mut stream, 400, &e);
+            return;
+        }
+    };
+    route(&mut stream, &req, shared);
+}
+
+fn route(stream: &mut TcpStream, req: &Request, shared: &Shared) {
+    let parts: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), parts.as_slice()) {
+        ("GET", []) => {
+            let page = html::dashboard(&shared.snapshots(), shared.queue.len());
+            let _ = write_response(stream, 200, "text/html; charset=utf-8", page.as_bytes());
+        }
+        ("POST", ["jobs"]) => post_job(stream, req, shared),
+        ("GET", ["jobs"]) => {
+            let mut body = String::new();
+            for snap in shared.snapshots() {
+                body.push_str(&snap.to_json());
+                body.push('\n');
+            }
+            let _ = write_response(stream, 200, "application/x-ndjson", body.as_bytes());
+        }
+        ("GET", ["jobs", id]) => with_job(stream, id, shared, |stream, job| {
+            let body = format!("{}\n", job.snapshot().to_json());
+            let _ = write_response(stream, 200, "application/json", body.as_bytes());
+        }),
+        ("GET", ["jobs", id, "events"]) => with_job(stream, id, shared, |stream, job| {
+            stream_events(stream, job, shared)
+        }),
+        ("GET", ["jobs", id, "report.json"]) => {
+            with_job(stream, id, shared, |stream, job| match job.report_json() {
+                Some(body) => {
+                    let _ = write_response(stream, 200, "application/json", body.as_bytes());
+                }
+                None => respond_no_report(stream, job),
+            })
+        }
+        ("GET", ["jobs", id, "report.csv"]) => {
+            with_job(stream, id, shared, |stream, job| match job.report_csv() {
+                Some(body) => {
+                    let _ = write_response(stream, 200, "text/csv", body.as_bytes());
+                }
+                None => respond_no_report(stream, job),
+            })
+        }
+        ("GET", ["jobs", id, "html"]) => with_job(stream, id, shared, |stream, job| {
+            let page = html::job_page(&job.snapshot(), job.report_csv().as_deref());
+            let _ = write_response(stream, 200, "text/html; charset=utf-8", page.as_bytes());
+        }),
+        ("GET", ["cache"]) => match &shared.cache_stat {
+            Some(stat) => {
+                let body = format!("{}\n", stat());
+                let _ = write_response(stream, 200, "application/x-ndjson", body.as_bytes());
+            }
+            None => respond_error(stream, 404, "no cache configured"),
+        },
+        ("POST", ["shutdown"]) => {
+            let _ = write_response(stream, 200, "application/json", b"{\"shutdown\":true}\n");
+            let addr = stream
+                .local_addr()
+                .expect("connected socket has an address");
+            request_shutdown(shared, addr);
+        }
+        (_, []) | (_, ["jobs", ..]) | (_, ["cache"]) | (_, ["shutdown"]) => {
+            respond_error(
+                stream,
+                405,
+                &format!("method {} not allowed here", req.method),
+            );
+        }
+        _ => respond_error(stream, 404, &format!("no such resource: {}", req.path)),
+    }
+}
+
+fn post_job(stream: &mut TcpStream, req: &Request, shared: &Shared) {
+    let Ok(body) = std::str::from_utf8(&req.body) else {
+        respond_error(stream, 400, "spec body is not UTF-8");
+        return;
+    };
+    let spec = match ScenarioSpec::from_toml(body) {
+        Ok(spec) => spec,
+        Err(e) => {
+            respond_error(stream, 400, &format!("bad scenario spec: {e}"));
+            return;
+        }
+    };
+    match shared.submit(spec) {
+        Ok(job) => {
+            let body = format!("{}\n", job.snapshot().to_json());
+            let _ = write_response(stream, 201, "application/json", body.as_bytes());
+        }
+        Err((status, e)) => respond_error(stream, status, &e),
+    }
+}
+
+/// Stream the job's NDJSON event log live: everything so far, then new
+/// lines as points complete, closing once the job is terminal (the
+/// summary record is always the last line of a completed stream).
+fn stream_events(stream: &mut TcpStream, job: &Arc<Job>, shared: &Shared) {
+    if write_stream_head(stream, 200, "application/x-ndjson").is_err() {
+        return;
+    }
+    let mut sent = 0usize;
+    loop {
+        let (lines, terminal) = job.wait_events(sent, EVENT_POLL);
+        sent += lines.len();
+        for line in &lines {
+            if stream.write_all(line.as_bytes()).is_err() || stream.write_all(b"\n").is_err() {
+                return;
+            }
+        }
+        if stream.flush().is_err() {
+            return;
+        }
+        if terminal {
+            return;
+        }
+        // A queued job can never finish once the server is draining a
+        // shutdown with no workers left; don't pin the handler.
+        if shared.stopping.load(Ordering::SeqCst) && job.state() == JobState::Queued {
+            return;
+        }
+    }
+}
+
+fn with_job(
+    stream: &mut TcpStream,
+    id: &str,
+    shared: &Shared,
+    f: impl FnOnce(&mut TcpStream, &Arc<Job>),
+) {
+    let Ok(id) = id.parse::<u64>() else {
+        respond_error(stream, 404, &format!("bad job id: {id:?}"));
+        return;
+    };
+    match shared.job(id) {
+        Some(job) => f(stream, &job),
+        None => respond_error(stream, 404, &format!("no such job: {id}")),
+    }
+}
+
+fn respond_no_report(stream: &mut TcpStream, job: &Arc<Job>) {
+    let snap = job.snapshot();
+    let msg = match snap.error {
+        Some(e) => format!("job {} failed: {e}", job.id),
+        None => format!(
+            "job {} is {}; report not ready",
+            job.id,
+            snap.state.as_str()
+        ),
+    };
+    respond_error(stream, 404, &msg);
+}
+
+fn respond_error(stream: &mut TcpStream, status: u16, msg: &str) {
+    let body = format!("{{\"error\":{}}}\n", crate::job::json_str(msg));
+    let _ = write_response(stream, status, "application/json", body.as_bytes());
+}
