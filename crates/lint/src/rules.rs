@@ -227,6 +227,13 @@ fn punct_at(toks: &[Token], i: usize, c: char) -> bool {
 /// on tracked names, `for .. in` loops over them, and UFCS calls like
 /// `HashMap::iter`. Keyed lookups (`get`, `insert`, `remove`,
 /// `contains_key`, `entry`, ...) never fire.
+///
+/// The sanctioned replacements, in order of preference: for
+/// `FlowId`-keyed per-flow state, `dcn_sim::FlowTable` (a dense slab
+/// with a `BTreeMap` spillover whose `iter` is in ascending `FlowId`
+/// order — hot-path indexing *and* deterministic iteration, see
+/// DESIGN.md "Dense-ID hot path"); otherwise `BTreeMap`/`BTreeSet`, or
+/// a hash map paired with an explicitly ordered side `Vec` of keys.
 fn check_r1(rel: &str, toks: &[Token], out: &mut Vec<Violation>) {
     let mut names: Vec<(String, &'static str)> = Vec::new();
     for i in 0..toks.len() {
@@ -353,8 +360,9 @@ fn r1_violation(rel: &str, line: usize, name: &str, ty: &str, method: &str) -> V
         rule: "R1",
         message: format!(
             "iteration over hash-ordered {ty} `{name}` via `{method}`: hash order is \
-             nondeterministic; use BTreeMap/BTreeSet or iterate a side order Vec \
-             (keyed lookups are fine)"
+             nondeterministic; use BTreeMap/BTreeSet, dcn_sim::FlowTable for \
+             FlowId-keyed state (ordered iteration, dense-slot hot path), or iterate \
+             a side order Vec (keyed lookups are fine)"
         ),
     }
 }
@@ -710,6 +718,18 @@ mod tests {
     fn r1_ignores_vec_iteration() {
         let src = "fn f(v: &Vec<u32>, m: &HashMap<u32, u32>) -> u32 {\n\
                    v.iter().sum::<u32>() + m.len() as u32 }\n";
+        let lint = lint_source("crates/x/src/a.rs", src);
+        assert!(lint.violations.is_empty(), "{:?}", lint.violations);
+    }
+
+    #[test]
+    fn r1_ignores_flow_table_iteration() {
+        // The sanctioned idiom: FlowTable iterates in FlowId order, so
+        // draining it (or a side order Vec) never trips the rule.
+        let src = "fn f(t: &FlowTable<u32>) -> Vec<u32> {\n\
+                   t.iter().map(|(_, v)| *v).collect() }\n\
+                   fn g() { let t: FlowTable<u32> = FlowTable::new();\n\
+                   for (_, v) in t.iter() { drop(v); } }\n";
         let lint = lint_source("crates/x/src/a.rs", src);
         assert!(lint.violations.is_empty(), "{:?}", lint.violations);
     }

@@ -33,6 +33,9 @@
 //! xp bench                        # time the simulator hot paths
 //!        [--runs N]               # timed repetitions per case (default 5)
 //!        [--json FILE | -]        # write BENCH_sim.json-style report
+//!        [--check]                # compare against BENCH_sim.json; exit 1
+//!        [--baseline FILE]        #     on events/sec regressions beyond
+//!        [--tol-pct X]            #     the tolerance (default 20%)
 //! xp lint                         # determinism & hygiene static analysis
 //!        [--json]                 #     NDJSON violation records
 //!        [--root DIR]             #     workspace root (default: ascend from cwd)
@@ -51,8 +54,8 @@
 
 use dcn_runner::{diff_dirs, worker_main, ResultCache, RunConfig};
 use dcn_scenarios::{
-    bench_table, bench_to_json, builtin, builtin_specs, diff_csv, diff_reports, run_bench,
-    spec_kind, EngineKind, ScenarioSpec,
+    bench_check, bench_table, bench_to_json, builtin, builtin_specs, diff_csv, diff_reports,
+    run_bench, spec_kind, EngineKind, ScenarioSpec,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -67,7 +70,7 @@ fn usage() -> ExitCode {
          [--cache-dir DIR] [--no-cache] [--queue-cap N]\n  \
          xp diff <a.json|dirA> <b.json|dirB> [--tol X]\n  \
          xp cache <stat|clear> [--cache-dir DIR] [--json]\n  \
-         xp bench [--runs N] [--json FILE|-]\n  \
+         xp bench [--runs N] [--json FILE|-] [--check] [--baseline FILE] [--tol-pct X]\n  \
          xp lint [--json] [--root DIR]"
     );
     ExitCode::from(2)
@@ -104,14 +107,42 @@ fn worker() -> ExitCode {
     }
 }
 
-/// `xp bench [--runs N] [--json FILE|-]`: time the simulator hot paths
-/// and optionally write the JSON perf report (`BENCH_sim.json`).
+/// `xp bench [--runs N] [--json FILE|-] [--check] [--baseline FILE]
+/// [--tol-pct X]`: time the simulator hot paths and optionally write
+/// the JSON perf report (`BENCH_sim.json`) and/or gate against the
+/// committed baseline — `--check` exits nonzero when any case's
+/// events/sec regresses more than the tolerance, so perf regressions
+/// gate in CI like byte drift does.
 fn bench(args: &[String]) -> ExitCode {
     let mut runs = 5usize;
     let mut json = None;
+    let mut check = false;
+    let mut baseline = String::from("BENCH_sim.json");
+    let mut tol_pct = 20.0f64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--check" => check = true,
+            "--baseline" => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => baseline = v.clone(),
+                    None => {
+                        eprintln!("error: --baseline needs a value");
+                        return usage();
+                    }
+                }
+            }
+            "--tol-pct" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<f64>().ok()) {
+                    Some(x) if x >= 0.0 => tol_pct = x,
+                    _ => {
+                        eprintln!("error: --tol-pct expects a non-negative number");
+                        return usage();
+                    }
+                }
+            }
             "--runs" => {
                 i += 1;
                 match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
@@ -147,6 +178,33 @@ fn bench(args: &[String]) -> ExitCode {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
+    }
+    if check {
+        let base = match std::fs::read_to_string(&baseline) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: reading baseline {baseline}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let res = match bench_check(&cases, &base, tol_pct) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: baseline {baseline}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for line in &res.lines {
+            eprintln!("check: {line}");
+        }
+        if !res.regressions.is_empty() {
+            eprintln!(
+                "bench check FAILED: {} case(s) regressed beyond {tol_pct}% vs {baseline}",
+                res.regressions.len()
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!("bench check passed (tol {tol_pct}%) vs {baseline}");
     }
     ExitCode::SUCCESS
 }

@@ -233,6 +233,8 @@ mod tests {
             events_processed: 100,
             events_scheduled: 120,
             overflow_scheduled: 1,
+            batched_visits: 6,
+            batched_events: 8,
             delivered: 40,
             forwarded: 80,
             drops_no_route: 1,

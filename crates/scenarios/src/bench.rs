@@ -22,7 +22,7 @@
 use crate::algo::Algo;
 use crate::library::fig6_small;
 use crate::obs::SummaryRecord;
-use crate::spec::{ScenarioSpec, TraceScenario, TraceSpec};
+use crate::spec::{IncastSpec, ScenarioSpec, TopologySpec, TraceScenario, TraceSpec};
 use dcn_sim::{
     build_star, Endpoint, EndpointCtx, FlowId, NodeId, Packet, Simulator, SwitchConfig, DEFAULT_MTU,
 };
@@ -171,6 +171,43 @@ fn incast_trace(runs: usize) -> BenchCase {
     }
 }
 
+/// One synchronized 256:1 incast burst through a star switch with full
+/// windowed transport. 256 concurrent sender flows converge on a single
+/// receiver, so every data delivery and every ACK exercises the
+/// per-flow state lookups (`sender_index`/`receivers`/metrics) at a
+/// population where their cost shows — the case the dense-ID flow
+/// tables exist for.
+fn incast_flow_tables(runs: usize) -> BenchCase {
+    let spec = ScenarioSpec::new(
+        "bench-incast-256",
+        TopologySpec::Star {
+            hosts: 257,
+            host_gbps: 25.0,
+        },
+    )
+    .incast(IncastSpec {
+        rate_per_sec: 1_000.0,
+        request_bytes: 25_600_000,
+        fan_in: 256,
+        periodic: true,
+    })
+    .algos([Algo::PowerTcp])
+    .seeds([42])
+    .horizon_ms(1.5)
+    .drain_ms(15.0);
+    let points = crate::sweep::sweep_points(&spec);
+    let (wall_ms, (outcome, stats)) = time(runs, || {
+        crate::engine::run_sweep_point_observed(&spec, &points[0])
+    });
+    assert_eq!(outcome.offered, 256, "one synchronized 256-flow burst");
+    BenchCase {
+        name: "incast_256to1_flows",
+        what: "one 256:1 incast burst on a star, PowerTCP transport (per-flow table stress)",
+        wall_ms,
+        events: stats.events_processed,
+    }
+}
+
 fn fat_tree_sweep(runs: usize) -> BenchCase {
     let spec = fig6_small();
     let points = crate::sweep::sweep_points(&spec);
@@ -253,6 +290,7 @@ pub fn run_bench(runs: usize) -> Vec<BenchCase> {
     vec![
         fabric_blast(runs),
         incast_trace(runs),
+        incast_flow_tables(runs),
         fat_tree_sweep(runs),
         // 1k flows at ~70% per-uplink load on an 8-host mesh: no shared
         // link, so every event re-runs general water-filling.
@@ -309,6 +347,91 @@ pub fn bench_to_json(cases: &[BenchCase], runs: usize) -> String {
     s
 }
 
+/// Outcome of [`bench_check`]: one verdict line per compared case, plus
+/// the subset that regressed (empty = pass).
+#[derive(Debug)]
+pub struct BenchCheck {
+    /// One human-readable verdict per baseline case, in baseline order.
+    pub lines: Vec<String>,
+    /// Failing verdicts: cases whose events/sec fell more than the
+    /// tolerance below the baseline, or that vanished from the suite.
+    pub regressions: Vec<String>,
+}
+
+/// Compare a fresh bench run against the committed `BENCH_sim.json`
+/// baseline: a case fails when its events/sec falls more than `tol_pct`
+/// percent below the baseline figure (`xp bench --check`). Cases only
+/// present on one side never fail the check — a freshly added case has
+/// no baseline yet, and dropping one is a suite change the byte-diff CI
+/// catches — but both are reported. Errors if the baseline does not
+/// parse as a bench report.
+pub fn bench_check(
+    cases: &[BenchCase],
+    baseline_json: &str,
+    tol_pct: f64,
+) -> Result<BenchCheck, String> {
+    let parsed = crate::diff::parse_json(baseline_json)?;
+    let crate::diff::Json::Obj(top) = parsed else {
+        return Err("baseline: expected a top-level object".into());
+    };
+    let Some(crate::diff::Json::Arr(base_cases)) =
+        top.iter().find(|(k, _)| k == "cases").map(|(_, v)| v)
+    else {
+        return Err("baseline: missing \"cases\" array".into());
+    };
+    let mut baseline: Vec<(String, f64)> = Vec::new();
+    for cj in base_cases {
+        let crate::diff::Json::Obj(m) = cj else {
+            return Err("baseline: case is not an object".into());
+        };
+        let field = |key: &str| m.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let Some(crate::diff::Json::Str(name)) = field("name") else {
+            return Err("baseline: case without a name".into());
+        };
+        let eps = match field("events_per_sec") {
+            Some(crate::diff::Json::Num(x)) => *x,
+            Some(crate::diff::Json::Int(x)) => *x as f64,
+            _ => return Err(format!("baseline case {name}: missing events_per_sec")),
+        };
+        baseline.push((name.clone(), eps));
+    }
+    let mut out = BenchCheck {
+        lines: Vec::new(),
+        regressions: Vec::new(),
+    };
+    for (name, base_eps) in &baseline {
+        match cases.iter().find(|c| c.name == name.as_str()) {
+            None => {
+                let line = format!("{name}: REGRESSED (case missing from the fresh run)");
+                out.lines.push(line.clone());
+                out.regressions.push(line);
+            }
+            Some(c) => {
+                let fresh = c.summary().events_per_sec();
+                let delta_pct = (fresh / base_eps - 1.0) * 100.0;
+                if fresh < base_eps * (1.0 - tol_pct / 100.0) {
+                    let line = format!(
+                        "{name}: REGRESSED  {fresh:.0} ev/s vs baseline {base_eps:.0} ({delta_pct:+.1}%, tol -{tol_pct}%)"
+                    );
+                    out.lines.push(line.clone());
+                    out.regressions.push(line);
+                } else {
+                    out.lines.push(format!(
+                        "{name}: ok  {fresh:.0} ev/s vs baseline {base_eps:.0} ({delta_pct:+.1}%)"
+                    ));
+                }
+            }
+        }
+    }
+    for c in cases {
+        if !baseline.iter().any(|(n, _)| n == c.name) {
+            out.lines
+                .push(format!("{}: new case (no baseline yet)", c.name));
+        }
+    }
+    Ok(out)
+}
+
 /// Human-readable table for stderr: one [`SummaryRecord`] row per case
 /// (plus the run-to-run mean, which only the table shows).
 pub fn bench_table(cases: &[BenchCase]) -> String {
@@ -331,7 +454,7 @@ mod tests {
     #[test]
     fn bench_suite_runs_and_renders() {
         let cases = run_bench(1);
-        assert_eq!(cases.len(), 5);
+        assert_eq!(cases.len(), 6);
         // Every case tracks a real event count now (the engine counts
         // all dispatches, so anything that simulates is nonzero).
         for c in &cases {
@@ -357,5 +480,45 @@ mod tests {
         }
         assert!(bench_table(&cases).contains("fig6_small_sweep"));
         assert!(bench_table(&cases).contains("ev/s"));
+    }
+
+    fn fake_case(name: &'static str, wall_ms: f64, events: u64) -> BenchCase {
+        BenchCase {
+            name,
+            what: "synthetic",
+            wall_ms: vec![wall_ms],
+            events,
+        }
+    }
+
+    #[test]
+    fn bench_check_flags_only_regressions_beyond_tolerance() {
+        // Baseline: case `a` at 1e6 ev/s, case `gone` at 5e5 ev/s.
+        let baseline = r#"{
+          "bench": "sim", "runs": 1,
+          "cases": [
+            {"name": "a", "events_per_sec": 1000000.0},
+            {"name": "gone", "events_per_sec": 500000.0}
+          ]
+        }"#;
+        // Within tolerance (10% drop, tol 20%): pass.
+        let ok = vec![fake_case("a", 1.0, 900), fake_case("gone", 1.0, 500)];
+        let res = bench_check(&ok, baseline, 20.0).unwrap();
+        assert!(res.regressions.is_empty(), "{:?}", res.regressions);
+        // Beyond tolerance (50% drop): fail, and the verdict names it.
+        let slow = vec![fake_case("a", 1.0, 500), fake_case("gone", 1.0, 500)];
+        let res = bench_check(&slow, baseline, 20.0).unwrap();
+        assert_eq!(res.regressions.len(), 1);
+        assert!(res.regressions[0].contains("a: REGRESSED"));
+        // A case missing from the fresh run fails; a fresh-only case is
+        // reported but does not.
+        let renamed = vec![fake_case("a", 1.0, 900), fake_case("b", 1.0, 900)];
+        let res = bench_check(&renamed, baseline, 20.0).unwrap();
+        assert_eq!(res.regressions.len(), 1);
+        assert!(res.regressions[0].contains("gone: REGRESSED"));
+        assert!(res.lines.iter().any(|l| l.contains("b: new case")));
+        // Garbage baselines error instead of passing silently.
+        assert!(bench_check(&ok, "not json", 20.0).is_err());
+        assert!(bench_check(&ok, "{\"bench\": \"sim\"}", 20.0).is_err());
     }
 }

@@ -75,7 +75,7 @@ pub mod trace_engine;
 
 pub use algo::Algo;
 pub use analytic_engine::{analytic_entries, run_analytic_entry};
-pub use bench::{bench_table, bench_to_json, run_bench, BenchCase};
+pub use bench::{bench_check, bench_table, bench_to_json, run_bench, BenchCase, BenchCheck};
 pub use diff::{diff_csv, diff_reports, DiffOutcome};
 pub use engine::{
     run_fct_experiment, run_point, run_sweep_point, run_sweep_point_observed, FctResult,

@@ -223,13 +223,16 @@ pub fn point_label(point: &SweepPoint) -> String {
 /// derived events/sec figure is included for stream consumers).
 pub fn sim_stats_json(s: &SimStats) -> String {
     format!(
-        "{{\"events\":{},\"scheduled\":{},\"overflow\":{},\"delivered\":{},\
+        "{{\"events\":{},\"scheduled\":{},\"overflow\":{},\
+         \"batched_visits\":{},\"batched_events\":{},\"delivered\":{},\
          \"forwarded\":{},\"drops_no_route\":{},\"drops_buffer\":{},\
          \"drops_custom\":{},\"pfc_frames\":{},\"pool_fresh\":{},\
          \"pool_reused\":{},\"wall_ms\":{:.3},\"events_per_sec\":{:.1}}}",
         s.events_processed,
         s.events_scheduled,
         s.overflow_scheduled,
+        s.batched_visits,
+        s.batched_events,
         s.delivered,
         s.forwarded,
         s.drops_no_route,
@@ -261,6 +264,8 @@ pub fn sim_stats_from_json(j: &Json) -> Option<SimStats> {
         events_processed: u("events")?,
         events_scheduled: u("scheduled")?,
         overflow_scheduled: u("overflow")?,
+        batched_visits: u("batched_visits")?,
+        batched_events: u("batched_events")?,
         delivered: u("delivered")?,
         forwarded: u("forwarded")?,
         drops_no_route: u("drops_no_route")?,
@@ -302,6 +307,8 @@ mod tests {
             events_processed: 1234,
             events_scheduled: 1300,
             overflow_scheduled: 12,
+            batched_visits: 7,
+            batched_events: 9,
             delivered: 400,
             forwarded: 800,
             drops_no_route: 1,

@@ -70,6 +70,20 @@ enum NodeKind {
     Custom,
 }
 
+/// One unit of work for a host visit: the payload of an `Arrival` or
+/// `HostTimer` event bound for that host (see [`Simulator::host_visit`]).
+enum HostWork {
+    Packet(Box<Packet>),
+    Timer(u64),
+}
+
+/// One unit of work for a switch visit: the payload of an `Arrival` or
+/// `TxDone` event bound for that switch (see [`Simulator::switch_visit`]).
+enum SwitchWork {
+    Recv(PortId, Box<Packet>),
+    TxDone(PortId),
+}
+
 /// Boxed periodic-observer callback (see [`Simulator::add_tracer`]).
 type TracerFn = Box<dyn FnMut(&Network, Tick)>;
 
@@ -104,6 +118,12 @@ pub struct Simulator {
     pub delivered: u64,
     /// Events dispatched so far (all kinds, tracer samples included).
     events_processed: u64,
+    /// Same-tick same-node batching enabled (see [`Simulator::set_batching`]).
+    batching: bool,
+    /// Node visits that drained more than one same-tick event.
+    batched_visits: u64,
+    /// Events beyond the first drained by batched visits.
+    batched_events: u64,
     /// PFC pause/resume frames emitted by switches.
     pfc_frames: u64,
     /// Wall-clock anchor for [`Simulator::stats`]; set at construction.
@@ -127,6 +147,9 @@ impl Simulator {
             pool: PacketPool::new(),
             delivered: 0,
             events_processed: 0,
+            batching: true,
+            batched_visits: 0,
+            batched_events: 0,
             pfc_frames: 0,
             // lint:allow(R2): SimStats wall-clock anchor — observability only, never report bytes
             t0: Instant::now(),
@@ -142,6 +165,21 @@ impl Simulator {
     /// steady-state contract is that reuses dominate.
     pub fn pool_stats(&self) -> PoolStats {
         self.pool.stats()
+    }
+
+    /// Enable or disable same-tick node batching (on by default).
+    ///
+    /// Batching drains every consecutive same-tick event bound for the
+    /// node already being visited in one pass, amortizing dispatch,
+    /// node borrow, scratch-buffer setup, and link lookups. It is a
+    /// pure perf optimization: only the *global head* of the event
+    /// queue is ever taken (see [`EventQueue::pop_now_if`]), so the
+    /// `(time, insertion-seq)` FIFO event order — and therefore every
+    /// output byte — is identical with batching off. The switch exists
+    /// so the property test (`crates/sim/tests/batch_props.rs`) can
+    /// prove exactly that against the unbatched dispatcher.
+    pub fn set_batching(&mut self, on: bool) {
+        self.batching = on;
     }
 
     /// Register a periodic tracer sampling every `every`.
@@ -263,6 +301,8 @@ impl Simulator {
             events_processed: self.events_processed,
             events_scheduled: self.queue.scheduled(),
             overflow_scheduled: self.queue.overflow_scheduled(),
+            batched_visits: self.batched_visits,
+            batched_events: self.batched_events,
             delivered: self.delivered,
             forwarded,
             drops_no_route,
@@ -288,16 +328,7 @@ impl Simulator {
             }
             Event::HostTimer { node, key } => {
                 self.live_events -= 1;
-                let mut actions = std::mem::take(&mut self.scratch_endpoint);
-                let now = self.queue.now();
-                if let Node::Host(h) = &mut self.net.nodes[node.index()] {
-                    let nic_bw = self.net.links.get(h.link).bandwidth;
-                    let mut ctx =
-                        EndpointCtx::with_pool(now, node, nic_bw, &mut actions, &mut self.pool);
-                    h.app.on_timer(key, &mut ctx);
-                }
-                self.apply_endpoint_actions(node, &mut actions);
-                self.scratch_endpoint = actions;
+                self.host_visit(node, HostWork::Timer(key));
             }
             Event::NodeTimer { node, key } => {
                 self.live_events -= 1;
@@ -331,17 +362,117 @@ impl Simulator {
         }
     }
 
+    /// Visit a host for `first` plus every consecutive same-tick event
+    /// bound for the same host (non-PFC arrivals and endpoint timers),
+    /// amortizing the node borrow, the NIC link lookup, and the scratch
+    /// swap across the batch.
+    ///
+    /// Deferring `apply_endpoint_actions` to the end of the visit is
+    /// byte-exact: endpoint callbacks only *append* actions (they never
+    /// schedule directly), applying actions touches neither the packet
+    /// pool nor any state an endpoint can observe, and the actions are
+    /// applied in the same order as unbatched dispatch — so the
+    /// `schedule` call sequence, and with it every insertion seq, is
+    /// identical. PFC arrivals and host `TxDone`s are excluded because
+    /// their engine-side handling (pause flags, NIC kicks) must
+    /// interleave with the applies in event order; hitting one simply
+    /// ends the batch.
+    fn host_visit(&mut self, node: NodeId, first: HostWork) {
+        let mut actions = std::mem::take(&mut self.scratch_endpoint);
+        let now = self.queue.now();
+        let mut extra = 0u64;
+        if let Node::Host(h) = &mut self.net.nodes[node.index()] {
+            let nic_bw = self.net.links.get(h.link).bandwidth;
+            let mut work = first;
+            loop {
+                {
+                    let mut ctx =
+                        EndpointCtx::with_pool(now, node, nic_bw, &mut actions, &mut self.pool);
+                    match work {
+                        HostWork::Packet(pkt) => h.app.on_packet(pkt, &mut ctx),
+                        HostWork::Timer(key) => h.app.on_timer(key, &mut ctx),
+                    }
+                }
+                if !self.batching {
+                    break;
+                }
+                let Some(ev) = self.queue.pop_now_if(|ev| match ev {
+                    Event::Arrival { node: n, pkt, .. } => *n == node && !pkt.is_pfc(),
+                    Event::HostTimer { node: n, .. } => *n == node,
+                    _ => false,
+                }) else {
+                    break;
+                };
+                self.events_processed += 1;
+                self.live_events -= 1;
+                extra += 1;
+                work = match ev {
+                    Event::Arrival { pkt, .. } => {
+                        self.delivered += 1;
+                        HostWork::Packet(pkt)
+                    }
+                    Event::HostTimer { key, .. } => HostWork::Timer(key),
+                    _ => unreachable!("predicate admits only arrivals and host timers"),
+                };
+            }
+        }
+        if extra > 0 {
+            self.batched_visits += 1;
+            self.batched_events += extra;
+        }
+        self.apply_endpoint_actions(node, &mut actions);
+        self.scratch_endpoint = actions;
+    }
+
+    /// Visit a switch for `first` plus every consecutive same-tick event
+    /// bound for the same switch (arrivals — PFC included, the switch
+    /// handles those inside `receive` — and port `TxDone`s), amortizing
+    /// dispatch and the scratch swap. Unlike the host visit, emissions
+    /// apply after *every* `receive`/`tx_done`: INT records read live
+    /// queue occupancy at emit time, so deferral would change bytes.
+    fn switch_visit(&mut self, node: NodeId, first: SwitchWork) {
+        let mut emits = std::mem::take(&mut self.scratch_switch);
+        let now = self.queue.now();
+        let mut extra = 0u64;
+        let mut work = first;
+        loop {
+            if let Node::Switch(sw) = &mut self.net.nodes[node.index()] {
+                match work {
+                    SwitchWork::Recv(port, pkt) => {
+                        sw.receive(port, pkt, now, &mut emits, &mut self.pool)
+                    }
+                    SwitchWork::TxDone(port) => sw.tx_done(port, &mut emits),
+                }
+            }
+            self.apply_switch_emits(node, &mut emits);
+            if !self.batching {
+                break;
+            }
+            let Some(ev) = self.queue.pop_now_if(|ev| {
+                matches!(ev,
+                    Event::Arrival { node: n, .. } | Event::TxDone { node: n, .. } if *n == node)
+            }) else {
+                break;
+            };
+            self.events_processed += 1;
+            self.live_events -= 1;
+            extra += 1;
+            work = match ev {
+                Event::Arrival { port, pkt, .. } => SwitchWork::Recv(port, pkt),
+                Event::TxDone { port, .. } => SwitchWork::TxDone(port),
+                _ => unreachable!("predicate admits only arrivals and tx-dones"),
+            };
+        }
+        if extra > 0 {
+            self.batched_visits += 1;
+            self.batched_events += extra;
+        }
+        self.scratch_switch = emits;
+    }
+
     fn arrival(&mut self, node: NodeId, port: PortId, pkt: Box<Packet>) {
         match self.node_kind(node) {
-            NodeKind::Switch => {
-                let mut emits = std::mem::take(&mut self.scratch_switch);
-                let now = self.queue.now();
-                if let Node::Switch(sw) = &mut self.net.nodes[node.index()] {
-                    sw.receive(port, pkt, now, &mut emits, &mut self.pool);
-                }
-                self.apply_switch_emits(node, &mut emits);
-                self.scratch_switch = emits;
-            }
+            NodeKind::Switch => self.switch_visit(node, SwitchWork::Recv(port, pkt)),
             NodeKind::Host => {
                 if pkt.is_pfc() {
                     let pause = matches!(pkt.kind, PacketKind::Pfc { pause: true });
@@ -360,16 +491,7 @@ impl Simulator {
                     return;
                 }
                 self.delivered += 1;
-                let mut actions = std::mem::take(&mut self.scratch_endpoint);
-                let now = self.queue.now();
-                if let Node::Host(h) = &mut self.net.nodes[node.index()] {
-                    let nic_bw = self.net.links.get(h.link).bandwidth;
-                    let mut ctx =
-                        EndpointCtx::with_pool(now, node, nic_bw, &mut actions, &mut self.pool);
-                    h.app.on_packet(pkt, &mut ctx);
-                }
-                self.apply_endpoint_actions(node, &mut actions);
-                self.scratch_endpoint = actions;
+                self.host_visit(node, HostWork::Packet(pkt));
             }
             NodeKind::Custom => {
                 let mut actions = std::mem::take(&mut self.scratch_custom);
@@ -389,14 +511,7 @@ impl Simulator {
 
     fn tx_done(&mut self, node: NodeId, port: PortId) {
         match self.node_kind(node) {
-            NodeKind::Switch => {
-                let mut emits = std::mem::take(&mut self.scratch_switch);
-                if let Node::Switch(sw) = &mut self.net.nodes[node.index()] {
-                    sw.tx_done(port, &mut emits);
-                }
-                self.apply_switch_emits(node, &mut emits);
-                self.scratch_switch = emits;
-            }
+            NodeKind::Switch => self.switch_visit(node, SwitchWork::TxDone(port)),
             NodeKind::Host => {
                 if let Node::Host(h) = &mut self.net.nodes[node.index()] {
                     h.busy = false;
@@ -872,8 +987,18 @@ impl NetworkBuilder {
         pc
     }
 
-    /// Finish building.
+    /// Finish building: every switch's route table is arena-built here,
+    /// sized to the final node count, so `set_route` is a checked store
+    /// and `route_for` a plain index — no incremental `resize_with`
+    /// growth on any path after construction.
     pub fn build(self) -> Network {
-        self.net
+        let mut net = self.net;
+        let n = net.nodes.len();
+        for node in &mut net.nodes {
+            if let Node::Switch(s) = node {
+                s.init_routes(n);
+            }
+        }
+        net
     }
 }

@@ -318,6 +318,41 @@ impl EventQueue {
         Some((s.at, s.ev))
     }
 
+    /// Pop the next event only if it fires exactly at the current time
+    /// and satisfies `pred` — the engine's same-tick batching hook
+    /// ([`crate::engine::Simulator`] drains consecutive same-tick events
+    /// bound for the node it is already visiting). Because this only
+    /// ever takes the *global* head of the queue, and only when its time
+    /// equals `now`, the pop sequence is exactly the one repeated
+    /// [`EventQueue::pop`] calls would produce: `(time, insertion-seq)`
+    /// FIFO order is preserved event for event.
+    ///
+    /// Like [`EventQueue::peek_time`], this never starts a new overflow
+    /// wrap (see [`EventQueue::pop`] via `prepare_next`): an empty ring
+    /// means every pending event lives beyond the wrap horizon it was
+    /// scheduled under, hence strictly after `now` — nothing same-tick
+    /// can be there, so `None` is correct without touching the heap.
+    #[inline]
+    pub fn pop_now_if(&mut self, pred: impl FnOnce(&Event) -> bool) -> Option<Event> {
+        if self.ring_len == 0 {
+            return None;
+        }
+        let ready = self.prepare_next();
+        debug_assert!(ready, "non-empty ring must prepare");
+        let slot = (self.cursor & BUCKET_MASK) as usize;
+        let head = self.buckets[slot].last().expect("prepared bucket is empty");
+        if head.at != self.now || !pred(&head.ev) {
+            return None;
+        }
+        let s = self.buckets[slot].pop().expect("checked non-empty");
+        self.ring_len -= 1;
+        if self.buckets[slot].is_empty() {
+            self.occupied[slot >> 6] &= !(1 << (slot & 63));
+            self.cursor_sorted = false;
+        }
+        Some(s.ev)
+    }
+
     /// Time of the next event without popping it.
     #[inline]
     pub fn peek_time(&mut self) -> Option<Tick> {
@@ -503,6 +538,48 @@ mod tests {
         while q.pop().is_some() {}
         assert_eq!(q.scheduled(), 2);
         assert_eq!(q.overflow_scheduled(), 1);
+    }
+
+    #[test]
+    fn pop_now_if_takes_only_the_matching_same_tick_head() {
+        let mut q = EventQueue::new();
+        let t = Tick::from_nanos(10);
+        q.schedule(t, timer(0));
+        q.schedule(t, timer(1));
+        q.schedule(t, timer(2));
+        q.schedule(Tick::from_nanos(20), timer(3));
+        let (_, e) = q.pop().unwrap();
+        assert_eq!(key_of(&e), 0);
+        // Head matches: drained in FIFO order.
+        let e = q
+            .pop_now_if(|e| key_of(e) == 1)
+            .expect("same tick, matching");
+        assert_eq!(key_of(&e), 1);
+        // Head (timer 2) rejected by the predicate: left in place.
+        assert!(q.pop_now_if(|e| key_of(e) == 9).is_none());
+        let (_, e) = q.pop().unwrap();
+        assert_eq!(key_of(&e), 2);
+        // Next event is at a later tick: never taken, even if it matches.
+        assert!(q.pop_now_if(|_| true).is_none());
+        assert_eq!(q.pop().unwrap().0, Tick::from_nanos(20));
+    }
+
+    #[test]
+    fn pop_now_if_never_starts_an_overflow_wrap() {
+        let mut q = EventQueue::new();
+        q.schedule(Tick::from_nanos(10), timer(0));
+        q.schedule(Tick::from_millis(5), timer(1)); // overflow heap
+        q.pop().unwrap();
+        // Ring is now empty; the pending overflow event is strictly in
+        // the future, so the batching hook must decline without
+        // migrating the wrap (a later schedule at `now` must still pop
+        // first).
+        assert!(q.pop_now_if(|_| true).is_none());
+        q.schedule(Tick::from_nanos(10), timer(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| key_of(&e))
+            .collect();
+        assert_eq!(order, vec![2, 1]);
     }
 
     #[test]

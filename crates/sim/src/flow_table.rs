@@ -1,0 +1,285 @@
+//! [`FlowTable`] — a dense slot-indexed map over [`FlowId`] keys.
+//!
+//! Workload generation assigns flow ids sequentially, so per-flow state
+//! lookups (transport sender/receiver records, the metrics hub) do not
+//! need an ordered tree: a `Vec` slab indexed by the id itself turns the
+//! `O(log n)` comparisons every data packet and every ACK used to pay
+//! into one bounds check and an index. Two properties keep the swap
+//! invisible to every byte-pinned report:
+//!
+//! - **Total semantics.** Ids are *not* required to be dense. Ids beyond
+//!   the bounded dense growth rule land in a `BTreeMap` spillover, so
+//!   any id sequence behaves exactly like the plain ordered map it
+//!   replaces. The invariant is strict: every spilled key is `>=` the
+//!   dense region's length, so each id has exactly one possible home and
+//!   lookups stay a single branch.
+//! - **Ordered iteration.** [`FlowTable::iter`] yields entries in
+//!   ascending [`FlowId`] order — dense slots first (slot index == id),
+//!   then the spillover (already sorted, and entirely above the dense
+//!   region by the invariant). `MetricsHub::records` and every report
+//!   derived from it see the same order a `BTreeMap` produced.
+//!
+//! Completion does not shrink anything: [`FlowTable::remove`] vacates
+//! the slot in place and a later insert of the same id reuses it (the
+//! slab is its own free list — no indirection table, no reallocation in
+//! the hot path).
+
+use crate::ids::FlowId;
+use std::collections::BTreeMap;
+
+/// Ids may grow the dense region to `2 * len + DENSE_SLACK` slots; ids
+/// beyond that spill to the ordered map. Sequential ids (the generated
+/// workloads) therefore always stay dense, while an adversarially sparse
+/// id (say `1 << 60`) costs one `BTreeMap` node instead of an
+/// exabyte-sized `Vec`.
+const DENSE_SLACK: u64 = 1024;
+
+/// A map from [`FlowId`] to `T`, `Vec`-backed for dense ids with an
+/// ordered spillover for sparse ones. See the module docs for the
+/// invariants; see `crates/sim/tests/flow_table_props.rs` for the
+/// property test pinning it against a `BTreeMap` model.
+#[derive(Clone, Debug)]
+pub struct FlowTable<T> {
+    /// Slot `i` holds the entry for `FlowId(i)`, if present.
+    dense: Vec<Option<T>>,
+    /// Sparse entries; invariant: every key's index is `>= dense.len()`.
+    spill: BTreeMap<FlowId, T>,
+    /// Occupied dense slots (so `len` is O(1)).
+    dense_live: usize,
+}
+
+// Manual impl: an empty table needs no `T: Default`.
+impl<T> Default for FlowTable<T> {
+    fn default() -> Self {
+        FlowTable::new()
+    }
+}
+
+impl<T> FlowTable<T> {
+    /// An empty table.
+    pub fn new() -> Self {
+        FlowTable {
+            dense: Vec::new(),
+            spill: BTreeMap::new(),
+            dense_live: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.dense_live + self.spill.len()
+    }
+
+    /// True when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `id` would live in the dense region as sized right now.
+    fn is_dense(&self, id: FlowId) -> bool {
+        (id.0 as usize) < self.dense.len()
+    }
+
+    /// Whether the dense region may grow to cover `id` (bounded growth:
+    /// at most doubling plus slack, so sparse ids cannot balloon it).
+    fn may_grow_to(&self, id: FlowId) -> bool {
+        id.0 < 2 * self.dense.len() as u64 + DENSE_SLACK
+    }
+
+    /// Grow the dense region to cover `id`, migrating any spilled
+    /// entries the larger region now covers (preserving the invariant
+    /// that spilled keys are `>=` the dense length).
+    fn grow_to(&mut self, id: FlowId) {
+        let new_len = id.0 as usize + 1;
+        self.dense.resize_with(new_len, || None);
+        while let Some(entry) = self.spill.first_entry() {
+            if entry.key().0 as usize >= new_len {
+                break;
+            }
+            let (k, v) = entry.remove_entry();
+            self.dense[k.0 as usize] = Some(v);
+            self.dense_live += 1;
+        }
+    }
+
+    /// Insert `value` under `id`, returning the previous entry if any.
+    pub fn insert(&mut self, id: FlowId, value: T) -> Option<T> {
+        if !self.is_dense(id) {
+            if self.may_grow_to(id) {
+                self.grow_to(id);
+            } else {
+                return self.spill.insert(id, value);
+            }
+        }
+        let prev = self.dense[id.0 as usize].replace(value);
+        if prev.is_none() {
+            self.dense_live += 1;
+        }
+        prev
+    }
+
+    /// Shared reference to the entry under `id`.
+    pub fn get(&self, id: FlowId) -> Option<&T> {
+        if self.is_dense(id) {
+            self.dense[id.0 as usize].as_ref()
+        } else {
+            self.spill.get(&id)
+        }
+    }
+
+    /// Mutable reference to the entry under `id`.
+    pub fn get_mut(&mut self, id: FlowId) -> Option<&mut T> {
+        if self.is_dense(id) {
+            self.dense[id.0 as usize].as_mut()
+        } else {
+            self.spill.get_mut(&id)
+        }
+    }
+
+    /// Whether an entry is live under `id`.
+    pub fn contains_key(&self, id: FlowId) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// Remove and return the entry under `id`. The dense slot stays
+    /// allocated and is reused in place by a later insert of the same
+    /// id.
+    pub fn remove(&mut self, id: FlowId) -> Option<T> {
+        if self.is_dense(id) {
+            let prev = self.dense[id.0 as usize].take();
+            if prev.is_some() {
+                self.dense_live -= 1;
+            }
+            prev
+        } else {
+            self.spill.remove(&id)
+        }
+    }
+
+    /// Mutable reference to the entry under `id`, inserting
+    /// `default()` first if absent (the `BTreeMap` `entry().or_insert_with`
+    /// idiom).
+    pub fn get_or_insert_with(&mut self, id: FlowId, default: impl FnOnce() -> T) -> &mut T {
+        if !self.contains_key(id) {
+            self.insert(id, default());
+        }
+        self.get_mut(id).expect("just inserted")
+    }
+
+    /// Entries in ascending [`FlowId`] order — the dense region (slot
+    /// index == id) followed by the spillover, which the invariant keeps
+    /// strictly above it. Byte-pinned reports iterate through this.
+    pub fn iter(&self) -> impl Iterator<Item = (FlowId, &T)> {
+        self.dense
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|v| (FlowId(i as u64), v)))
+            .chain(self.spill.iter().map(|(k, v)| (*k, v)))
+    }
+
+    /// Values in ascending [`FlowId`] order.
+    pub fn values(&self) -> impl Iterator<Item = &T> {
+        self.iter().map(|(_, v)| v)
+    }
+
+    /// Allocated dense slots (testing/diagnostics: pins the bounded
+    /// growth rule).
+    pub fn dense_slots(&self) -> usize {
+        self.dense.len()
+    }
+
+    /// Entries currently living in the sparse spillover
+    /// (testing/diagnostics).
+    pub fn spilled(&self) -> usize {
+        self.spill.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_ids_stay_dense() {
+        let mut t = FlowTable::new();
+        for i in 0..100u64 {
+            assert_eq!(t.insert(FlowId(i), i * 10), None);
+        }
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.spilled(), 0);
+        assert_eq!(t.get(FlowId(42)), Some(&420));
+        assert!(t.contains_key(FlowId(99)));
+        assert!(!t.contains_key(FlowId(100)));
+    }
+
+    #[test]
+    fn sparse_ids_spill_and_semantics_stay_total() {
+        let mut t = FlowTable::new();
+        t.insert(FlowId(0), "a");
+        let huge = FlowId(1 << 60);
+        assert_eq!(t.insert(huge, "z"), None);
+        assert_eq!(t.spilled(), 1);
+        assert!(t.dense_slots() < 2048, "sparse id must not grow the slab");
+        assert_eq!(t.get(huge), Some(&"z"));
+        assert_eq!(t.insert(huge, "z2"), Some("z"));
+        assert_eq!(t.remove(huge), Some("z2"));
+        assert_eq!(t.get(huge), None);
+    }
+
+    #[test]
+    fn growth_migrates_spilled_entries_below_the_new_length() {
+        let mut t = FlowTable::new();
+        // Within slack of an empty table, so this grows the slab.
+        t.insert(FlowId(1000), 1);
+        assert_eq!(t.dense_slots(), 1001);
+        // Beyond 2*1001+1024 = 3026: spills.
+        t.insert(FlowId(5000), 5);
+        assert_eq!(t.spilled(), 1);
+        // Within the rule (3000 < 3026): grows, 5000 stays spilled.
+        t.insert(FlowId(3000), 3);
+        assert_eq!((t.dense_slots(), t.spilled()), (3001, 1));
+        // Growing past 5000 (6000 < 2*3001+1024) pulls it into the slab.
+        t.insert(FlowId(6000), 6);
+        assert_eq!(t.spilled(), 0);
+        assert_eq!(t.get(FlowId(5000)), Some(&5));
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn removal_vacates_in_place_and_reinsert_reuses_the_slot() {
+        let mut t = FlowTable::new();
+        for i in 0..10u64 {
+            t.insert(FlowId(i), i);
+        }
+        assert_eq!(t.remove(FlowId(3)), Some(3));
+        assert_eq!(t.remove(FlowId(3)), None);
+        assert_eq!(t.len(), 9);
+        let slots = t.dense_slots();
+        t.insert(FlowId(3), 33);
+        assert_eq!(t.dense_slots(), slots, "reinsert reuses the vacated slot");
+        assert_eq!(t.get(FlowId(3)), Some(&33));
+        assert_eq!(t.len(), 10);
+    }
+
+    #[test]
+    fn iteration_is_in_flow_id_order_across_dense_and_spill() {
+        let mut t = FlowTable::new();
+        t.insert(FlowId(7), "d7");
+        t.insert(FlowId(2), "d2");
+        t.insert(FlowId(1 << 40), "s-hi");
+        t.insert(FlowId(1 << 30), "s-lo");
+        let keys: Vec<u64> = t.iter().map(|(k, _)| k.0).collect();
+        assert_eq!(keys, vec![2, 7, 1 << 30, 1 << 40]);
+        let vals: Vec<&str> = t.values().copied().collect();
+        assert_eq!(vals, vec!["d2", "d7", "s-lo", "s-hi"]);
+    }
+
+    #[test]
+    fn get_or_insert_with_matches_the_entry_idiom() {
+        let mut t: FlowTable<Vec<u32>> = FlowTable::new();
+        t.get_or_insert_with(FlowId(4), Vec::new).push(1);
+        t.get_or_insert_with(FlowId(4), || panic!("present"))
+            .push(2);
+        assert_eq!(t.get(FlowId(4)), Some(&vec![1, 2]));
+    }
+}

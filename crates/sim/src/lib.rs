@@ -52,6 +52,7 @@ pub mod buffer;
 pub mod ecn;
 pub mod engine;
 pub mod event;
+pub mod flow_table;
 pub mod ids;
 pub mod link;
 pub mod node;
@@ -66,6 +67,7 @@ pub use buffer::SharedBuffer;
 pub use ecn::EcnConfig;
 pub use engine::{Network, NetworkBuilder, Simulator};
 pub use event::{Event, EventQueue};
+pub use flow_table::FlowTable;
 pub use ids::{mix64, FlowId, LinkId, NodeId, PortId};
 pub use link::{Link, Links};
 pub use node::{

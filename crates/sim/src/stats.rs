@@ -23,6 +23,13 @@ pub struct SimStats {
     /// Events whose target time was beyond the calendar horizon and went
     /// to the overflow heap instead of a ring bucket.
     pub overflow_scheduled: u64,
+    /// Node visits that drained more than one same-tick event in one
+    /// pass (see `Simulator::set_batching`).
+    pub batched_visits: u64,
+    /// Events beyond the first drained by batched visits (these are
+    /// counted in `events_processed` too — batching only changes how
+    /// dispatch amortizes, never how many events run).
+    pub batched_events: u64,
     /// Packets delivered to host endpoints.
     pub delivered: u64,
     /// Packets forwarded by classic switches.
@@ -66,6 +73,8 @@ impl SimStats {
         self.events_processed += other.events_processed;
         self.events_scheduled += other.events_scheduled;
         self.overflow_scheduled += other.overflow_scheduled;
+        self.batched_visits += other.batched_visits;
+        self.batched_events += other.batched_events;
         self.delivered += other.delivered;
         self.forwarded += other.forwarded;
         self.drops_no_route += other.drops_no_route;
@@ -107,12 +116,15 @@ mod tests {
         let b = SimStats {
             events_processed: 32,
             pool_reused: 7,
+            batched_visits: 3,
+            batched_events: 5,
             wall_ms: 2.5,
             ..SimStats::default()
         };
         a.merge(&b);
         assert_eq!(a.events_processed, 42);
         assert_eq!(a.pool_reused, 7);
+        assert_eq!((a.batched_visits, a.batched_events), (3, 5));
         assert!((a.wall_ms - 4.0).abs() < 1e-12);
     }
 }

@@ -219,12 +219,29 @@ impl Switch {
         id
     }
 
-    /// Set the ECMP port set for a destination node.
+    /// Arena-build the route table for a network of `num_nodes` nodes:
+    /// every destination starts with an empty ECMP set (= no route).
+    /// [`crate::engine::NetworkBuilder::build`] calls this once, when
+    /// the final node count is known; after that, `set_route` is a
+    /// bounds-checked store and [`Switch::route_for`] a plain index —
+    /// no `resize_with` growth anywhere near the forwarding path.
+    pub fn init_routes(&mut self, num_nodes: usize) {
+        debug_assert!(
+            self.routes.len() <= num_nodes,
+            "route table already larger than the network"
+        );
+        self.routes.resize_with(num_nodes, Vec::new);
+    }
+
+    /// Set the ECMP port set for a destination node. The destination
+    /// must be a node of the built network (see [`Switch::init_routes`]).
     pub fn set_route(&mut self, dst: NodeId, ports: Vec<PortId>) {
         let idx = dst.index();
-        if self.routes.len() <= idx {
-            self.routes.resize_with(idx + 1, Vec::new);
-        }
+        assert!(
+            idx < self.routes.len(),
+            "set_route({dst}): destination outside the built network ({} nodes)",
+            self.routes.len()
+        );
         self.routes[idx] = ports;
     }
 
@@ -432,6 +449,9 @@ mod tests {
         let mut sw = Switch::new(NodeId(0), cfg);
         sw.add_port(LinkId(0));
         sw.add_port(LinkId(1));
+        // Arena-sized as NetworkBuilder::build would for an 11-node
+        // network (big enough that NodeId(77) below stays routeless).
+        sw.init_routes(11);
         sw.set_route(NodeId(10), vec![PortId(1)]);
         sw
     }

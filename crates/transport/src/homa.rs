@@ -26,14 +26,10 @@ use crate::config::TransportConfig;
 use crate::flow::FlowSpec;
 use crate::metrics::SharedMetrics;
 use dcn_sim::{
-    Endpoint, EndpointCtx, FlowId, GrantPayload, NodeId, Packet, PacketKind, CTRL_PKT_BYTES,
+    Endpoint, EndpointCtx, FlowId, FlowTable, GrantPayload, NodeId, Packet, PacketKind,
+    CTRL_PKT_BYTES,
 };
 use powertcp_core::{Bandwidth, IntHeader, Tick};
-// BTreeMap, not HashMap: lookups stay keyed, `receiver_order` carries
-// the deterministic iteration order, and an ordered map means a future
-// direct iteration cannot introduce hash-order nondeterminism
-// (dcn-lint rule R1 guards the same invariant statically).
-use std::collections::BTreeMap;
 
 const K_MSG_START: u64 = 1;
 const K_PACE: u64 = 2;
@@ -107,8 +103,13 @@ pub struct HomaHost {
     cfg: HomaConfig,
     metrics: SharedMetrics,
     senders: Vec<HomaSender>,
-    sender_index: BTreeMap<FlowId, usize>,
-    receivers: BTreeMap<FlowId, HomaReceiver>,
+    // FlowTable, not BTreeMap: per-packet lookups are slab indexes over
+    // the sequential generated ids; `receiver_order` carries the
+    // deterministic iteration order, and the table's own ordered
+    // iteration matches the old map's (dcn-lint rule R1 guards the same
+    // invariant statically).
+    sender_index: FlowTable<usize>,
+    receivers: FlowTable<HomaReceiver>,
     /// Receive order of message ids (stable iteration for determinism).
     receiver_order: Vec<FlowId>,
     stall_scan_armed: bool,
@@ -122,8 +123,8 @@ impl HomaHost {
             cfg,
             metrics,
             senders: Vec::new(),
-            sender_index: BTreeMap::new(),
-            receivers: BTreeMap::new(),
+            sender_index: FlowTable::new(),
+            receivers: FlowTable::new(),
             receiver_order: Vec::new(),
             stall_scan_armed: false,
         }
@@ -224,7 +225,7 @@ impl HomaHost {
             .receiver_order
             .iter()
             .filter_map(|id| {
-                let r = self.receivers.get(id)?;
+                let r = self.receivers.get(*id)?;
                 if r.complete {
                     return None;
                 }
@@ -235,7 +236,7 @@ impl HomaHost {
         let k = self.cfg.overcommit.min(active.len());
         let mut grants = Vec::new();
         for (rank, &(_, id)) in active.iter().take(k).enumerate() {
-            let r = self.receivers.get_mut(&id).expect("active message");
+            let r = self.receivers.get_mut(id).expect("active message");
             // Scheduled priorities: classes 3..7, better rank = higher.
             let prio = (3 + rank).min(7) as u8;
             let desired = (r.prefix + self.cfg.rtt_bytes).min(r.msg_len);
@@ -292,7 +293,7 @@ impl HomaHost {
         else {
             return;
         };
-        if !self.receivers.contains_key(&pkt.flow) {
+        if !self.receivers.contains_key(pkt.flow) {
             self.receivers.insert(
                 pkt.flow,
                 HomaReceiver {
@@ -306,7 +307,7 @@ impl HomaHost {
             );
             self.receiver_order.push(pkt.flow);
         }
-        let r = self.receivers.get_mut(&pkt.flow).expect("just inserted");
+        let r = self.receivers.get_mut(pkt.flow).expect("just inserted");
         if offset == r.prefix {
             r.prefix += len as u64;
             r.last_progress = ctx.now;
@@ -328,7 +329,7 @@ impl HomaHost {
         let PacketKind::HomaGrant(g) = pkt.kind else {
             return;
         };
-        let Some(&idx) = self.sender_index.get(&pkt.flow) else {
+        let Some(&idx) = self.sender_index.get(pkt.flow) else {
             return;
         };
         let s = &mut self.senders[idx];
@@ -353,7 +354,7 @@ impl HomaHost {
         let mut resends = Vec::new();
         let mut any_active = false;
         for id in &self.receiver_order {
-            let r = &self.receivers[id];
+            let r = self.receivers.get(*id).expect("ordered message");
             if r.complete {
                 continue;
             }

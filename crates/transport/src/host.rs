@@ -10,12 +10,8 @@
 use crate::config::TransportConfig;
 use crate::flow::FlowSpec;
 use crate::metrics::SharedMetrics;
-use dcn_sim::{CcFlowSample, Endpoint, EndpointCtx, FlowId, Packet, PacketKind};
+use dcn_sim::{CcFlowSample, Endpoint, EndpointCtx, FlowId, FlowTable, Packet, PacketKind};
 use powertcp_core::{AckInfo, Bandwidth, CongestionControl, LossKind, NetSignal, Tick};
-// BTreeMap, not HashMap: these maps are keyed lookups today, but ordered
-// maps keep the whole endpoint trivially deterministic if iteration is
-// ever added (dcn-lint rule R1 would flag hash iteration).
-use std::collections::BTreeMap;
 
 /// Timer-key kinds (top byte of the `u64` key).
 const K_FLOW_START: u64 = 1;
@@ -74,8 +70,11 @@ pub struct TransportHost {
     make_cc: CcFactory,
     /// Sender flows in start order; timer keys index into this.
     senders: Vec<SenderFlow>,
-    sender_index: BTreeMap<FlowId, usize>,
-    receivers: BTreeMap<FlowId, ReceiverFlow>,
+    // FlowTable, not BTreeMap: generated flow ids are sequential, so the
+    // per-ACK and per-data lookups are slab indexes; its ordered
+    // iteration (were any added) matches the old map's (dcn-lint R1).
+    sender_index: FlowTable<usize>,
+    receivers: FlowTable<ReceiverFlow>,
 }
 
 impl TransportHost {
@@ -87,8 +86,8 @@ impl TransportHost {
             metrics,
             make_cc,
             senders: Vec::new(),
-            sender_index: BTreeMap::new(),
-            receivers: BTreeMap::new(),
+            sender_index: FlowTable::new(),
+            receivers: FlowTable::new(),
         }
     }
 
@@ -193,7 +192,7 @@ impl TransportHost {
         let PacketKind::Ack(ref pl) = pkt.kind else {
             return;
         };
-        let Some(&idx) = self.sender_index.get(&pkt.flow) else {
+        let Some(&idx) = self.sender_index.get(pkt.flow) else {
             return; // ACK for a flow we do not own (misrouted).
         };
         let f = &mut self.senders[idx];
@@ -257,8 +256,7 @@ impl TransportHost {
         };
         let r = self
             .receivers
-            .entry(pkt.flow)
-            .or_insert_with(|| ReceiverFlow {
+            .get_or_insert_with(pkt.flow, || ReceiverFlow {
                 rcv_nxt: 0,
                 end_seq: None,
                 complete: false,

@@ -5,10 +5,9 @@
 //! `Rc<RefCell<…>>` because the simulator is single-threaded by design.
 
 use crate::flow::FlowSpec;
-use dcn_sim::FlowId;
+use dcn_sim::{FlowId, FlowTable};
 use powertcp_core::Tick;
 use std::cell::RefCell;
-use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// Lifecycle record of one flow.
@@ -33,12 +32,16 @@ impl FlowRecord {
 
 /// Registry of all flows in an experiment.
 ///
-/// Keyed by a `BTreeMap` so [`MetricsHub::records`] iterates in flow-id
-/// order: experiment reductions built on it (e.g. the `dcn-scenarios`
-/// sweep results) are byte-identical across runs and thread counts.
+/// Keyed by a [`FlowTable`] — generated flow ids are sequential, so
+/// every `complete`/`add_retransmission` on the data path is a slab
+/// index instead of an ordered-tree walk — whose iteration order is
+/// ascending flow id, exactly like the `BTreeMap` it replaced:
+/// experiment reductions built on [`MetricsHub::records`] (e.g. the
+/// `dcn-scenarios` sweep results) stay byte-identical across runs and
+/// thread counts.
 #[derive(Default, Debug)]
 pub struct MetricsHub {
-    flows: BTreeMap<FlowId, FlowRecord>,
+    flows: FlowTable<FlowRecord>,
 }
 
 impl MetricsHub {
@@ -63,7 +66,7 @@ impl MetricsHub {
 
     /// Mark a flow complete (receiver got the last byte).
     pub fn complete(&mut self, id: FlowId, now: Tick) {
-        if let Some(r) = self.flows.get_mut(&id) {
+        if let Some(r) = self.flows.get_mut(id) {
             if r.completed.is_none() {
                 r.completed = Some(now);
             }
@@ -72,21 +75,21 @@ impl MetricsHub {
 
     /// Account retransmitted bytes.
     pub fn add_retransmission(&mut self, id: FlowId, bytes: u64) {
-        if let Some(r) = self.flows.get_mut(&id) {
+        if let Some(r) = self.flows.get_mut(id) {
             r.retransmitted_bytes += bytes;
         }
     }
 
     /// Account an RTO.
     pub fn add_timeout(&mut self, id: FlowId) {
-        if let Some(r) = self.flows.get_mut(&id) {
+        if let Some(r) = self.flows.get_mut(id) {
             r.timeouts += 1;
         }
     }
 
     /// Look up one flow.
     pub fn get(&self, id: FlowId) -> Option<&FlowRecord> {
-        self.flows.get(&id)
+        self.flows.get(id)
     }
 
     /// All records, in flow-id order.
